@@ -1,0 +1,75 @@
+"""Ablations of the paper's design choices.
+
+Each ablation removes one mechanism of the MADNESS library extensions
+and measures what it was worth, quantifying the paper's Section I
+bullet list ("aggregate the computation, aggregate the data inputs,
+overlap CPU with GPU computation") plus the Section VI future work.
+"""
+
+from repro.experiments.ablations import (
+    run_batching_ablation,
+    run_dynamic_parallelism_ablation,
+    run_naive_port_ablation,
+    run_overlap_ablation,
+    run_transfer_ablation,
+)
+
+from benchmarks.conftest import bench_scale
+
+
+def test_ablation_data_aggregation(run_once, show):
+    result = run_once(run_transfer_ablation)
+    show(result)
+    assert result.data["pageable"] > 1.5 * result.data["batched"]
+    assert result.data["pinned_each"] > 20 * result.data["batched"]
+
+
+def test_ablation_computation_batching(run_once, show):
+    result = run_once(run_batching_ablation, bench_scale())
+    show(result)
+    results = result.data["results"]
+    # tiny batches cannot fill the streams and pay transfer latency per task
+    assert results["no batching (1 task)"] > 1.5 * results["batch of 60 (paper)"]
+
+
+def test_ablation_hybrid_overlap(run_once, show):
+    result = run_once(run_overlap_ablation, bench_scale())
+    show(result)
+    times = result.data["times"]
+    assert times["hybrid"] < min(times["cpu"], times["gpu"])
+
+
+def test_ablation_naive_port(run_once, show):
+    result = run_once(run_naive_port_ablation, bench_scale())
+    show(result)
+    out = result.data["out"]
+    batched = out["MADNESS extensions (paper)"]
+    naive = out["naive per-task port"]
+    assert naive[0] > 2.0 * batched[0]
+    assert naive[1] > 5.0 * batched[1]
+
+
+def test_ablation_dynamic_parallelism(run_once, show):
+    result = run_once(run_dynamic_parallelism_ablation)
+    show(result)
+    out = result.data["out"]
+    # Fermi: exactly no effect, as the paper measured
+    assert out["Fermi M2090, rank reduction (no-op)"] == out[
+        "Fermi M2090, no rank reduction"
+    ]
+    # Kepler: the saving materialises
+    kepler_gain = (
+        out["Kepler K20X, no rank reduction"]
+        / out["Kepler K20X, rank reduction (dyn. par.)"]
+    )
+    assert 1.6 < kepler_gain < 2.4
+
+
+def test_ablation_flush_interval(run_once, show):
+    from repro.experiments.ablations import run_flush_interval_ablation
+
+    result = run_once(run_flush_interval_ablation, bench_scale())
+    show(result)
+    out = result.data["out"]
+    best = min(out.values())
+    assert out[0.005] < 1.2 * best

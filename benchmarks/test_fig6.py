@@ -1,0 +1,25 @@
+"""Figure 6 — GFLOPS of batched (k^3, k) x (k, k) multiplications (4-D).
+
+Same testbed as Figure 5, batches of 20 multiplications.  The 4-D
+operands overflow the fused kernel's shared memory, so here cuBLAS
+overtakes the custom kernel early — the reason the TDSE application
+(Table VI) uses cuBLAS.
+"""
+
+from repro.experiments.figures import FIGURE_KS, run_fig6
+
+
+def test_fig6(run_once, show):
+    result = run_once(run_fig6)
+    show(result)
+    rows = result.data["rows"]
+
+    # the crossover: custom competitive only at the smallest k
+    assert rows[10][0] > rows[10][1]
+    for k in (16, 20, 24, 28):
+        assert rows[k][1] > rows[k][0], k
+    # cuBLAS keeps climbing with matrix size (its favourable regime)
+    cublas_curve = [rows[k][1] for k in FIGURE_KS]
+    assert all(b > a for a, b in zip(cublas_curve, cublas_curve[1:]))
+    # the fused kernel *degrades* with k here: shared-memory spill
+    assert rows[28][0] < rows[12][0]

@@ -1,0 +1,30 @@
+"""Table V — CPU (with/without rank reduction), GPU, hybrid; 1-8 nodes.
+
+Coulomb, d=3, k=30, precision 1e-12.  Large tensors: the CPU working
+set overflows the 16 MB aggregate L2; the locality process map runs out
+of work above 6 nodes.  Anchored to the paper's 1-node CPU-only (no
+rank reduction) time of 447 s.
+"""
+
+from repro.experiments.tables import run_table5
+
+from benchmarks.conftest import bench_scale
+
+
+def test_table5(run_once, show):
+    result = run_once(run_table5, bench_scale())
+    show(result)
+    rows = result.data["rows"]
+
+    # rank reduction buys ~2-3x on the CPU (paper: 447/147 = 3.0 at 1 node)
+    assert 1.8 < rows[1][1] / rows[1][0] < 3.2
+    # the GPU handles the out-of-cache tensors far better than the CPU
+    assert rows[4][2] < 0.5 * rows[4][1]
+    # hybrid is the best configuration from 2 nodes on
+    for nodes in (2, 4, 6):
+        cpu_rr, cpu, gpu, hybrid = rows[nodes]
+        assert hybrid <= min(cpu_rr, cpu, gpu) * 1.05, nodes
+    # the paper's signature: essentially no speedup from 6 to 8 nodes
+    # (the coarse locality map has ~7 work chunks; ideal would be 1.33x)
+    assert rows[6][3] / rows[8][3] < 1.25
+    assert rows[6][0] / rows[8][0] < 1.25

@@ -1,0 +1,32 @@
+"""Table VI — 4-D TDSE on 100-500 nodes: CPU vs GPU (cuBLAS) vs hybrid.
+
+k=14, precision 1e-14, rank reduction on the CPU side, 542,113 tasks
+(the paper's exact count), cost-partition locality map.  Anchored to
+the paper's 100-node CPU-only time (985 s); everything else predicted.
+"""
+
+from repro.experiments.tables import run_table6
+
+from benchmarks.conftest import bench_scale
+
+
+def test_table6(run_once, show):
+    result = run_once(run_table6, bench_scale())
+    show(result)
+    rows = result.data["rows"]
+
+    # headline: hybrid well over 2x the CPU-only version at large
+    # partitions (paper: 2.3-2.4x; our cuBLAS model is somewhat more
+    # favourable on 4-D shapes, see EXPERIMENTS.md)
+    for nodes in (300, 400, 500):
+        cpu, _gpu, hybrid = rows[nodes]
+        assert 1.7 < cpu / hybrid < 3.9, nodes
+    # GPU-only beats CPU-only (paper: 1.9x at 500 nodes)
+    cpu500, gpu500, _h = rows[500]
+    assert 1.2 < cpu500 / gpu500 < 3.4
+    # scaling 100 -> 500 nodes is clearly sub-linear (locality map)
+    for column in range(3):
+        scaling = rows[100][column] / rows[500][column]
+        assert scaling < 4.0, column
+    # but adding nodes does not hurt
+    assert rows[500][2] <= rows[100][2] * 1.05

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The two GPU execution styles head to head (Figures 5 and 6).
+
+For batches of small matrix multiplications — (k^2,k)x(k,k) for 3-D
+tensors, (k^3,k)x(k,k) for 4-D — compare the paper's fused cu_mtxmq
+kernel (one launch per batch, operands resident in 2-3 SMs' shared
+memory, inter-block barrier between steps) against per-call cuBLAS
+DGEMM, on the GTX 480 testbed model.
+
+Run:  python examples/custom_vs_cublas.py
+"""
+
+from repro.analysis.reporting import ReportTable
+from repro.hardware.gpu_model import GpuModel
+from repro.hardware.specs import TESTBED_GPU
+from repro.kernels.cublas_gpu import CublasKernel
+from repro.kernels.custom_gpu import CustomGpuKernel, sm_per_instance_for
+from repro.runtime.task import BatchStats, TaskKind, WorkItem
+
+
+STREAMS = 8
+
+
+def figure_batch(dim: int, k: int, n_mults: int) -> BatchStats:
+    """One fused-kernel instance per CUDA stream, each running its share
+    of the multiplications back to back."""
+    rows = k ** (dim - 1)
+    n_instances = min(STREAMS, n_mults)
+    items = []
+    for i in range(n_instances):
+        steps = n_mults // n_instances + (1 if i < n_mults % n_instances else 0)
+        items.append(
+            WorkItem(
+                kind=TaskKind("figure", (dim, k)),
+                flops=steps * 2 * rows * k * k,
+                steps=steps,
+                step_rows=rows,
+                step_q=k,
+                input_bytes=steps * rows * k * 8,
+                output_bytes=steps * rows * k * 8,
+            )
+        )
+    return BatchStats.of(items)
+
+
+def main() -> None:
+    gm = GpuModel(TESTBED_GPU)
+    custom, cublas = CustomGpuKernel(gm), CublasKernel(gm)
+
+    for dim, n_mults, figure in ((3, 60, "Figure 5"), (4, 20, "Figure 6")):
+        table = ReportTable(
+            f"{figure} — (k^{dim - 1},k)x(k,k) batches of {n_mults} on the "
+            f"GTX 480 (GFLOPS, higher is better)",
+            ["k", "cu_mtxm_kernel", "cuBLAS", "winner", "SMs/instance"],
+        )
+        for k in (10, 12, 16, 20, 24, 28):
+            stats = figure_batch(dim, k, n_mults)
+            g_custom = custom.batch_timing(stats, STREAMS).gflops()
+            g_cublas = cublas.batch_timing(stats, STREAMS).gflops()
+            table.add_row(
+                k,
+                g_custom,
+                g_cublas,
+                "custom" if g_custom > g_cublas else "cuBLAS",
+                sm_per_instance_for(k ** (dim - 1), k, gm.spec.shared_mem_per_sm),
+            )
+        table.print()
+
+    print("3-D: the fused kernel dominates small k — no per-step launch")
+    print("overhead, shared-memory locality across steps.  4-D: operands")
+    print("overflow the reserved SMs' shared memory and cuBLAS's")
+    print("full-device GEMM wins — which is why the paper runs the TDSE")
+    print("with cuBLAS and the Coulomb with the custom kernel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The whole paper in one run: a distributed hybrid Apply, end to end.
+
+A real charge density is sharded over simulated Titan nodes by a
+process map; each node runs the batching runtime (preprocess -> batch
+-> dispatch -> pinned transfer -> kernels -> postprocess); result
+contributions crossing rank boundaries become accumulate messages; the
+assembled potential is checked against the analytic answer.
+
+Run:  python examples/distributed_apply.py
+"""
+
+import math
+
+import numpy as np
+from scipy.special import erf
+
+from repro.cluster.distributed_apply import DistributedApply
+from repro.dht.process_map import HashProcessMap, SubtreePartitionMap
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.gpu_model import GpuModel
+from repro.hardware.specs import TITAN_NODE
+from repro.kernels.cpu_kernel import CpuMtxmKernel
+from repro.kernels.custom_gpu import CustomGpuKernel
+from repro.mra.function import FunctionFactory
+from repro.operators.convolution import CoulombOperator
+from repro.runtime.dispatcher import HybridDispatcher
+from repro.runtime.node import NodeRuntime
+
+ALPHA = 150.0
+NODES = 8
+
+
+def density(x: np.ndarray) -> np.ndarray:
+    r2 = ((x - 0.5) ** 2).sum(axis=1)
+    return (ALPHA / math.pi) ** 1.5 * np.exp(-ALPHA * r2)
+
+
+def runtime_factory(rank: int) -> NodeRuntime:
+    dispatcher = HybridDispatcher(
+        CpuMtxmKernel(CpuModel(TITAN_NODE.cpu)),
+        CustomGpuKernel(GpuModel(TITAN_NODE.gpu)),
+        cpu_threads=10,
+        gpu_streams=5,
+        mode="hybrid",
+    )
+    return NodeRuntime(TITAN_NODE, dispatcher, flush_interval=0.005)
+
+
+def main() -> None:
+    print("Projecting the density and building the 1/r operator...")
+    f = FunctionFactory(dim=3, k=5, thresh=2e-3).from_callable(density)
+    op = CoulombOperator(dim=3, k=5, eps=1e-3, r_lo=3e-3)
+    print(f"  tree: {f.tree.size()} nodes; operator rank M={op.expansion.rank}")
+
+    for label, pmap in (
+        ("even hash map", HashProcessMap(NODES)),
+        ("locality subtree map", SubtreePartitionMap(NODES, anchor_level=1)),
+    ):
+        print(f"\n=== {NODES} hybrid nodes, {label} ===")
+        result = DistributedApply(op, pmap, runtime_factory).apply(f)
+        print(f"  makespan: {result.makespan_seconds * 1e3:.1f} ms "
+              f"(imbalance {result.imbalance.imbalance:.2f}, "
+              f"{result.imbalance.idle_ranks} idle ranks)")
+        print(f"  accumulate messages: {result.n_messages} "
+              f"({result.message_bytes / 1e6:.2f} MB); worst comm drain "
+              f"{max(result.comm_seconds) * 1e3:.2f} ms")
+        busiest = max(result.node_timelines, key=lambda t: t.total_seconds)
+        print(f"  busiest rank: {busiest.n_tasks} tasks, "
+              f"{busiest.n_cpu_items} on CPU / {busiest.n_gpu_items} on GPU")
+        worst = 0.0
+        for r in (0.05, 0.1, 0.2, 0.3):
+            got = result.function.eval((0.5 + r, 0.5, 0.5))
+            want = erf(math.sqrt(ALPHA) * r) / r
+            worst = max(worst, abs(got - want) / want)
+        print(f"  potential vs erf(sqrt(a) r)/r: worst rel err {worst:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""4-D TDSE strong scaling (Table VI at reduced task count).
+
+The paper's flagship result: on 100-500 Titan nodes, the hybrid
+CPU+GPU version of the 4-D Time-Dependent Schrodinger Equation Apply is
+up to 2.3x faster than CPU-only.  This example reruns that sweep on the
+simulated cluster with a 30k-task workload (the full 542,113-task
+version is benchmarks/test_table6.py).
+
+Run:  python examples/tdse_scaling.py
+"""
+
+from collections import Counter
+
+from repro.analysis.overlap import analyze_overlap
+from repro.analysis.reporting import ReportTable
+from repro.apps.tdse import TdseApplication
+from repro.cluster.simulation import ClusterSimulation
+from repro.dht.process_map import CostPartitionMap
+
+
+def main() -> None:
+    app = TdseApplication(n_tasks=30_000, n_tree_leaves=2048)
+    print(
+        f"TDSE workload: d={app.dim}, k={app.k} (tensor side {app.tensor_side}), "
+        f"{app.n_tasks} tasks, rank M={app.rank}"
+    )
+    wl = app.workload()
+    weights = {k: float(v) for k, v in Counter(t.key for t in wl.tasks).items()}
+
+    table = ReportTable(
+        "4-D TDSE strong scaling (makespan seconds; cuBLAS GPU kernel)",
+        ["nodes", "CPU only", "GPU only", "hybrid", "optimal overlap",
+         "speedup vs CPU", "imbalance"],
+    )
+    for nodes in (50, 100, 200, 400):
+        pmap = CostPartitionMap.from_weights(nodes, weights, target_chunks=150)
+        cpu = ClusterSimulation(
+            nodes, pmap, mode="cpu", rank_reduction=True, flush_interval=0.03
+        ).run(wl.tasks)
+        gpu = ClusterSimulation(
+            nodes, pmap, mode="gpu", gpu_kernel="cublas", flush_interval=0.03
+        ).run(wl.tasks)
+        hybrid = ClusterSimulation(
+            nodes, pmap, mode="hybrid", gpu_kernel="cublas",
+            rank_reduction=True, flush_interval=0.03,
+        ).run(wl.tasks)
+        overlap = analyze_overlap(
+            cpu.makespan_seconds, gpu.makespan_seconds, hybrid.makespan_seconds
+        )
+        table.add_row(
+            nodes,
+            cpu.makespan_seconds,
+            gpu.makespan_seconds,
+            hybrid.makespan_seconds,
+            overlap.optimal_seconds,
+            overlap.speedup_vs_cpu,
+            cpu.imbalance.imbalance,
+        )
+    table.add_note("paper Table VI: speedup reaches 2.3-2.4x at 300-500 nodes")
+    table.print()
+
+    print("Why the CPU column scales worse than the GPU column:")
+    print("  one CPU task is single-threaded, so nodes whose batches are")
+    print("  small leave cores idle; cuBLAS parallelises *within* each")
+    print("  multiplication and does not care (paper, Section III-A).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — reproduction of "Adapting Irregular Computations to Large CPU-GPU
+Clusters in the MADNESS Framework" (Slavici, Varier, Cooperman, Harrison;
+IEEE CLUSTER 2012).
+
+The package rebuilds, in Python, every system the paper describes:
+
+- :mod:`repro.tensor` — small dense tensor contractions (``mtxmq``), the
+  separated-rank inner transform of the paper's Formula 1, and rank
+  reduction.
+- :mod:`repro.mra` — the multiresolution-analysis substrate MADNESS is
+  built on: multiwavelet bases, adaptive 2^d-ary function trees, and the
+  Compress / Reconstruct / Truncate operators.
+- :mod:`repro.operators` — the ``Apply`` operator (Green's-function
+  convolution in separated Gaussian form), both the CPU reference
+  control flow (paper Algorithms 1-2) and the hybrid batched control flow
+  (Algorithms 3-6).
+- :mod:`repro.runtime` — the paper's MADNESS Library extensions:
+  asynchronous batching of tasks and data, page-locked transfer buffers,
+  the hybrid CPU/GPU dispatcher with the optimal-overlap split
+  ``k = n/(m+n)``, and a discrete-event engine that provides simulated
+  time.
+- :mod:`repro.hardware` — calibrated models of the Titan compute node
+  (16-core Opteron 6200 + NVIDIA M2090) and the GTX 480 testbed.
+- :mod:`repro.kernels` — compute kernels with real numerics plus a cost
+  model: the CPU mtxmq kernel, the custom fused GPU kernel
+  (``cu_mtxmq``), and the cuBLAS-style per-call kernel.
+- :mod:`repro.dht` — distributed-tree substrate: process maps and the
+  distributed hash-table container.
+- :mod:`repro.cluster` — the multi-node simulation used for the paper's
+  scaling tables.
+- :mod:`repro.apps` — the Coulomb and 4-D TDSE applications.
+- :mod:`repro.analysis` — optimal-overlap math, GFLOPS metrics and the
+  table/figure report formatting.
+
+Quickstart::
+
+    import repro
+    f = repro.FunctionFactory(dim=3, k=6, thresh=1e-4).from_callable(my_density)
+    op = repro.CoulombOperator(dim=3, k=6, eps=1e-4)
+    g = op.apply(f)
+"""
+
+from repro._version import __version__
+
+# Public names are imported lazily (PEP 562) so that importing `repro`
+# stays cheap and subpackages remain independently importable.
+_LAZY = {
+    "FunctionFactory": "repro.mra.function",
+    "MultiresolutionFunction": "repro.mra.function",
+    "CoulombOperator": "repro.operators.convolution",
+    "GaussianConvolution": "repro.operators.convolution",
+    "HybridDispatcher": "repro.runtime.dispatcher",
+    "optimal_split": "repro.runtime.dispatcher",
+    "ClusterSimulation": "repro.cluster.simulation",
+    "BatchedApply": "repro.operators.apply_batched",
+    "DistributedApply": "repro.cluster.distributed_apply",
+    "NodeRuntime": "repro.runtime.node",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "__version__",
+    "FunctionFactory",
+    "MultiresolutionFunction",
+    "CoulombOperator",
+    "GaussianConvolution",
+    "HybridDispatcher",
+    "optimal_split",
+    "ClusterSimulation",
+    "BatchedApply",
+    "DistributedApply",
+    "NodeRuntime",
+]

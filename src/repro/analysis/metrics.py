@@ -1,0 +1,29 @@
+"""Performance metrics used by the benchmark reports."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def gflops(flops: int, seconds: float) -> float:
+    """Achieved GFLOPS (the y-axis of paper Figures 5 and 6)."""
+    if seconds <= 0:
+        raise ReproError(f"elapsed time must be positive, got {seconds}")
+    return flops / seconds / 1e9
+
+
+def speedup(baseline_seconds: float, other_seconds: float) -> float:
+    """How many times faster ``other`` is than ``baseline``."""
+    if other_seconds <= 0:
+        raise ReproError(f"time must be positive, got {other_seconds}")
+    return baseline_seconds / other_seconds
+
+
+def scaling_efficiency(
+    t_ref: float, n_ref: int, t_scaled: float, n_scaled: int
+) -> float:
+    """Parallel efficiency of scaling from ``n_ref`` to ``n_scaled`` nodes."""
+    if min(t_ref, t_scaled) <= 0 or min(n_ref, n_scaled) <= 0:
+        raise ReproError("times and node counts must be positive")
+    ideal = t_ref * n_ref / n_scaled
+    return ideal / t_scaled

@@ -1,0 +1,69 @@
+"""Paper-style table rendering.
+
+Every benchmark prints a :class:`ReportTable` whose rows carry both the
+paper's published number and the simulation's measured one, so
+EXPERIMENTS.md can be assembled directly from benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+@dataclass
+class ReportTable:
+    """A fixed-width text table with a title."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ReproError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "+".join("-" * (w + 2) for w in widths)
+        out = [self.title, sep]
+        out.append(
+            "|".join(f" {c:<{w}} " for c, w in zip(self.columns, widths))
+        )
+        out.append(sep)
+        for row in cells:
+            out.append("|".join(f" {c:>{w}} " for c, w in zip(row, widths)))
+        out.append(sep)
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors rich-style API
+        print("\n" + self.render() + "\n")

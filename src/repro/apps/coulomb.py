@@ -1,0 +1,195 @@
+"""The *Coulomb* application (paper Tables I-V).
+
+"One of the applications that relies on Apply is the computation of a
+Coulomb operator ...  The Coulomb application has among the inputs the
+dimension of the input tensors (d), the size of the tensor per dimension
+(k) and the desired precision of the result."
+
+Two instantiations are provided:
+
+- :meth:`CoulombApplication.real_instance` — a genuinely computed
+  small-scale version (Gaussian charge density, real MRA tree, real
+  separated ``1/r`` operator) used for numeric validation;
+- the ``table*`` presets — paper-parameter synthetic workloads for the
+  timing experiments.  Where the paper states the task count (Table IV:
+  154,468) it is used verbatim; otherwise the count is anchored so the
+  modeled CPU baseline matches the paper's measured CPU column, and
+  every other column is then a *prediction* of the models (recorded in
+  EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.workloads import SyntheticApplyWorkload
+from repro.errors import ClusterConfigError
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.specs import CpuSpec, TITAN_CPU
+from repro.kernels.cpu_kernel import CpuMtxmKernel
+from repro.operators.gaussian_fit import fit_inverse_r
+from repro.runtime.task import BatchStats, TaskKind, WorkItem
+
+
+def coulomb_rank(eps: float, dim: int = 3) -> int:
+    """Separation rank M of the ``1/r`` fit at precision ``eps``.
+
+    Derived from the actual Gaussian fit (the same one the numeric
+    operator uses), so the synthetic workloads carry the rank a real run
+    of that precision would.
+    """
+    r_lo = max(math.sqrt(eps) * 1e-2, 1e-8)
+    return fit_inverse_r(eps, r_lo, math.sqrt(float(dim))).rank
+
+
+def probe_item(dim: int, k: int, rank: int) -> WorkItem:
+    """A cost-only work item with the exact shape of one integral task."""
+    q = 2 * k
+    steps = rank * dim
+    rows = q ** (dim - 1)
+    flops = int(steps * 2 * rows * q * q * (1.0 + 2.0 ** -(dim + 1)))
+    tensor_bytes = (q**dim) * 8
+    return WorkItem(
+        kind=TaskKind("integral_compute", (dim, q)),
+        flops=flops,
+        input_bytes=tensor_bytes,
+        output_bytes=tensor_bytes,
+        block_keys=tuple((0, 0, mu) for mu in range(rank)),
+        block_bytes=rank * q * q * 8,
+        steps=steps,
+        step_rows=rows,
+        step_q=q,
+    )
+
+
+def calibrate_task_count(
+    target_cpu_seconds: float,
+    dim: int,
+    k: int,
+    rank: int,
+    *,
+    threads: int,
+    batch_size: int = 60,
+    rank_reduction: bool = False,
+    cpu_spec: CpuSpec = TITAN_CPU,
+) -> int:
+    """Task count such that the modeled CPU-only time hits the target.
+
+    This anchors each experiment to the paper's measured CPU baseline;
+    the GPU and hybrid columns then follow from the models with no
+    further fitting.
+    """
+    if target_cpu_seconds <= 0:
+        raise ClusterConfigError(
+            f"target time must be positive, got {target_cpu_seconds}"
+        )
+    kernel = CpuMtxmKernel(CpuModel(cpu_spec), rank_reduction=rank_reduction)
+    batch = BatchStats.of([probe_item(dim, k, rank)] * batch_size)
+    per_batch = kernel.batch_timing(batch, threads).seconds
+    per_task = per_batch / batch_size
+    return max(1, int(round(target_cpu_seconds / per_task)))
+
+
+@dataclass
+class CoulombApplication:
+    """A Coulomb ``Apply`` workload at paper parameters."""
+
+    k: int
+    precision: float
+    n_tasks: int
+    dim: int = 3
+    n_tree_leaves: int = 512
+    seed: int = 2012
+    rank: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rank is None:
+            self.rank = coulomb_rank(self.precision, self.dim)
+
+    def workload(self) -> SyntheticApplyWorkload:
+        return SyntheticApplyWorkload(
+            dim=self.dim,
+            k=self.k,
+            rank=self.rank,
+            n_tasks=self.n_tasks,
+            n_tree_leaves=self.n_tree_leaves,
+            seed=self.seed,
+        )
+
+    # -- paper presets ------------------------------------------------------------
+
+    @classmethod
+    def table1(cls) -> "CoulombApplication":
+        """d=3, k=10, precision 1e-8; anchored to CPU-1-thread = 132.5 s."""
+        rank = coulomb_rank(1e-8)
+        n = calibrate_task_count(132.5, 3, 10, rank, threads=1)
+        return cls(k=10, precision=1e-8, n_tasks=n, rank=rank)
+
+    @classmethod
+    def table2(cls) -> "CoulombApplication":
+        """d=3, k=20, precision 1e-10; anchored to CPU-16-threads = 173.3 s."""
+        rank = coulomb_rank(1e-10)
+        n = calibrate_task_count(173.3, 3, 20, rank, threads=16)
+        return cls(k=20, precision=1e-10, n_tasks=n, rank=rank)
+
+    @classmethod
+    def table3(cls) -> "CoulombApplication":
+        """d=3, k=10, precision 1e-10; scales 2-16 nodes (even map)."""
+        rank = coulomb_rank(1e-10)
+        # anchored so 2 nodes with the custom kernel take ~88 s
+        n = calibrate_task_count(2 * 88.0 * 2.1, 3, 10, rank, threads=16)
+        return cls(k=10, precision=1e-10, n_tasks=n, rank=rank, n_tree_leaves=2048)
+
+    @classmethod
+    def table4(cls) -> "CoulombApplication":
+        """d=3, k=10, precision 1e-11 — the paper states 154,468 tasks."""
+        rank = coulomb_rank(1e-11)
+        return cls(
+            k=10, precision=1e-11, n_tasks=154_468, rank=rank, n_tree_leaves=4096
+        )
+
+    @classmethod
+    def table5(cls) -> "CoulombApplication":
+        """d=3, k=30, precision 1e-12; locality map, saturates ~6 nodes."""
+        rank = coulomb_rank(1e-12)
+        # anchored so 1 node CPU-only (no rank reduction) takes ~447 s
+        n = calibrate_task_count(447.0, 3, 30, rank, threads=16)
+        return cls(
+            k=30, precision=1e-12, n_tasks=n, rank=rank, n_tree_leaves=256, seed=5
+        )
+
+    # -- a real, numerically-validated instance --------------------------------------
+
+    @staticmethod
+    def real_instance(
+        k: int = 6, thresh: float = 1e-3, eps: float = 1e-4, alpha: float = 300.0
+    ):
+        """A small real Coulomb problem: normalized Gaussian charge density.
+
+        Returns ``(density, operator, exact_potential)`` where the exact
+        potential of the density is ``erf(sqrt(alpha) r) / r`` — the
+        validation target used throughout the tests.
+        """
+        from scipy.special import erf
+
+        from repro.mra.function import FunctionFactory
+        from repro.operators.convolution import CoulombOperator
+
+        norm = (alpha / math.pi) ** 1.5
+
+        def rho(x: np.ndarray) -> np.ndarray:
+            r2 = ((x - 0.5) ** 2).sum(axis=1)
+            return norm * np.exp(-alpha * r2)
+
+        def exact_potential(r: float) -> float:
+            if r == 0.0:
+                return 2.0 * math.sqrt(alpha / math.pi)
+            return float(erf(math.sqrt(alpha) * r) / r)
+
+        factory = FunctionFactory(dim=3, k=k, thresh=thresh)
+        density = factory.from_callable(rho)
+        operator = CoulombOperator(dim=3, k=k, eps=eps, r_lo=math.sqrt(eps) * 0.1)
+        return density, operator, exact_potential

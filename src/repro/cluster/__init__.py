@@ -1,0 +1,50 @@
+"""Multi-node cluster simulation.
+
+Each simulated compute node is a Titan XK6 node (16-core Opteron +
+M2090) running the full batching runtime of :mod:`repro.runtime`; a
+process map assigns every tree node — and therefore every integral task
+— to a rank before the run (MADNESS static load balancing).  The
+cluster's makespan is the slowest node plus its network drain, and the
+network model verifies, rather than assumes, the paper's claim that
+inter-node communication is not a bottleneck.
+"""
+
+# Lazy exports (PEP 562): the simulation module imports the kernel and
+# runtime layers, which in turn reach back into operator utilities —
+# eager imports here would close that cycle.
+_LAZY = {
+    "NetworkModel": "repro.cluster.network",
+    "imbalance_metrics": "repro.cluster.load_balance",
+    "LoadImbalance": "repro.cluster.load_balance",
+    "ClusterSimulation": "repro.cluster.simulation",
+    "ClusterResult": "repro.cluster.simulation",
+    "NodeResult": "repro.cluster.simulation",
+    "DistributedApply": "repro.cluster.distributed_apply",
+    "DistributedApplyResult": "repro.cluster.distributed_apply",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        value = getattr(importlib.import_module(_LAZY[name]), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "NetworkModel",
+    "imbalance_metrics",
+    "LoadImbalance",
+    "ClusterSimulation",
+    "ClusterResult",
+    "NodeResult",
+    "DistributedApply",
+    "DistributedApplyResult",
+]

@@ -1,0 +1,54 @@
+"""Static load-balance metrics.
+
+"Note that the speedup ... is not linear since work is not distributed
+evenly to all compute nodes."  These metrics quantify that: the cluster
+benchmarks report them next to the timings so the cause of each table's
+scaling shape is visible in the output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ClusterConfigError
+
+
+@dataclass(frozen=True)
+class LoadImbalance:
+    """Summary of a per-rank load distribution."""
+
+    max_load: float
+    mean_load: float
+    cv: float  # coefficient of variation
+    idle_ranks: int
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean — 1.0 is perfect balance; the makespan penalty."""
+        if self.mean_load == 0:
+            return math.inf if self.max_load > 0 else 1.0
+        return self.max_load / self.mean_load
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of ideal speed-up achieved under this distribution."""
+        if self.max_load == 0:
+            return 1.0
+        return self.mean_load / self.max_load
+
+
+def imbalance_metrics(loads: list[float]) -> LoadImbalance:
+    """Compute :class:`LoadImbalance` for per-rank loads (time or tasks)."""
+    if not loads:
+        raise ClusterConfigError("imbalance metrics need at least one rank")
+    n = len(loads)
+    mean = sum(loads) / n
+    var = sum((x - mean) ** 2 for x in loads) / n
+    cv = math.sqrt(var) / mean if mean > 0 else 0.0
+    return LoadImbalance(
+        max_load=max(loads),
+        mean_load=mean,
+        cv=cv,
+        idle_ranks=sum(1 for x in loads if x == 0),
+    )

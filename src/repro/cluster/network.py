@@ -1,0 +1,48 @@
+"""Inter-node network model (Gemini-class interconnect).
+
+Titan's Gemini torus gives each node multi-GB/s injection bandwidth and
+microsecond latencies.  Accumulate messages are small tensors (tens to
+hundreds of KB) sent asynchronously while compute proceeds, so their
+cost almost never surfaces in the makespan — "MADNESS on a cluster
+already efficiently handles communications between compute nodes and
+Titan does not introduce additional bottlenecks".  The model exists so
+the simulation can *verify* that: it computes each node's communication
+drain time, which the cluster result reports alongside compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterConfigError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-node injection model of the interconnect."""
+
+    injection_bytes_per_second: float = 5.0e9
+    latency_seconds: float = 1.5e-6
+    #: fraction of communication hidden under compute (asynchronous
+    #: accumulates overlap almost fully)
+    overlap_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.injection_bytes_per_second <= 0 or self.latency_seconds < 0:
+            raise ClusterConfigError(f"invalid network model: {self}")
+        if not 0.0 <= self.overlap_fraction < 1.0:
+            raise ClusterConfigError(
+                f"overlap fraction must be in [0, 1), got {self.overlap_fraction}"
+            )
+
+    def drain_seconds(self, n_messages: int, bytes_total: int) -> float:
+        """Un-hidden communication time of one node's message volume."""
+        if n_messages < 0 or bytes_total < 0:
+            raise ClusterConfigError(
+                f"negative message counts: {n_messages}, {bytes_total}"
+            )
+        raw = (
+            n_messages * self.latency_seconds
+            + bytes_total / self.injection_bytes_per_second
+        )
+        return raw * (1.0 - self.overlap_fraction)

@@ -1,0 +1,254 @@
+"""The cluster simulation driving the paper's scaling tables.
+
+``ClusterSimulation.run`` takes a workload (a stream of
+:class:`~repro.apps.workloads.ClusterTask`), assigns every task to its
+owner rank through the process map, executes each rank's share on a full
+:class:`~repro.runtime.node.NodeRuntime` (simulated time), accounts
+inter-rank accumulate messages, and reports the makespan with
+load-balance and communication diagnostics.
+
+Nodes run independently — the paper's Apply has no cross-node compute
+dependency inside one operator application; only the result
+accumulations cross ranks, and those are asynchronous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.apps.workloads import ClusterTask
+from repro.cluster.load_balance import LoadImbalance, imbalance_metrics
+from repro.cluster.network import NetworkModel
+from repro.dht.process_map import ProcessMap
+from repro.errors import ClusterConfigError
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.gpu_model import GpuModel
+from repro.hardware.specs import NodeSpec, TITAN_NODE
+from repro.kernels.cpu_kernel import CpuMtxmKernel
+from repro.kernels.cublas_gpu import CublasKernel
+from repro.kernels.custom_gpu import CustomGpuKernel
+from repro.runtime.dispatcher import HybridDispatcher
+from repro.runtime.node import NodeRuntime, NodeTimeline
+from repro.runtime.task import HybridTask
+
+GPU_KERNELS = ("custom", "cublas")
+
+
+@dataclass
+class NodeResult:
+    """One rank's outcome."""
+
+    rank: int
+    n_tasks: int
+    timeline: NodeTimeline
+    comm_seconds: float
+    n_messages: int
+    message_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timeline.total_seconds + self.comm_seconds
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster run."""
+
+    n_nodes: int
+    mode: str
+    makespan_seconds: float
+    node_results: list[NodeResult] = field(repr=False)
+    imbalance: LoadImbalance = None
+    total_tasks: int = 0
+    total_messages: int = 0
+    total_message_bytes: int = 0
+
+    @property
+    def comm_fraction(self) -> float:
+        """Largest per-node share of un-hidden communication time."""
+        if not self.node_results:
+            return 0.0
+        return max(
+            (r.comm_seconds / r.total_seconds if r.total_seconds else 0.0)
+            for r in self.node_results
+        )
+
+
+class ClusterSimulation:
+    """N hybrid nodes executing one ``Apply`` workload.
+
+    Args:
+        n_nodes: compute nodes in the partition.
+        pmap: tree-node -> rank assignment (static load balancing).
+        mode: "cpu", "gpu" or "hybrid" (per-batch optimal split).
+        gpu_kernel: "custom" (the paper's fused kernel) or "cublas".
+        cpu_threads / gpu_streams: per-node compute parallelism.
+        rank_reduction: enable the CPU-side optimisation.
+        node_spec: hardware of every node (defaults to Titan's).
+        network: interconnect model.
+        flush_interval / max_batch_size: batching runtime knobs (the
+            paper's measurements use 60-task computation batches).
+        stragglers: optional {rank: slowdown_factor} — those nodes run
+            their compute that many times slower (thermal throttling,
+            shared-service jitter; real Titan partitions had them).
+        failed_gpus: optional ranks whose GPU is unavailable — they fall
+            back to CPU-only dispatch while the rest of the partition
+            keeps its configured mode (failure injection).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        pmap: ProcessMap,
+        *,
+        mode: str = "hybrid",
+        gpu_kernel: str = "custom",
+        cpu_threads: int | None = None,
+        gpu_streams: int = 5,
+        data_threads: int = 2,
+        rank_reduction: bool = False,
+        node_spec: NodeSpec = TITAN_NODE,
+        network: NetworkModel | None = None,
+        flush_interval: float = 0.01,
+        max_batch_size: int = 60,
+        stragglers: dict[int, float] | None = None,
+        failed_gpus: set[int] | None = None,
+    ):
+        if n_nodes < 1:
+            raise ClusterConfigError(f"need at least one node, got {n_nodes}")
+        if pmap.n_ranks != n_nodes:
+            raise ClusterConfigError(
+                f"process map covers {pmap.n_ranks} ranks but the cluster has "
+                f"{n_nodes} nodes"
+            )
+        if gpu_kernel not in GPU_KERNELS:
+            raise ClusterConfigError(f"unknown gpu kernel {gpu_kernel!r}")
+        self.n_nodes = n_nodes
+        self.pmap = pmap
+        self.mode = mode
+        self.gpu_kernel_name = gpu_kernel
+        # paper defaults: CPU-only runs use all 16 cores; hybrid/GPU runs
+        # keep threads back for data access and the dispatcher
+        if cpu_threads is None:
+            cpu_threads = node_spec.cpu.cores if mode == "cpu" else 10
+        self.cpu_threads = cpu_threads
+        self.gpu_streams = gpu_streams
+        self.data_threads = data_threads
+        self.rank_reduction = rank_reduction
+        self.node_spec = node_spec
+        self.network = network or NetworkModel()
+        self.flush_interval = flush_interval
+        self.max_batch_size = max_batch_size
+        self.stragglers = dict(stragglers or {})
+        if any(f <= 0 for f in self.stragglers.values()):
+            raise ClusterConfigError(
+                f"straggler slowdowns must be positive: {self.stragglers}"
+            )
+        self.failed_gpus = set(failed_gpus or ())
+
+    # -- runtime assembly --------------------------------------------------------
+
+    def _spec_for_rank(self, rank: int) -> NodeSpec:
+        slowdown = self.stragglers.get(rank)
+        if not slowdown or slowdown == 1.0:
+            return self.node_spec
+        cpu = replace(
+            self.node_spec.cpu,
+            mtxm_gflops_core=self.node_spec.cpu.mtxm_gflops_core / slowdown,
+        )
+        gpu = replace(
+            self.node_spec.gpu,
+            peak_dp_gflops=self.node_spec.gpu.peak_dp_gflops / slowdown,
+        )
+        return replace(self.node_spec, cpu=cpu, gpu=gpu)
+
+    def _make_runtime(self, rank: int = 0) -> NodeRuntime:
+        spec = self._spec_for_rank(rank)
+        mode = self.mode
+        if rank in self.failed_gpus and mode in ("gpu", "hybrid"):
+            mode = "cpu"
+        cpu_model = CpuModel(spec.cpu)
+        gpu_model = GpuModel(spec.gpu)
+        cpu_kernel = CpuMtxmKernel(cpu_model, rank_reduction=self.rank_reduction)
+        if self.gpu_kernel_name == "custom":
+            gpu_kernel = CustomGpuKernel(gpu_model)
+        else:
+            gpu_kernel = CublasKernel(gpu_model)
+        threads = self.cpu_threads
+        if rank in self.failed_gpus and self.mode != "cpu":
+            # the fallback node has its full CPU available for compute
+            threads = spec.cpu.cores
+        dispatcher = HybridDispatcher(
+            cpu_kernel,
+            gpu_kernel,
+            cpu_threads=threads,
+            gpu_streams=self.gpu_streams,
+            mode=mode,
+        )
+        return NodeRuntime(
+            spec,
+            dispatcher,
+            data_threads=self.data_threads,
+            flush_interval=self.flush_interval,
+            max_batch_size=self.max_batch_size,
+        )
+
+    # -- the run ---------------------------------------------------------------------
+
+    def run(self, tasks: list[ClusterTask]) -> ClusterResult:
+        """Execute the workload; returns makespan and diagnostics."""
+        per_rank: list[list[ClusterTask]] = [[] for _ in range(self.n_nodes)]
+        for task in tasks:
+            per_rank[self.pmap.owner(task.key)].append(task)
+
+        node_results: list[NodeResult] = []
+        total_messages = 0
+        total_message_bytes = 0
+        for rank, rank_tasks in enumerate(per_rank):
+            n_messages = 0
+            message_bytes = 0
+            hybrid_tasks: list[HybridTask] = []
+            for t in rank_tasks:
+                # preprocess copies the input tensor into the aggregation
+                # buffer; the operator blocks are cache *lookups* (the
+                # write-once CPU cache), charged as per-block bookkeeping.
+                hybrid_tasks.append(
+                    HybridTask(
+                        work=t.item,
+                        pre_bytes=t.item.input_bytes + 64 * len(t.item.block_keys),
+                        post_bytes=t.item.output_bytes,
+                    )
+                )
+                if self.pmap.owner(t.neighbor) != rank:
+                    n_messages += 1
+                    message_bytes += t.item.output_bytes
+            if hybrid_tasks:
+                timeline = self._make_runtime(rank).execute(hybrid_tasks)
+            else:
+                timeline = NodeTimeline(n_tasks=0)
+            comm = self.network.drain_seconds(n_messages, message_bytes)
+            node_results.append(
+                NodeResult(
+                    rank=rank,
+                    n_tasks=len(rank_tasks),
+                    timeline=timeline,
+                    comm_seconds=comm,
+                    n_messages=n_messages,
+                    message_bytes=message_bytes,
+                )
+            )
+            total_messages += n_messages
+            total_message_bytes += message_bytes
+
+        makespan = max(r.total_seconds for r in node_results)
+        imbalance = imbalance_metrics([float(r.n_tasks) for r in node_results])
+        return ClusterResult(
+            n_nodes=self.n_nodes,
+            mode=self.mode,
+            makespan_seconds=makespan,
+            node_results=node_results,
+            imbalance=imbalance,
+            total_tasks=len(tasks),
+            total_messages=total_messages,
+            total_message_bytes=total_message_bytes,
+        )

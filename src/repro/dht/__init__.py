@@ -1,0 +1,35 @@
+"""Distributed-tree substrate.
+
+"The nodes of the tree are distributed across the nodes of a cluster.
+The distribution is done using a tree-node to compute-node mapping ...
+Distributed trees are implemented in MADNESS with distributed hash
+tables."  (paper, Section I-A)
+
+- :mod:`repro.dht.hashing` — deterministic key hashing (Python's builtin
+  hash is salted per process, which would make simulations
+  irreproducible);
+- :mod:`repro.dht.process_map` — tree-node -> compute-node mappings: the
+  even hash map used by Tables III/IV and the locality-preserving subtree
+  map whose imbalance explains the non-linear scaling of Tables V/VI;
+- :mod:`repro.dht.distributed_tree` — the sharded container with remote
+  accumulation (message) accounting.
+"""
+
+from repro.dht.hashing import stable_key_hash
+from repro.dht.process_map import (
+    ProcessMap,
+    HashProcessMap,
+    SubtreePartitionMap,
+    LevelStripeMap,
+)
+from repro.dht.distributed_tree import DistributedTree, MessageLog
+
+__all__ = [
+    "stable_key_hash",
+    "ProcessMap",
+    "HashProcessMap",
+    "SubtreePartitionMap",
+    "LevelStripeMap",
+    "DistributedTree",
+    "MessageLog",
+]

@@ -1,0 +1,29 @@
+"""Deterministic hashing of tree keys.
+
+Python's builtin ``hash`` is salted per interpreter run (PYTHONHASHSEED),
+which would make process maps — and therefore whole cluster simulations —
+unreproducible.  This module provides a small, fast, stable integer mix
+(splitmix64 over the level and translation coordinates).
+"""
+
+from __future__ import annotations
+
+from repro.mra.key import Key
+
+_MASK = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (z ^ (z >> 31)) & _MASK
+
+
+def stable_key_hash(key: Key) -> int:
+    """A 64-bit hash of a tree key, stable across processes and runs."""
+    acc = _splitmix64(key.level + 1)
+    for t in key.translation:
+        acc = _splitmix64(acc ^ _splitmix64(t + 0x51F15EED))
+    return acc

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch package-level failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class TensorShapeError(ReproError, ValueError):
+    """A tensor argument has an incompatible shape."""
+
+
+class TreeStructureError(ReproError):
+    """A multiresolution tree violated a structural invariant."""
+
+
+class OperatorError(ReproError):
+    """An operator (Apply/Compress/...) was used incorrectly."""
+
+
+class RuntimeConfigError(ReproError, ValueError):
+    """Invalid configuration of the batching runtime or dispatcher."""
+
+
+class HardwareModelError(ReproError, ValueError):
+    """Invalid parameters passed to a hardware cost model."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ClusterConfigError(ReproError, ValueError):
+    """Invalid cluster simulation configuration."""

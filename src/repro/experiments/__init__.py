@@ -1,0 +1,57 @@
+"""Experiment runners for every table and figure of the paper.
+
+Each runner regenerates one evaluation artefact (Tables I-VI, Figures
+5-6, plus the ablations) and returns its raw data together with a
+printable :class:`~repro.analysis.reporting.ReportTable` carrying the
+paper's published numbers side by side.
+
+Two front ends share these runners:
+
+- ``python -m repro.experiments <name> [--scale S]`` — the CLI;
+- ``benchmarks/`` — the pytest-benchmark harness, which additionally
+  asserts the shape claims.
+
+All runners are deterministic; ``scale`` < 1 shrinks workload task
+counts proportionally for quick runs (reported times are rescaled back
+to full size where an experiment is time-anchored).
+"""
+
+from repro.experiments.tables import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+from repro.experiments.figures import run_fig5, run_fig6
+from repro.experiments.ablations import (
+    run_batching_ablation,
+    run_flush_interval_ablation,
+    run_dynamic_parallelism_ablation,
+    run_naive_port_ablation,
+    run_overlap_ablation,
+    run_transfer_ablation,
+)
+
+#: name -> callable(scale) returning an ExperimentResult
+REGISTRY = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "ablation-transfers": run_transfer_ablation,
+    "ablation-batching": run_batching_ablation,
+    "ablation-overlap": run_overlap_ablation,
+    "ablation-naive-port": run_naive_port_ablation,
+    "ablation-dynamic-parallelism": run_dynamic_parallelism_ablation,
+    "ablation-flush-interval": run_flush_interval_ablation,
+}
+
+__all__ = ["REGISTRY"] + sorted(
+    name for name in dir() if name.startswith("run_")
+)

@@ -1,0 +1,294 @@
+"""Runners for the paper's Tables I-VI.
+
+Each function reruns the experiment at paper parameters (optionally
+scaled down) and returns an
+:class:`~repro.experiments.common.ExperimentResult` whose report table
+shows paper-vs-measured rows.  The anchoring convention of each
+experiment is described in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.overlap import analyze_overlap
+from repro.analysis.reporting import ReportTable
+from repro.apps.coulomb import CoulombApplication
+from repro.apps.tdse import TdseApplication
+from repro.apps.workloads import SyntheticApplyWorkload
+
+from repro.experiments.common import (
+    ExperimentResult,
+    cost_pmap,
+    make_runtime,
+    run_cluster,
+    scaled,
+    single_node_tasks,
+)
+
+PAPER_TABLE1_CPU = {1: 132.5, 2: 66.5, 4: 45.7, 6: 35.6, 8: 28.5, 10: 24.3,
+                    12: 22.8, 14: 18.5, 16: 19.9}
+PAPER_TABLE1_GPU = {1: 71.3, 2: 41.5, 3: 31.5, 4: 26.4, 5: 24.3, 6: 24.7}
+PAPER_TABLE1_HYBRID = {"actual": 14.4, "optimal": 12.1}
+
+PAPER_TABLE2 = {"cpu16": 173.3, "gpu": 136.6, "hybrid": 99.0, "optimal": 76.2}
+
+PAPER_TABLE3 = {2: (88.0, 247.0, 2.80), 4: (56.0, 126.0, 2.25),
+                8: (31.0, 71.0, 2.29), 16: (19.0, 42.0, 2.21)}
+
+PAPER_TABLE4 = {16: (27.6, 43.2, 1.56), 32: (15.0, 24.2, 1.61),
+                64: (10.2, 15.6, 1.52), 100: (7.6, 11.0, 1.44)}
+
+PAPER_TABLE5 = {1: (147.0, 447.0, 212.0, 172.0, 144.0),
+                2: (115.0, 299.0, 90.0, 60.0, 69.0),
+                4: (114.0, 234.0, 55.0, 39.0, 45.0),
+                6: (96.0, 201.0, 35.0, 25.0, 30.0),
+                8: (102.0, 205.0, 37.0, 25.0, 31.0)}
+TABLE5_TARGET_CHUNKS = 7
+
+PAPER_TABLE6 = {100: (985.0, 873.0, 664.0, 463.0, 1.4),
+                200: (759.0, 580.0, 524.0, 329.0, 1.4),
+                300: (739.0, 533.0, 308.0, 310.0, 2.3),
+                400: (718.0, 448.0, 299.0, 276.0, 2.4),
+                500: (648.0, 339.0, 277.0, 223.0, 2.3)}
+TABLE6_TARGET_CHUNKS = 150
+
+
+def run_table1(scale: float = 1.0) -> ExperimentResult:
+    """CPU thread scale-up vs GPU stream scale-up vs hybrid (one node)."""
+    app = CoulombApplication.table1()
+    n = scaled(app.n_tasks, scale)
+    factor = app.n_tasks / n
+    tasks = lambda: single_node_tasks(n, k=app.k, rank=app.rank)
+
+    cpu_rows = {
+        t: factor
+        * make_runtime("cpu", cpu_threads=t).execute(tasks()).total_seconds
+        for t in PAPER_TABLE1_CPU
+    }
+    gpu_rows = {
+        s: factor
+        * make_runtime("gpu", gpu_streams=s, cpu_threads=12)
+        .execute(tasks())
+        .total_seconds
+        for s in PAPER_TABLE1_GPU
+    }
+    hybrid = (
+        factor
+        * make_runtime("hybrid", cpu_threads=10, gpu_streams=5)
+        .execute(tasks())
+        .total_seconds
+    )
+    overlap = analyze_overlap(cpu_rows[10], gpu_rows[5], hybrid)
+
+    table = ReportTable(
+        f"Table I — Coulomb d=3 k={app.k} eps={app.precision} "
+        f"(rank M={app.rank}, {app.n_tasks} tasks)",
+        ["config", "paper (s)", "measured (s)"],
+    )
+    for t, paper in PAPER_TABLE1_CPU.items():
+        table.add_row(f"CPU {t} threads", paper, cpu_rows[t])
+    for s, paper in PAPER_TABLE1_GPU.items():
+        table.add_row(f"GPU {s} streams", paper, gpu_rows[s])
+    table.add_row("hybrid actual", PAPER_TABLE1_HYBRID["actual"], hybrid)
+    table.add_row(
+        "hybrid optimal overlap",
+        PAPER_TABLE1_HYBRID["optimal"],
+        overlap.optimal_seconds,
+    )
+    table.add_note("CPU 1-thread column anchored to the paper; rest predicted")
+    return ExperimentResult(
+        name="table1",
+        table=table,
+        data={
+            "app": app,
+            "cpu": cpu_rows,
+            "gpu": gpu_rows,
+            "hybrid": hybrid,
+            "optimal": overlap.optimal_seconds,
+        },
+    )
+
+
+def run_table2(scale: float = 1.0) -> ExperimentResult:
+    """CPU-16 vs cuBLAS GPU vs hybrid for k=20 tensors (one node)."""
+    app = CoulombApplication.table2()
+    n = scaled(app.n_tasks, scale)
+    factor = app.n_tasks / n
+    tasks = lambda: single_node_tasks(n, k=app.k, rank=app.rank)
+
+    cpu = factor * make_runtime("cpu", cpu_threads=16).execute(tasks()).total_seconds
+    gpu = (
+        factor
+        * make_runtime("gpu", gpu_kernel="cublas", cpu_threads=15)
+        .execute(tasks())
+        .total_seconds
+    )
+    hybrid = (
+        factor
+        * make_runtime("hybrid", gpu_kernel="cublas", cpu_threads=15)
+        .execute(tasks())
+        .total_seconds
+    )
+    overlap = analyze_overlap(cpu, gpu, hybrid)
+
+    table = ReportTable(
+        f"Table II — Coulomb d=3 k={app.k} eps={app.precision} "
+        f"(rank M={app.rank}, {app.n_tasks} tasks)",
+        ["config", "paper (s)", "measured (s)"],
+    )
+    table.add_row("CPU 16 threads", PAPER_TABLE2["cpu16"], cpu)
+    table.add_row("GPU (cuBLAS)", PAPER_TABLE2["gpu"], gpu)
+    table.add_row("CPU + GPU actual", PAPER_TABLE2["hybrid"], hybrid)
+    table.add_row(
+        "CPU + GPU optimal overlap", PAPER_TABLE2["optimal"], overlap.optimal_seconds
+    )
+    table.add_note("CPU-16 column anchored to the paper; rest predicted")
+    return ExperimentResult(
+        name="table2",
+        table=table,
+        data={"app": app, "cpu": cpu, "gpu": gpu, "hybrid": hybrid,
+              "optimal": overlap.optimal_seconds},
+    )
+
+
+def run_table3(scale: float = 1.0) -> ExperimentResult:
+    """Custom kernel vs cuBLAS over 2-16 nodes (even process map)."""
+    app = CoulombApplication.table3()
+    n = scaled(app.n_tasks, scale)
+    factor = app.n_tasks / n
+    wl = SyntheticApplyWorkload(
+        dim=3, k=app.k, rank=app.rank, n_tasks=n,
+        n_tree_leaves=app.n_tree_leaves, seed=app.seed,
+    )
+    rows = {}
+    for nodes in PAPER_TABLE3:
+        custom = run_cluster(wl, nodes, mode="gpu", gpu_kernel="custom")
+        cublas = run_cluster(wl, nodes, mode="gpu", gpu_kernel="cublas")
+        rows[nodes] = (
+            factor * custom.makespan_seconds,
+            factor * cublas.makespan_seconds,
+        )
+    anchor = PAPER_TABLE3[2][0] / rows[2][0]
+    rows = {n_: (c * anchor, b * anchor) for n_, (c, b) in rows.items()}
+
+    table = ReportTable(
+        f"Table III — Coulomb d=3 k=10 eps=1e-10 custom kernel vs cuBLAS "
+        f"(rank M={app.rank}, even process map)",
+        ["nodes", "paper custom (s)", "measured custom (s)",
+         "paper cuBLAS (s)", "measured cuBLAS (s)",
+         "paper ratio", "measured ratio"],
+    )
+    for nodes, (custom, cublas) in rows.items():
+        p_custom, p_cublas, p_ratio = PAPER_TABLE3[nodes]
+        table.add_row(nodes, p_custom, custom, p_cublas, cublas, p_ratio,
+                      cublas / custom)
+    table.add_note("2-node custom-kernel cell anchored to the paper")
+    return ExperimentResult(name="table3", table=table,
+                            data={"app": app, "rows": rows})
+
+
+def run_table4(scale: float = 1.0) -> ExperimentResult:
+    """Custom kernel vs cuBLAS over 16-100 nodes, 154,468 tasks."""
+    app = CoulombApplication.table4()
+    n = scaled(app.n_tasks, scale)
+    factor = app.n_tasks / n
+    wl = SyntheticApplyWorkload(
+        dim=3, k=app.k, rank=app.rank, n_tasks=n,
+        n_tree_leaves=app.n_tree_leaves, seed=app.seed,
+    )
+    rows = {}
+    for nodes in PAPER_TABLE4:
+        custom = run_cluster(wl, nodes, mode="gpu", gpu_kernel="custom")
+        cublas = run_cluster(wl, nodes, mode="gpu", gpu_kernel="cublas")
+        rows[nodes] = (
+            factor * custom.makespan_seconds,
+            factor * cublas.makespan_seconds,
+        )
+
+    table = ReportTable(
+        f"Table IV — Coulomb d=3 k=10 eps=1e-11, {app.n_tasks} tasks "
+        f"(rank M={app.rank}, even process map)",
+        ["nodes", "paper custom (s)", "measured custom (s)",
+         "paper cuBLAS (s)", "measured cuBLAS (s)",
+         "paper ratio", "measured ratio"],
+    )
+    for nodes, (custom, cublas) in rows.items():
+        p_custom, p_cublas, p_ratio = PAPER_TABLE4[nodes]
+        table.add_row(nodes, p_custom, custom, p_cublas, cublas, p_ratio,
+                      cublas / custom)
+    table.add_note("task count (154,468) taken from the paper; times predicted")
+    return ExperimentResult(name="table4", table=table,
+                            data={"app": app, "rows": rows})
+
+
+def run_table5(scale: float = 1.0) -> ExperimentResult:
+    """CPU (with/without rank reduction), GPU, hybrid over 1-8 nodes."""
+    app = CoulombApplication.table5()
+    n = scaled(app.n_tasks, scale)
+    factor = app.n_tasks / n
+    wl = SyntheticApplyWorkload(
+        dim=3, k=app.k, rank=app.rank, n_tasks=n,
+        n_tree_leaves=app.n_tree_leaves, seed=app.seed, skew=2.2,
+    )
+    rows = {}
+    for nodes in PAPER_TABLE5:
+        pmap = cost_pmap(wl, nodes, TABLE5_TARGET_CHUNKS)
+        cpu_rr = run_cluster(wl, nodes, mode="cpu", rank_reduction=True, pmap=pmap)
+        cpu = run_cluster(wl, nodes, mode="cpu", pmap=pmap)
+        gpu = run_cluster(wl, nodes, mode="gpu", gpu_kernel="cublas", pmap=pmap)
+        hybrid = run_cluster(wl, nodes, mode="hybrid", gpu_kernel="cublas",
+                             pmap=pmap)
+        rows[nodes] = tuple(
+            factor * r.makespan_seconds for r in (cpu_rr, cpu, gpu, hybrid)
+        )
+
+    table = ReportTable(
+        f"Table V — Coulomb d=3 k=30 eps=1e-12 (rank M={app.rank}, "
+        f"locality process map)",
+        ["nodes", "CPU rank-red", "(paper)", "CPU no-rr", "(paper)",
+         "GPU", "(paper)", "hybrid", "(paper)", "optimal", "(paper)"],
+    )
+    for nodes, (cpu_rr, cpu, gpu, hybrid) in rows.items():
+        p = PAPER_TABLE5[nodes]
+        optimal = analyze_overlap(cpu, gpu, hybrid).optimal_seconds
+        table.add_row(nodes, cpu_rr, p[0], cpu, p[1], gpu, p[2],
+                      hybrid, p[3], optimal, p[4])
+    table.add_note("1-node CPU (no rank reduction) anchored to the paper")
+    return ExperimentResult(name="table5", table=table,
+                            data={"app": app, "rows": rows})
+
+
+def run_table6(scale: float = 1.0) -> ExperimentResult:
+    """4-D TDSE over 100-500 nodes, 542,113 tasks."""
+    full = TdseApplication()
+    app = TdseApplication(n_tasks=scaled(full.n_tasks, scale))
+    factor = full.n_tasks / app.n_tasks
+    wl = app.workload()
+    rows = {}
+    for nodes in PAPER_TABLE6:
+        pmap = cost_pmap(wl, nodes, TABLE6_TARGET_CHUNKS)
+        cpu = run_cluster(wl, nodes, mode="cpu", rank_reduction=True, pmap=pmap,
+                          flush_interval=0.03)
+        gpu = run_cluster(wl, nodes, mode="gpu", gpu_kernel="cublas", pmap=pmap,
+                          flush_interval=0.03)
+        hybrid = run_cluster(wl, nodes, mode="hybrid", gpu_kernel="cublas",
+                             rank_reduction=True, pmap=pmap, flush_interval=0.03)
+        rows[nodes] = tuple(
+            factor * r.makespan_seconds for r in (cpu, gpu, hybrid)
+        )
+    anchor = PAPER_TABLE6[100][0] / rows[100][0]
+    rows = {n_: tuple(anchor * t for t in r) for n_, r in rows.items()}
+
+    table = ReportTable(
+        f"Table VI — 4-D TDSE k={app.k} eps={app.precision}, "
+        f"{full.n_tasks} tasks (cuBLAS GPU kernel, rank reduction on CPU)",
+        ["nodes", "CPU", "(paper)", "GPU", "(paper)", "hybrid", "(paper)",
+         "optimal", "(paper)", "speedup", "(paper)"],
+    )
+    for nodes, (cpu, gpu, hybrid) in rows.items():
+        p = PAPER_TABLE6[nodes]
+        optimal = analyze_overlap(cpu, gpu, hybrid).optimal_seconds
+        table.add_row(nodes, cpu, p[0], gpu, p[1], hybrid, p[2],
+                      optimal, p[3], cpu / hybrid, p[4])
+    table.add_note("100-node CPU cell anchored to the paper; rest predicted")
+    return ExperimentResult(name="table6", table=table,
+                            data={"app": app, "rows": rows})

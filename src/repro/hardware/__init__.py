@@ -1,0 +1,48 @@
+"""Calibrated hardware models.
+
+No Titan and no GPU exist in this reproduction, so the machines are
+*modeled*: dataclass specifications (:mod:`repro.hardware.specs`) carry
+the published characteristics of the paper's hardware, and small analytic
+cost models (:mod:`repro.hardware.cpu_model`,
+:mod:`repro.hardware.gpu_model`) turn work descriptions (FLOPs, bytes,
+kernel-launch counts, SM usage) into simulated durations.
+
+The constants come from the paper itself where it states them (6 GFLOPS
+per core for the CPU mtxm, 0.5 ms page-lock / 2 ms unlock, ~1 ms typical
+3-D kernel, 16 MB aggregate L2, saturation near 10 threads for
+out-of-cache working sets, 5 concurrent streams covering the GPU) and
+from the public spec sheets of the AMD Opteron 6274, NVIDIA M2090,
+GTX 480 and PCIe 2.0 x16 otherwise.
+"""
+
+from repro.hardware.specs import (
+    CpuSpec,
+    GpuSpec,
+    PcieSpec,
+    NodeSpec,
+    TITAN_CPU,
+    TITAN_GPU,
+    TITAN_PCIE,
+    TITAN_NODE,
+    TESTBED_CPU,
+    TESTBED_GPU,
+    TESTBED_NODE,
+)
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.gpu_model import GpuModel
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "PcieSpec",
+    "NodeSpec",
+    "TITAN_CPU",
+    "TITAN_GPU",
+    "TITAN_PCIE",
+    "TITAN_NODE",
+    "TESTBED_CPU",
+    "TESTBED_GPU",
+    "TESTBED_NODE",
+    "CpuModel",
+    "GpuModel",
+]

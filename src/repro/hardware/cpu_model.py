@@ -1,0 +1,74 @@
+"""CPU timing model.
+
+Two regimes, both taken from the paper's analysis:
+
+- **cache-resident** (3-D tensors, small k): the hand-tuned mtxm reaches
+  ~6 GFLOPS per core and thread scaling is limited only by the shared
+  FPU/memory-path contention of the Interlagos module design (16 threads
+  buy ~6.7x in Table I);
+- **cache-overflow** (k=30 3-D, or 4-D tensors): "the computation is
+  saturated by 10 threads, because the working set size is much larger
+  than 16 MB, which is the aggregate size of the L2 cache" — modeled as
+  a hard effective-parallelism cap plus a per-core efficiency penalty.
+
+The model is deliberately simple: every constant is visible in
+:class:`~repro.hardware.specs.CpuSpec` and each regime is exercised by a
+benchmark that reproduces the corresponding table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hardware.specs import CpuSpec
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Turns (FLOPs, working set, threads) into simulated seconds."""
+
+    spec: CpuSpec
+
+    def effective_parallelism(self, threads: int, working_set_bytes: int) -> float:
+        """Speed-up over one thread for a given working set.
+
+        Contention model ``t / (1 + c (t - 1))`` plus the out-of-cache
+        thread cap.
+        """
+        if threads < 1 or threads > self.spec.cores:
+            raise HardwareModelError(
+                f"threads must be in [1, {self.spec.cores}], got {threads}"
+            )
+        par = threads / (1.0 + self.spec.contention * (threads - 1))
+        if working_set_bytes > self.spec.l2_total_bytes:
+            par = min(par, self.spec.oversize_thread_cap)
+        return par
+
+    def core_gflops(self, working_set_bytes: int) -> float:
+        """Single-core mtxm throughput for a given working set."""
+        if working_set_bytes > self.spec.l2_total_bytes:
+            return self.spec.mtxm_gflops_core * self.spec.oversize_efficiency
+        return self.spec.mtxm_gflops_core
+
+    def compute_seconds(
+        self, flops: int, threads: int, working_set_bytes: int
+    ) -> float:
+        """Duration of a compute-intensive batch on ``threads`` threads."""
+        if flops < 0:
+            raise HardwareModelError(f"negative flops: {flops}")
+        par = self.effective_parallelism(threads, working_set_bytes)
+        return flops / (par * self.core_gflops(working_set_bytes) * 1e9)
+
+    def data_seconds(self, bytes_touched: int, n_items: int = 0) -> float:
+        """Duration of a data-intensive (preprocess/postprocess) phase.
+
+        Charges stream bandwidth for the bytes plus a fixed ~2 us of
+        bookkeeping per task (hash lookups, pointer chasing).  These
+        phases run on CPU threads regardless of where compute goes; the
+        paper identifies them as the reason measured hybrid times can
+        beat the compute-only "optimal overlap" estimate.
+        """
+        if bytes_touched < 0:
+            raise HardwareModelError(f"negative byte count: {bytes_touched}")
+        return bytes_touched / self.spec.copy_bandwidth + n_items * 2e-6

@@ -1,0 +1,156 @@
+"""GPU timing model.
+
+The paper's GPU story has two competing execution styles for the same
+batch of small matrix multiplications:
+
+- **custom fused kernel** (``cu_mtxmq``): one kernel launch per *task*
+  embeds all ``rank x dim`` multiplication steps; each instance occupies
+  only 2-3 SMs (shared-memory footprint), instances run concurrently in
+  CUDA streams, and an inter-block barrier (Xiao & Feng) separates the
+  steps.  Launch overhead and data movement are amortised across hundreds
+  of steps, so small multiplications run near the per-SM streaming rate.
+- **cuBLAS-style per-call GEMM**: every step is its own kernel launch
+  across all 16 SMs.  Tiny GEMMs cannot fill the device or hide the
+  launch, so throughput collapses for small ``k`` and grows with matrix
+  size — the regime split the paper measures in Figures 5-6 and exploits
+  in Tables III/IV vs Table VI.
+
+:class:`GpuModel` provides the shared primitives (per-SM rate,
+utilisation of a single GEMM, stream concurrency); the kernel classes in
+:mod:`repro.kernels` combine them into batch times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hardware.specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Occupancy/overhead primitives of a Fermi-class device."""
+
+    spec: GpuSpec
+    #: fraction of DP peak a perfectly-filled GEMM of this era reaches
+    gemm_peak_fraction: float = 0.58
+    #: coefficient and exponent of the occupancy power law in the output
+    #: size (rows*cols); fitted jointly with the skinny-inner factor to
+    #: the paper's three GEMM regimes — q=20 3-D (Tables I/III/IV), q=40
+    #: 3-D (Table II) and q=28 4-D (Table VI)
+    gemm_util_coeff: float = 0.00375
+    gemm_occ_exponent: float = 0.363
+    #: inner dimension at which a skinny GEMM reaches half its asymptote
+    gemm_inner_half: float = 40.0
+    #: host-side dispatch cost of one cuBLAS call on top of the raw launch
+    cublas_call_overhead: float = 8e-6
+    #: per-step inter-block barrier cost of the fused kernel (Xiao & Feng
+    #: fast barrier across 2-3 blocks)
+    barrier_seconds: float = 1.2e-6
+    #: asymptotic fraction of the reserved SMs' peak the fused kernel
+    #: reaches for large matrices (calibrated against Table I: one stream
+    #: of the k=10 Coulomb batch sustains ~11 GFLOPS on the M2090)
+    fused_eff_max: float = 0.27
+    #: matrix size at which the fused kernel reaches half its asymptote
+    fused_q_half: float = 40.0
+    #: diminishing-returns coefficient of adding CUDA streams (Table I:
+    #: 5 streams buy ~2.9x over one)
+    stream_contention: float = 0.18
+
+    # -- shared primitives -------------------------------------------------------
+
+    def sm_gflops(self) -> float:
+        """Double-precision peak of a single SM."""
+        return self.spec.peak_dp_gflops / self.spec.n_sm
+
+    def concurrency(self, streams: int, sm_per_instance: int) -> float:
+        """Effective number of kernel instances running at once.
+
+        Streams exhibit diminishing returns (shared memory controller and
+        scheduler: Table I measures 1 / 1.7 / 2.3 / 2.7 / 2.9x for 1-5
+        streams), and concurrency is additionally capped by SM capacity —
+        instances reserve their SMs for their whole duration, which is
+        the reason rank reduction buys nothing on the GPU — and by the
+        Fermi concurrent-kernel limit.
+        """
+        if streams < 1:
+            raise HardwareModelError(f"streams must be >= 1, got {streams}")
+        if not 1 <= sm_per_instance <= self.spec.n_sm:
+            raise HardwareModelError(
+                f"sm_per_instance must be in [1, {self.spec.n_sm}]"
+            )
+        effective = streams / (1.0 + self.stream_contention * (streams - 1))
+        by_sm = self.spec.n_sm // sm_per_instance
+        return max(1.0, min(effective, by_sm, self.spec.max_concurrent_kernels))
+
+    def gemm_utilization(self, rows: int, cols: int, inner: int | None = None) -> float:
+        """Device utilisation of one dense GEMM.
+
+        Two effects, both measured for Fermi-era cuBLAS: (a) occupancy —
+        tiny output matrices leave most SMs idle, saturating in
+        ``rows * cols``; (b) the inner dimension — MADNESS GEMMs are
+        *skinny* (``inner = 2k <= 28``), so each output element is a very
+        short dot product and the DP pipelines never reach GEMM peak even
+        when the device is full.
+        """
+        if rows < 1 or cols < 1:
+            raise HardwareModelError(f"invalid GEMM shape ({rows}, {cols})")
+        elements = float(rows * cols)
+        occupancy = self.gemm_util_coeff * elements**self.gemm_occ_exponent
+        inner = cols if inner is None else inner
+        skinny = inner / (inner + self.gemm_inner_half)
+        return min(self.gemm_peak_fraction, occupancy * skinny)
+
+    def gemm_seconds(self, rows: int, inner: int, cols: int) -> float:
+        """One cuBLAS-style GEMM call: launch + library dispatch overhead
+        plus occupancy-limited execution across the full device."""
+        flops = 2.0 * rows * inner * cols
+        rate = self.spec.peak_dp_gflops * 1e9 * self.gemm_utilization(
+            rows, cols, inner
+        )
+        return (
+            self.spec.kernel_launch_seconds
+            + self.cublas_call_overhead
+            + flops / rate
+        )
+
+    def fused_efficiency(self, q: int, shared_fit: float = 1.0) -> float:
+        """Fraction of the reserved SMs' peak the fused kernel sustains.
+
+        Grows with the matrix dimension ``q`` (bigger multiplies keep the
+        DP pipelines busier) and is scaled down by ``shared_fit`` when the
+        operands exceed the reserved shared memory (the 4-D regime where
+        cuBLAS wins).
+        """
+        if q < 1:
+            raise HardwareModelError(f"matrix dimension must be >= 1, got {q}")
+        if not 0.0 < shared_fit <= 1.0:
+            raise HardwareModelError(f"shared_fit must be in (0, 1], got {shared_fit}")
+        return self.fused_eff_max * (q / (q + self.fused_q_half)) * shared_fit
+
+    def fused_instance_seconds(
+        self,
+        flops: int,
+        steps: int,
+        sm_per_instance: int,
+        q: int,
+        shared_fit: float = 1.0,
+    ) -> float:
+        """One fused-kernel instance: a single launch, ``steps`` barriers,
+        work streamed at the rate of its reserved SMs."""
+        if steps < 0 or flops < 0:
+            raise HardwareModelError(
+                f"invalid fused kernel: flops={flops}, steps={steps}"
+            )
+        rate = (
+            sm_per_instance
+            * self.sm_gflops()
+            * 1e9
+            * self.fused_efficiency(q, shared_fit)
+        )
+        return (
+            self.spec.kernel_launch_seconds
+            + steps * self.barrier_seconds
+            + flops / rate
+        )

@@ -1,0 +1,180 @@
+"""Hardware specifications of the paper's machines.
+
+Two platforms appear in the paper:
+
+- **Titan compute node**: 16-core AMD Opteron 6200 (Interlagos) at 2 GHz,
+  16-32 GB DDR3, NVIDIA Tesla M2090 (Fermi, 16 SMs, 665 GFLOPS double
+  precision, 6 GB GDDR5) on PCIe 2.0 x16 — Tables I-VI.
+- **Testbed**: 16-core Intel Xeon X5570 with a GeForce GTX 480 (Fermi,
+  15 SMs, consumer DP throttling) — Figures 5-6.
+
+Values stated by the paper are used verbatim (page-lock costs, per-core
+mtxm GFLOPS, aggregate L2); the rest are public spec-sheet numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multi-core CPU for the data-intensive and CPU-compute phases.
+
+    Attributes:
+        name: marketing name.
+        cores: hardware threads used for compute.
+        mtxm_gflops_core: per-core throughput of the small-matrix multiply
+            when operands are cache-resident (the paper: "achieving up to
+            6 GFLOPS on a single core").
+        l2_total_bytes: aggregate last-level cache ("16 MB, which is the
+            aggregate size of the L2 cache on the compute nodes of Titan").
+        contention: fractional per-extra-thread slowdown of the shared
+            FPU/memory path; calibrated so 16 threads give the ~6.7x
+            scale-up of Table I.
+        oversize_thread_cap: effective parallelism ceiling once the
+            working set overflows L2 (the paper: "the computation is
+            saturated by 10 threads").
+        oversize_efficiency: per-core throughput multiplier out of cache.
+        copy_bandwidth: bytes/s for the data-intensive (pre/post) phases.
+    """
+
+    name: str
+    cores: int
+    mtxm_gflops_core: float
+    l2_total_bytes: int
+    contention: float = 0.09
+    oversize_thread_cap: float = 10.0
+    oversize_efficiency: float = 0.55
+    copy_bandwidth: float = 6.0e9
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.mtxm_gflops_core <= 0:
+            raise HardwareModelError(f"invalid CPU spec: {self}")
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A CUDA GPU of the paper's era.
+
+    Attributes:
+        name: marketing name.
+        n_sm: streaming multiprocessors.
+        peak_dp_gflops: double-precision peak.
+        shared_mem_per_sm: bytes of shared memory per SM.
+        kernel_launch_seconds: host-side launch overhead per kernel.
+        max_concurrent_kernels: Fermi limit on concurrently resident kernels.
+        ram_bytes: device memory.
+        dynamic_parallelism: CUDA 5 / Kepler sub-kernel launches.  "The
+            dynamic parallelism featured in the future CUDA 5 release
+            could help alleviate some of the rank reduction issues on
+            GPUs ... this will only be available for the Kepler GPU"
+            (paper Section II-D) — modeled for the future-work ablation.
+    """
+
+    name: str
+    n_sm: int
+    peak_dp_gflops: float
+    shared_mem_per_sm: int = 48 << 10
+    kernel_launch_seconds: float = 7e-6
+    max_concurrent_kernels: int = 16
+    ram_bytes: int = 6 << 30
+    dynamic_parallelism: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_sm < 1 or self.peak_dp_gflops <= 0:
+            raise HardwareModelError(f"invalid GPU spec: {self}")
+
+
+@dataclass(frozen=True)
+class PcieSpec:
+    """Host-device link plus the pinning costs the paper measured."""
+
+    pinned_bytes_per_second: float = 6.0e9  # PCIe 2.0 x16, page-locked
+    pageable_bytes_per_second: float = 2.8e9  # "at least double" slower
+    latency_seconds: float = 10e-6
+    page_lock_seconds: float = 0.5e-3  # paper: 0.5 ms
+    page_unlock_seconds: float = 2.0e-3  # paper: 2 ms
+
+    def __post_init__(self) -> None:
+        if self.pinned_bytes_per_second <= self.pageable_bytes_per_second:
+            raise HardwareModelError(
+                "pinned transfers must be faster than pageable ones"
+            )
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One hybrid compute node."""
+
+    name: str
+    cpu: CpuSpec
+    gpu: GpuSpec
+    pcie: PcieSpec
+    ram_bytes: int = 32 << 30
+
+
+TITAN_CPU = CpuSpec(
+    name="AMD Opteron 6274 (Interlagos) 2.2 GHz",
+    cores=16,
+    mtxm_gflops_core=6.0,
+    l2_total_bytes=16 << 20,
+)
+
+TITAN_GPU = GpuSpec(
+    name="NVIDIA Tesla M2090 (Fermi)",
+    n_sm=16,
+    peak_dp_gflops=665.0,
+    ram_bytes=6 << 30,
+)
+
+TITAN_PCIE = PcieSpec()
+
+TITAN_NODE = NodeSpec(name="Titan XK6 node", cpu=TITAN_CPU, gpu=TITAN_GPU, pcie=TITAN_PCIE)
+
+TESTBED_CPU = CpuSpec(
+    name="Intel Xeon X5570 2.93 GHz",
+    cores=16,
+    mtxm_gflops_core=7.0,
+    l2_total_bytes=8 << 20,
+)
+
+TESTBED_GPU = GpuSpec(
+    name="NVIDIA GeForce GTX 480 (Fermi)",
+    n_sm=15,
+    # Consumer Fermi caps double precision at 1/8 of single precision:
+    # 1345 SP -> ~168 DP GFLOPS.
+    peak_dp_gflops=168.0,
+    ram_bytes=1536 << 20,
+    kernel_launch_seconds=5e-6,
+)
+
+TESTBED_NODE = NodeSpec(
+    name="Xeon X5570 + GTX 480 testbed",
+    cpu=TESTBED_CPU,
+    gpu=TESTBED_GPU,
+    pcie=TITAN_PCIE,
+    ram_bytes=24 << 30,
+)
+
+#: The paper's future-work target: Titan's planned Kepler upgrade
+#: (K20X: 14 SMX, ~1.31 DP TFLOPS, CUDA 5 dynamic parallelism, 32
+#: concurrent kernels).  Used by the dynamic-parallelism ablation.
+KEPLER_GPU = GpuSpec(
+    name="NVIDIA Tesla K20X (Kepler)",
+    n_sm=14,
+    peak_dp_gflops=1310.0,
+    kernel_launch_seconds=5e-6,
+    max_concurrent_kernels=32,
+    ram_bytes=6 << 30,
+    dynamic_parallelism=True,
+)
+
+KEPLER_NODE = NodeSpec(
+    name="Titan XK7 node (Kepler upgrade)",
+    cpu=TITAN_CPU,
+    gpu=KEPLER_GPU,
+    pcie=TITAN_PCIE,
+)

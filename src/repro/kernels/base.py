@@ -1,0 +1,131 @@
+"""Kernel interface and the numeric payload format.
+
+A :class:`FormulaPayload` is one Formula 1 evaluation: an input tensor
+``s`` of shape ``(q,) * d``, per-rank-term factor matrices (already
+oriented for :func:`repro.tensor.transform.transform_seq`, i.e. the
+transpose of the operator blocks), and the rank coefficients.  All three
+kernels evaluate it with exactly the same arithmetic (a per-term chain of
+``mtxmq`` calls), so their numeric outputs are identical by construction
+and the tests can assert it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TensorShapeError
+from repro.runtime.task import BatchStats, WorkItem
+from repro.tensor.transform import transform_seq
+
+
+@dataclass
+class FormulaPayload:
+    """Numeric data of one Formula 1 work item.
+
+    Attributes:
+        s: input tensor, shape ``(q,) * d``.
+        factors: ``factors[mu]`` is a tuple of ``d`` matrices applied to
+            the successive dimensions (transform orientation).
+        coeffs: the ``c_mu`` scalars.
+    """
+
+    s: np.ndarray
+    factors: list[tuple[np.ndarray, ...]]
+    coeffs: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.factors) != len(self.coeffs):
+            raise TensorShapeError(
+                f"{len(self.factors)} factor sets vs {len(self.coeffs)} coefficients"
+            )
+
+    @property
+    def rank(self) -> int:
+        return len(self.factors)
+
+    @property
+    def dim(self) -> int:
+        return self.s.ndim
+
+    def reference_result(self) -> np.ndarray:
+        """Per-term ``mtxmq``-chain evaluation — ground truth in tests."""
+        out = np.zeros_like(self.s)
+        for c, hs in zip(self.coeffs, self.factors):
+            out += c * transform_seq(self.s, hs)
+        return out
+
+
+_EINSUM_PATHS: dict[tuple[int, int, int], list] = {}
+_IN_IDX = "abcdef"
+_OUT_IDX = "uvwxyz"
+
+
+def evaluate_formula(payload: FormulaPayload) -> np.ndarray:
+    """Fast evaluation of one Formula 1 payload.
+
+    Arithmetic is identical to :meth:`FormulaPayload.reference_result`
+    (a chain of per-dimension contractions per rank term), executed as a
+    single einsum with a cached contraction path so per-item Python
+    overhead stays constant.  All kernels share this evaluator — their
+    differences are scheduling and cost, not arithmetic.
+    """
+    s = payload.s
+    dim = s.ndim
+    m = payload.rank
+    if m == 0:
+        return np.zeros_like(s)
+    q = s.shape[0]
+    stacked = [
+        np.stack([payload.factors[mu][axis] for mu in range(m)])
+        for axis in range(dim)
+    ]
+    spec = [_IN_IDX[:dim]]
+    operands: list[np.ndarray] = [s]
+    for axis in range(dim):
+        # factors are in transform orientation: out = sum_j s[j] h[j, i]
+        spec.append(f"m{_IN_IDX[axis]}{_OUT_IDX[axis]}")
+        operands.append(stacked[axis])
+    spec.append("m")
+    operands.append(np.asarray(payload.coeffs, dtype=float))
+    expr = ",".join(spec) + "->" + _OUT_IDX[:dim]
+    key = (dim, q, m)
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = np.einsum_path(expr, *operands, optimize="greedy")[0]
+        _EINSUM_PATHS[key] = path
+    return np.einsum(expr, *operands, optimize=path)
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Simulated cost of one batch on one kernel."""
+
+    seconds: float
+    flops: int
+    launches: int
+
+    def gflops(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.flops / self.seconds / 1e9
+
+
+class ComputeKernel(abc.ABC):
+    """A compute strategy: numeric execution plus a timing model."""
+
+    name: str = "kernel"
+
+    @abc.abstractmethod
+    def batch_timing(self, stats: BatchStats, parallelism: int) -> KernelTiming:
+        """Simulated duration of a batch at the given parallelism
+        (CPU threads or CUDA streams)."""
+
+    @abc.abstractmethod
+    def run_item(self, item: WorkItem) -> np.ndarray | None:
+        """Numerically execute one work item (None for cost-only items)."""
+
+    def run_batch(self, items: list[WorkItem]) -> list[np.ndarray | None]:
+        return [self.run_item(item) for item in items]

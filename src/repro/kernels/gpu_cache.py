@@ -1,0 +1,72 @@
+"""Write-once device-side cache of transferred operator blocks.
+
+"In order to avoid redundant data transfers to the GPU, a write-once
+software cache containing the already transferred 2-D tensors has been
+implemented.  This write-once cache has been modeled after a CPU software
+cache present in MADNESS for similar purposes."
+
+The cache tracks which ``h`` blocks are already resident on the device;
+:meth:`bytes_to_transfer` filters a batch's block set down to the misses
+and is what the transfer model actually charges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.errors import HardwareModelError
+from repro.operators.cache import CacheStats
+
+
+class GpuBlockCache:
+    """Device-resident operator-block tracker.
+
+    Args:
+        capacity_bytes: device memory budget for blocks.  The cache is
+            write-once (no eviction): inserting beyond capacity raises,
+            mirroring the paper's assumption that all blocks of a run fit
+            in the M2090's 6 GB.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 1:
+            raise HardwareModelError(
+                f"cache capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.resident_bytes = 0
+        self.stats = CacheStats()
+        self._resident: set[Hashable] = set()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def bytes_to_transfer(
+        self, block_keys: Iterable[Hashable], bytes_per_block: float
+    ) -> int:
+        """Bytes of blocks a batch must ship; marks them resident.
+
+        Hits cost nothing (the whole point of write-once residency).
+        """
+        missing = [k for k in block_keys if k not in self._resident]
+        hits = 0
+        for k in block_keys:
+            if k in self._resident:
+                hits += 1
+        # note: keys may repeat across items of a batch; count uniques
+        unique_missing = set(missing)
+        total = int(len(unique_missing) * bytes_per_block)
+        if self.resident_bytes + total > self.capacity_bytes:
+            raise HardwareModelError(
+                f"GPU block cache overflow: {self.resident_bytes + total} bytes "
+                f"exceeds capacity {self.capacity_bytes}"
+            )
+        self._resident.update(unique_missing)
+        self.resident_bytes += total
+        self.stats.hits += hits
+        self.stats.misses += len(unique_missing)
+        self.stats.bytes_inserted += total
+        return total

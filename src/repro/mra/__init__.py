@@ -1,0 +1,39 @@
+"""Multiresolution-analysis (MRA) substrate.
+
+MADNESS represents functions in an orthonormal multiwavelet basis: on each
+dyadic box at level ``n`` the function is expanded in the first ``k``
+normalised Legendre polynomials, and the two-scale relation connects a box
+to its ``2^d`` children.  Adaptive refinement keeps coefficients only
+where the function demands them, producing the highly unbalanced trees the
+paper's runtime has to cope with.
+
+Public surface:
+
+- :class:`repro.mra.key.Key` — (level, translation) identity of a box;
+- :class:`repro.mra.tree.FunctionTree` — the in-memory tree container;
+- :class:`repro.mra.function.MultiresolutionFunction` — a function with
+  Compress / Reconstruct / Truncate / evaluation / arithmetic;
+- :class:`repro.mra.function.FunctionFactory` — adaptive projection of
+  Python callables;
+- :mod:`repro.mra.twoscale` and :mod:`repro.mra.quadrature` — the basis
+  machinery.
+"""
+
+from repro.mra.key import Key
+from repro.mra.node import FunctionNode
+from repro.mra.tree import FunctionTree
+from repro.mra.quadrature import gauss_legendre, phi_values, QuadratureRule
+from repro.mra.twoscale import TwoScaleFilter
+from repro.mra.function import FunctionFactory, MultiresolutionFunction
+
+__all__ = [
+    "Key",
+    "FunctionNode",
+    "FunctionTree",
+    "gauss_legendre",
+    "phi_values",
+    "QuadratureRule",
+    "TwoScaleFilter",
+    "FunctionFactory",
+    "MultiresolutionFunction",
+]

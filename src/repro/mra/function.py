@@ -1,0 +1,564 @@
+"""Adaptive multiresolution functions and the Compress / Reconstruct /
+Truncate operators.
+
+A :class:`MultiresolutionFunction` owns a :class:`~repro.mra.tree.FunctionTree`
+in one of three *forms* (see :mod:`repro.mra.node`) and implements the
+three cheap MADNESS operators the paper names alongside ``Apply``:
+
+- ``compress``  — bottom-up two-scale analysis (scaling -> wavelet);
+- ``reconstruct`` — top-down synthesis (wavelet -> scaling);
+- ``truncate`` — discard wavelet blocks below threshold, pruning the tree.
+
+Adaptive projection of a user callable is provided by
+:class:`FunctionFactory`; the refinement criterion is the size of the
+wavelet coefficients that would be discarded by representing the box at
+the coarser scale, exactly as in MADNESS.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import OperatorError, TreeStructureError
+from repro.mra.key import Key
+from repro.mra.node import FunctionNode
+from repro.mra.quadrature import QuadratureRule, phi_values
+from repro.mra.tree import FunctionTree
+from repro.mra.twoscale import TwoScaleFilter
+from repro.tensor.transform import transform
+
+RECONSTRUCTED = "reconstructed"
+COMPRESSED = "compressed"
+NONSTANDARD = "nonstandard"
+
+#: truncate_tol modes, mirroring MADNESS truncate_mode 0/1/2.
+TRUNCATE_MODES = ("absolute", "level", "level_volume")
+
+
+def child_block(bits: tuple[int, ...], k: int) -> tuple[slice, ...]:
+    """Slices selecting child ``bits``'s block inside a ``(2k)^d`` tensor."""
+    return tuple(slice(b * k, (b + 1) * k) for b in bits)
+
+
+def scaling_corner(dim: int, k: int) -> tuple[slice, ...]:
+    """Slices selecting the ``[0:k]^d`` scaling corner of a ``(2k)^d`` tensor."""
+    return (slice(0, k),) * dim
+
+
+def gather_children(
+    coeffs_of: Callable[[Key], np.ndarray], key: Key, k: int
+) -> np.ndarray:
+    """Pack the 2^d children's ``k^d`` scaling tensors into one ``(2k)^d``."""
+    dim = key.dim
+    uu = np.zeros((2 * k,) * dim)
+    for child in key.children():
+        bits = tuple(t & 1 for t in child.translation)
+        uu[child_block(bits, k)] = coeffs_of(child)
+    return uu
+
+
+class MultiresolutionFunction:
+    """A function adaptively represented on a dyadic multiwavelet tree."""
+
+    def __init__(
+        self,
+        dim: int,
+        k: int,
+        tree: FunctionTree,
+        *,
+        thresh: float = 1e-6,
+        form: str = RECONSTRUCTED,
+        truncate_mode: str = "absolute",
+    ):
+        if form not in (RECONSTRUCTED, COMPRESSED, NONSTANDARD):
+            raise OperatorError(f"unknown tree form {form!r}")
+        if truncate_mode not in TRUNCATE_MODES:
+            raise OperatorError(f"unknown truncate mode {truncate_mode!r}")
+        if tree.dim != dim:
+            raise TreeStructureError(
+                f"tree dimension {tree.dim} does not match function dimension {dim}"
+            )
+        self.dim = dim
+        self.k = k
+        self.tree = tree
+        self.thresh = thresh
+        self.form = form
+        self.truncate_mode = truncate_mode
+        self.filter = TwoScaleFilter.build(k)
+        self.quad = QuadratureRule.build(k)
+
+    # -- thresholds ---------------------------------------------------------
+
+    def truncate_tol(self, level: int, tol: float | None = None) -> float:
+        """Level-dependent truncation threshold (MADNESS truncate modes)."""
+        t = self.thresh if tol is None else tol
+        if self.truncate_mode == "absolute":
+            return t
+        if self.truncate_mode == "level":
+            return t * 2.0 ** (-level / 2.0)
+        return t * 2.0 ** (-level * self.dim / 2.0)
+
+    # -- form changes ---------------------------------------------------------
+
+    def compress(self) -> "MultiresolutionFunction":
+        """Convert in place to compressed (wavelet) form.  Idempotent."""
+        if self.form == COMPRESSED:
+            return self
+        if self.form == NONSTANDARD:
+            self._strip_nonstandard()
+        s_of: dict[Key, np.ndarray] = {}
+        for key, node in self.tree.by_level(reverse=True):
+            if not node.has_children:
+                if node.coeffs is None:
+                    raise OperatorError(f"reconstructed leaf {key} has no coeffs")
+                s_of[key] = node.coeffs
+                node.coeffs = None
+                continue
+            uu = gather_children(s_of.pop, key, self.k)
+            v = transform(uu, self.filter.hg.T)
+            corner = scaling_corner(self.dim, self.k)
+            s = v[corner].copy()
+            if key.level > 0:
+                v[corner] = 0.0
+            node.coeffs = v
+            s_of[key] = s
+        root = self.tree[self.tree.root]
+        if not root.has_children:
+            # Single-box tree: the root keeps its scaling coefficients in
+            # the corner of an otherwise-zero [s|d] tensor.
+            v = np.zeros((2 * self.k,) * self.dim)
+            v[scaling_corner(self.dim, self.k)] = s_of.pop(self.tree.root)
+            root.coeffs = v
+        self.form = COMPRESSED
+        return self
+
+    def reconstruct(self) -> "MultiresolutionFunction":
+        """Convert in place to reconstructed (scaling) form.  Idempotent."""
+        if self.form == RECONSTRUCTED:
+            return self
+        if self.form == NONSTANDARD:
+            self._strip_nonstandard()
+            self.form = RECONSTRUCTED
+            return self
+        root = self.tree[self.tree.root]
+        if not root.has_children:
+            root.coeffs = root.coeffs[scaling_corner(self.dim, self.k)].copy()
+            self.form = RECONSTRUCTED
+            return self
+        s_of: dict[Key, np.ndarray] = {}
+        corner = scaling_corner(self.dim, self.k)
+        for key, node in self.tree.by_level():
+            if not node.has_children:
+                node.coeffs = s_of.pop(key)
+                continue
+            v = node.coeffs
+            if v is None:
+                raise OperatorError(f"compressed interior node {key} has no coeffs")
+            v = v.copy()
+            if key.level == 0:
+                pass  # root keeps its own s corner
+            else:
+                v[corner] = s_of.pop(key)
+            uu = transform(v, self.filter.hg)
+            for child in key.children():
+                bits = tuple(t & 1 for t in child.translation)
+                s_of[child] = uu[child_block(bits, self.k)].copy()
+            node.coeffs = None
+        self.form = RECONSTRUCTED
+        return self
+
+    def _strip_nonstandard(self) -> None:
+        """Drop the redundant interior [s|d] tensors of nonstandard form.
+
+        Leaves already hold scaling coefficients, so the result is the
+        reconstructed form.
+        """
+        for _key, node in self.tree.interior():
+            node.coeffs = None
+        self.form = RECONSTRUCTED
+
+    def nonstandard(self) -> "MultiresolutionFunction":
+        """Convert in place to nonstandard form (used by ``Apply``).
+
+        Interior nodes keep the full ``(2k)^d`` ``[s|d]`` tensor *and*
+        leaves keep their scaling coefficients — the redundant form lets
+        the convolution act at every scale independently.
+        """
+        if self.form == NONSTANDARD:
+            return self
+        self.reconstruct()
+        s_of: dict[Key, np.ndarray] = {}
+        for key, node in self.tree.by_level(reverse=True):
+            if not node.has_children:
+                s_of[key] = node.coeffs
+                continue
+            uu = gather_children(lambda c: s_of[c], key, self.k)
+            v = transform(uu, self.filter.hg.T)
+            corner = scaling_corner(self.dim, self.k)
+            s_of[key] = v[corner].copy()
+            node.coeffs = v
+        self.form = NONSTANDARD
+        return self
+
+    # -- truncate -------------------------------------------------------------
+
+    def truncate(self, tol: float | None = None) -> "MultiresolutionFunction":
+        """Discard negligible wavelet blocks, pruning the tree in place.
+
+        Operates in compressed form (converting if needed) and restores
+        the original form afterwards.  A subtree is removed when every
+        descendant's wavelet norm is below the level threshold, cascading
+        fine-to-coarse exactly like MADNESS ``truncate``.
+        """
+        original_form = self.form
+        self.compress()
+        # keep_norm[key]: norm of wavelet content strictly below key
+        removable: dict[Key, bool] = {}
+        for key, node in self.tree.by_level(reverse=True):
+            if not node.has_children:
+                removable[key] = True
+                continue
+            children_ok = all(removable.get(c, False) for c in key.children())
+            d_norm = node.norm()  # corner is zero except root
+            if key.level == 0:
+                corner = scaling_corner(self.dim, self.k)
+                v = node.coeffs.copy()
+                v[corner] = 0.0
+                d_norm = float(np.linalg.norm(v))
+            removable[key] = children_ok and d_norm <= self.truncate_tol(
+                key.level, tol
+            )
+        # Delete subtrees whose root is an interior node that is removable:
+        # the node becomes a leaf (its wavelet content is dropped).
+        for key, node in list(self.tree.by_level()):
+            if key not in self.tree:
+                continue
+            if node.has_children and removable[key] and key.level > 0:
+                self._delete_descendants(key)
+                node.has_children = False
+                node.coeffs = None
+        if original_form == RECONSTRUCTED:
+            self.reconstruct()
+        elif original_form == NONSTANDARD:
+            self.reconstruct().nonstandard()
+        return self
+
+    def _delete_descendants(self, key: Key) -> None:
+        stack = list(key.children())
+        while stack:
+            k = stack.pop()
+            node = self.tree.get(k)
+            if node is None:
+                continue
+            if node.has_children:
+                stack.extend(k.children())
+            del self.tree[k]
+
+    # -- evaluation and norms ---------------------------------------------------
+
+    def __call__(self, point: Iterable[float]) -> float:
+        return self.eval(tuple(point))
+
+    def eval(self, point: tuple[float, ...]) -> float:
+        """Point evaluation (requires reconstructed form)."""
+        if self.form != RECONSTRUCTED:
+            raise OperatorError("eval requires reconstructed form; call reconstruct()")
+        if len(point) != self.dim:
+            raise OperatorError(f"point {point} has wrong dimension")
+        if any(not 0.0 <= x <= 1.0 for x in point):
+            return 0.0
+        key = self.tree.root
+        node = self.tree[key]
+        while node.has_children:
+            scale = 1 << (key.level + 1)
+            translation = tuple(
+                min(int(x * scale), scale - 1) for x in point
+            )
+            key = Key(key.level + 1, translation)
+            node = self.tree[key]
+        s = node.coeffs
+        scale = 1 << key.level
+        local = [x * scale - t for x, t in zip(point, key.translation)]
+        val = s
+        for x in local:
+            basis = phi_values(float(min(max(x, 0.0), 1.0)), self.k)
+            val = np.tensordot(val, basis, axes=([0], [0]))
+        return float(val) * 2.0 ** (key.level * self.dim / 2.0)
+
+    def eval_many(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate at many points: ``points`` is ``(N, dim)``.
+
+        Convenience wrapper over :meth:`eval` (per-point tree descent);
+        points outside the unit cube evaluate to 0.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dim:
+            raise OperatorError(
+                f"expected points of shape (N, {self.dim}), got {points.shape}"
+            )
+        return np.array([self.eval(tuple(p)) for p in points])
+
+    def norm2(self) -> float:
+        """L2 norm, exact in either form thanks to basis orthonormality."""
+        if self.form == RECONSTRUCTED:
+            total = sum(node.norm() ** 2 for _k, node in self.tree.leaves())
+        elif self.form == COMPRESSED:
+            # In compressed form exactly the nodes holding coefficients
+            # (interior d-blocks plus the root's s corner) carry the norm.
+            total = sum(
+                node.norm() ** 2 for _k, node in self.tree.items() if node.has_coeffs
+            )
+        else:
+            raise OperatorError("norm2 is not defined on nonstandard form")
+        return math.sqrt(total)
+
+    # -- structure manipulation --------------------------------------------------
+
+    def refine_leaf(self, key: Key) -> None:
+        """Exactly split a reconstructed leaf into its 2^d children."""
+        if self.form != RECONSTRUCTED:
+            raise OperatorError("refine_leaf requires reconstructed form")
+        node = self.tree[key]
+        if node.has_children:
+            raise TreeStructureError(f"{key} is not a leaf")
+        v = np.zeros((2 * self.k,) * self.dim)
+        v[scaling_corner(self.dim, self.k)] = node.coeffs
+        uu = transform(v, self.filter.hg)
+        for child in key.children():
+            bits = tuple(t & 1 for t in child.translation)
+            self.tree[child] = FunctionNode(
+                coeffs=uu[child_block(bits, self.k)].copy()
+            )
+        node.coeffs = None
+        node.has_children = True
+
+    def conform_to(self, other: "MultiresolutionFunction") -> None:
+        """Refine this function so its leaf set covers ``other``'s leaves."""
+        self.reconstruct()
+        other.reconstruct()
+        pending = [self.tree.root]
+        while pending:
+            key = pending.pop()
+            mine = self.tree[key]
+            theirs = other.tree.get(key)
+            if theirs is None or not theirs.has_children:
+                continue
+            if not mine.has_children:
+                self.refine_leaf(key)
+            pending.extend(key.children())
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def copy(self) -> "MultiresolutionFunction":
+        return MultiresolutionFunction(
+            self.dim,
+            self.k,
+            self.tree.copy(),
+            thresh=self.thresh,
+            form=self.form,
+            truncate_mode=self.truncate_mode,
+        )
+
+    def scale(self, a: float) -> "MultiresolutionFunction":
+        """Multiply in place by a scalar."""
+        for _k, node in self.tree.items():
+            if node.coeffs is not None:
+                node.coeffs = node.coeffs * a
+        return self
+
+    def __add__(self, other: "MultiresolutionFunction") -> "MultiresolutionFunction":
+        return self._binary(other, 1.0)
+
+    def __sub__(self, other: "MultiresolutionFunction") -> "MultiresolutionFunction":
+        return self._binary(other, -1.0)
+
+    def _binary(
+        self, other: "MultiresolutionFunction", sign: float
+    ) -> "MultiresolutionFunction":
+        if (other.dim, other.k) != (self.dim, self.k):
+            raise OperatorError("operands have incompatible dimension or order")
+        a = self.copy()
+        b = other.copy()
+        a.conform_to(b)
+        b.conform_to(a)
+        for key, node in a.tree.leaves():
+            node.coeffs = node.coeffs + sign * b.tree[key].coeffs
+        return a
+
+    def inner(self, other: "MultiresolutionFunction") -> float:
+        """L2 inner product via conforming leaf sets."""
+        a = self.copy()
+        b = other.copy()
+        a.conform_to(b)
+        b.conform_to(a)
+        total = 0.0
+        for key, node in a.tree.leaves():
+            total += float(np.vdot(node.coeffs, b.tree[key].coeffs).real)
+        return total
+
+    # -- statistics -----------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Summary statistics used by the workload generators and reports."""
+        return {
+            "dim": self.dim,
+            "k": self.k,
+            "form": self.form,
+            "nodes": self.tree.size(),
+            "leaves": self.tree.n_leaves(),
+            "max_level": self.tree.max_level(),
+            "level_histogram": self.tree.level_histogram(),
+        }
+
+
+class FunctionFactory:
+    """Adaptive projection of callables into multiresolution functions.
+
+    Args:
+        dim: spatial dimension of the simulation volume (unit hyper-cube).
+        k: multiwavelet order (polynomials 0..k-1 per dimension).
+        thresh: accuracy threshold driving adaptive refinement.
+        initial_level: refinement starts below this level unconditionally.
+        max_level: hard refinement floor to guarantee termination.
+        truncate_mode: level scaling of the threshold (see TRUNCATE_MODES).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        k: int,
+        thresh: float = 1e-6,
+        *,
+        initial_level: int = 1,
+        max_level: int = 20,
+        truncate_mode: str = "absolute",
+    ):
+        if dim < 1:
+            raise OperatorError(f"dimension must be >= 1, got {dim}")
+        if k < 1:
+            raise OperatorError(f"multiwavelet order must be >= 1, got {k}")
+        if not 0 <= initial_level <= max_level:
+            raise OperatorError(
+                f"need 0 <= initial_level <= max_level, got {initial_level}, {max_level}"
+            )
+        self.dim = dim
+        self.k = k
+        self.thresh = thresh
+        self.initial_level = initial_level
+        self.max_level = max_level
+        self.truncate_mode = truncate_mode
+        self.quad = QuadratureRule.build(k)
+        self.filter = TwoScaleFilter.build(k)
+
+    # -- projection ------------------------------------------------------------
+
+    def project_box(self, f: Callable[[np.ndarray], np.ndarray], key: Key) -> np.ndarray:
+        """Scaling coefficients of ``f`` on one box by tensor quadrature.
+
+        ``f`` must be vectorised: it receives points of shape ``(N, dim)``
+        and returns ``N`` values.
+        """
+        npt = self.quad.npt
+        scale = 1.0 / (1 << key.level)
+        axes = [
+            (self.quad.points + t) * scale for t in key.translation
+        ]
+        grid = np.stack(
+            np.meshgrid(*axes, indexing="ij"), axis=-1
+        ).reshape(-1, self.dim)
+        values = np.asarray(f(grid), dtype=float).reshape((npt,) * self.dim)
+        t = values
+        for _ in range(self.dim):
+            t = np.tensordot(t, self.quad.phiw, axes=([0], [0]))
+        return t * 2.0 ** (-key.level * self.dim / 2.0)
+
+    def from_callable(
+        self, f: Callable[[np.ndarray], np.ndarray]
+    ) -> MultiresolutionFunction:
+        """Adaptively project ``f``; result is in reconstructed form."""
+        tree = FunctionTree(self.dim)
+        corner = (slice(0, self.k),) * self.dim
+        hgT = self.filter.hg.T
+
+        def refine(key: Key) -> None:
+            tree[key] = FunctionNode(has_children=True)
+            child_coeffs = {c: self.project_box(f, c) for c in key.children()}
+            converged = False
+            if key.level >= self.initial_level:
+                uu = gather_children(child_coeffs.__getitem__, key, self.k)
+                v = transform(uu, hgT)
+                v = v.copy()
+                v[corner] = 0.0
+                d_norm = float(np.linalg.norm(v))
+                tol = MultiresolutionFunction.truncate_tol(
+                    _tol_proxy, key.level
+                )
+                converged = d_norm <= tol
+            if converged or key.level + 1 >= self.max_level:
+                for child, s in child_coeffs.items():
+                    tree[child] = FunctionNode(coeffs=s)
+            else:
+                for child in key.children():
+                    refine(child)
+
+        # a light proxy object so truncate_tol can be reused without a
+        # fully-built function
+        _tol_proxy = _TolProxy(self.dim, self.thresh, self.truncate_mode)
+        refine(Key.root(self.dim))
+        fn = MultiresolutionFunction(
+            self.dim,
+            self.k,
+            tree,
+            thresh=self.thresh,
+            form=RECONSTRUCTED,
+            truncate_mode=self.truncate_mode,
+        )
+        fn.tree.check_structure()
+        return fn
+
+    def uniform(
+        self, f: Callable[[np.ndarray], np.ndarray], level: int
+    ) -> MultiresolutionFunction:
+        """Project ``f`` on the uniform grid at ``level`` (for testing)."""
+        tree = FunctionTree(self.dim)
+        keys = [Key.root(self.dim)]
+        for _ in range(level):
+            keys = [c for k in keys for c in k.children()]
+        for key in keys:
+            tree.ensure_path(key)
+            tree[key].coeffs = self.project_box(f, key)
+        return MultiresolutionFunction(
+            self.dim,
+            self.k,
+            tree,
+            thresh=self.thresh,
+            form=RECONSTRUCTED,
+            truncate_mode=self.truncate_mode,
+        )
+
+    def zero(self) -> MultiresolutionFunction:
+        """The zero function (a single root leaf of zero coefficients)."""
+        tree = FunctionTree(self.dim)
+        tree[Key.root(self.dim)] = FunctionNode(
+            coeffs=np.zeros((self.k,) * self.dim)
+        )
+        return MultiresolutionFunction(
+            self.dim,
+            self.k,
+            tree,
+            thresh=self.thresh,
+            form=RECONSTRUCTED,
+            truncate_mode=self.truncate_mode,
+        )
+
+
+class _TolProxy:
+    """Duck-typed carrier of the fields ``truncate_tol`` reads."""
+
+    def __init__(self, dim: int, thresh: float, truncate_mode: str):
+        self.dim = dim
+        self.thresh = thresh
+        self.truncate_mode = truncate_mode

@@ -1,0 +1,98 @@
+"""Box identity in the dyadic multiresolution grid.
+
+A :class:`Key` names one box: a refinement ``level`` ``n >= 0`` and a
+``translation`` tuple ``l`` with ``0 <= l_i < 2^n`` per dimension.  The
+simulation volume is the unit hyper-cube; box ``(n, l)`` covers
+``[l_i / 2^n, (l_i + 1) / 2^n)`` in each dimension.  Keys are hashable and
+totally ordered (level-major), which the distributed-tree layer relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.errors import TreeStructureError
+
+
+@dataclass(frozen=True, order=True)
+class Key:
+    """Identity of one dyadic box."""
+
+    level: int
+    translation: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise TreeStructureError(f"negative level in key: {self.level}")
+        limit = 1 << self.level
+        for t in self.translation:
+            if not 0 <= t < limit:
+                raise TreeStructureError(
+                    f"translation {self.translation} out of range for level "
+                    f"{self.level}"
+                )
+
+    @classmethod
+    def root(cls, dim: int) -> "Key":
+        """The level-0 key covering the whole volume."""
+        return cls(0, (0,) * dim)
+
+    @property
+    def dim(self) -> int:
+        return len(self.translation)
+
+    def parent(self) -> "Key":
+        if self.level == 0:
+            raise TreeStructureError("the root key has no parent")
+        return Key(self.level - 1, tuple(t // 2 for t in self.translation))
+
+    def children(self) -> Iterator["Key"]:
+        """The 2^d child keys, in lexicographic bit order."""
+        for bits in itertools.product((0, 1), repeat=self.dim):
+            yield Key(
+                self.level + 1,
+                tuple(2 * t + b for t, b in zip(self.translation, bits)),
+            )
+
+    def child_index(self) -> int:
+        """This key's index (0 .. 2^d - 1) among its parent's children."""
+        idx = 0
+        for t in self.translation:
+            idx = (idx << 1) | (t & 1)
+        return idx
+
+    def neighbor(self, displacement: tuple[int, ...]) -> "Key | None":
+        """The key displaced by integer offsets at the same level.
+
+        Returns None when the displaced box falls outside the (free,
+        non-periodic) simulation volume.
+        """
+        if len(displacement) != self.dim:
+            raise TreeStructureError(
+                f"displacement {displacement} has wrong dimension for {self}"
+            )
+        limit = 1 << self.level
+        translated = tuple(t + d for t, d in zip(self.translation, displacement))
+        if any(not 0 <= t < limit for t in translated):
+            return None
+        return Key(self.level, translated)
+
+    def box_center(self) -> tuple[float, ...]:
+        scale = 1.0 / (1 << self.level)
+        return tuple((t + 0.5) * scale for t in self.translation)
+
+    def box_size(self) -> float:
+        """Side length of the box."""
+        return 1.0 / (1 << self.level)
+
+    def contains(self, point: tuple[float, ...]) -> bool:
+        scale = float(1 << self.level)
+        return all(
+            t <= x * scale < t + 1 or (x == 1.0 and t == (1 << self.level) - 1)
+            for t, x in zip(self.translation, point)
+        )
+
+    def __str__(self) -> str:  # compact, used in logs and reports
+        return f"({self.level}: {','.join(map(str, self.translation))})"

@@ -1,0 +1,56 @@
+"""Tree-node payload.
+
+A node of the multiresolution tree carries an optional coefficient tensor
+and a flag saying whether it has children.  Which tensor it carries
+depends on the tree's *form*:
+
+- reconstructed: leaves carry scaling coefficients ``s`` (shape ``k^d``),
+  interior nodes carry nothing;
+- compressed: interior nodes carry wavelet differences ``d`` packed in a
+  ``(2k)^d`` tensor whose ``[0:k]^d`` corner is zero (the root also keeps
+  its ``s`` in that corner); leaves carry nothing;
+- nonstandard: interior nodes carry the full ``(2k)^d`` ``[s|d]`` tensor,
+  leaves carry ``s`` — this is the redundant form the ``Apply`` operator
+  consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FunctionNode:
+    """Mutable payload of one tree box."""
+
+    coeffs: np.ndarray | None = None
+    has_children: bool = False
+
+    @property
+    def has_coeffs(self) -> bool:
+        return self.coeffs is not None
+
+    def norm(self) -> float:
+        """Frobenius norm of the stored coefficients (0.0 when empty)."""
+        if self.coeffs is None:
+            return 0.0
+        return float(np.linalg.norm(self.coeffs))
+
+    def accumulate(self, t: np.ndarray) -> None:
+        """Add a tensor into the stored coefficients (allocating if empty)."""
+        if self.coeffs is None:
+            self.coeffs = t.copy()
+        else:
+            self.coeffs = self.coeffs + t
+
+    def copy(self) -> "FunctionNode":
+        return FunctionNode(
+            coeffs=None if self.coeffs is None else self.coeffs.copy(),
+            has_children=self.has_children,
+        )
+
+    def __repr__(self) -> str:
+        shape = None if self.coeffs is None else self.coeffs.shape
+        return f"FunctionNode(coeffs={shape}, has_children={self.has_children})"

@@ -1,0 +1,84 @@
+"""Gauss-Legendre quadrature and the multiwavelet scaling basis.
+
+The scaling functions on the unit interval are the normalised Legendre
+polynomials
+
+    ``phi_i(x) = sqrt(2 i + 1) * P_i(2 x - 1)``,  ``i = 0 .. k-1``
+
+which are orthonormal on [0, 1].  On a dyadic box ``(n, l)`` the basis is
+``phi^n_{i,l}(x) = 2^{n/2} phi_i(2^n x - l)``.  Everything here is exact
+for polynomials up to the quadrature order, which is chosen so that all
+basis-times-basis integrals used by the two-scale filter are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=64)
+def gauss_legendre(npt: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss-Legendre points and weights on [0, 1].
+
+    Exact for polynomials of degree ``2 * npt - 1``.
+    """
+    if npt < 1:
+        raise ValueError(f"quadrature order must be >= 1, got {npt}")
+    x, w = np.polynomial.legendre.leggauss(npt)
+    return (x + 1.0) / 2.0, w / 2.0
+
+
+def phi_values(x: np.ndarray | float, k: int) -> np.ndarray:
+    """Evaluate the ``k`` scaling functions at points ``x`` in [0, 1].
+
+    Returns an array of shape ``(len(x), k)`` (or ``(k,)`` for scalar
+    input): ``out[q, i] = phi_i(x[q])``.
+    """
+    if k < 1:
+        raise ValueError(f"polynomial order k must be >= 1, got {k}")
+    scalar = np.isscalar(x)
+    xs = np.atleast_1d(np.asarray(x, dtype=float))
+    t = 2.0 * xs - 1.0
+    out = np.empty((xs.size, k))
+    out[:, 0] = 1.0
+    if k > 1:
+        out[:, 1] = t
+    for i in range(1, k - 1):
+        # Legendre recurrence: (i+1) P_{i+1} = (2i+1) t P_i - i P_{i-1}
+        out[:, i + 1] = ((2 * i + 1) * t * out[:, i] - i * out[:, i - 1]) / (i + 1)
+    out *= np.sqrt(2.0 * np.arange(k) + 1.0)
+    return out[0] if scalar else out
+
+
+@dataclass(frozen=True)
+class QuadratureRule:
+    """Pre-tabulated quadrature data for projecting onto order-``k`` boxes.
+
+    Attributes:
+        k: basis size (polynomials 0..k-1 per dimension).
+        npt: number of quadrature points.
+        points: quadrature points in [0, 1], shape ``(npt,)``.
+        weights: quadrature weights, shape ``(npt,)``.
+        phi: basis values at the points, shape ``(npt, k)``.
+        phiw: ``weights[:, None] * phi`` — the projection matrix, so the
+            1-D scaling coefficients of ``f`` on the unit box are
+            ``phiw.T @ f(points)``.
+    """
+
+    k: int
+    npt: int
+    points: np.ndarray = field(repr=False)
+    weights: np.ndarray = field(repr=False)
+    phi: np.ndarray = field(repr=False)
+    phiw: np.ndarray = field(repr=False)
+
+    @classmethod
+    def build(cls, k: int, npt: int | None = None) -> "QuadratureRule":
+        """Construct a rule; by default ``npt = k`` (exact for the basis)."""
+        npt = k if npt is None else npt
+        x, w = gauss_legendre(npt)
+        phi = phi_values(x, k)
+        return cls(k=k, npt=npt, points=x, weights=w, phi=phi, phiw=w[:, None] * phi)

@@ -1,0 +1,105 @@
+"""Two-scale (quadrature-mirror) filters for the multiwavelet basis.
+
+The scaling space at level ``n`` is contained in the one at ``n+1``:
+
+    ``phi_i(x) = sum_j [ h0[i,j] * sqrt(2) phi_j(2x)
+                       + h1[i,j] * sqrt(2) phi_j(2x - 1) ]``
+
+so 1-D coefficients satisfy ``s^n_l = h0 @ s^{n+1}_{2l} + h1 @ s^{n+1}_{2l+1}``.
+The wavelet rows ``(g0 | g1)`` complete ``(h0 | h1)`` to an orthogonal
+``2k x 2k`` matrix ``HG``; any orthogonal completion spans the same
+wavelet space, and we fix a deterministic one via QR with sign
+normalisation.  Compress applies ``HG`` per dimension to the gathered
+children block; Reconstruct applies its transpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.mra.quadrature import gauss_legendre, phi_values
+
+
+def _h_blocks(k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``h0`` and ``h1`` blocks by Gauss-Legendre quadrature.
+
+    ``h0[i, j] = (1/sqrt(2)) * int_0^1 phi_i(y/2)  phi_j(y) dy``
+    ``h1[i, j] = (1/sqrt(2)) * int_0^1 phi_i((y+1)/2) phi_j(y) dy``
+
+    The integrands are polynomials of degree <= 2k-2, so ``k`` Gauss
+    points integrate them exactly.
+    """
+    x, w = gauss_legendre(k)
+    phi_child = phi_values(x, k)  # (npt, k): phi_j(y)
+    phi_left = phi_values(x / 2.0, k)  # phi_i(y/2)
+    phi_right = phi_values((x + 1.0) / 2.0, k)
+    h0 = (phi_left * w[:, None]).T @ phi_child / np.sqrt(2.0)
+    h1 = (phi_right * w[:, None]).T @ phi_child / np.sqrt(2.0)
+    return h0, h1
+
+
+def _orthogonal_complement(rows: np.ndarray) -> np.ndarray:
+    """Deterministic orthonormal completion of a row-orthonormal matrix.
+
+    Given ``rows`` of shape ``(k, 2k)`` with orthonormal rows, returns
+    ``(k, 2k)`` rows spanning the orthogonal complement, sign-fixed so the
+    first non-negligible entry of each row is positive.
+    """
+    k, two_k = rows.shape
+    q, _ = np.linalg.qr(rows.T, mode="complete")  # (2k, 2k)
+    comp = q[:, k:].T
+    for r in range(comp.shape[0]):
+        idx = int(np.argmax(np.abs(comp[r]) > 1e-12))
+        if comp[r, idx] < 0:
+            comp[r] *= -1.0
+    return comp
+
+
+@dataclass(frozen=True)
+class TwoScaleFilter:
+    """The ``2k x 2k`` two-scale filter for basis order ``k``.
+
+    Attributes:
+        k: basis order.
+        h0, h1: scaling-to-scaling blocks, each ``(k, k)``.
+        g0, g1: scaling-to-wavelet blocks, each ``(k, k)``.
+        hg: the stacked orthogonal filter ``[[h0, h1], [g0, g1]]``.
+    """
+
+    k: int
+    h0: np.ndarray = field(repr=False)
+    h1: np.ndarray = field(repr=False)
+    g0: np.ndarray = field(repr=False)
+    g1: np.ndarray = field(repr=False)
+    hg: np.ndarray = field(repr=False)
+
+    @classmethod
+    def build(cls, k: int) -> "TwoScaleFilter":
+        return _build_filter(k)
+
+    def filter_pair(self, s0: np.ndarray, s1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """1-D analysis: children scaling coeffs -> (parent s, parent d)."""
+        u = np.concatenate([s0, s1])
+        v = self.hg @ u
+        return v[: self.k], v[self.k :]
+
+    def unfilter_pair(self, s: np.ndarray, d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """1-D synthesis: (parent s, parent d) -> children scaling coeffs."""
+        u = self.hg.T @ np.concatenate([s, d])
+        return u[: self.k], u[self.k :]
+
+
+@lru_cache(maxsize=32)
+def _build_filter(k: int) -> TwoScaleFilter:
+    if k < 1:
+        raise ValueError(f"basis order k must be >= 1, got {k}")
+    h0, h1 = _h_blocks(k)
+    top = np.concatenate([h0, h1], axis=1)
+    bottom = _orthogonal_complement(top)
+    hg = np.concatenate([top, bottom], axis=0)
+    return TwoScaleFilter(
+        k=k, h0=h0, h1=h1, g0=bottom[:, :k].copy(), g1=bottom[:, k:].copy(), hg=hg
+    )

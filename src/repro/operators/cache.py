@@ -1,0 +1,72 @@
+"""Write-once software cache for operator blocks.
+
+MADNESS keeps a CPU-side cache of the 2-D ``h`` operator matrices because
+the same ``(level, displacement, mu)`` block is reused by hundreds of
+tasks.  The paper's GPU extension adds a *write-once* cache of the blocks
+already transferred to the device, avoiding redundant PCIe traffic; the
+GPU variant (:class:`repro.kernels.gpu_cache.GpuBlockCache`) is modeled
+after this one, as the paper notes.
+
+Statistics (hits/misses/bytes) are first-class here because the transfer
+models consume them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    bytes_inserted: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class OperatorBlockCache:
+    """Write-once map from block keys to operator matrices.
+
+    "Write-once" means an entry is never replaced or evicted: operator
+    blocks are immutable for the lifetime of an ``Apply`` call, so the
+    first computation (or transfer) is the only one.
+    """
+
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._data: dict[Hashable, np.ndarray] = {}
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        entry = self._data.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        entry = compute()
+        self._data[key] = entry
+        self.stats.bytes_inserted += entry.nbytes
+        return entry
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.stats = CacheStats()

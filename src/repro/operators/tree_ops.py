@@ -1,0 +1,273 @@
+"""Distributed Compress / Reconstruct / Truncate.
+
+"MADNESS operators (such as Apply, Compress, Reconstruct, or Truncate)
+take as input a distributed tree, which they explore and modify."  Only
+Apply is compute-intensive, but the other three are the data-intensive
+backbone every application runs between Applies, and on a cluster they
+are *communication* patterns: Compress is a bottom-up reduction along
+the tree (children send scaling blocks to their parent's owner),
+Reconstruct the mirror top-down scatter, Truncate a bottom-up prune.
+
+This module executes them numerically on a sharded
+:class:`~repro.dht.distributed_tree.DistributedTree` and returns a
+level-synchronous timing estimate: the operators proceed in waves (one
+per tree level), and each wave lasts as long as its busiest rank's
+filter transforms plus its communication drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.network import NetworkModel
+from repro.dht.distributed_tree import DistributedTree
+from repro.errors import OperatorError
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.specs import TITAN_CPU
+from repro.mra.function import child_block, scaling_corner
+from repro.mra.key import Key
+from repro.mra.node import FunctionNode
+from repro.mra.twoscale import TwoScaleFilter
+from repro.tensor.flops import mtxm_flops
+from repro.tensor.transform import transform
+
+
+@dataclass
+class TreeOpResult:
+    """Outcome of one distributed tree operation."""
+
+    total_seconds: float
+    wave_seconds: list[float] = field(default_factory=list)
+    n_messages: int = 0
+    message_bytes: int = 0
+    flops: int = 0
+
+    @property
+    def levels(self) -> int:
+        return len(self.wave_seconds)
+
+
+def _transform_flops(dim: int, side: int) -> int:
+    """FLOPs of one d-dimensional two-scale transform of a (2k)^d block."""
+    return dim * mtxm_flops(side ** (dim - 1), side, side)
+
+
+class DistributedTreeOps:
+    """Cluster-wide tree operators over a sharded function tree.
+
+    Args:
+        dist: the sharded tree (reconstructed form for compress/truncate,
+            compressed form for reconstruct).
+        k: multiwavelet order.
+        cpu_model: per-rank compute model for the filter transforms.
+        network: interconnect model for the child->parent blocks.
+        threads: CPU threads a rank uses for the transforms.
+    """
+
+    def __init__(
+        self,
+        dist: DistributedTree,
+        k: int,
+        *,
+        cpu_model: CpuModel | None = None,
+        network: NetworkModel | None = None,
+        threads: int = 16,
+    ):
+        self.dist = dist
+        self.k = k
+        self.dim = dist.dim
+        self.filter = TwoScaleFilter.build(k)
+        self.cpu_model = cpu_model or CpuModel(TITAN_CPU)
+        self.network = network or NetworkModel()
+        self.threads = threads
+
+    # -- helpers -------------------------------------------------------------
+
+    def _levels(self, reverse: bool) -> list[int]:
+        levels = {key.level for shard in self.dist.shards for key in shard}
+        return sorted(levels, reverse=reverse)
+
+    def _keys_at(self, level: int) -> list[tuple[int, Key, FunctionNode]]:
+        out = []
+        for rank, shard in enumerate(self.dist.shards):
+            for key, node in shard.items():
+                if key.level == level:
+                    out.append((rank, key, node))
+        return out
+
+    def _wave_time(
+        self, per_rank_flops: dict[int, int], per_rank_msgs: dict[int, tuple[int, int]]
+    ) -> float:
+        worst = 0.0
+        ranks = set(per_rank_flops) | set(per_rank_msgs)
+        for rank in ranks:
+            compute = self.cpu_model.compute_seconds(
+                per_rank_flops.get(rank, 0), self.threads, working_set_bytes=0
+            )
+            n_msgs, nbytes = per_rank_msgs.get(rank, (0, 0))
+            worst = max(worst, compute + self.network.drain_seconds(n_msgs, nbytes))
+        return worst
+
+    # -- compress ---------------------------------------------------------------
+
+    def compress(self) -> TreeOpResult:
+        """Bottom-up two-scale analysis across the shards.
+
+        After the call interior nodes hold their wavelet blocks (root
+        keeps its scaling corner) and leaves hold nothing — the standard
+        compressed form, but sharded.
+        """
+        result = TreeOpResult(total_seconds=0.0)
+        s_of: dict[Key, np.ndarray] = {}
+        corner = scaling_corner(self.dim, self.k)
+        for level in self._levels(reverse=True):
+            per_rank_flops: dict[int, int] = {}
+            per_rank_msgs: dict[int, tuple[int, int]] = {}
+            for rank, key, node in self._keys_at(level):
+                if not node.has_children:
+                    if node.coeffs is None:
+                        raise OperatorError(f"reconstructed leaf {key} has no coeffs")
+                    s_of[key] = node.coeffs
+                    node.coeffs = None
+                    continue
+                uu = np.zeros((2 * self.k,) * self.dim)
+                for child in key.children():
+                    block = s_of.pop(child)
+                    bits = tuple(t & 1 for t in child.translation)
+                    uu[child_block(bits, self.k)] = block
+                    child_owner = self.dist.owner(child)
+                    if child_owner != rank:
+                        result.n_messages += 1
+                        result.message_bytes += block.nbytes
+                        n, b = per_rank_msgs.get(child_owner, (0, 0))
+                        per_rank_msgs[child_owner] = (n + 1, b + block.nbytes)
+                v = transform(uu, self.filter.hg.T)
+                s = v[corner].copy()
+                if key.level > 0:
+                    v[corner] = 0.0
+                node.coeffs = v
+                s_of[key] = s
+                flops = _transform_flops(self.dim, 2 * self.k)
+                result.flops += flops
+                per_rank_flops[rank] = per_rank_flops.get(rank, 0) + flops
+            if per_rank_flops or per_rank_msgs:
+                wave = self._wave_time(per_rank_flops, per_rank_msgs)
+                result.wave_seconds.append(wave)
+                result.total_seconds += wave
+        root = Key.root(self.dim)
+        root_node = self.dist.get(root)
+        if root_node is not None and not root_node.has_children:
+            v = np.zeros((2 * self.k,) * self.dim)
+            v[corner] = s_of.pop(root)
+            root_node.coeffs = v
+        return result
+
+    # -- reconstruct ----------------------------------------------------------------
+
+    def reconstruct(self) -> TreeOpResult:
+        """Top-down two-scale synthesis across the shards (inverse of
+        :meth:`compress`)."""
+        result = TreeOpResult(total_seconds=0.0)
+        corner = scaling_corner(self.dim, self.k)
+        s_of: dict[Key, np.ndarray] = {}
+        root = Key.root(self.dim)
+        root_node = self.dist.get(root)
+        if root_node is not None and not root_node.has_children:
+            root_node.coeffs = root_node.coeffs[corner].copy()
+            return result
+        for level in self._levels(reverse=False):
+            per_rank_flops: dict[int, int] = {}
+            per_rank_msgs: dict[int, tuple[int, int]] = {}
+            for rank, key, node in self._keys_at(level):
+                if not node.has_children:
+                    node.coeffs = s_of.pop(key)
+                    continue
+                v = node.coeffs
+                if v is None:
+                    raise OperatorError(f"compressed interior {key} has no coeffs")
+                v = v.copy()
+                if key.level > 0:
+                    v[corner] = s_of.pop(key)
+                uu = transform(v, self.filter.hg)
+                flops = _transform_flops(self.dim, 2 * self.k)
+                result.flops += flops
+                per_rank_flops[rank] = per_rank_flops.get(rank, 0) + flops
+                for child in key.children():
+                    bits = tuple(t & 1 for t in child.translation)
+                    block = uu[child_block(bits, self.k)].copy()
+                    s_of[child] = block
+                    child_owner = self.dist.owner(child)
+                    if child_owner != rank:
+                        result.n_messages += 1
+                        result.message_bytes += block.nbytes
+                        n, b = per_rank_msgs.get(rank, (0, 0))
+                        per_rank_msgs[rank] = (n + 1, b + block.nbytes)
+                node.coeffs = None
+            if per_rank_flops or per_rank_msgs:
+                wave = self._wave_time(per_rank_flops, per_rank_msgs)
+                result.wave_seconds.append(wave)
+                result.total_seconds += wave
+        return result
+
+    # -- truncate ------------------------------------------------------------------
+
+    def truncate(self, tol: float) -> TreeOpResult:
+        """Prune negligible wavelet subtrees of a compressed sharded tree.
+
+        Cascades fine-to-coarse exactly like the in-memory version; the
+        communication is one removability flag per interior node with
+        remote children (tiny messages).
+        """
+        result = TreeOpResult(total_seconds=0.0)
+        removable: dict[Key, bool] = {}
+        corner = scaling_corner(self.dim, self.k)
+        for level in self._levels(reverse=True):
+            per_rank_msgs: dict[int, tuple[int, int]] = {}
+            for rank, key, node in self._keys_at(level):
+                if not node.has_children:
+                    removable[key] = True
+                    continue
+                kids_ok = True
+                for child in key.children():
+                    kids_ok = kids_ok and removable.get(child, False)
+                    child_owner = self.dist.owner(child)
+                    if child_owner != rank:
+                        result.n_messages += 1
+                        result.message_bytes += 1
+                        n, b = per_rank_msgs.get(child_owner, (0, 0))
+                        per_rank_msgs[child_owner] = (n + 1, b + 1)
+                d_norm = node.norm()
+                if key.level == 0 and node.coeffs is not None:
+                    v = node.coeffs.copy()
+                    v[corner] = 0.0
+                    d_norm = float(np.linalg.norm(v))
+                removable[key] = kids_ok and d_norm <= tol
+            if per_rank_msgs:
+                wave = self._wave_time({}, per_rank_msgs)
+                result.wave_seconds.append(wave)
+                result.total_seconds += wave
+        # prune: coarse-to-fine so whole subtrees disappear
+        for level in self._levels(reverse=False):
+            for rank, key, node in list(self._keys_at(level)):
+                if key not in self.dist.shards[rank]:
+                    continue
+                if node.has_children and removable.get(key, False) and key.level > 0:
+                    self._delete_descendants(key)
+                    node.has_children = False
+                    node.coeffs = None
+        return result
+
+    def _delete_descendants(self, key: Key) -> None:
+        stack = list(key.children())
+        while stack:
+            k = stack.pop()
+            owner = self.dist.owner(k)
+            shard = self.dist.shards[owner]
+            node = shard.get(k)
+            if node is None:
+                continue
+            if node.has_children:
+                stack.extend(k.children())
+            del shard[k]

@@ -1,0 +1,259 @@
+"""The hybrid CPU/GPU dispatcher and the optimal-overlap split.
+
+"Consider that a CPU-only run takes time m and a GPU-only run takes time
+n.  The minimal computation time can be achieved by an optimal CPU-GPU
+computation overlap ... minimizing ``max(m k, n (1 - k))`` with
+``k in [0, 1]`` ... the optimal CPU-GPU work overlap is achieved when
+``m k = n (1 - k)``, so ``k = n / (m + n)``.  The minimal runtime is thus
+``m n / (m + n)``." (paper, Section II-A)
+
+:class:`HybridDispatcher` estimates ``m`` and ``n`` for a flushed batch
+from the kernel cost models (including the GPU's transfer cost) and
+splits the items by cumulative FLOPs as close to the optimal fraction as
+the granularity allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RuntimeConfigError
+from repro.kernels.base import ComputeKernel
+from repro.runtime.batching import Batch
+from repro.runtime.task import BatchStats, WorkItem
+
+MODES = ("cpu", "gpu", "hybrid")
+
+
+def optimal_split(m: float, n: float) -> float:
+    """Fraction of work sent to the CPU: ``k = n / (m + n)``."""
+    if m < 0 or n < 0 or m + n == 0:
+        raise RuntimeConfigError(f"invalid per-device times m={m}, n={n}")
+    return n / (m + n)
+
+
+def overlap_time(m: float, n: float) -> float:
+    """The paper's minimal hybrid runtime ``m n / (m + n)``."""
+    if m < 0 or n < 0:
+        raise RuntimeConfigError(f"invalid per-device times m={m}, n={n}")
+    if m + n == 0:
+        return 0.0
+    return m * n / (m + n)
+
+
+@dataclass
+class DispatchPlan:
+    """The dispatcher's decision for one batch."""
+
+    cpu_items: list[WorkItem]
+    gpu_items: list[WorkItem]
+    est_cpu_seconds: float  # m, for the whole batch
+    est_gpu_seconds: float  # n, for the whole batch
+    cpu_fraction: float
+
+
+class HybridDispatcher:
+    """Splits flushed batches between the CPU threads and the GPU.
+
+    Args:
+        cpu_kernel / gpu_kernel: timing + numeric kernels per device.
+        cpu_threads: CPU threads available for *compute* tasks.
+        gpu_streams: concurrent CUDA streams.
+        mode: "cpu" (everything on CPU), "gpu" (all compute on the GPU),
+            or "hybrid" (optimal-overlap split).
+        transfer_estimator: callable(BatchStats) -> seconds added to the
+            GPU-side estimate (PCIe cost of the batch inputs).
+    """
+
+    def __init__(
+        self,
+        cpu_kernel: ComputeKernel,
+        gpu_kernel: ComputeKernel,
+        *,
+        cpu_threads: int,
+        gpu_streams: int,
+        mode: str = "hybrid",
+        transfer_estimator=None,
+    ):
+        if mode not in MODES:
+            raise RuntimeConfigError(f"unknown dispatch mode {mode!r}")
+        if cpu_threads < 1 or gpu_streams < 1:
+            raise RuntimeConfigError(
+                f"cpu_threads={cpu_threads} and gpu_streams={gpu_streams} must be >= 1"
+            )
+        self.cpu_kernel = cpu_kernel
+        self.gpu_kernel = gpu_kernel
+        self.cpu_threads = cpu_threads
+        self.gpu_streams = gpu_streams
+        self.mode = mode
+        self.transfer_estimator = transfer_estimator or (lambda stats: 0.0)
+
+    # -- estimates ------------------------------------------------------------
+
+    def device_estimates(self, stats: BatchStats) -> tuple[float, float]:
+        """(m, n): whole-batch CPU-only and GPU-only durations."""
+        m = self.cpu_kernel.batch_timing(stats, self.cpu_threads).seconds
+        n = (
+            self.gpu_kernel.batch_timing(stats, self.gpu_streams).seconds
+            + self.transfer_estimator(stats)
+        )
+        return m, n
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan(self, batch: Batch) -> DispatchPlan:
+        stats = batch.stats()
+        m, n = self.device_estimates(stats)
+        if self.mode == "cpu":
+            return DispatchPlan(list(batch.items), [], m, n, 1.0)
+        if self.mode == "gpu":
+            return DispatchPlan([], list(batch.items), m, n, 0.0)
+        cut = self._best_cut(batch.items)
+        cpu_items, gpu_items = list(batch.items[:cut]), list(batch.items[cut:])
+        total = sum(it.flops for it in batch.items) or 1
+        k = sum(it.flops for it in cpu_items) / total
+        return DispatchPlan(cpu_items, gpu_items, m, n, k)
+
+    # -- split search ----------------------------------------------------------
+
+    def _cpu_seconds(self, items: list[WorkItem]) -> float:
+        if not items:
+            return 0.0
+        return self.cpu_kernel.batch_timing(
+            BatchStats.of(items), self.cpu_threads
+        ).seconds
+
+    def _gpu_seconds(self, items: list[WorkItem]) -> float:
+        if not items:
+            return 0.0
+        stats = BatchStats.of(items)
+        return (
+            self.gpu_kernel.batch_timing(stats, self.gpu_streams).seconds
+            + self.transfer_estimator(stats)
+        )
+
+    def _best_cut(self, items: list[WorkItem]) -> int:
+        """Cut index minimising ``max(cpu(items[:cut]), gpu(items[cut:]))``.
+
+        This realises the paper's optimal overlap against the *actual*
+        batch timing functions rather than the linear ``k = n/(m+n)``
+        idealisation — in particular it accounts for CPU thread
+        starvation when the CPU's share would be only a few items (one
+        CPU task is single-threaded), in which case it keeps the CPU
+        share small or empty.  All cuts are evaluated exactly, using
+        prefix/suffix aggregate statistics built in one pass each.
+        """
+        n = len(items)
+        prefixes = self._running_stats(items)
+        suffixes = self._running_stats(list(reversed(items)))
+        best_cut = 0
+        best_time = None
+        for cut in range(n + 1):
+            cpu_t = (
+                self.cpu_kernel.batch_timing(prefixes[cut], self.cpu_threads).seconds
+                if cut
+                else 0.0
+            )
+            gpu_stats = suffixes[n - cut]
+            gpu_t = (
+                self.gpu_kernel.batch_timing(gpu_stats, self.gpu_streams).seconds
+                + self.transfer_estimator(gpu_stats)
+                if cut < n
+                else 0.0
+            )
+            t = max(cpu_t, gpu_t)
+            if best_time is None or t < best_time:
+                best_time = t
+                best_cut = cut
+        return best_cut
+
+    @staticmethod
+    def _split_by_flops(
+        items: list[WorkItem], cpu_fraction: float
+    ) -> tuple[list[WorkItem], list[WorkItem]]:
+        """Prefix the CPU's share by cumulative FLOPs (stable order)."""
+        total = sum(it.flops for it in items)
+        if total == 0:
+            cut = int(round(cpu_fraction * len(items)))
+            return list(items[:cut]), list(items[cut:])
+        target = cpu_fraction * total
+        acc = 0
+        cut = 0
+        for i, it in enumerate(items):
+            if acc + it.flops / 2.0 > target:
+                break
+            acc += it.flops
+            cut = i + 1
+        return list(items[:cut]), list(items[cut:])
+
+    @staticmethod
+    def _running_stats(items: list[WorkItem]) -> list[BatchStats]:
+        """Aggregate statistics of every prefix of ``items`` (length n+1,
+        entry 0 empty), built incrementally in O(n)."""
+        out = [BatchStats()]
+        acc = BatchStats()
+        seen: set = set()
+        for it in items:
+            acc = BatchStats(
+                n_items=acc.n_items + 1,
+                flops=acc.flops + it.flops,
+                input_bytes=acc.input_bytes + it.input_bytes,
+                output_bytes=acc.output_bytes + it.output_bytes,
+                steps=acc.steps + it.steps,
+                step_rows=max(acc.step_rows, it.step_rows),
+                step_q=max(acc.step_q, it.step_q),
+                unique_block_bytes=acc.unique_block_bytes,
+                block_keys=acc.block_keys,
+            )
+            new = [k for k in it.block_keys if k not in seen]
+            if new:
+                seen.update(new)
+                per_block = it.block_bytes / max(1, len(it.block_keys))
+                acc.unique_block_bytes += int(per_block * len(new))
+            acc.block_keys = set(seen)
+            out.append(acc)
+        return out
+
+
+class StaticSplitDispatcher(HybridDispatcher):
+    """A dispatcher with a developer-chosen fixed CPU fraction.
+
+    The paper's extensions let the algorithm developer set the ratio by
+    hand: "by knowing the relative performance of the GPU code compared
+    to the CPU code for a certain operator, a MADNESS developer can
+    decide what is the ratio of CPU to GPU work."  This variant applies
+    that fixed fraction to every batch — useful as a baseline against
+    the measuring dispatcher, and as the paper's actual deployment mode.
+    """
+
+    def __init__(
+        self,
+        cpu_kernel: ComputeKernel,
+        gpu_kernel: ComputeKernel,
+        *,
+        cpu_fraction: float,
+        cpu_threads: int,
+        gpu_streams: int,
+        transfer_estimator=None,
+    ):
+        if not 0.0 <= cpu_fraction <= 1.0:
+            raise RuntimeConfigError(
+                f"cpu_fraction must be in [0, 1], got {cpu_fraction}"
+            )
+        super().__init__(
+            cpu_kernel,
+            gpu_kernel,
+            cpu_threads=cpu_threads,
+            gpu_streams=gpu_streams,
+            mode="hybrid",
+            transfer_estimator=transfer_estimator,
+        )
+        self.cpu_fraction = cpu_fraction
+
+    def plan(self, batch: Batch) -> DispatchPlan:
+        stats = batch.stats()
+        m, n = self.device_estimates(stats)
+        cpu_items, gpu_items = self._split_by_flops(
+            batch.items, self.cpu_fraction
+        )
+        return DispatchPlan(cpu_items, gpu_items, m, n, self.cpu_fraction)

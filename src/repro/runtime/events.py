@@ -1,0 +1,224 @@
+"""A compact discrete-event simulation (DES) kernel.
+
+The hybrid runtime is inherently concurrent — CPU threads, GPU streams,
+PCIe transfers and flush timers all progress simultaneously — so the
+paper's timing behaviour is reproduced on a simulated clock.  This module
+provides the minimal generator-based process model needed (in the style
+of SimPy): processes are generators that ``yield`` events; resources are
+FIFO semaphores.
+
+Determinism: events scheduled for the same instant fire in scheduling
+order, so simulations are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Generator, Iterable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence carrying an optional value."""
+
+    __slots__ = ("env", "callbacks", "triggered", "value")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list = []
+        self.triggered = False
+        self.value = None
+
+    def succeed(self, value=None) -> "Event":
+        """Trigger the event now; its callbacks run at the current time."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        self.env._schedule(self, 0.0)
+        return self
+
+
+class Process(Event):
+    """A running generator; the event triggers when the generator returns.
+
+    The generator may yield:
+
+    - an :class:`Event` (including another Process) — resume when it
+      triggers, receiving its value;
+    - ``None`` — resume immediately (a cooperative yield point).
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, env: "Environment", gen: Generator):
+        super().__init__(env)
+        self._gen = gen
+        env._schedule(_Resume(env, self, None), 0.0)
+
+    def _step(self, sent_value) -> None:
+        try:
+            target = self._gen.send(sent_value)
+        except StopIteration as stop:
+            self.triggered = True
+            self.value = stop.value
+            self.env._schedule(self, 0.0)
+            return
+        if target is None:
+            self.env._schedule(_Resume(self.env, self, None), 0.0)
+        elif isinstance(target, Event):
+            if target.triggered:
+                self.env._schedule(_Resume(self.env, self, target.value), 0.0)
+            else:
+                target.callbacks.append(lambda value: self._step(value))
+        else:
+            raise SimulationError(
+                f"process yielded {target!r}; expected an Event or None"
+            )
+
+
+class _Resume(Event):
+    """Internal: scheduled continuation of a process."""
+
+    __slots__ = ("_process", "_value")
+
+    def __init__(self, env: "Environment", process: Process, value):
+        super().__init__(env)
+        self._process = process
+        self._value = value
+        self.triggered = True
+
+    def fire(self) -> None:
+        self._process._step(self._value)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = 0
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self.now + delay, self._counter, event))
+        self._counter += 1
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Event:
+        """An event that triggers ``delay`` time units from now.
+
+        It is marked triggered only when its scheduled instant is reached
+        (popped from the queue), so processes yielding on it block until
+        then.
+        """
+        ev = Event(self)
+        ev.value = value
+        self._schedule(ev, delay)
+        return ev
+
+    def process(self, gen: Generator) -> Process:
+        return Process(self, gen)
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains (or the clock passes ``until``).
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            t, _seq, event = self._queue[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = t
+            if isinstance(event, _Resume):
+                event.fire()
+                continue
+            event.triggered = True
+            callbacks, event.callbacks = event.callbacks, []
+            for cb in callbacks:
+                cb(event.value)
+        return self.now
+
+
+class AllOf(Event):
+    """Triggers when all given events have triggered."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, env: Environment, events: Iterable[Event]):
+        super().__init__(env)
+        events = list(events)
+        self._pending = 0
+        for ev in events:
+            if not ev.triggered:
+                self._pending += 1
+                ev.callbacks.append(self._one_done)
+        if self._pending == 0:
+            self.succeed()
+
+    def _one_done(self, _value) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed()
+
+
+class Resource:
+    """A FIFO counted resource (semaphore) for DES processes.
+
+    Usage inside a process generator::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(work_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: deque[Event] = deque()
+        # busy-time accounting for utilisation reports
+        self._busy_area = 0.0
+        self._last_change = 0.0
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_area += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self) -> Event:
+        ev = Event(self.env)
+        if self.in_use < self.capacity:
+            self._account()
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release of an idle resource")
+        if self._waiting:
+            # hand the slot straight to the next waiter
+            self._waiting.popleft().succeed()
+        else:
+            self._account()
+            self.in_use -= 1
+
+    def busy_time(self) -> float:
+        """Integrated (slots x time) of use up to the current instant."""
+        return self._busy_area + self.in_use * (self.env.now - self._last_change)

@@ -1,0 +1,321 @@
+"""Single-node hybrid runtime: the control flow of paper Figure 3.
+
+``NodeRuntime.execute`` drives a list of :class:`~repro.runtime.task.HybridTask`
+through the full pipeline on simulated time:
+
+1. a producer runs *preprocess* sub-tasks on the data threads and submits
+   the resulting work items to the :class:`~repro.runtime.batching.BatchAccumulator`;
+2. a flusher watches the batching timer and hands expired batches to the
+   :class:`~repro.runtime.dispatcher.HybridDispatcher`;
+3. each batch's CPU share occupies the compute-thread pool; the GPU share
+   is staged through the pinned buffer pool (PCIe resource), filtered by
+   the write-once device block cache, and executed on the GPU resource
+   with stream-level concurrency inside the kernel timing;
+4. *postprocess* sub-tasks run back on the data threads.
+
+When the tasks carry numeric payloads the kernels actually compute, so
+the same machinery that produces the paper's timings also produces real
+results (used by :mod:`repro.operators.apply_batched`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RuntimeConfigError
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.gpu_model import GpuModel
+from repro.hardware.specs import NodeSpec
+from repro.kernels.base import ComputeKernel
+from repro.kernels.gpu_cache import GpuBlockCache
+from repro.runtime.batching import Batch, BatchAccumulator
+from repro.runtime.buffers import PinnedBufferPool, naive_transfer_plan
+from repro.runtime.dispatcher import HybridDispatcher
+from repro.runtime.events import AllOf, Environment, Event, Resource
+from repro.runtime.task import BatchStats, HybridTask
+from repro.runtime.trace import Tracer
+
+#: tasks whose preprocess is charged as one lump to keep event counts low
+_PRE_CHUNK = 32
+
+
+@dataclass
+class NodeTimeline:
+    """What happened on one node during an ``execute`` run."""
+
+    total_seconds: float = 0.0
+    setup_seconds: float = 0.0
+    cpu_compute_busy: float = 0.0
+    gpu_busy: float = 0.0
+    pcie_busy: float = 0.0
+    data_busy: float = 0.0
+    n_tasks: int = 0
+    n_batches: int = 0
+    n_cpu_items: int = 0
+    n_gpu_items: int = 0
+    bytes_to_gpu: int = 0
+    bytes_from_gpu: int = 0
+    block_bytes_shipped: int = 0
+    est_cpu_only: float = 0.0  # sum over batches of m
+    est_gpu_only: float = 0.0  # sum over batches of n
+    results: list = field(default_factory=list)
+
+    @property
+    def cpu_fraction_sent(self) -> float:
+        total = self.n_cpu_items + self.n_gpu_items
+        return self.n_cpu_items / total if total else 0.0
+
+
+class NodeRuntime:
+    """One hybrid compute node executing a task stream on simulated time."""
+
+    def __init__(
+        self,
+        spec: NodeSpec,
+        dispatcher: HybridDispatcher,
+        *,
+        data_threads: int = 2,
+        flush_interval: float = 0.01,
+        max_batch_size: int = 60,
+        buffer_pool: PinnedBufferPool | None = None,
+        gpu_cache: GpuBlockCache | None = None,
+        charge_setup: bool = True,
+        naive_port: bool = False,
+        tracer: "Tracer | None" = None,
+    ):
+        """``naive_port=True`` models the strawman the paper argues
+        against (Section I): no batching (every task dispatched alone),
+        no pre-allocated pinned buffers (each input is a separate
+        pageable transfer), no write-once device cache (operator blocks
+        re-shipped every time)."""
+        if data_threads < 1:
+            raise RuntimeConfigError(f"data_threads must be >= 1, got {data_threads}")
+        self.spec = spec
+        self.dispatcher = dispatcher
+        self.cpu_model = CpuModel(spec.cpu)
+        self.gpu_model = GpuModel(spec.gpu)
+        self.data_threads = data_threads
+        self.naive_port = naive_port
+        if naive_port:
+            max_batch_size = 1
+            flush_interval = min(flush_interval, 1e-6)
+        self.flush_interval = flush_interval
+        self.max_batch_size = max_batch_size
+        self.buffer_pool = buffer_pool or PinnedBufferPool(spec.pcie)
+        self.gpu_cache = gpu_cache or GpuBlockCache(spec.gpu.ram_bytes)
+        self.charge_setup = charge_setup and not naive_port
+        self.tracer = tracer
+
+    def _trace(self, category: str, label: str, start: float, end: float) -> None:
+        if self.tracer is not None:
+            self.tracer.record(category, label, start, end)
+
+    # -- transfer estimate used by the dispatcher's split --------------------------
+
+    def _transfer_estimate(self, stats: BatchStats) -> float:
+        bytes_in = stats.input_bytes + stats.unique_block_bytes
+        return self.buffer_pool.plan(bytes_in).total_seconds
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, tasks: list[HybridTask]) -> NodeTimeline:
+        """Run the full pipeline over ``tasks``; returns the timeline."""
+        env = Environment()
+        timeline = NodeTimeline(n_tasks=len(tasks))
+        acc = BatchAccumulator(
+            flush_interval=self.flush_interval, max_batch_size=self.max_batch_size
+        )
+        compute_pool = Resource(env, 1)  # batches serialise; threads inside timing
+        gpu = Resource(env, 1)
+        pcie = Resource(env, 1)
+        data_pool = Resource(env, 1)
+        batch_events: list[Event] = []
+        producer_done = env.event()
+        wake_flusher = [env.event()]
+
+        self.dispatcher.transfer_estimator = self._transfer_estimate
+
+        if self.charge_setup:
+            timeline.setup_seconds = self.buffer_pool.setup_cost_seconds
+
+        def dispatch(batch: Batch) -> None:
+            timeline.n_batches += 1
+            done = env.process(self._run_batch(env, batch, timeline,
+                                               compute_pool, gpu, pcie, data_pool))
+            batch_events.append(done)
+
+        def producer():
+            if self.charge_setup and self.buffer_pool.setup_cost_seconds > 0:
+                yield env.timeout(self.buffer_pool.setup_cost_seconds)
+            for start in range(0, len(tasks), _PRE_CHUNK):
+                chunk = tasks[start : start + _PRE_CHUNK]
+                pre_bytes = sum(t.pre_bytes for t in chunk)
+                dt = self.cpu_model.data_seconds(pre_bytes, len(chunk))
+                dt /= self.data_threads
+                req = data_pool.request()
+                yield req
+                timeline.data_busy += dt
+                t0 = env.now
+                yield env.timeout(dt)
+                self._trace("preprocess", f"chunk@{start}", t0, env.now)
+                data_pool.release()
+                for task in chunk:
+                    item = task.run_preprocess()
+                    if item.on_complete is None and task.postprocess is not None:
+                        item.on_complete = task.postprocess
+                    full = acc.submit(item, env.now)
+                    if full is not None:
+                        dispatch(full)
+                    if not wake_flusher[0].triggered:
+                        wake_flusher[0].succeed()
+            producer_done.succeed()
+
+        def flusher():
+            while True:
+                deadline = acc.next_deadline()
+                if deadline is None:
+                    if producer_done.triggered:
+                        return
+                    wake_flusher[0] = env.event()
+                    yield wake_flusher[0]
+                    continue
+                now = env.now
+                if deadline > now:
+                    yield env.timeout(deadline - now)
+                # "At this point there are multiple batches of compute
+                # waiting to be executed (one batch per kind)" — the timer
+                # flushes everything pending, which also guarantees
+                # progress against floating-point deadline rounding.
+                for batch in acc.flush(env.now):
+                    dispatch(batch)
+
+        env.process(producer())
+        flush_proc = env.process(flusher())
+
+        def finisher():
+            yield producer_done
+            yield flush_proc
+            # drain anything still pending (end of operator: final flush)
+            for batch in acc.flush(env.now):
+                dispatch(batch)
+            if batch_events:
+                yield AllOf(env, batch_events)
+
+        env.process(finisher())
+        env.run()
+        timeline.total_seconds = env.now
+        timeline.cpu_compute_busy = compute_pool.busy_time()
+        timeline.gpu_busy = gpu.busy_time()
+        timeline.pcie_busy = pcie.busy_time()
+        if acc.pending:
+            raise RuntimeConfigError(
+                f"runtime finished with {acc.pending} unflushed items"
+            )
+        return timeline
+
+    # -- per-batch pipeline -----------------------------------------------------------
+
+    def _run_batch(self, env, batch, timeline, compute_pool, gpu, pcie, data_pool):
+        plan = self.dispatcher.plan(batch)
+        timeline.est_cpu_only += plan.est_cpu_seconds
+        timeline.est_gpu_only += plan.est_gpu_seconds
+        timeline.n_cpu_items += len(plan.cpu_items)
+        timeline.n_gpu_items += len(plan.gpu_items)
+        parts = []
+        if plan.cpu_items:
+            parts.append(env.process(self._cpu_part(env, plan.cpu_items, timeline,
+                                                    compute_pool)))
+        if plan.gpu_items:
+            parts.append(env.process(self._gpu_part(env, plan.gpu_items, timeline,
+                                                    gpu, pcie)))
+        if parts:
+            yield AllOf(env, parts)
+        # postprocess: accumulate results back into the tree (data threads)
+        post_bytes = sum(it.output_bytes for it in batch.items)
+        dt = self.cpu_model.data_seconds(post_bytes, len(batch.items))
+        dt /= self.data_threads
+        req = data_pool.request()
+        yield req
+        timeline.data_busy += dt
+        t0 = env.now
+        yield env.timeout(dt)
+        self._trace("postprocess", str(batch.kind), t0, env.now)
+        data_pool.release()
+
+    def _cpu_part(self, env, items, timeline, compute_pool):
+        stats = BatchStats.of(items)
+        timing = self.dispatcher.cpu_kernel.batch_timing(
+            stats, self.dispatcher.cpu_threads
+        )
+        req = compute_pool.request()
+        yield req
+        t0 = env.now
+        yield env.timeout(timing.seconds)
+        self._trace("cpu", f"{len(items)} items", t0, env.now)
+        compute_pool.release()
+        self._run_numeric(self.dispatcher.cpu_kernel, items, timeline)
+
+    def _gpu_part(self, env, items, timeline, gpu, pcie):
+        stats = BatchStats.of(items)
+        if self.naive_port:
+            # no device cache: every block travels with its task, and
+            # every tensor is a separate pageable transfer
+            block_bytes = sum(it.block_bytes for it in items)
+            plan_in = naive_transfer_plan(
+                self.spec.pcie,
+                [it.input_bytes + it.block_bytes for it in items],
+                pin_each=False,
+            )
+            bytes_in = stats.input_bytes + block_bytes
+        else:
+            per_block = stats.unique_block_bytes / max(1, len(stats.block_keys))
+            block_bytes = self.gpu_cache.bytes_to_transfer(
+                stats.block_keys, per_block
+            )
+            bytes_in = stats.input_bytes + block_bytes
+            plan_in = self.buffer_pool.plan(bytes_in)
+        req = pcie.request()
+        yield req
+        timeline.pcie_busy += plan_in.total_seconds
+        t0 = env.now
+        yield env.timeout(plan_in.total_seconds)
+        self._trace("pcie", "to device", t0, env.now)
+        pcie.release()
+        timeline.bytes_to_gpu += bytes_in
+        timeline.block_bytes_shipped += block_bytes
+
+        timing = self.dispatcher.gpu_kernel.batch_timing(
+            stats, self.dispatcher.gpu_streams
+        )
+        req = gpu.request()
+        yield req
+        t0 = env.now
+        yield env.timeout(timing.seconds)
+        self._trace("gpu", f"{len(items)} items", t0, env.now)
+        gpu.release()
+
+        if self.naive_port:
+            plan_out = naive_transfer_plan(
+                self.spec.pcie, [it.output_bytes for it in items], pin_each=False
+            )
+        else:
+            plan_out = self.buffer_pool.plan(stats.output_bytes)
+        req = pcie.request()
+        yield req
+        t0 = env.now
+        yield env.timeout(plan_out.total_seconds)
+        self._trace("pcie", "from device", t0, env.now)
+        pcie.release()
+        timeline.bytes_from_gpu += stats.output_bytes
+        self._run_numeric(self.dispatcher.gpu_kernel, items, timeline)
+
+    @staticmethod
+    def _run_numeric(kernel: ComputeKernel, items, timeline) -> None:
+        for item in items:
+            if item.payload is None:
+                continue
+            result = kernel.run_item(item)
+            if item.on_complete is not None:
+                item.on_complete(result)
+            else:
+                timeline.results.append((item, result))

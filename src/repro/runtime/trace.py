@@ -1,0 +1,115 @@
+"""Execution tracing for the simulated node runtime.
+
+A :class:`Tracer` records (category, label, start, end) intervals on the
+simulated clock; :func:`render_text_gantt` draws them as an ASCII
+timeline — the textual equivalent of the timeline figures used to study
+CPU/GPU overlap.  Tracing is opt-in and has no effect on the
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+#: categories rendered as separate Gantt lanes, in display order
+LANES = ("preprocess", "cpu", "pcie", "gpu", "postprocess")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced interval on the simulated clock."""
+
+    category: str
+    label: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"trace interval ends before it starts: {self}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects trace events during one runtime execution."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, category: str, label: str, start: float, end: float) -> None:
+        self.events.append(TraceEvent(category, label, start, end))
+
+    def by_category(self, category: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def busy(self, category: str) -> float:
+        """Total (possibly overlapping) busy time of one category."""
+        return sum(e.duration for e in self.by_category(category))
+
+    def span(self) -> tuple[float, float]:
+        if not self.events:
+            return (0.0, 0.0)
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    def utilization(self, category: str) -> float:
+        """Fraction of the traced span the category was busy (union of
+        intervals, so overlapping events do not double count)."""
+        start, end = self.span()
+        total = end - start
+        if total <= 0:
+            return 0.0
+        intervals = sorted(
+            (e.start, e.end) for e in self.by_category(category)
+        )
+        covered = 0.0
+        cur_start = cur_end = None
+        for s, e in intervals:
+            if cur_end is None or s > cur_end:
+                if cur_end is not None:
+                    covered += cur_end - cur_start
+                cur_start, cur_end = s, e
+            else:
+                cur_end = max(cur_end, e)
+        if cur_end is not None:
+            covered += cur_end - cur_start
+        return covered / total
+
+
+def render_text_gantt(tracer: Tracer, width: int = 72) -> str:
+    """ASCII timeline: one lane per category, '#' marks busy columns.
+
+    The whole traced span is mapped to ``width`` columns; a column is
+    marked when any event of the lane overlaps it.
+    """
+    if width < 10:
+        raise SimulationError(f"gantt width must be >= 10, got {width}")
+    start, end = tracer.span()
+    total = end - start
+    lines = [f"timeline: {total * 1e3:.2f} ms over {width} columns"]
+    if total <= 0:
+        return "\n".join(lines + ["  (no events)"])
+    label_w = max(len(lane) for lane in LANES) + 2
+    for lane in LANES:
+        events = tracer.by_category(lane)
+        if not events:
+            continue
+        cells = [" "] * width
+        for e in events:
+            lo = int((e.start - start) / total * width)
+            hi = int((e.end - start) / total * width)
+            hi = max(hi, lo + 1)
+            for i in range(lo, min(hi, width)):
+                cells[i] = "#"
+        util = tracer.utilization(lane)
+        lines.append(f"{lane:<{label_w}}|{''.join(cells)}| {util:5.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Small dense tensor substrate.
+
+MADNESS expresses essentially all of its compute-intensive work as repeated
+applications of one primitive: ``mtxmq``, the product of a highly
+rectangular matrix ``(k^{d-1}, k)`` with a small square matrix ``(k, k)``
+followed by an axis rotation.  Applying that primitive ``d`` times
+transforms a ``d``-dimensional tensor by one small matrix per dimension —
+the inner loop of the paper's Formula 1.
+
+This subpackage provides:
+
+- :func:`repro.tensor.mtxm.mtxmq` — the primitive contraction, with FLOP
+  accounting;
+- :func:`repro.tensor.transform.transform` — the full d-dimensional
+  transform built from ``mtxmq``;
+- :class:`repro.tensor.separated.SeparatedTerm` and
+  :func:`repro.tensor.separated.apply_separated` — the rank-``M`` sum of
+  Formula 1;
+- :mod:`repro.tensor.rank_reduction` — the paper's CPU-side optimisation
+  that truncates negligible rows/columns before multiplying.
+"""
+
+from repro.tensor.flops import FlopCounter, flop_counter, formula1_flops, mtxm_flops
+from repro.tensor.mtxm import mtxmq, mtxmq_transpose
+from repro.tensor.transform import transform, transform_dim, transform_seq, inner_product
+from repro.tensor.separated import SeparatedTerm, apply_separated
+from repro.tensor.rank_reduction import (
+    effective_rank,
+    pad_reduced_result,
+    rank_reduce_pair,
+    reduced_transform_flops,
+)
+
+__all__ = [
+    "FlopCounter",
+    "flop_counter",
+    "formula1_flops",
+    "mtxm_flops",
+    "mtxmq",
+    "mtxmq_transpose",
+    "transform",
+    "transform_dim",
+    "transform_seq",
+    "inner_product",
+    "SeparatedTerm",
+    "apply_separated",
+    "effective_rank",
+    "pad_reduced_result",
+    "rank_reduce_pair",
+    "reduced_transform_flops",
+]

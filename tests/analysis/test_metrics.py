@@ -1,0 +1,38 @@
+"""Tests for performance metrics."""
+
+import pytest
+
+from repro.analysis.metrics import gflops, scaling_efficiency, speedup
+from repro.errors import ReproError
+
+
+def test_gflops():
+    assert gflops(2_000_000_000, 1.0) == pytest.approx(2.0)
+
+
+def test_gflops_invalid_time():
+    with pytest.raises(ReproError):
+        gflops(10, 0.0)
+
+
+def test_speedup():
+    assert speedup(100.0, 25.0) == pytest.approx(4.0)
+
+
+def test_speedup_invalid():
+    with pytest.raises(ReproError):
+        speedup(1.0, 0.0)
+
+
+def test_scaling_efficiency_ideal():
+    assert scaling_efficiency(100.0, 2, 50.0, 4) == pytest.approx(1.0)
+
+
+def test_scaling_efficiency_sublinear():
+    # doubling nodes only saved 25%
+    assert scaling_efficiency(100.0, 2, 75.0, 4) == pytest.approx(2.0 / 3.0)
+
+
+def test_scaling_efficiency_invalid():
+    with pytest.raises(ReproError):
+        scaling_efficiency(0.0, 1, 1.0, 2)

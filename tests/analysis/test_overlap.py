@@ -1,0 +1,32 @@
+"""Tests for the optimal-overlap analysis."""
+
+import pytest
+
+from repro.analysis.overlap import analyze_overlap
+
+
+def test_table1_numbers():
+    """Table I: CPU 24.3 s (10 threads), GPU 24.3 s, actual 14.4, optimal 12.1."""
+    a = analyze_overlap(24.3, 24.3, 14.4)
+    assert a.optimal_seconds == pytest.approx(12.15, abs=0.01)
+    assert not a.super_optimal
+    assert a.cpu_fraction == pytest.approx(0.5)
+
+
+def test_table5_super_optimal_case():
+    """Table V, 6 nodes: CPU 201, GPU 35, actual 25 < optimal 29.8."""
+    a = analyze_overlap(201.0, 35.0, 25.0)
+    assert a.optimal_seconds == pytest.approx(201 * 35 / 236, rel=1e-3)
+    assert a.super_optimal
+
+
+def test_speedups():
+    a = analyze_overlap(100.0, 50.0, 40.0)
+    assert a.speedup_vs_cpu == pytest.approx(2.5)
+    assert a.speedup_vs_gpu == pytest.approx(1.25)
+
+
+def test_cpu_fraction_favors_faster_device():
+    a = analyze_overlap(10.0, 90.0, 9.0)
+    # slow GPU -> most work stays on CPU
+    assert a.cpu_fraction == pytest.approx(0.9)

@@ -1,0 +1,80 @@
+"""Tests for the Coulomb application presets."""
+
+import pytest
+
+from repro.apps.coulomb import (
+    CoulombApplication,
+    calibrate_task_count,
+    coulomb_rank,
+    probe_item,
+)
+from repro.errors import ClusterConfigError
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.specs import TITAN_CPU
+from repro.kernels.cpu_kernel import CpuMtxmKernel
+from repro.runtime.task import BatchStats
+
+
+def test_rank_grows_with_precision():
+    assert coulomb_rank(1e-8) > coulomb_rank(1e-4)
+
+
+def test_rank_in_paper_order_of_magnitude():
+    """'Typical values of M and k are 100 and 10-20'."""
+    assert 40 <= coulomb_rank(1e-8) <= 250
+    assert 60 <= coulomb_rank(1e-12) <= 400
+
+
+def test_probe_item_shape():
+    item = probe_item(3, 10, 100)
+    assert item.step_q == 20
+    assert item.step_rows == 400
+    assert item.steps == 300
+    assert item.flops > 0
+
+
+def test_calibration_hits_target():
+    """The calibrated count reproduces the target CPU time to rounding."""
+    rank = 100
+    n = calibrate_task_count(132.5, 3, 10, rank, threads=1)
+    kernel = CpuMtxmKernel(CpuModel(TITAN_CPU))
+    stats = BatchStats.of([probe_item(3, 10, rank)] * 60)
+    per_task = kernel.batch_timing(stats, 1).seconds / 60
+    assert n * per_task == pytest.approx(132.5, rel=0.01)
+
+
+def test_calibration_scales_inversely_with_threads():
+    n1 = calibrate_task_count(100.0, 3, 10, 100, threads=1)
+    n16 = calibrate_task_count(100.0, 3, 10, 100, threads=16)
+    assert n16 > 4 * n1
+
+
+def test_calibration_rejects_bad_target():
+    with pytest.raises(ClusterConfigError):
+        calibrate_task_count(0.0, 3, 10, 100, threads=1)
+
+
+def test_table_presets_construct():
+    t1 = CoulombApplication.table1()
+    assert t1.k == 10 and t1.precision == 1e-8
+    assert t1.n_tasks > 1000
+    t4 = CoulombApplication.table4()
+    assert t4.n_tasks == 154_468  # paper-stated count
+    t5 = CoulombApplication.table5()
+    assert t5.k == 30
+
+
+def test_workload_generation_from_preset():
+    app = CoulombApplication(k=10, precision=1e-6, n_tasks=500, n_tree_leaves=64)
+    wl = app.workload()
+    assert len(wl.tasks) == 500
+    assert wl.tasks[0].item.step_q == 20
+
+
+def test_real_instance_is_validated_elsewhere_but_constructs():
+    density, operator, exact = CoulombApplication.real_instance(
+        k=5, thresh=5e-3, eps=1e-3
+    )
+    assert density.dim == 3
+    assert operator.k == 5
+    assert exact(0.5) > 0

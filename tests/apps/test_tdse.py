@@ -1,0 +1,31 @@
+"""Tests for the 4-D TDSE application."""
+
+from repro.apps.tdse import TDSE_TASKS, TdseApplication
+
+
+def test_paper_parameters():
+    app = TdseApplication()
+    assert app.dim == 4
+    assert app.k == 14
+    assert app.tensor_side == 28
+    assert app.n_tasks == TDSE_TASKS == 542_113
+
+
+def test_workload_scaled_down():
+    app = TdseApplication(n_tasks=2000, n_tree_leaves=128)
+    wl = app.workload()
+    assert len(wl.tasks) == 2000
+    item = wl.tasks[0].item
+    assert item.step_q == 28
+    assert item.step_rows == 28**3
+    assert item.steps == app.rank * 4
+
+
+def test_tasks_heavier_than_coulomb():
+    """'These tasks have more computation than the tasks for the 3-D
+    Coulomb application.'"""
+    from repro.apps.coulomb import probe_item
+
+    tdse_item = TdseApplication(n_tasks=1, n_tree_leaves=16).workload().tasks[0].item
+    coulomb = probe_item(3, 10, 100)
+    assert tdse_item.flops > 10 * coulomb.flops

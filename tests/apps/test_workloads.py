@@ -1,0 +1,128 @@
+"""Tests for synthetic trees and workloads."""
+
+import pytest
+
+from repro.apps.workloads import SyntheticApplyWorkload, synthetic_tree_keys
+from repro.errors import ClusterConfigError
+from repro.mra.key import Key
+
+
+def test_tree_keys_form_a_tree():
+    keys = synthetic_tree_keys(2, 64, seed=1)
+    key_set = set(keys)
+    assert Key.root(2) in key_set
+    for key in keys:
+        if key.level > 0:
+            assert key.parent() in key_set
+
+
+def test_tree_determinism():
+    a = synthetic_tree_keys(3, 128, seed=42)
+    b = synthetic_tree_keys(3, 128, seed=42)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = set(synthetic_tree_keys(2, 128, seed=1))
+    b = set(synthetic_tree_keys(2, 128, seed=2))
+    assert a != b
+
+
+def test_trees_are_unbalanced():
+    """The generated trees are 'highly unbalanced' (paper Figure 1): one
+    level-1 subtree holds far more than its uniform 1/2^d share."""
+    keys = synthetic_tree_keys(2, 256, seed=3, skew=2.0)
+    counts = {}
+    for k in keys:
+        if k.level >= 1:
+            a = k
+            while a.level > 1:
+                a = a.parent()
+            counts[a] = counts.get(a, 0) + 1
+    heaviest = max(counts.values()) / sum(counts.values())
+    assert heaviest > 0.4  # uniform share would be 0.25
+
+
+def test_leaf_count_reached():
+    keys = synthetic_tree_keys(2, 100, seed=4)
+    key_set = set(keys)
+    leaves = [k for k in keys if not any(c in key_set for c in k.children())]
+    assert len(leaves) >= 100
+
+
+def test_invalid_leaf_count():
+    with pytest.raises(ClusterConfigError):
+        synthetic_tree_keys(2, 0, seed=1)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return SyntheticApplyWorkload(
+        dim=3, k=10, rank=80, n_tasks=5000, n_tree_leaves=128, seed=7
+    )
+
+
+def test_exact_task_count(workload):
+    assert len(workload.tasks) == 5000
+
+
+def test_task_shapes_match_parameters(workload):
+    q = 20
+    for task in workload.tasks[:50]:
+        item = task.item
+        assert item.step_q == q
+        assert item.step_rows == q * q
+        assert item.steps == 80 * 3
+        assert item.input_bytes == q**3 * 8
+        assert len(item.block_keys) == 80
+
+
+def test_flops_include_corner_share(workload):
+    q = 20
+    base = 80 * 3 * 2 * (q**2) * q * q
+    expected = int(base * (1 + 2.0**-4))
+    assert workload.tasks[0].item.flops == expected
+    assert workload.total_flops == expected * 5000
+
+
+def test_neighbors_are_valid_same_level(workload):
+    for task in workload.tasks[:200]:
+        assert task.neighbor.level == task.key.level
+        delta = tuple(
+            a - b for a, b in zip(task.neighbor.translation, task.key.translation)
+        )
+        assert max(abs(d) for d in delta) <= 1
+
+
+def test_kinds_partition_by_level(workload):
+    for task in workload.tasks[:200]:
+        level, dim, q = task.item.kind.signature
+        assert level == task.key.level
+        assert (dim, q) == (3, 20)
+
+
+def test_block_key_tuples_shared(workload):
+    """Same-level tasks reuse block-key tuples (memory and cache realism)."""
+    by_level = {}
+    for task in workload.tasks[:500]:
+        key = (task.key.level, task.item.block_keys[0][1])
+        if key in by_level:
+            assert by_level[key] is task.item.block_keys
+        else:
+            by_level[key] = task.item.block_keys
+
+
+def test_determinism_of_workload():
+    a = SyntheticApplyWorkload(dim=2, k=5, rank=10, n_tasks=100, seed=9)
+    b = SyntheticApplyWorkload(dim=2, k=5, rank=10, n_tasks=100, seed=9)
+    assert [t.key for t in a.tasks] == [t.key for t in b.tasks]
+
+
+def test_task_count_by_level_sums(workload):
+    hist = workload.task_count_by_level()
+    assert sum(hist.values()) == 5000
+
+
+def test_invalid_workload():
+    with pytest.raises(ClusterConfigError):
+        SyntheticApplyWorkload(dim=0, k=5, rank=10, n_tasks=10)

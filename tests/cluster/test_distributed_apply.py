@@ -1,0 +1,95 @@
+"""The full distributed hybrid Apply: numerics + cluster accounting."""
+
+import pytest
+
+from repro.cluster.distributed_apply import DistributedApply
+from repro.dht.process_map import HashProcessMap, SubtreePartitionMap
+from repro.errors import OperatorError
+from repro.mra.function import FunctionFactory
+from tests.conftest import make_runtime
+
+
+@pytest.fixture(scope="module")
+def problem(request):
+    from repro.operators.convolution import GaussianConvolution
+    from repro.operators.gaussian_fit import single_gaussian
+    from tests.conftest import gaussian_nd
+
+    fac = FunctionFactory(dim=2, k=6, thresh=1e-5)
+    f = fac.from_callable(gaussian_nd(2, alpha=150.0))
+    op = GaussianConvolution(2, 6, single_gaussian(1.0, 250.0), thresh=1e-6)
+    return f, op, op.apply(f)
+
+
+def distributed(op, n_ranks, mode="hybrid", pmap=None):
+    pmap = pmap or HashProcessMap(n_ranks)
+    return DistributedApply(op, pmap, lambda rank: make_runtime(mode))
+
+
+@pytest.mark.parametrize("n_ranks", [1, 3, 8])
+def test_matches_reference_any_rank_count(problem, n_ranks):
+    f, op, reference = problem
+    result = distributed(op, n_ranks).apply(f)
+    assert (reference - result.function).norm2() < 1e-10
+
+
+@pytest.mark.parametrize("mode", ["cpu", "gpu"])
+def test_matches_reference_any_mode(problem, mode):
+    f, op, reference = problem
+    result = distributed(op, 4, mode=mode).apply(f)
+    assert (reference - result.function).norm2() < 1e-10
+
+
+def test_locality_map_agrees_too(problem):
+    f, op, reference = problem
+    result = distributed(op, 4, pmap=SubtreePartitionMap(4, anchor_level=1)).apply(f)
+    assert (reference - result.function).norm2() < 1e-10
+
+
+def test_single_rank_sends_no_messages(problem):
+    f, op, _ref = problem
+    result = distributed(op, 1).apply(f)
+    assert result.n_messages == 0
+    assert result.message_bytes == 0
+
+
+def test_multi_rank_sends_messages(problem):
+    f, op, _ref = problem
+    result = distributed(op, 4).apply(f)
+    assert result.n_messages > 0
+    assert result.message_bytes > 0
+    assert any(c > 0 for c in result.comm_seconds)
+
+
+def test_locality_map_fewer_messages_than_hash(problem):
+    """The point of locality maps: neighbours stay on-rank."""
+    f, op, _ref = problem
+    hashed = distributed(op, 4).apply(f)
+    local = distributed(
+        op, 4, pmap=SubtreePartitionMap(4, anchor_level=1)
+    ).apply(f)
+    assert local.n_messages < hashed.n_messages
+
+
+def test_task_accounting(problem):
+    f, op, _ref = problem
+    result = distributed(op, 4).apply(f)
+    assert sum(t.n_tasks for t in result.node_timelines) == result.stats.tasks * 2 - \
+        sum(1 for lvl, n in result.stats.by_level.items() if lvl == 0 for _ in range(n))
+    assert result.makespan_seconds >= max(
+        t.total_seconds for t in result.node_timelines
+    )
+
+
+def test_makespan_tracks_most_loaded_rank(problem):
+    f, op, _ref = problem
+    result = distributed(op, 4).apply(f)
+    assert result.imbalance.imbalance >= 1.0
+    assert result.n_ranks == 4
+
+
+def test_dimension_mismatch_rejected(problem):
+    _f, op, _ref = problem
+    other = FunctionFactory(dim=1, k=6, thresh=1e-4).zero()
+    with pytest.raises(OperatorError):
+        distributed(op, 2).apply(other)

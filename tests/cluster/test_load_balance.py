@@ -1,0 +1,46 @@
+"""Tests for load-imbalance metrics."""
+
+import math
+
+import pytest
+
+from repro.cluster.load_balance import imbalance_metrics
+from repro.errors import ClusterConfigError
+
+
+def test_perfect_balance():
+    m = imbalance_metrics([10.0, 10.0, 10.0])
+    assert m.imbalance == pytest.approx(1.0)
+    assert m.efficiency == pytest.approx(1.0)
+    assert m.cv == pytest.approx(0.0)
+    assert m.idle_ranks == 0
+
+
+def test_skewed_load():
+    m = imbalance_metrics([30.0, 10.0, 20.0, 0.0])
+    assert m.max_load == 30.0
+    assert m.mean_load == 15.0
+    assert m.imbalance == pytest.approx(2.0)
+    assert m.efficiency == pytest.approx(0.5)
+    assert m.idle_ranks == 1
+
+
+def test_all_idle():
+    m = imbalance_metrics([0.0, 0.0])
+    assert m.imbalance == 1.0
+    assert m.efficiency == 1.0
+
+
+def test_single_loaded_rank():
+    m = imbalance_metrics([5.0, 0.0, 0.0, 0.0, 0.0])
+    assert m.imbalance == pytest.approx(5.0)
+
+
+def test_cv_computation():
+    m = imbalance_metrics([1.0, 3.0])
+    assert m.cv == pytest.approx(math.sqrt(1.0) / 2.0)
+
+
+def test_empty_rejected():
+    with pytest.raises(ClusterConfigError):
+        imbalance_metrics([])

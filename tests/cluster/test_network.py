@@ -1,0 +1,33 @@
+"""Tests for the interconnect model."""
+
+import pytest
+
+from repro.cluster.network import NetworkModel
+from repro.errors import ClusterConfigError
+
+
+def test_drain_time_components():
+    net = NetworkModel(
+        injection_bytes_per_second=1e9, latency_seconds=1e-6, overlap_fraction=0.0
+    )
+    t = net.drain_seconds(10, 1_000_000_000)
+    assert t == pytest.approx(10 * 1e-6 + 1.0)
+
+
+def test_overlap_hides_communication():
+    raw = NetworkModel(overlap_fraction=0.0).drain_seconds(100, 10**9)
+    hidden = NetworkModel(overlap_fraction=0.9).drain_seconds(100, 10**9)
+    assert hidden == pytest.approx(0.1 * raw)
+
+
+def test_zero_messages_zero_time():
+    assert NetworkModel().drain_seconds(0, 0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ClusterConfigError):
+        NetworkModel(injection_bytes_per_second=0.0)
+    with pytest.raises(ClusterConfigError):
+        NetworkModel(overlap_fraction=1.0)
+    with pytest.raises(ClusterConfigError):
+        NetworkModel().drain_seconds(-1, 0)

@@ -1,0 +1,37 @@
+"""Tests for stable key hashing."""
+
+from repro.dht.hashing import stable_key_hash
+from repro.mra.key import Key
+
+
+def test_hash_is_deterministic():
+    k = Key(3, (1, 5, 2))
+    assert stable_key_hash(k) == stable_key_hash(Key(3, (1, 5, 2)))
+
+
+def test_hash_distinguishes_keys():
+    seen = set()
+    for key in Key(2, (0, 0)).children():
+        seen.add(stable_key_hash(key))
+    assert len(seen) == 4
+
+
+def test_hash_distinguishes_levels():
+    assert stable_key_hash(Key(0, (0,))) != stable_key_hash(Key(1, (0,)))
+
+
+def test_hash_range_is_64_bit():
+    h = stable_key_hash(Key(5, (17, 3)))
+    assert 0 <= h < (1 << 64)
+
+
+def test_hash_distribution_roughly_uniform():
+    """Across many keys, modulo-N buckets should be reasonably even."""
+    n_ranks = 16
+    counts = [0] * n_ranks
+    for level in range(1, 6):
+        limit = 1 << level
+        for t in range(limit):
+            counts[stable_key_hash(Key(level, (t,))) % n_ranks] += 1
+    total = sum(counts)
+    assert max(counts) < 3 * total / n_ranks

@@ -1,0 +1,131 @@
+"""Tests for process maps (static load balancing policies)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.workloads import synthetic_tree_keys
+from repro.dht.process_map import (
+    CostPartitionMap,
+    HashProcessMap,
+    LevelStripeMap,
+    SubtreePartitionMap,
+)
+from repro.errors import ClusterConfigError
+from repro.mra.key import Key
+
+
+def tree_keys(dim=2, n_leaves=128, seed=3):
+    return synthetic_tree_keys(dim, n_leaves, seed)
+
+
+def test_hash_map_covers_all_ranks():
+    pmap = HashProcessMap(8)
+    owners = {pmap.owner(k) for k in tree_keys()}
+    assert owners == set(range(8))
+
+
+def test_hash_map_is_even():
+    """The Tables III/IV 'distribute work evenly' map."""
+    pmap = HashProcessMap(4)
+    counts = [0] * 4
+    for k in tree_keys(n_leaves=512):
+        counts[pmap.owner(k)] += 1
+    assert max(counts) < 1.3 * min(counts)
+
+
+def test_subtree_map_keeps_families_together():
+    pmap = SubtreePartitionMap(8, anchor_level=1)
+    for key in tree_keys():
+        if key.level >= 2:
+            assert pmap.owner(key) == pmap.owner(key.parent())
+
+
+def test_subtree_map_is_uneven_on_skewed_trees():
+    """The locality map of Tables V/VI produces imbalance by design."""
+    pmap = SubtreePartitionMap(8, anchor_level=1)
+    counts = [0] * 8
+    for k in synthetic_tree_keys(2, 512, seed=7, skew=2.5):
+        counts[pmap.owner(k)] += 1
+    mean = sum(counts) / 8
+    assert max(counts) > 1.5 * mean
+
+
+def test_cost_partition_balances_better_than_subtree():
+    keys = synthetic_tree_keys(2, 512, seed=7, skew=2.5)
+    weights = {k: 1.0 for k in keys}
+    cost_map = CostPartitionMap.from_weights(8, weights, granularity=4.0)
+    subtree_map = SubtreePartitionMap(8, anchor_level=1)
+
+    def imbalance(pmap):
+        counts = [0] * 8
+        for k in keys:
+            counts[pmap.owner(k)] += 1
+        return max(counts) / (sum(counts) / 8)
+
+    assert imbalance(cost_map) < imbalance(subtree_map)
+
+
+def test_cost_partition_respects_target_chunks():
+    keys = synthetic_tree_keys(2, 256, seed=9)
+    weights = {k: 1.0 for k in keys}
+    coarse = CostPartitionMap.from_weights(4, weights, target_chunks=8)
+    fine = CostPartitionMap.from_weights(4, weights, target_chunks=64)
+    assert coarse.n_anchors < fine.n_anchors
+
+
+def test_cost_partition_keeps_subtrees_together():
+    keys = synthetic_tree_keys(2, 256, seed=11)
+    weights = {k: 1.0 for k in keys}
+    pmap = CostPartitionMap.from_weights(4, weights, granularity=1.0)
+    for key in keys:
+        anchor = pmap.anchor_of(key)
+        # everything under one anchor shares the anchor's rank
+        assert pmap.owner(key) == pmap.owner(anchor)
+
+
+def test_level_stripe_map_spreads_levels():
+    pmap = LevelStripeMap(4)
+    owners = {pmap.owner(k) for k in tree_keys(n_leaves=256)}
+    assert owners == set(range(4))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda n: HashProcessMap(n),
+        lambda n: SubtreePartitionMap(n, anchor_level=1),
+        lambda n: LevelStripeMap(n),
+    ],
+)
+def test_owner_in_range(factory):
+    pmap = factory(5)
+    for key in tree_keys():
+        assert 0 <= pmap.owner(key) < 5
+
+
+@given(st.integers(1, 64), st.integers(0, 4), st.integers(0, 200))
+@settings(max_examples=60, deadline=None)
+def test_every_key_has_exactly_one_owner(n_ranks, level, t_seed):
+    """A process map is a total function into [0, n_ranks)."""
+    limit = 1 << level
+    key = Key(level, (t_seed % limit, (t_seed // 7) % limit))
+    for pmap in (
+        HashProcessMap(n_ranks),
+        SubtreePartitionMap(n_ranks, anchor_level=1),
+        LevelStripeMap(n_ranks),
+    ):
+        owner = pmap.owner(key)
+        assert 0 <= owner < n_ranks
+        assert pmap.owner(key) == owner  # deterministic
+
+
+def test_invalid_configs():
+    with pytest.raises(ClusterConfigError):
+        HashProcessMap(0)
+    with pytest.raises(ClusterConfigError):
+        SubtreePartitionMap(4, anchor_level=-1)
+    with pytest.raises(ClusterConfigError):
+        CostPartitionMap.from_weights(4, {}, granularity=1.0)
+    with pytest.raises(ClusterConfigError):
+        CostPartitionMap.from_weights(4, {Key.root(1): 1.0}, granularity=-1.0)

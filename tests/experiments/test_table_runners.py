@@ -1,0 +1,48 @@
+"""Smoke the table runners at tiny scale: structure, anchors, scaling."""
+
+import pytest
+
+from repro.experiments.tables import (
+    PAPER_TABLE1_CPU,
+    PAPER_TABLE3,
+    run_table1,
+    run_table3,
+)
+
+TINY = 0.02  # floors at 100 tasks
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(TINY)
+
+
+def test_table1_has_all_rows(table1):
+    assert set(table1.data["cpu"]) == set(PAPER_TABLE1_CPU)
+    assert len(table1.table.rows) == len(PAPER_TABLE1_CPU) + 6 + 2
+
+
+def test_table1_anchor_holds_at_any_scale(table1):
+    """The 1-thread CPU cell is anchored: scaling the workload must not
+    move it (times are rescaled back to full size)."""
+    assert table1.data["cpu"][1] == pytest.approx(132.5, rel=0.02)
+
+
+def test_table1_report_renders(table1):
+    out = table1.table.render()
+    assert "Table I" in out
+    assert "anchored" in out
+
+
+def test_table3_anchor_and_ratio():
+    result = run_table3(TINY)
+    rows = result.data["rows"]
+    assert rows[2][0] == pytest.approx(PAPER_TABLE3[2][0], rel=1e-6)
+    for nodes, (custom, cublas) in rows.items():
+        assert cublas > custom, nodes
+
+
+def test_runners_are_deterministic():
+    a = run_table3(TINY).data["rows"]
+    b = run_table3(TINY).data["rows"]
+    assert a == b

@@ -1,0 +1,74 @@
+"""Tests for the CPU timing model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.specs import TITAN_CPU
+
+SMALL_WS = 1 << 20  # 1 MB: cache resident
+BIG_WS = 64 << 20  # 64 MB: overflows the 16 MB aggregate L2
+
+
+@pytest.fixture()
+def model() -> CpuModel:
+    return CpuModel(TITAN_CPU)
+
+
+def test_single_core_rate_is_paper_value(model):
+    """1 GFLOP at 6 GFLOPS -> 1/6 s."""
+    t = model.compute_seconds(1_000_000_000, 1, SMALL_WS)
+    assert t == pytest.approx(1.0 / 6.0)
+
+
+def test_sixteen_thread_scaling_matches_table1(model):
+    """Table I: 132.5 s -> 19.9 s is ~6.7x."""
+    speedup = model.effective_parallelism(16, SMALL_WS)
+    assert 6.0 < speedup < 7.5
+
+
+def test_scaling_is_monotone(model):
+    pars = [model.effective_parallelism(t, SMALL_WS) for t in range(1, 17)]
+    assert all(b >= a for a, b in zip(pars, pars[1:]))
+
+
+def test_two_threads_nearly_double(model):
+    assert model.effective_parallelism(2, SMALL_WS) > 1.8
+
+
+def test_oversize_working_set_caps_threads(model):
+    """The paper: 'saturated by 10 threads' when the working set exceeds
+    the 16 MB aggregate L2."""
+    par16 = model.effective_parallelism(16, BIG_WS)
+    assert par16 <= TITAN_CPU.oversize_thread_cap
+    # and the per-core rate is degraded as well
+    assert model.core_gflops(BIG_WS) < model.core_gflops(SMALL_WS)
+
+
+def test_oversize_slower_than_cached(model):
+    flops = 10_000_000_000
+    assert model.compute_seconds(flops, 16, BIG_WS) > model.compute_seconds(
+        flops, 16, SMALL_WS
+    )
+
+
+def test_data_seconds_bandwidth_term(model):
+    t = model.data_seconds(TITAN_CPU.copy_bandwidth)  # exactly one second of bytes
+    assert t == pytest.approx(1.0)
+
+
+def test_data_seconds_per_item_overhead(model):
+    base = model.data_seconds(0, n_items=0)
+    with_items = model.data_seconds(0, n_items=1000)
+    assert with_items > base
+
+
+def test_invalid_inputs(model):
+    with pytest.raises(HardwareModelError):
+        model.compute_seconds(-1, 4, SMALL_WS)
+    with pytest.raises(HardwareModelError):
+        model.effective_parallelism(0, SMALL_WS)
+    with pytest.raises(HardwareModelError):
+        model.effective_parallelism(17, SMALL_WS)
+    with pytest.raises(HardwareModelError):
+        model.data_seconds(-5)

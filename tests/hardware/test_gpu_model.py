@@ -1,0 +1,107 @@
+"""Tests for the GPU timing model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.gpu_model import GpuModel
+from repro.hardware.specs import TESTBED_GPU, TITAN_GPU
+
+
+@pytest.fixture()
+def model() -> GpuModel:
+    return GpuModel(TITAN_GPU)
+
+
+def test_sm_gflops(model):
+    assert model.sm_gflops() == pytest.approx(665.0 / 16.0)
+
+
+def test_stream_scaling_matches_table1(model):
+    """Table I GPU column: 1/1.7/2.3/2.7/2.9x for 1..5 streams."""
+    conc = [model.concurrency(s, 3) for s in range(1, 6)]
+    assert conc[0] == pytest.approx(1.0)
+    assert 1.6 < conc[1] < 1.9
+    assert 2.6 < conc[4] < 3.2
+
+
+def test_concurrency_capped_by_sm_reservation(model):
+    """Instances reserving 8 SMs can never run more than 2 at once."""
+    assert model.concurrency(16, 8) <= 2
+
+
+def test_concurrency_validation(model):
+    with pytest.raises(HardwareModelError):
+        model.concurrency(0, 2)
+    with pytest.raises(HardwareModelError):
+        model.concurrency(4, 0)
+    with pytest.raises(HardwareModelError):
+        model.concurrency(4, 99)
+
+
+def test_gemm_utilization_grows_with_size(model):
+    small = model.gemm_utilization(400, 20, 20)
+    large = model.gemm_utilization(21952, 28, 28)
+    assert small < large < model.gemm_peak_fraction
+
+
+def test_gemm_utilization_skinny_penalty(model):
+    """Same output size, shorter inner dimension -> lower utilisation."""
+    thin = model.gemm_utilization(8000, 20, 10)
+    thick = model.gemm_utilization(8000, 20, 100)
+    assert thin < thick
+
+
+def test_gemm_seconds_includes_overheads(model):
+    t = model.gemm_seconds(1, 1, 1)
+    assert t > model.spec.kernel_launch_seconds + model.cublas_call_overhead
+
+
+def test_gemm_large_matrices_reach_high_rate(model):
+    """4-D TDSE shapes: cuBLAS approaches a good fraction of peak."""
+    rows, q = 28**3, 28
+    t = model.gemm_seconds(rows, q, q)
+    gflops = 2.0 * rows * q * q / t / 1e9
+    assert gflops > 50.0
+
+
+def test_fused_efficiency_grows_with_q(model):
+    assert model.fused_efficiency(10) < model.fused_efficiency(28)
+
+
+def test_fused_efficiency_shared_fit_penalty(model):
+    assert model.fused_efficiency(20, shared_fit=0.2) < model.fused_efficiency(20)
+
+
+def test_fused_instance_calibration(model):
+    """One instance of the paper's k=10 batch element sustains ~11 GFLOPS
+    (Table I: one stream, 71.3 s for the whole app)."""
+    q, rank, dim = 20, 100, 3
+    steps = rank * dim
+    flops = steps * 2 * (q**2) * q * q
+    t = model.fused_instance_seconds(flops, steps, 3, q=q)
+    gflops = flops / t / 1e9
+    assert 8.0 < gflops < 15.0
+
+
+def test_fused_validation(model):
+    with pytest.raises(HardwareModelError):
+        model.fused_instance_seconds(-1, 1, 2, q=10)
+    with pytest.raises(HardwareModelError):
+        model.fused_efficiency(0)
+    with pytest.raises(HardwareModelError):
+        model.fused_efficiency(10, shared_fit=0.0)
+
+
+def test_gtx480_slower_than_m2090():
+    titan = GpuModel(TITAN_GPU)
+    testbed = GpuModel(TESTBED_GPU)
+    q, steps = 20, 300
+    flops = steps * 2 * q**4
+    assert testbed.fused_instance_seconds(
+        flops, steps, 3, q=q
+    ) > titan.fused_instance_seconds(flops, steps, 3, q=q)
+
+
+def test_gemm_shape_validation(model):
+    with pytest.raises(HardwareModelError):
+        model.gemm_utilization(0, 5)

@@ -1,0 +1,83 @@
+"""Property-based sanity of the hardware cost models.
+
+Cost models are hand-calibrated; these properties pin down the
+monotonicities that must hold regardless of the constants, so future
+re-calibration cannot silently break the physics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.gpu_model import GpuModel
+from repro.hardware.specs import TITAN_CPU, TITAN_GPU
+
+cpu = CpuModel(TITAN_CPU)
+gpu = GpuModel(TITAN_GPU)
+
+flops_st = st.integers(1, 10**12)
+threads_st = st.integers(1, 16)
+ws_st = st.integers(0, 1 << 28)
+
+
+@given(flops_st, flops_st, threads_st, ws_st)
+@settings(max_examples=60, deadline=None)
+def test_cpu_more_flops_never_faster(f1, f2, threads, ws):
+    lo, hi = sorted((f1, f2))
+    assert cpu.compute_seconds(lo, threads, ws) <= cpu.compute_seconds(
+        hi, threads, ws
+    )
+
+
+@given(flops_st, st.integers(1, 15), ws_st)
+@settings(max_examples=60, deadline=None)
+def test_cpu_more_threads_never_slower(flops, threads, ws):
+    assert cpu.compute_seconds(flops, threads + 1, ws) <= cpu.compute_seconds(
+        flops, threads, ws
+    ) * (1 + 1e-12)
+
+
+@given(flops_st, threads_st)
+@settings(max_examples=60, deadline=None)
+def test_cpu_cache_overflow_never_faster(flops, threads):
+    small = cpu.compute_seconds(flops, threads, 1 << 20)
+    big = cpu.compute_seconds(flops, threads, 1 << 28)
+    assert big >= small
+
+
+@given(st.integers(1, 100_000), st.integers(1, 64), st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_gemm_utilization_bounded(rows, cols, inner):
+    util = gpu.gemm_utilization(rows, cols, inner)
+    assert 0.0 < util <= gpu.gemm_peak_fraction
+
+
+@given(st.integers(1, 50_000), st.integers(2, 64))
+@settings(max_examples=60, deadline=None)
+def test_gemm_bigger_inner_never_less_utilized(rows, inner):
+    assert gpu.gemm_utilization(rows, inner, inner) >= gpu.gemm_utilization(
+        rows, inner, inner - 1
+    ) - 1e-12
+
+
+@given(st.integers(1, 15), st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_gpu_more_streams_never_less_concurrent(streams, sm_per):
+    assert gpu.concurrency(streams + 1, sm_per) >= gpu.concurrency(
+        streams, sm_per
+    ) - 1e-12
+
+
+@given(st.integers(1, 10**10), st.integers(0, 500), st.integers(1, 3),
+       st.integers(2, 60))
+@settings(max_examples=60, deadline=None)
+def test_fused_instance_time_positive_and_monotone(flops, steps, sm_per, q):
+    t1 = gpu.fused_instance_seconds(flops, steps, sm_per, q=q)
+    t2 = gpu.fused_instance_seconds(flops * 2, steps, sm_per, q=q)
+    assert 0 < t1 <= t2
+
+
+@given(st.integers(2, 60))
+@settings(max_examples=30, deadline=None)
+def test_fused_efficiency_monotone_in_q(q):
+    assert gpu.fused_efficiency(q) <= gpu.fused_efficiency(q + 1)

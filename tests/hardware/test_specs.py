@@ -1,0 +1,54 @@
+"""Tests for hardware specifications."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.specs import (
+    CpuSpec,
+    GpuSpec,
+    PcieSpec,
+    TESTBED_GPU,
+    TITAN_CPU,
+    TITAN_GPU,
+    TITAN_NODE,
+)
+
+
+def test_titan_node_matches_paper():
+    """Section III: 16-core Opteron 6200 + Tesla M2090 (Fermi), 6 GB."""
+    assert TITAN_CPU.cores == 16
+    assert TITAN_CPU.mtxm_gflops_core == pytest.approx(6.0)  # paper's figure
+    assert TITAN_CPU.l2_total_bytes == 16 << 20  # "aggregate size of L2"
+    assert TITAN_GPU.n_sm == 16
+    assert TITAN_GPU.ram_bytes == 6 << 30
+    assert TITAN_NODE.cpu is TITAN_CPU
+
+
+def test_testbed_gtx480_is_dp_throttled():
+    """Consumer Fermi runs DP at 1/8 SP: far below the Tesla M2090."""
+    assert TESTBED_GPU.peak_dp_gflops < TITAN_GPU.peak_dp_gflops / 2
+    assert TESTBED_GPU.n_sm == 15
+
+
+def test_pcie_constants_from_paper():
+    p = PcieSpec()
+    assert p.page_lock_seconds == pytest.approx(0.5e-3)
+    assert p.page_unlock_seconds == pytest.approx(2.0e-3)
+    assert p.pinned_bytes_per_second >= 2 * p.pageable_bytes_per_second
+
+
+def test_cpu_spec_validation():
+    with pytest.raises(HardwareModelError):
+        CpuSpec(name="bad", cores=0, mtxm_gflops_core=6.0, l2_total_bytes=1)
+    with pytest.raises(HardwareModelError):
+        CpuSpec(name="bad", cores=4, mtxm_gflops_core=-1.0, l2_total_bytes=1)
+
+
+def test_gpu_spec_validation():
+    with pytest.raises(HardwareModelError):
+        GpuSpec(name="bad", n_sm=0, peak_dp_gflops=100.0)
+
+
+def test_pcie_validation():
+    with pytest.raises(HardwareModelError):
+        PcieSpec(pinned_bytes_per_second=1.0, pageable_bytes_per_second=2.0)

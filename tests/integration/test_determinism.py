@@ -1,0 +1,56 @@
+"""Everything is deterministic: reruns reproduce results exactly.
+
+EXPERIMENTS.md promises exact regeneration; these tests enforce it at
+every layer (workload generation, process maps, DES timing, cluster
+makespans).
+"""
+
+from repro.apps.workloads import SyntheticApplyWorkload
+from repro.cluster.simulation import ClusterSimulation
+from repro.dht.process_map import CostPartitionMap, HashProcessMap
+from tests.conftest import make_runtime
+from tests.runtime.test_node_runtime import make_tasks
+
+
+def test_node_runtime_is_deterministic():
+    a = make_runtime("hybrid").execute(make_tasks(150))
+    b = make_runtime("hybrid").execute(make_tasks(150))
+    assert a.total_seconds == b.total_seconds
+    assert a.n_cpu_items == b.n_cpu_items
+    assert a.n_batches == b.n_batches
+    assert a.bytes_to_gpu == b.bytes_to_gpu
+
+
+def test_cluster_run_is_deterministic():
+    wl = SyntheticApplyWorkload(
+        dim=3, k=10, rank=40, n_tasks=1500, n_tree_leaves=128, seed=11
+    )
+    runs = [
+        ClusterSimulation(4, HashProcessMap(4), mode="hybrid").run(wl.tasks)
+        for _ in range(2)
+    ]
+    assert runs[0].makespan_seconds == runs[1].makespan_seconds
+    assert runs[0].total_messages == runs[1].total_messages
+    for r0, r1 in zip(runs[0].node_results, runs[1].node_results):
+        assert r0.timeline.total_seconds == r1.timeline.total_seconds
+
+
+def test_cost_partition_is_deterministic():
+    wl = SyntheticApplyWorkload(
+        dim=2, k=6, rank=10, n_tasks=500, n_tree_leaves=64, seed=3
+    )
+    weights = {t.key: 1.0 for t in wl.tasks}
+    a = CostPartitionMap.from_weights(6, weights, target_chunks=12)
+    b = CostPartitionMap.from_weights(6, weights, target_chunks=12)
+    for t in wl.tasks:
+        assert a.owner(t.key) == b.owner(t.key)
+
+
+def test_workloads_identical_across_instances():
+    mk = lambda: SyntheticApplyWorkload(
+        dim=4, k=14, rank=20, n_tasks=800, n_tree_leaves=128, seed=41
+    )
+    a, b = mk(), mk()
+    assert [t.key for t in a.tasks] == [t.key for t in b.tasks]
+    assert [t.neighbor for t in a.tasks] == [t.neighbor for t in b.tasks]
+    assert a.total_flops == b.total_flops

@@ -1,0 +1,148 @@
+"""Quantitative shape checks against the paper's headline claims.
+
+These tests run the same machinery the benchmarks use, at reduced task
+counts, and assert the *ratios* the paper reports (not absolute times —
+see EXPERIMENTS.md for the full tables).
+"""
+
+import pytest
+
+from repro.apps.coulomb import probe_item
+from repro.apps.tdse import TdseApplication
+from repro.apps.workloads import SyntheticApplyWorkload
+from repro.cluster.simulation import ClusterSimulation
+from repro.dht.process_map import CostPartitionMap, HashProcessMap
+from repro.runtime.task import HybridTask
+from tests.conftest import make_runtime
+
+
+def coulomb_tasks(n, k=10, rank=100):
+    item = probe_item(3, k, rank)
+    return [
+        HybridTask(work=item, pre_bytes=item.input_bytes, post_bytes=item.output_bytes)
+        for _ in range(n)
+    ]
+
+
+def test_claim_cpu_16_thread_scaleup():
+    """Table I: 132.5 s -> ~19 s from 1 to 16 threads (~6.7x)."""
+    t1 = make_runtime("cpu", cpu_threads=1).execute(coulomb_tasks(600)).total_seconds
+    t16 = make_runtime("cpu", cpu_threads=16).execute(coulomb_tasks(600)).total_seconds
+    assert 6.0 < t1 / t16 < 7.6
+
+
+def test_claim_gpu_stream_scaleup():
+    """Table I: 71.3 s -> 24.3 s from 1 to 5 streams (~2.9x)."""
+    t1 = make_runtime("gpu", gpu_streams=1).execute(coulomb_tasks(600)).total_seconds
+    t5 = make_runtime("gpu", gpu_streams=5).execute(coulomb_tasks(600)).total_seconds
+    assert 2.5 < t1 / t5 < 3.3
+
+
+def test_claim_custom_kernel_beats_cublas_3d():
+    """Abstract: 'a speedup of 2.2-times by using a custom CUDA kernel
+    rather than a cuBLAS-based kernel' for small matrices."""
+    custom = make_runtime("gpu", gpu_kernel="custom").execute(
+        coulomb_tasks(600)
+    ).total_seconds
+    cublas = make_runtime("gpu", gpu_kernel="cublas").execute(
+        coulomb_tasks(600)
+    ).total_seconds
+    assert 1.8 < cublas / custom < 3.2
+
+
+def test_claim_hybrid_beats_both_pure_modes():
+    """Table I: hybrid 14.4 s vs CPU 19.9 s and GPU 24.3 s."""
+    times = {
+        mode: make_runtime(mode).execute(coulomb_tasks(600)).total_seconds
+        for mode in ("cpu", "gpu", "hybrid")
+    }
+    assert times["hybrid"] < times["cpu"]
+    assert times["hybrid"] < times["gpu"]
+
+
+def test_claim_hybrid_actual_close_to_optimal():
+    """Table I: actual 14.4 vs optimal 12.1 — within ~25% of the bound."""
+    from repro.analysis.overlap import analyze_overlap
+
+    cpu = make_runtime("cpu", cpu_threads=10).execute(coulomb_tasks(600)).total_seconds
+    gpu = make_runtime("gpu").execute(coulomb_tasks(600)).total_seconds
+    hybrid = make_runtime("hybrid").execute(coulomb_tasks(600)).total_seconds
+    a = analyze_overlap(cpu, gpu, hybrid)
+    assert hybrid < 1.3 * a.optimal_seconds
+
+
+@pytest.fixture(scope="module")
+def tdse_workload():
+    app = TdseApplication(n_tasks=20_000, n_tree_leaves=1024)
+    return app.workload()
+
+
+@pytest.fixture(scope="module")
+def tdse_pmap_weights(tdse_workload):
+    from collections import Counter
+
+    return {k: float(v) for k, v in Counter(t.key for t in tdse_workload.tasks).items()}
+
+
+def test_claim_tdse_hybrid_speedup(tdse_workload, tdse_pmap_weights):
+    """Table VI: hybrid is ~2.3x the CPU-only version at scale."""
+    nodes = 100
+    pmap = CostPartitionMap.from_weights(nodes, tdse_pmap_weights, target_chunks=150)
+    times = {}
+    for mode, rr in (("cpu", True), ("hybrid", True)):
+        sim = ClusterSimulation(
+            nodes, pmap, mode=mode, gpu_kernel="cublas", rank_reduction=rr,
+            flush_interval=0.03,
+        )
+        times[mode] = sim.run(tdse_workload.tasks).makespan_seconds
+    speedup = times["cpu"] / times["hybrid"]
+    # paper: 1.4-2.4 across 100-500 nodes; our cuBLAS model is somewhat
+    # more favourable on 4-D shapes (see EXPERIMENTS.md)
+    assert 1.8 < speedup < 3.9
+
+
+def test_claim_gpu_scales_beyond_cpu_for_tdse(tdse_workload, tdse_pmap_weights):
+    """Table VI: the GPU version keeps scaling where the CPU flattens."""
+    pmap = CostPartitionMap.from_weights(100, tdse_pmap_weights, target_chunks=150)
+    sim_gpu = ClusterSimulation(
+        100, pmap, mode="gpu", gpu_kernel="cublas", flush_interval=0.03
+    )
+    sim_cpu = ClusterSimulation(
+        100, pmap, mode="cpu", rank_reduction=True, flush_interval=0.03
+    )
+    gpu = sim_gpu.run(tdse_workload.tasks).makespan_seconds
+    cpu = sim_cpu.run(tdse_workload.tasks).makespan_seconds
+    assert 1.2 < cpu / gpu < 3.5  # paper: 1.1-1.9
+
+
+def test_claim_scaling_is_sublinear_with_locality_map(
+    tdse_workload, tdse_pmap_weights
+):
+    """Table VI: 5x nodes buys clearly less than 5x speed."""
+    times = {}
+    for nodes in (100, 500):
+        pmap = CostPartitionMap.from_weights(
+            nodes, tdse_pmap_weights, target_chunks=150
+        )
+        sim = ClusterSimulation(
+            nodes, pmap, mode="hybrid", gpu_kernel="cublas", rank_reduction=True,
+            flush_interval=0.03,
+        )
+        times[nodes] = sim.run(tdse_workload.tasks).makespan_seconds
+    scaling = times[100] / times[500]
+    assert 1.2 < scaling < 4.0  # paper: 2.4x
+
+
+def test_claim_even_map_scales_linearly_small_partitions():
+    """Tables III/IV used an even map exactly because it scales."""
+    wl = SyntheticApplyWorkload(
+        dim=3, k=10, rank=100, n_tasks=8000, n_tree_leaves=512, seed=3
+    )
+    times = {}
+    for nodes in (2, 8):
+        sim = ClusterSimulation(
+            nodes, HashProcessMap(nodes), mode="gpu", gpu_kernel="custom",
+            flush_interval=0.01,
+        )
+        times[nodes] = sim.run(wl.tasks).makespan_seconds
+    assert 3.0 < times[2] / times[8] < 4.6  # ideal 4x

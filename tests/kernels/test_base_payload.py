@@ -1,0 +1,63 @@
+"""FormulaPayload and KernelTiming edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorShapeError
+from repro.kernels.base import FormulaPayload, KernelTiming, evaluate_formula
+
+
+def test_payload_validates_rank_consistency():
+    with pytest.raises(TensorShapeError):
+        FormulaPayload(
+            s=np.zeros((3, 3)),
+            factors=[(np.eye(3), np.eye(3))],
+            coeffs=np.ones(2),
+        )
+
+
+def test_payload_properties():
+    p = FormulaPayload(
+        s=np.zeros((4, 4, 4)),
+        factors=[tuple(np.eye(4) for _ in range(3))],
+        coeffs=np.ones(1),
+    )
+    assert p.rank == 1
+    assert p.dim == 3
+
+
+def test_evaluate_formula_zero_rank():
+    p = FormulaPayload(s=np.ones((3, 3)), factors=[], coeffs=np.zeros(0))
+    out = evaluate_formula(p)
+    assert np.all(out == 0.0)
+    assert out.shape == (3, 3)
+
+
+def test_evaluate_formula_identity_factors():
+    rng = np.random.default_rng(0)
+    s = rng.standard_normal((5, 5))
+    p = FormulaPayload(
+        s=s, factors=[(np.eye(5), np.eye(5))], coeffs=np.array([2.0])
+    )
+    assert np.allclose(evaluate_formula(p), 2.0 * s)
+
+
+def test_kernel_timing_gflops():
+    t = KernelTiming(seconds=0.5, flops=10**9, launches=1)
+    assert t.gflops() == pytest.approx(2.0)
+    assert KernelTiming(seconds=0.0, flops=1, launches=0).gflops() == 0.0
+
+
+def test_einsum_path_cache_reused():
+    from repro.kernels.base import _EINSUM_PATHS
+
+    rng = np.random.default_rng(1)
+    p = FormulaPayload(
+        s=rng.standard_normal((4, 4)),
+        factors=[(rng.standard_normal((4, 4)), rng.standard_normal((4, 4)))],
+        coeffs=np.ones(1),
+    )
+    evaluate_formula(p)
+    n_before = len(_EINSUM_PATHS)
+    evaluate_formula(p)
+    assert len(_EINSUM_PATHS) == n_before  # same shape -> cached path

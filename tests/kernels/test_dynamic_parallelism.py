@@ -1,0 +1,46 @@
+"""Tests for the Kepler / CUDA 5 future-work path (paper Sections II-D, VI).
+
+"Rank reduction was also implemented for the custom CUDA kernel, but did
+not have a noticeable effect on performance" — on Fermi.  "The dynamic
+parallelism featured in the future CUDA 5 release could help alleviate
+some of the rank reduction issues on GPUs."
+"""
+
+import pytest
+
+from repro.hardware.gpu_model import GpuModel
+from repro.hardware.specs import KEPLER_GPU, KEPLER_NODE, TITAN_GPU
+from repro.kernels.custom_gpu import CustomGpuKernel
+from tests.kernels.test_kernel_timing import batch
+
+
+def test_kepler_spec():
+    assert KEPLER_GPU.dynamic_parallelism
+    assert not TITAN_GPU.dynamic_parallelism
+    assert KEPLER_GPU.peak_dp_gflops > TITAN_GPU.peak_dp_gflops
+    assert KEPLER_NODE.gpu is KEPLER_GPU
+
+
+def test_rank_reduction_is_noop_on_fermi():
+    """Exactly the paper's measurement: no timing change on the M2090."""
+    stats = batch(60, q=20, dim=3, rank=100)
+    gm = GpuModel(TITAN_GPU)
+    plain = CustomGpuKernel(gm).batch_timing(stats, 5).seconds
+    reduced = CustomGpuKernel(gm, rank_reduction=True).batch_timing(stats, 5).seconds
+    assert reduced == pytest.approx(plain)
+
+
+def test_rank_reduction_pays_off_on_kepler():
+    """The future-work claim: dynamic parallelism unlocks the saving."""
+    stats = batch(60, q=20, dim=3, rank=100)
+    gm = GpuModel(KEPLER_GPU)
+    plain = CustomGpuKernel(gm).batch_timing(stats, 5).seconds
+    reduced = CustomGpuKernel(gm, rank_reduction=True).batch_timing(stats, 5).seconds
+    assert 1.6 < plain / reduced < 2.4  # bounded by the CPU's ~2.2x
+
+
+def test_kepler_faster_than_fermi_at_same_workload():
+    stats = batch(60, q=20, dim=3, rank=100)
+    fermi = CustomGpuKernel(GpuModel(TITAN_GPU)).batch_timing(stats, 5).seconds
+    kepler = CustomGpuKernel(GpuModel(KEPLER_GPU)).batch_timing(stats, 5).seconds
+    assert kepler < fermi

@@ -1,0 +1,48 @@
+"""Tests for the write-once GPU block cache."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.kernels.gpu_cache import GpuBlockCache
+
+
+def test_first_transfer_ships_everything():
+    cache = GpuBlockCache(1 << 20)
+    shipped = cache.bytes_to_transfer(["a", "b", "c"], 100.0)
+    assert shipped == 300
+    assert cache.resident_bytes == 300
+    assert len(cache) == 3
+
+
+def test_second_transfer_is_free():
+    cache = GpuBlockCache(1 << 20)
+    cache.bytes_to_transfer(["a", "b"], 100.0)
+    shipped = cache.bytes_to_transfer(["a", "b"], 100.0)
+    assert shipped == 0
+    assert cache.stats.hits == 2
+
+
+def test_partial_overlap():
+    cache = GpuBlockCache(1 << 20)
+    cache.bytes_to_transfer(["a"], 100.0)
+    shipped = cache.bytes_to_transfer(["a", "b"], 100.0)
+    assert shipped == 100
+    assert "b" in cache
+
+
+def test_duplicate_keys_in_one_batch_count_once():
+    cache = GpuBlockCache(1 << 20)
+    shipped = cache.bytes_to_transfer(["a", "a", "a"], 100.0)
+    assert shipped == 100
+
+
+def test_capacity_overflow_raises():
+    cache = GpuBlockCache(250)
+    cache.bytes_to_transfer(["a", "b"], 100.0)
+    with pytest.raises(HardwareModelError):
+        cache.bytes_to_transfer(["c"], 100.0)
+
+
+def test_invalid_capacity():
+    with pytest.raises(HardwareModelError):
+        GpuBlockCache(0)

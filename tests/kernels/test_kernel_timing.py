@@ -1,0 +1,134 @@
+"""Timing-model behaviour of the three kernels (the paper's regimes)."""
+
+import pytest
+
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.gpu_model import GpuModel
+from repro.hardware.specs import TITAN_NODE
+from repro.kernels.cpu_kernel import CpuMtxmKernel
+from repro.kernels.cublas_gpu import CublasKernel
+from repro.kernels.custom_gpu import CustomGpuKernel, sm_per_instance_for
+from repro.runtime.task import BatchStats, TaskKind, WorkItem
+
+
+def batch(n, *, q, dim, rank):
+    steps = rank * dim
+    rows = q ** (dim - 1)
+    flops = steps * 2 * rows * q * q
+    items = [
+        WorkItem(
+            kind=TaskKind("t", 0),
+            flops=flops,
+            input_bytes=q**dim * 8,
+            output_bytes=q**dim * 8,
+            steps=steps,
+            step_rows=rows,
+            step_q=q,
+        )
+        for _ in range(n)
+    ]
+    return BatchStats.of(items)
+
+
+@pytest.fixture()
+def gm():
+    return GpuModel(TITAN_NODE.gpu)
+
+
+@pytest.fixture()
+def cm():
+    return CpuModel(TITAN_NODE.cpu)
+
+
+def test_sm_reservation_is_2_or_3_for_3d():
+    """The paper: 'for small 3-D tensors the custom CUDA kernels use only
+    two or three SMs'."""
+    for q in (12, 20, 28):
+        sm = sm_per_instance_for(q * q, q, 48 << 10)
+        assert sm in (2, 3), q
+
+
+def test_custom_beats_cublas_small_3d(gm):
+    """Tables III/IV: 1.4-2.8x for the k=10 Coulomb batches."""
+    stats = batch(60, q=20, dim=3, rank=100)
+    custom = CustomGpuKernel(gm).batch_timing(stats, 5).seconds
+    cublas = CublasKernel(gm).batch_timing(stats, 5).seconds
+    assert 1.4 < cublas / custom < 3.5
+
+
+def test_cublas_beats_custom_large_4d(gm):
+    """Table VI regime: 4-D k=14 tensors (q=28) favour cuBLAS."""
+    stats = batch(20, q=28, dim=4, rank=100)
+    custom = CustomGpuKernel(gm).batch_timing(stats, 5).seconds
+    cublas = CublasKernel(gm).batch_timing(stats, 5).seconds
+    assert cublas < custom
+
+
+def test_custom_kernel_launches_once_per_task(gm):
+    stats = batch(60, q=20, dim=3, rank=100)
+    timing = CustomGpuKernel(gm).batch_timing(stats, 5)
+    assert timing.launches == 60
+
+
+def test_cublas_launches_once_per_step(gm):
+    stats = batch(60, q=20, dim=3, rank=100)
+    timing = CublasKernel(gm).batch_timing(stats, 5)
+    assert timing.launches == 60 * 300
+
+
+def test_custom_kernel_stream_scaling(gm):
+    stats = batch(60, q=20, dim=3, rank=100)
+    t1 = CustomGpuKernel(gm).batch_timing(stats, 1).seconds
+    t5 = CustomGpuKernel(gm).batch_timing(stats, 5).seconds
+    assert 2.5 < t1 / t5 < 3.3  # Table I measures ~2.9
+
+
+def test_cublas_streams_do_not_help(gm):
+    stats = batch(60, q=20, dim=3, rank=100)
+    t1 = CublasKernel(gm).batch_timing(stats, 1).seconds
+    t5 = CublasKernel(gm).batch_timing(stats, 5).seconds
+    assert t1 == pytest.approx(t5)
+
+
+def test_rank_reduction_speeds_up_cpu_only(cm, gm):
+    """Section II-D: rank reduction helps the CPU, not the GPU."""
+    stats = batch(60, q=60, dim=3, rank=100)
+    cpu_full = CpuMtxmKernel(cm).batch_timing(stats, 16).seconds
+    cpu_red = CpuMtxmKernel(cm, rank_reduction=True).batch_timing(stats, 16).seconds
+    assert 1.8 < cpu_full / cpu_red < 2.6  # "up to 2.5-times in typical cases"
+    gpu = CustomGpuKernel(gm)
+    assert gpu.batch_timing(stats, 5).seconds == gpu.batch_timing(stats, 5).seconds
+
+
+def test_cpu_starvation_small_batches(cm):
+    """A 4-item batch cannot use 16 threads (one task = one thread)."""
+    small = batch(4, q=28, dim=4, rank=100)
+    big = batch(64, q=28, dim=4, rank=100)
+    t_small = CpuMtxmKernel(cm).batch_timing(small, 16).seconds
+    t_big = CpuMtxmKernel(cm).batch_timing(big, 16).seconds
+    # per-task time is much worse for the starved batch
+    assert (t_small / 4) > 2.0 * (t_big / 64)
+
+
+def test_cpu_cache_regime_change(cm):
+    """k=10 batches fit in L2; k=30 batches do not (Table V's regime)."""
+    small = batch(60, q=20, dim=3, rank=100)
+    large = batch(60, q=60, dim=3, rank=100)
+    kernel = CpuMtxmKernel(cm)
+    gf_small = small.flops / kernel.batch_timing(small, 16).seconds / 1e9
+    gf_large = large.flops / kernel.batch_timing(large, 16).seconds / 1e9
+    assert gf_large < gf_small
+
+
+def test_empty_batch_zero_time(gm, cm):
+    empty = BatchStats.of([])
+    assert CustomGpuKernel(gm).batch_timing(empty, 5).seconds == 0.0
+    assert CublasKernel(gm).batch_timing(empty, 5).seconds == 0.0
+
+
+def test_shared_fit_penalty_4d(gm):
+    """4-D operands overflow shared memory; 3-D ones mostly fit."""
+    kernel = CustomGpuKernel(gm)
+    fit_3d = kernel.shared_fit(20 * 20, 20, 3)
+    fit_4d = kernel.shared_fit(28 * 28 * 28, 28, 3)
+    assert fit_4d < fit_3d <= 1.0

@@ -1,0 +1,100 @@
+"""Multi-dimensional function tests (2-D and 3-D)."""
+
+import numpy as np
+import pytest
+
+from repro.mra.function import FunctionFactory
+from tests.conftest import gaussian_nd
+
+
+def test_3d_projection_accuracy(f3d):
+    g = gaussian_nd(3, alpha=100.0)
+    for pt in [(0.5, 0.5, 0.5), (0.45, 0.55, 0.5), (0.3, 0.5, 0.6)]:
+        exact = float(g(np.array([pt]))[0])
+        assert abs(f3d.eval(pt) - exact) < 1e-3, pt
+
+
+def test_3d_norm_matches_analytic(f3d):
+    from scipy.integrate import quad
+
+    one_d, _ = quad(lambda x: np.exp(-2 * 100.0 * (x - 0.5) ** 2), 0, 1)
+    assert np.isclose(f3d.norm2(), one_d ** 1.5, rtol=2e-2)
+
+
+def test_3d_compress_roundtrip(f3d):
+    f = f3d.copy()
+    before = {k: n.coeffs.copy() for k, n in f.tree.leaves()}
+    f.compress().reconstruct()
+    worst = max(
+        float(np.abs(f.tree[k].coeffs - c).max()) for k, c in before.items()
+    )
+    assert worst < 1e-12
+
+
+def test_2d_truncate_reduces_tree(f2d):
+    f = f2d.copy()
+    before = f.tree.size()
+    f.truncate(1e-2)
+    assert f.tree.size() < before
+    f.tree.check_structure()
+    # the truncated function still approximates the original
+    diff = (f2d - f).norm2()
+    assert diff < 5e-2
+
+
+def test_truncate_preserves_form(f2d):
+    f = f2d.copy()
+    f.truncate()
+    assert f.form == "reconstructed"
+    g = f2d.copy().compress()
+    g.truncate()
+    assert g.form == "compressed"
+
+
+def test_truncate_tol_zero_keeps_accuracy(f2d):
+    f = f2d.copy()
+    f.truncate(1e-14)
+    diff = (f2d - f).norm2()
+    assert diff < 1e-10
+
+
+def test_describe(f3d):
+    d = f3d.describe()
+    assert d["dim"] == 3
+    assert d["nodes"] == f3d.tree.size()
+    assert d["leaves"] == f3d.tree.n_leaves()
+    assert sum(d["level_histogram"].values()) == d["nodes"]
+
+
+def test_conform_to_unifies_leaf_sets(f2d, factory_2d):
+    g = factory_2d.from_callable(gaussian_nd(2, alpha=40.0))
+    a, b = f2d.copy(), g.copy()
+    a.conform_to(b)
+    b.conform_to(a)
+    leaves_a = {k for k, _n in a.tree.leaves()}
+    leaves_b = {k for k, _n in b.tree.leaves()}
+    assert leaves_a == leaves_b
+
+
+def test_truncate_modes_scale_threshold():
+    fac = FunctionFactory(dim=1, k=6, thresh=1e-4, truncate_mode="level")
+    f = fac.zero()
+    assert f.truncate_tol(0) == pytest.approx(1e-4)
+    assert f.truncate_tol(2) == pytest.approx(1e-4 / 2.0)
+    fac2 = FunctionFactory(dim=2, k=6, thresh=1e-4, truncate_mode="level_volume")
+    f2 = fac2.zero()
+    assert f2.truncate_tol(1) == pytest.approx(1e-4 / 2.0)
+
+
+def test_factory_validation():
+    with pytest.raises(Exception):
+        FunctionFactory(dim=0, k=5)
+    with pytest.raises(Exception):
+        FunctionFactory(dim=1, k=0)
+    with pytest.raises(Exception):
+        FunctionFactory(dim=1, k=5, initial_level=5, max_level=2)
+
+
+def test_operand_compatibility_checked(f2d, f3d):
+    with pytest.raises(Exception):
+        _ = f2d + f3d

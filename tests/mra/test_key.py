@@ -1,0 +1,86 @@
+"""Tests for dyadic box keys."""
+
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.mra.key import Key
+
+
+def test_root():
+    r = Key.root(3)
+    assert r.level == 0
+    assert r.translation == (0, 0, 0)
+    assert r.dim == 3
+
+
+def test_children_count_and_levels():
+    k = Key(1, (0, 1))
+    kids = list(k.children())
+    assert len(kids) == 4
+    assert all(c.level == 2 for c in kids)
+    assert len(set(kids)) == 4
+
+
+def test_parent_child_roundtrip():
+    k = Key(2, (1, 3, 2))
+    for child in k.children():
+        assert child.parent() == k
+
+
+def test_child_index_order():
+    k = Key(0, (0, 0))
+    kids = list(k.children())
+    assert [c.child_index() for c in kids] == [0, 1, 2, 3]
+
+
+def test_root_has_no_parent():
+    with pytest.raises(TreeStructureError):
+        Key.root(2).parent()
+
+
+def test_translation_range_validated():
+    with pytest.raises(TreeStructureError):
+        Key(1, (2,))
+    with pytest.raises(TreeStructureError):
+        Key(1, (-1,))
+    with pytest.raises(TreeStructureError):
+        Key(-1, (0,))
+
+
+def test_neighbor_inside_domain():
+    k = Key(2, (1, 2))
+    n = k.neighbor((1, -1))
+    assert n == Key(2, (2, 1))
+
+
+def test_neighbor_outside_domain_is_none():
+    k = Key(1, (0, 1))
+    assert k.neighbor((-1, 0)) is None
+    assert k.neighbor((0, 1)) is None
+
+
+def test_neighbor_dimension_check():
+    with pytest.raises(TreeStructureError):
+        Key(1, (0, 0)).neighbor((1,))
+
+
+def test_box_geometry():
+    k = Key(2, (1, 3))
+    assert k.box_size() == 0.25
+    assert k.box_center() == (0.375, 0.875)
+
+
+def test_contains():
+    k = Key(1, (0,))
+    assert k.contains((0.25,))
+    assert not k.contains((0.75,))
+    edge = Key(1, (1,))
+    assert edge.contains((1.0,))
+
+
+def test_ordering_is_level_major():
+    assert Key(0, (0,)) < Key(1, (0,)) < Key(1, (1,)) < Key(2, (0,))
+
+
+def test_str_compact():
+    assert str(Key(2, (1, 3))) == "(2: 1,3)"

@@ -1,0 +1,44 @@
+"""Tests for FunctionNode."""
+
+import numpy as np
+
+from repro.mra.node import FunctionNode
+
+
+def test_empty_node():
+    n = FunctionNode()
+    assert not n.has_coeffs
+    assert n.norm() == 0.0
+
+
+def test_norm():
+    n = FunctionNode(coeffs=np.full((2, 2), 3.0))
+    assert np.isclose(n.norm(), 6.0)
+
+
+def test_accumulate_allocates():
+    n = FunctionNode()
+    n.accumulate(np.ones((2, 2)))
+    n.accumulate(np.ones((2, 2)))
+    assert np.all(n.coeffs == 2.0)
+
+
+def test_accumulate_does_not_alias():
+    src = np.ones((2,))
+    n = FunctionNode()
+    n.accumulate(src)
+    src[:] = 99.0
+    assert np.all(n.coeffs == 1.0)
+
+
+def test_copy_is_deep():
+    n = FunctionNode(coeffs=np.ones((2,)), has_children=True)
+    c = n.copy()
+    c.coeffs[:] = 7.0
+    assert np.all(n.coeffs == 1.0)
+    assert c.has_children
+
+
+def test_repr_mentions_shape():
+    n = FunctionNode(coeffs=np.ones((3, 3)))
+    assert "(3, 3)" in repr(n)

@@ -1,0 +1,128 @@
+"""Property-based tests of the MRA substrate.
+
+Random coefficient trees (not projections of smooth functions) are the
+adversarial input here: compress/reconstruct must be an exact identity
+and an isometry on *any* structurally valid tree.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mra.function import MultiresolutionFunction, RECONSTRUCTED
+from repro.mra.key import Key
+from repro.mra.node import FunctionNode
+from repro.mra.tree import FunctionTree
+
+
+def random_tree(rng: np.random.Generator, dim: int, k: int, depth: int) -> FunctionTree:
+    """Grow a random adaptive tree with random leaf coefficients."""
+    tree = FunctionTree(dim)
+    root = Key.root(dim)
+
+    def grow(key: Key, level_budget: int) -> None:
+        if level_budget > 0 and rng.random() < 0.5:
+            tree[key] = FunctionNode(has_children=True)
+            for child in key.children():
+                grow(child, level_budget - 1)
+        else:
+            tree[key] = FunctionNode(coeffs=rng.standard_normal((k,) * dim))
+
+    grow(root, depth)
+    return tree
+
+
+def make_function(seed: int, dim: int, k: int, depth: int) -> MultiresolutionFunction:
+    rng = np.random.default_rng(seed)
+    return MultiresolutionFunction(
+        dim, k, random_tree(rng, dim, k, depth), thresh=1e-8, form=RECONSTRUCTED
+    )
+
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(seeds, st.integers(1, 2), st.integers(2, 6), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_compress_reconstruct_identity(seed, dim, k, depth):
+    f = make_function(seed, dim, k, depth)
+    before = {key: n.coeffs.copy() for key, n in f.tree.leaves()}
+    f.compress().reconstruct()
+    for key, coeffs in before.items():
+        assert np.allclose(f.tree[key].coeffs, coeffs, atol=1e-10)
+
+
+@given(seeds, st.integers(1, 2), st.integers(2, 6), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_compress_is_isometry(seed, dim, k, depth):
+    f = make_function(seed, dim, k, depth)
+    n0 = f.norm2()
+    f.compress()
+    assert np.isclose(f.norm2(), n0, rtol=1e-10)
+
+
+@given(seeds, st.integers(1, 2), st.integers(2, 5), st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_nonstandard_roundtrip(seed, dim, k, depth):
+    f = make_function(seed, dim, k, depth)
+    before = {key: n.coeffs.copy() for key, n in f.tree.leaves()}
+    f.nonstandard().reconstruct()
+    for key, coeffs in before.items():
+        assert np.allclose(f.tree[key].coeffs, coeffs, atol=1e-10)
+
+
+@given(seeds, st.integers(1, 2), st.integers(2, 5), st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_truncate_error_bounded_by_dropped_norm(seed, dim, k, depth):
+    """||f - truncate(f)||^2 equals the dropped wavelet mass, which is
+    bounded by the number of dropped interior nodes times tol^2."""
+    f = make_function(seed, dim, k, depth)
+    tol = 0.3
+    g = f.copy()
+    interior_before = sum(1 for _ in g.tree.interior())
+    g.truncate(tol)
+    interior_after = sum(1 for _ in g.tree.interior())
+    dropped = interior_before - interior_after
+    diff = (f - g).norm2()
+    assert diff <= tol * np.sqrt(max(dropped, 0)) + 1e-9
+
+
+@given(seeds, st.integers(1, 2), st.integers(2, 5), st.integers(1, 2))
+@settings(max_examples=25, deadline=None)
+def test_truncate_keeps_structure_valid(seed, dim, k, depth):
+    f = make_function(seed, dim, k, depth)
+    f.truncate(0.5)
+    f.tree.check_structure()
+
+
+@given(seeds, st.integers(1, 2), st.integers(2, 5), st.integers(1, 2))
+@settings(max_examples=25, deadline=None)
+def test_addition_commutes(seed, dim, k, depth):
+    f = make_function(seed, dim, k, depth)
+    g = make_function(seed + 1, dim, k, depth)
+    lhs = f + g
+    rhs = g + f
+    for key, node in lhs.tree.leaves():
+        assert np.allclose(node.coeffs, rhs.tree[key].coeffs, atol=1e-10)
+
+
+@given(seeds, st.integers(1, 2), st.integers(2, 5))
+@settings(max_examples=25, deadline=None)
+def test_eval_agrees_after_refinement(seed, dim, k):
+    """refine_leaf must not change point values anywhere in the box."""
+    f = make_function(seed, dim, k, 1)
+    leaf = next(key for key, _n in f.tree.leaves())
+    rng = np.random.default_rng(seed)
+    pts = []
+    scale = leaf.box_size()
+    for _ in range(3):
+        pts.append(
+            tuple(
+                (t + rng.uniform(0.05, 0.95)) * scale
+                for t in leaf.translation
+            )
+        )
+    before = [f.eval(p) for p in pts]
+    f.refine_leaf(leaf)
+    after = [f.eval(p) for p in pts]
+    assert np.allclose(before, after, atol=1e-9)

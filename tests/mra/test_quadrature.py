@@ -1,0 +1,78 @@
+"""Tests for Gauss-Legendre quadrature and the scaling basis."""
+
+import numpy as np
+import pytest
+from scipy.integrate import quad
+
+from repro.mra.quadrature import QuadratureRule, gauss_legendre, phi_values
+
+
+@pytest.mark.parametrize("npt", [1, 2, 5, 10])
+def test_quadrature_weights_sum_to_one(npt):
+    _x, w = gauss_legendre(npt)
+    assert np.isclose(w.sum(), 1.0)
+
+
+def test_quadrature_exact_for_polynomials():
+    x, w = gauss_legendre(6)
+    for degree in range(2 * 6):
+        exact = 1.0 / (degree + 1)
+        assert np.isclose(np.sum(w * x**degree), exact), degree
+
+
+def test_quadrature_points_in_unit_interval():
+    x, _w = gauss_legendre(12)
+    assert np.all((x > 0) & (x < 1))
+
+
+def test_quadrature_rejects_bad_order():
+    with pytest.raises(ValueError):
+        gauss_legendre(0)
+
+
+def test_phi_orthonormality():
+    """The scaling functions are orthonormal on [0, 1]."""
+    k = 8
+    x, w = gauss_legendre(k + 2)
+    phi = phi_values(x, k)
+    gram = (phi * w[:, None]).T @ phi
+    assert np.allclose(gram, np.eye(k), atol=1e-12)
+
+
+def test_phi_values_scalar_input():
+    out = phi_values(0.5, 5)
+    assert out.shape == (5,)
+    # phi_0 = 1 everywhere; odd Legendre polynomials vanish at midpoint
+    assert np.isclose(out[0], 1.0)
+    assert np.isclose(out[1], 0.0)
+
+
+def test_phi_normalisation_against_scipy():
+    k = 6
+    for i in range(k):
+        val, _err = quad(lambda x, i=i: phi_values(x, k)[i] ** 2, 0.0, 1.0)
+        assert np.isclose(val, 1.0, atol=1e-9), i
+
+
+def test_phi_rejects_bad_order():
+    with pytest.raises(ValueError):
+        phi_values(0.5, 0)
+
+
+def test_rule_projection_exact_for_basis():
+    """Projecting phi_j through the rule recovers the unit vector."""
+    k = 7
+    rule = QuadratureRule.build(k)
+    for j in range(k):
+        f_vals = phi_values(rule.points, k)[:, j]
+        coeffs = rule.phiw.T @ f_vals
+        expected = np.zeros(k)
+        expected[j] = 1.0
+        assert np.allclose(coeffs, expected, atol=1e-12), j
+
+
+def test_rule_caches_consistent_shapes():
+    rule = QuadratureRule.build(5, npt=9)
+    assert rule.phi.shape == (9, 5)
+    assert rule.phiw.shape == (9, 5)
+    assert rule.points.shape == (9,)

@@ -1,0 +1,119 @@
+"""Tests for the FunctionTree container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.mra.key import Key
+from repro.mra.node import FunctionNode
+from repro.mra.tree import FunctionTree
+
+
+def _two_level_tree(dim=2):
+    t = FunctionTree(dim)
+    root = Key.root(dim)
+    t[root] = FunctionNode(has_children=True)
+    for c in root.children():
+        t[c] = FunctionNode(coeffs=np.ones((2,) * dim))
+    return t
+
+
+def test_mapping_interface():
+    t = _two_level_tree()
+    root = Key.root(2)
+    assert root in t
+    assert len(t) == 5
+    assert t[root].has_children
+    del t[Key(1, (1, 1))]
+    assert len(t) == 4
+
+
+def test_dimension_check_on_insert():
+    t = FunctionTree(2)
+    with pytest.raises(TreeStructureError):
+        t[Key.root(3)] = FunctionNode()
+
+
+def test_leaves_and_interior():
+    t = _two_level_tree()
+    assert sum(1 for _ in t.leaves()) == 4
+    assert sum(1 for _ in t.interior()) == 1
+    assert t.n_leaves() == 4
+
+
+def test_by_level_order():
+    t = _two_level_tree()
+    levels = [k.level for k, _n in t.by_level()]
+    assert levels == sorted(levels)
+    levels_rev = [k.level for k, _n in t.by_level(reverse=True)]
+    assert levels_rev == sorted(levels, reverse=True)
+
+
+def test_level_histogram():
+    t = _two_level_tree()
+    assert t.level_histogram() == {0: 1, 1: 4}
+
+
+def test_ensure_path_creates_ancestors():
+    t = FunctionTree(2)
+    deep = Key(3, (5, 2))
+    node = t.ensure_path(deep)
+    assert not node.has_children
+    k = deep
+    while k.level > 0:
+        k = k.parent()
+        assert t[k].has_children
+    t.check_structure(complete=False)
+
+
+def test_ensure_path_idempotent():
+    t = FunctionTree(1)
+    k = Key(2, (1,))
+    n1 = t.ensure_path(k)
+    n2 = t.ensure_path(k)
+    assert n1 is n2
+    assert len(t) == 3
+
+
+def test_check_structure_complete_tree():
+    _two_level_tree().check_structure()
+
+
+def test_check_structure_missing_root():
+    t = FunctionTree(1)
+    t._nodes[Key(1, (0,))] = FunctionNode()
+    with pytest.raises(TreeStructureError):
+        t.check_structure()
+
+
+def test_check_structure_missing_child():
+    t = _two_level_tree()
+    del t[Key(1, (0, 0))]
+    with pytest.raises(TreeStructureError):
+        t.check_structure()
+    t.check_structure(complete=False)  # relaxed mode tolerates it
+
+
+def test_check_structure_orphan():
+    t = _two_level_tree()
+    t._nodes[Key(2, (0, 0))] = FunctionNode()
+    # its parent (1,(0,0)) exists but is a leaf
+    with pytest.raises(TreeStructureError):
+        t.check_structure(complete=False)
+
+
+def test_copy_is_deep():
+    t = _two_level_tree()
+    c = t.copy()
+    c[Key(1, (0, 0))].coeffs[:] = 5.0
+    assert np.all(t[Key(1, (0, 0))].coeffs == 1.0)
+
+
+def test_max_level_empty_tree():
+    with pytest.raises(TreeStructureError):
+        FunctionTree(1).max_level()
+
+
+def test_invalid_dim():
+    with pytest.raises(TreeStructureError):
+        FunctionTree(0)

@@ -1,0 +1,83 @@
+"""Tests for the two-scale (quadrature mirror) filter."""
+
+import numpy as np
+import pytest
+
+from repro.mra.quadrature import gauss_legendre, phi_values
+from repro.mra.twoscale import TwoScaleFilter
+
+
+@pytest.mark.parametrize("k", [1, 2, 5, 8, 12])
+def test_filter_is_orthogonal(k):
+    f = TwoScaleFilter.build(k)
+    assert np.allclose(f.hg @ f.hg.T, np.eye(2 * k), atol=1e-12)
+    assert np.allclose(f.hg.T @ f.hg, np.eye(2 * k), atol=1e-12)
+
+
+def test_filter_blocks_assemble():
+    f = TwoScaleFilter.build(6)
+    assert np.allclose(f.hg[:6, :6], f.h0)
+    assert np.allclose(f.hg[:6, 6:], f.h1)
+    assert np.allclose(f.hg[6:, :6], f.g0)
+    assert np.allclose(f.hg[6:, 6:], f.g1)
+
+
+def test_two_scale_relation():
+    """phi_i(x) = sum_j h0_ij sqrt2 phi_j(2x) + h1_ij sqrt2 phi_j(2x-1)."""
+    k = 7
+    f = TwoScaleFilter.build(k)
+    xs = np.linspace(0.01, 0.99, 23)
+    parent = phi_values(xs, k)  # (n, k)
+    child = np.zeros_like(parent)
+    left = xs < 0.5
+    child_vals_left = np.sqrt(2.0) * phi_values(2 * xs[left], k)
+    child_vals_right = np.sqrt(2.0) * phi_values(2 * xs[~left] - 1.0, k)
+    child[left] = child_vals_left @ f.h0.T
+    child[~left] = child_vals_right @ f.h1.T
+    assert np.allclose(parent, child, atol=1e-10)
+
+
+def test_filter_roundtrip_1d():
+    k = 6
+    f = TwoScaleFilter.build(k)
+    rng = np.random.default_rng(0)
+    s0, s1 = rng.standard_normal(k), rng.standard_normal(k)
+    s, d = f.filter_pair(s0, s1)
+    r0, r1 = f.unfilter_pair(s, d)
+    assert np.allclose(r0, s0)
+    assert np.allclose(r1, s1)
+
+
+def test_filter_projects_coarse_polynomials_exactly():
+    """A degree < k polynomial has zero wavelet coefficients."""
+    k = 6
+    f = TwoScaleFilter.build(k)
+    x, w = gauss_legendre(k)
+    # project x^2 onto both children of the root box
+    poly = lambda t: t**2
+    phi = phi_values(x, k)
+    s_left = (w * poly(x / 2.0)) @ phi / np.sqrt(2.0)
+    s_right = (w * poly((x + 1.0) / 2.0)) @ phi / np.sqrt(2.0)
+    _s, d = f.filter_pair(s_left, s_right)
+    assert np.allclose(d, 0.0, atol=1e-12)
+
+
+def test_filter_norm_preservation():
+    k = 5
+    f = TwoScaleFilter.build(k)
+    rng = np.random.default_rng(1)
+    s0, s1 = rng.standard_normal(k), rng.standard_normal(k)
+    s, d = f.filter_pair(s0, s1)
+    assert np.isclose(
+        np.linalg.norm(np.concatenate([s, d])),
+        np.linalg.norm(np.concatenate([s0, s1])),
+    )
+
+
+def test_filter_is_cached():
+    assert TwoScaleFilter.build(6) is TwoScaleFilter.build(6)
+
+
+def test_filter_rejects_bad_order():
+    with pytest.raises(ValueError):
+        TwoScaleFilter.build(0)

@@ -1,0 +1,103 @@
+"""The hybrid batched Apply must agree with the reference Apply."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperatorError
+from repro.mra.function import FunctionFactory
+from repro.operators.apply_batched import BatchedApply
+from repro.operators.convolution import GaussianConvolution
+from repro.operators.gaussian_fit import single_gaussian
+from tests.conftest import gaussian_1d, gaussian_nd, make_runtime
+
+
+@pytest.fixture(scope="module")
+def problem_1d():
+    fac = FunctionFactory(dim=1, k=8, thresh=1e-8)
+    f = fac.from_callable(gaussian_1d(800.0))
+    op = GaussianConvolution(1, 8, single_gaussian(1.0, 400.0), thresh=1e-8)
+    return f, op, op.apply(f)
+
+
+@pytest.fixture(scope="module")
+def problem_2d():
+    fac = FunctionFactory(dim=2, k=6, thresh=1e-5)
+    f = fac.from_callable(gaussian_nd(2, alpha=150.0))
+    op = GaussianConvolution(2, 6, single_gaussian(1.0, 250.0), thresh=1e-6)
+    return f, op, op.apply(f)
+
+
+@pytest.mark.parametrize("mode", ["cpu", "gpu", "hybrid"])
+def test_1d_batched_equals_reference(problem_1d, mode):
+    f, op, reference = problem_1d
+    result = BatchedApply(op, make_runtime(mode)).apply(f)
+    assert (reference - result.function).norm2() < 1e-10
+
+
+def test_2d_batched_equals_reference(problem_2d):
+    f, op, reference = problem_2d
+    result = BatchedApply(op, make_runtime("hybrid")).apply(f)
+    rel = (reference - result.function).norm2() / reference.norm2()
+    assert rel < 1e-5
+
+
+def test_gpu_kernel_choice_does_not_change_numerics(problem_1d):
+    f, op, _ref = problem_1d
+    custom = BatchedApply(op, make_runtime("gpu", gpu_kernel="custom")).apply(f)
+    cublas = BatchedApply(op, make_runtime("gpu", gpu_kernel="cublas")).apply(f)
+    assert (custom.function - cublas.function).norm2() < 1e-12
+
+
+def test_timeline_accounts_batches_and_items(problem_2d):
+    f, op, _ref = problem_2d
+    result = BatchedApply(op, make_runtime("hybrid")).apply(f)
+    tl = result.timeline
+    assert tl.n_batches > 0
+    assert tl.n_cpu_items + tl.n_gpu_items == tl.n_tasks
+    assert tl.total_seconds > 0
+    assert result.stats.tasks > 0
+
+
+def test_gpu_mode_ships_bytes(problem_2d):
+    f, op, _ref = problem_2d
+    result = BatchedApply(op, make_runtime("gpu")).apply(f)
+    assert result.timeline.bytes_to_gpu > 0
+    assert result.timeline.block_bytes_shipped > 0
+    assert result.timeline.n_cpu_items == 0
+
+
+def test_cpu_mode_ships_nothing(problem_2d):
+    f, op, _ref = problem_2d
+    result = BatchedApply(op, make_runtime("cpu")).apply(f)
+    assert result.timeline.bytes_to_gpu == 0
+    assert result.timeline.n_gpu_items == 0
+
+
+def test_block_cache_dedups_transfers(problem_2d):
+    """Within one run, repeated blocks cross PCIe once (write-once cache).
+
+    A small batch cap forces several batches per kind so that later
+    batches find their blocks already resident.
+    """
+    f, op, _ref = problem_2d
+    runtime = make_runtime("gpu", max_batch_size=4)
+    result = BatchedApply(op, runtime).apply(f)
+    cache = runtime.gpu_cache
+    assert cache.stats.hits > 0
+    assert result.timeline.block_bytes_shipped == cache.stats.bytes_inserted
+
+
+def test_dimension_mismatch_rejected(problem_1d):
+    _f, op, _ref = problem_1d
+    fac = FunctionFactory(dim=2, k=8, thresh=1e-4)
+    with pytest.raises(OperatorError):
+        BatchedApply(op, make_runtime()).apply(fac.zero())
+
+
+def test_hybrid_time_between_pure_modes(problem_2d):
+    """Simulated hybrid time must not exceed either pure mode."""
+    f, op, _ref = problem_2d
+    times = {}
+    for mode in ("cpu", "gpu", "hybrid"):
+        times[mode] = BatchedApply(op, make_runtime(mode)).apply(f).timeline.total_seconds
+    assert times["hybrid"] <= 1.15 * min(times["cpu"], times["gpu"])

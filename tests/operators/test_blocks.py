@@ -1,0 +1,111 @@
+"""Tests for the 1-D operator blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperatorError
+from repro.mra.quadrature import gauss_legendre, phi_values
+from repro.mra.twoscale import TwoScaleFilter
+from repro.operators.blocks import (
+    gaussian_block_1d,
+    ns_block_from_children,
+    phi_correlation,
+)
+
+
+def _dense_block(k, a, level, delta, npt=80):
+    """Brute-force 2-D tensor quadrature (valid only for wide kernels)."""
+    x, w = gauss_legendre(npt)
+    phi = phi_values(x, k)
+    beta = a * 4.0 ** (-level)
+    kernel = np.exp(-beta * (x[:, None] - x[None, :] + delta) ** 2)
+    return 2.0 ** (-level) * np.einsum("u,v,uv,ui,vj->ij", w, w, kernel, phi, phi)
+
+
+@pytest.mark.parametrize("delta", [0, 1, -1, 2])
+def test_block_matches_dense_quadrature_smooth(delta):
+    """For wide Gaussians, plain tensor quadrature is accurate: compare."""
+    k, a, level = 6, 8.0, 0
+    ours = gaussian_block_1d(k, a, level, delta)
+    dense = _dense_block(k, a, level, delta)
+    assert np.allclose(ours, dense, atol=1e-12)
+
+
+def test_block_symmetry():
+    """Even kernel: R^{n,-d} = (R^{n,d})^T."""
+    k, a, level = 7, 120.0, 1
+    r_plus = gaussian_block_1d(k, a, level, 1)
+    r_minus = gaussian_block_1d(k, a, level, -1)
+    assert np.allclose(r_plus, r_minus.T, atol=1e-13)
+
+
+def test_block_delta_zero_symmetric():
+    r = gaussian_block_1d(6, 50.0, 0, 0)
+    assert np.allclose(r, r.T, atol=1e-13)
+
+
+def test_sharp_kernel_delta_function_limit():
+    """A very sharp Gaussian acts like sqrt(pi/a) * identity."""
+    k, a = 8, 1e8
+    r = gaussian_block_1d(k, a, 0, 0)
+    scale = np.sqrt(np.pi / a)
+    expected = scale * np.eye(k)
+    assert np.abs(r - expected).max() < 2e-3 * scale
+
+
+def test_far_displacement_negligible():
+    k, a, level = 6, 1e4, 0
+    r = gaussian_block_1d(k, a, level, 5)
+    assert np.abs(r).max() < 1e-20
+
+
+def test_block_norm_decays_with_displacement():
+    k, a, level = 6, 40.0, 0
+    norms = [
+        np.linalg.norm(gaussian_block_1d(k, a, level, d), 2) for d in range(4)
+    ]
+    assert norms[0] > norms[1] > norms[2] > norms[3]
+
+
+def test_ns_block_corner_consistency():
+    """The NS block's scaling corner equals the coarse-level block."""
+    k = 6
+    filt = TwoScaleFilter.build(k)
+    for a in (5.0, 500.0, 5e4):
+        for level in (0, 2):
+            for delta in (0, 1, 2):
+                coarse = gaussian_block_1d(k, a, level, delta)
+                t = ns_block_from_children(
+                    filt,
+                    gaussian_block_1d(k, a, level + 1, 2 * delta),
+                    gaussian_block_1d(k, a, level + 1, 2 * delta - 1),
+                    gaussian_block_1d(k, a, level + 1, 2 * delta + 1),
+                )
+                assert np.allclose(t[:k, :k], coarse, atol=1e-11), (a, level, delta)
+
+
+def test_ns_block_shape_validation():
+    filt = TwoScaleFilter.build(4)
+    bad = np.zeros((5, 5))
+    with pytest.raises(OperatorError):
+        ns_block_from_children(filt, bad, bad, bad)
+
+
+def test_phi_correlation_at_zero_shift_is_identity():
+    """C(0) is the Gram matrix of the orthonormal basis."""
+    k = 7
+    c = phi_correlation(k, np.array([0.0]))[0]
+    assert np.allclose(c, np.eye(k), atol=1e-12)
+
+
+def test_phi_correlation_vanishes_beyond_support():
+    k = 5
+    c = phi_correlation(k, np.array([1.0, -1.0, 1.5]))
+    assert np.abs(c).max() < 1e-14
+
+
+def test_block_input_validation():
+    with pytest.raises(OperatorError):
+        gaussian_block_1d(5, -1.0, 0, 0)
+    with pytest.raises(OperatorError):
+        gaussian_block_1d(5, 1.0, -1, 0)

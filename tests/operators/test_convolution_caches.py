@@ -1,0 +1,93 @@
+"""Cache behaviour and determinism of the convolution operator."""
+
+import numpy as np
+import pytest
+
+from repro.mra.function import FunctionFactory
+from repro.operators.convolution import GaussianConvolution
+from repro.operators.gaussian_fit import GaussianExpansion, single_gaussian
+from tests.conftest import gaussian_1d
+
+
+@pytest.fixture()
+def op():
+    return GaussianConvolution(1, 6, single_gaussian(1.0, 100.0), thresh=1e-6)
+
+
+def test_r_block_cached_by_identity(op):
+    a = op.r_block(1, 2, 0)
+    b = op.r_block(1, 2, 0)
+    assert a is b
+    assert op.r_cache.stats.hits >= 1
+
+
+def test_negative_delta_served_from_positive_cache(op):
+    plus = op.r_block(1, 2, 0)
+    minus = op.r_block(1, -2, 0)
+    assert np.shares_memory(minus.base if minus.base is not None else minus, plus) or \
+        np.allclose(minus, plus.T)
+
+
+def test_level_displacements_cached(op):
+    first = op.level_displacements(2)
+    second = op.level_displacements(2)
+    assert first is second
+
+
+def test_displacement_norms_sorted_by_ring(op):
+    disps = op.level_displacements(1)
+    radii = [max(abs(c) for c in d) for d, _n in disps]
+    assert radii == sorted(radii)
+
+
+def test_term_norms_nonnegative(op):
+    norms = op.term_norms(1, (1,), subtracted=True)
+    assert np.all(norms >= 0)
+    norms_full = op.term_norms(1, (1,), subtracted=False)
+    assert np.all(norms_full >= 0)
+
+
+def test_coupling_norms_decay_faster_for_long_range_kernels():
+    """For a long-range kernel (1/r fit), the full operator norm decays
+    slowly with distance while the wavelet-coupling (subtracted) norm
+    decays fast thanks to vanishing moments — the basis of the screening
+    strategy and the reason the telescoped Apply stays local."""
+    from repro.operators.gaussian_fit import fit_inverse_r
+
+    coulomb = GaussianConvolution(
+        1, 6, fit_inverse_r(1e-4, 1e-3, 1.0), thresh=1e-6
+    )
+    level = 3
+    full_near = coulomb.operator_norm(level, (1,), subtracted=False)
+    full_far = coulomb.operator_norm(level, (6,), subtracted=False)
+    coup_near = coulomb.operator_norm(level, (1,), subtracted=True)
+    coup_far = coulomb.operator_norm(level, (6,), subtracted=True)
+    # 1/r: the full norm only drops ~6x over 6 boxes...
+    assert full_far > full_near / 30
+    # ...while the coupling norm collapses by orders of magnitude
+    assert coup_far < coup_near / 1e3
+
+
+def test_apply_is_deterministic(op):
+    fac = FunctionFactory(dim=1, k=6, thresh=1e-6)
+    f = fac.from_callable(gaussian_1d(200.0))
+    g1 = op.apply(f)
+    g2 = op.apply(f)
+    assert (g1 - g2).norm2() == 0.0
+
+
+def test_multi_term_expansion_is_sum_of_terms():
+    """Linearity over the separated expansion: a 2-term operator equals
+    the sum of the single-term operators."""
+    fac = FunctionFactory(dim=1, k=6, thresh=1e-8)
+    f = fac.from_callable(gaussian_1d(300.0))
+    op_a = GaussianConvolution(1, 6, single_gaussian(1.0, 50.0), thresh=1e-9)
+    op_b = GaussianConvolution(1, 6, single_gaussian(0.5, 200.0), thresh=1e-9)
+    both = GaussianConvolution(
+        1, 6,
+        GaussianExpansion(np.array([1.0, 0.5]), np.array([50.0, 200.0])),
+        thresh=1e-9,
+    )
+    combined = both.apply(f)
+    summed = op_a.apply(f) + op_b.apply(f)
+    assert (combined - summed).norm2() < 1e-7

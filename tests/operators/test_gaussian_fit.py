@@ -1,0 +1,76 @@
+"""Tests for the separated Gaussian expansion of 1/r."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators.gaussian_fit import (
+    GaussianExpansion,
+    fit_inverse_r,
+    single_gaussian,
+)
+
+
+@pytest.mark.parametrize("eps", [1e-3, 1e-6, 1e-8])
+def test_fit_accuracy(eps):
+    r_lo = 1e-3
+    fit = fit_inverse_r(eps, r_lo)
+    err = fit.max_relative_error(lambda r: 1.0 / r, r_lo, np.sqrt(3.0))
+    assert err < 10 * eps, (eps, err, fit.rank)
+
+
+def test_rank_grows_with_precision():
+    """Higher precision -> more Gaussian terms (the paper's M ~ 100)."""
+    ranks = [fit_inverse_r(eps, 1e-4).rank for eps in (1e-2, 1e-6, 1e-10)]
+    assert ranks[0] < ranks[1] < ranks[2]
+
+
+def test_rank_grows_with_resolved_range():
+    wide = fit_inverse_r(1e-6, 1e-6).rank
+    narrow = fit_inverse_r(1e-6, 1e-2).rank
+    assert wide > narrow
+
+
+def test_paper_regime_rank_order_of_magnitude():
+    """At the paper's precisions the rank should be of order 100."""
+    rank = fit_inverse_r(1e-10, 1e-5).rank
+    assert 50 <= rank <= 300
+
+
+def test_single_gaussian_evaluates():
+    g = single_gaussian(2.0, 10.0)
+    assert g.rank == 1
+    assert np.isclose(g(0.0), 2.0)
+    assert np.isclose(g(1.0), 2.0 * np.exp(-10.0))
+
+
+def test_expansion_vectorized_evaluation():
+    g = single_gaussian(1.0, 5.0)
+    r = np.linspace(0, 1, 11)
+    vals = g(r)
+    assert vals.shape == r.shape
+    assert np.allclose(vals, np.exp(-5.0 * r * r))
+
+
+def test_expansion_validation():
+    with pytest.raises(OperatorError):
+        GaussianExpansion(np.ones(3), np.ones(2))
+    with pytest.raises(OperatorError):
+        GaussianExpansion(np.ones(2), np.array([1.0, -1.0]))
+
+
+def test_fit_parameter_validation():
+    with pytest.raises(OperatorError):
+        fit_inverse_r(1e-6, -1.0)
+    with pytest.raises(OperatorError):
+        fit_inverse_r(2.0, 1e-3)
+    with pytest.raises(OperatorError):
+        fit_inverse_r(1e-6, 2.0, 1.0)
+
+
+def test_truncated_keeps_selected_terms():
+    fit = fit_inverse_r(1e-4, 1e-3)
+    keep = np.arange(fit.rank // 2)
+    small = fit.truncated(keep)
+    assert small.rank == len(keep)
+    assert np.allclose(small.coeffs, fit.coeffs[keep])

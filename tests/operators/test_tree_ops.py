@@ -1,0 +1,97 @@
+"""Distributed Compress/Reconstruct/Truncate vs the in-memory versions."""
+
+import numpy as np
+import pytest
+
+from repro.dht.distributed_tree import DistributedTree
+from repro.dht.process_map import HashProcessMap
+from repro.mra.function import MultiresolutionFunction
+from repro.operators.tree_ops import DistributedTreeOps
+from tests.conftest import gaussian_nd
+from repro.mra.function import FunctionFactory
+
+
+@pytest.fixture(scope="module")
+def source():
+    fac = FunctionFactory(dim=2, k=6, thresh=1e-5)
+    return fac.from_callable(gaussian_nd(2, alpha=150.0))
+
+
+def shard(f, n_ranks=4):
+    return DistributedTree.scatter(f.tree, HashProcessMap(n_ranks))
+
+
+def as_function(dist, f, form):
+    return MultiresolutionFunction(
+        f.dim, f.k, dist.gather(), thresh=f.thresh, form=form
+    )
+
+
+def test_distributed_compress_matches_local(source):
+    local = source.copy().compress()
+    dist = shard(source.copy())
+    DistributedTreeOps(dist, source.k).compress()
+    gathered = dist.gather()
+    for key, node in local.tree.items():
+        other = gathered[key]
+        if node.coeffs is None:
+            assert other.coeffs is None, key
+        else:
+            assert np.allclose(other.coeffs, node.coeffs, atol=1e-12), key
+
+
+def test_distributed_reconstruct_roundtrip(source):
+    dist = shard(source.copy())
+    ops = DistributedTreeOps(dist, source.k)
+    ops.compress()
+    ops.reconstruct()
+    back = as_function(dist, source, "reconstructed")
+    for key, node in source.tree.leaves():
+        assert np.allclose(back.tree[key].coeffs, node.coeffs, atol=1e-10)
+
+
+def test_compress_reports_messages_and_time(source):
+    dist = shard(source.copy())
+    result = DistributedTreeOps(dist, source.k).compress()
+    assert result.n_messages > 0  # children often live on other ranks
+    assert result.message_bytes > 0
+    assert result.total_seconds > 0
+    assert result.levels >= source.tree.max_level()
+    assert result.flops > 0
+
+
+def test_single_rank_compress_has_no_messages(source):
+    dist = shard(source.copy(), n_ranks=1)
+    result = DistributedTreeOps(dist, source.k).compress()
+    assert result.n_messages == 0
+
+
+def test_distributed_truncate_matches_local(source):
+    tol = 1e-3
+    local = source.copy()
+    local.compress()
+    local.truncate(tol)
+    dist = shard(source.copy())
+    ops = DistributedTreeOps(dist, source.k)
+    ops.compress()
+    ops.truncate(tol)
+    gathered = dist.gather()
+    assert gathered.size() == local.tree.size()
+    assert set(gathered.keys()) == set(local.tree.keys())
+
+
+def test_truncate_then_reconstruct_stays_accurate(source):
+    dist = shard(source.copy())
+    ops = DistributedTreeOps(dist, source.k)
+    ops.compress()
+    ops.truncate(1e-6)
+    ops.reconstruct()
+    back = as_function(dist, source, "reconstructed")
+    diff = (source - back).norm2()
+    assert diff < 1e-4
+
+
+def test_more_ranks_more_messages(source):
+    few = DistributedTreeOps(shard(source.copy(), 2), source.k).compress()
+    many = DistributedTreeOps(shard(source.copy(), 16), source.k).compress()
+    assert many.n_messages > few.n_messages

@@ -1,0 +1,124 @@
+"""Tests for asynchronous batching, incl. no-loss/no-dup properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RuntimeConfigError
+from repro.runtime.batching import BatchAccumulator
+from repro.runtime.task import TaskKind, WorkItem
+
+
+def item(kind_name: str, idx: int) -> WorkItem:
+    return WorkItem(kind=TaskKind(kind_name, 0), flops=idx)
+
+
+def test_groups_by_kind():
+    acc = BatchAccumulator(flush_interval=1.0)
+    for i in range(3):
+        acc.submit(item("a", i), now=0.0)
+    acc.submit(item("b", 0), now=0.0)
+    batches = acc.flush(now=0.5)
+    kinds = {b.kind.compute_name: b.size for b in batches}
+    assert kinds == {"a": 3, "b": 1}
+
+
+def test_preserves_submission_order_within_kind():
+    acc = BatchAccumulator(flush_interval=1.0)
+    for i in range(5):
+        acc.submit(item("a", i), now=float(i) * 0.01)
+    (batch,) = acc.flush(now=1.0)
+    assert [it.flops for it in batch.items] == [0, 1, 2, 3, 4]
+
+
+def test_size_cap_flushes_eagerly():
+    acc = BatchAccumulator(flush_interval=100.0, max_batch_size=3)
+    out = [acc.submit(item("a", i), now=0.0) for i in range(7)]
+    eager = [b for b in out if b is not None]
+    assert len(eager) == 2
+    assert all(b.size == 3 for b in eager)
+    assert acc.pending == 1
+
+
+def test_next_deadline_tracks_earliest_open_batch():
+    acc = BatchAccumulator(flush_interval=0.5)
+    assert acc.next_deadline() is None
+    acc.submit(item("a", 0), now=1.0)
+    acc.submit(item("b", 0), now=2.0)
+    assert acc.next_deadline() == pytest.approx(1.5)
+
+
+def test_due_respects_timer():
+    acc = BatchAccumulator(flush_interval=0.5)
+    acc.submit(item("a", 0), now=0.0)
+    acc.submit(item("b", 0), now=0.4)
+    due = acc.due(now=0.5)
+    assert [k.compute_name for k in due] == ["a"]
+
+
+def test_flush_records_timestamps():
+    acc = BatchAccumulator(flush_interval=0.5)
+    acc.submit(item("a", 0), now=1.25)
+    (batch,) = acc.flush(now=2.0)
+    assert batch.created_at == 1.25
+    assert batch.flushed_at == 2.0
+
+
+def test_counters():
+    acc = BatchAccumulator(flush_interval=1.0)
+    for i in range(4):
+        acc.submit(item("a", i), now=0.0)
+    assert acc.submitted == 4
+    assert acc.pending == 4
+    acc.flush(now=0.1)
+    assert acc.flushed == 4
+    assert acc.pending == 0
+
+
+def test_invalid_config():
+    with pytest.raises(RuntimeConfigError):
+        BatchAccumulator(flush_interval=0.0)
+    with pytest.raises(RuntimeConfigError):
+        BatchAccumulator(max_batch_size=0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 1000)),
+        max_size=200,
+    ),
+    st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_no_item_lost_or_duplicated(submissions, cap):
+    """Every submitted item comes out exactly once, whatever the flush
+    pattern — the core correctness property of the batching runtime."""
+    acc = BatchAccumulator(flush_interval=0.25, max_batch_size=cap)
+    seen = []
+    now = 0.0
+    for i, (kind_name, _x) in enumerate(submissions):
+        now += 0.05
+        eager = acc.submit(item(kind_name, i), now=now)
+        if eager is not None:
+            seen.extend(eager.items)
+        for batch in acc.flush(now, acc.due(now)):
+            seen.extend(batch.items)
+    for batch in acc.flush(now + 1.0):
+        seen.extend(batch.items)
+    assert sorted(it.flops for it in seen) == list(range(len(submissions)))
+    assert acc.pending == 0
+    assert acc.submitted == acc.flushed == len(submissions)
+
+
+@given(st.integers(1, 50), st.integers(1, 10))
+@settings(max_examples=40, deadline=None)
+def test_eager_batches_never_exceed_cap(n, cap):
+    acc = BatchAccumulator(flush_interval=10.0, max_batch_size=cap)
+    sizes = []
+    for i in range(n):
+        batch = acc.submit(item("a", i), now=0.0)
+        if batch:
+            sizes.append(batch.size)
+    sizes.extend(b.size for b in acc.flush(now=0.0))
+    assert all(s <= cap for s in sizes)
+    assert sum(sizes) == n

@@ -1,0 +1,48 @@
+"""Additional batching accumulator edge cases."""
+
+from repro.runtime.batching import BatchAccumulator
+from repro.runtime.task import TaskKind, WorkItem
+
+
+def item(kind_name: str, idx: int = 0) -> WorkItem:
+    return WorkItem(kind=TaskKind(kind_name, 0), flops=idx)
+
+
+def test_selective_flush_leaves_other_kinds_pending():
+    acc = BatchAccumulator(flush_interval=1.0)
+    acc.submit(item("a"), now=0.0)
+    acc.submit(item("b"), now=0.0)
+    (batch,) = acc.flush(now=0.5, kinds=[TaskKind("a", 0)])
+    assert batch.kind.compute_name == "a"
+    assert acc.pending == 1
+    assert acc.pending_kinds() == [TaskKind("b", 0)]
+
+
+def test_flush_unknown_kind_is_noop():
+    acc = BatchAccumulator(flush_interval=1.0)
+    acc.submit(item("a"), now=0.0)
+    batches = acc.flush(now=0.5, kinds=[TaskKind("zzz", 0)])
+    assert batches == []
+    assert acc.pending == 1
+
+
+def test_reopened_kind_gets_fresh_timer():
+    acc = BatchAccumulator(flush_interval=1.0)
+    acc.submit(item("a"), now=0.0)
+    acc.flush(now=0.2)
+    acc.submit(item("a"), now=5.0)
+    assert acc.next_deadline() == 6.0
+
+
+def test_exact_cap_flushes_once():
+    acc = BatchAccumulator(flush_interval=100.0, max_batch_size=2)
+    assert acc.submit(item("a", 0), now=0.0) is None
+    eager = acc.submit(item("a", 1), now=0.0)
+    assert eager is not None and eager.size == 2
+    assert acc.pending == 0
+
+
+def test_stats_of_empty_flush():
+    acc = BatchAccumulator(flush_interval=1.0)
+    assert acc.flush(now=1.0) == []
+    assert acc.next_deadline() is None

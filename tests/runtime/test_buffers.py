@@ -1,0 +1,78 @@
+"""Tests for pinned transfer buffers (paper Section II-A data batching)."""
+
+import pytest
+
+from repro.errors import RuntimeConfigError
+from repro.hardware.specs import PcieSpec
+from repro.runtime.buffers import PinnedBufferPool, naive_transfer_plan
+
+
+@pytest.fixture()
+def pcie() -> PcieSpec:
+    return PcieSpec()
+
+
+def test_pool_setup_cost_is_per_buffer(pcie):
+    pool = PinnedBufferPool(pcie, n_buffers=4, buffer_bytes=1 << 20)
+    assert pool.setup_cost_seconds == pytest.approx(4 * pcie.page_lock_seconds)
+    assert pool.teardown_cost_seconds == pytest.approx(4 * pcie.page_unlock_seconds)
+
+
+def test_plan_single_transfer(pcie):
+    pool = PinnedBufferPool(pcie, n_buffers=2, buffer_bytes=1 << 20)
+    plan = pool.plan(1 << 19)
+    assert plan.n_transfers == 1
+    assert plan.pinned
+    assert plan.setup_seconds == 0.0  # paid once at construction
+    assert plan.wire_seconds == pytest.approx(
+        (1 << 19) / pcie.pinned_bytes_per_second
+    )
+
+
+def test_plan_splits_across_buffers(pcie):
+    pool = PinnedBufferPool(pcie, buffer_bytes=1 << 20)
+    plan = pool.plan(int(3.5 * (1 << 20)))
+    assert plan.n_transfers == 4
+    assert plan.latency_seconds == pytest.approx(4 * pcie.latency_seconds)
+
+
+def test_zero_bytes_still_one_transfer(pcie):
+    plan = PinnedBufferPool(pcie).plan(0)
+    assert plan.n_transfers == 1
+    assert plan.wire_seconds == 0.0
+
+
+def test_negative_bytes_rejected(pcie):
+    with pytest.raises(RuntimeConfigError):
+        PinnedBufferPool(pcie).plan(-1)
+
+
+def test_invalid_pool_rejected(pcie):
+    with pytest.raises(RuntimeConfigError):
+        PinnedBufferPool(pcie, n_buffers=0)
+
+
+def test_naive_pageable_slower_than_pool(pcie):
+    """The paper's motivation: batched pinned transfers beat per-task
+    pageable ones."""
+    items = [64 << 10] * 100  # 100 tensors of 64 KB
+    pool_time = PinnedBufferPool(pcie).plan(sum(items)).total_seconds
+    naive = naive_transfer_plan(pcie, items, pin_each=False).total_seconds
+    assert naive > 2.0 * pool_time
+
+
+def test_naive_pin_each_is_catastrophic(pcie):
+    """Per-task page-locking costs 2.5 ms per item — 'excessive'."""
+    items = [64 << 10] * 100
+    plan = naive_transfer_plan(pcie, items, pin_each=True)
+    assert plan.setup_seconds == pytest.approx(
+        100 * (pcie.page_lock_seconds + pcie.page_unlock_seconds)
+    )
+    batched = PinnedBufferPool(pcie).plan(sum(items)).total_seconds
+    assert plan.total_seconds > 50 * batched
+
+
+def test_paper_pinning_constants(pcie):
+    assert pcie.page_lock_seconds == pytest.approx(0.5e-3)
+    assert pcie.page_unlock_seconds == pytest.approx(2.0e-3)
+    assert pcie.pinned_bytes_per_second >= 2 * pcie.pageable_bytes_per_second

@@ -1,0 +1,78 @@
+"""Tests for the fixed-ratio dispatcher (the paper's deployment mode)."""
+
+import pytest
+
+from repro.errors import RuntimeConfigError
+from repro.hardware.cpu_model import CpuModel
+from repro.hardware.gpu_model import GpuModel
+from repro.hardware.specs import TITAN_NODE
+from repro.kernels.cpu_kernel import CpuMtxmKernel
+from repro.kernels.custom_gpu import CustomGpuKernel
+from repro.runtime.batching import Batch
+from repro.runtime.dispatcher import HybridDispatcher, StaticSplitDispatcher
+from repro.runtime.node import NodeRuntime
+from tests.runtime.test_node_runtime import make_tasks
+from tests.runtime.test_dispatcher import _batch
+
+
+def _static(fraction: float) -> StaticSplitDispatcher:
+    return StaticSplitDispatcher(
+        CpuMtxmKernel(CpuModel(TITAN_NODE.cpu)),
+        CustomGpuKernel(GpuModel(TITAN_NODE.gpu)),
+        cpu_fraction=fraction,
+        cpu_threads=10,
+        gpu_streams=5,
+    )
+
+
+def test_fraction_respected():
+    plan = _static(0.25).plan(_batch(n_items=100))
+    total = sum(it.flops for it in plan.cpu_items + plan.gpu_items)
+    cpu_share = sum(it.flops for it in plan.cpu_items) / total
+    assert cpu_share == pytest.approx(0.25, abs=0.02)
+    assert plan.cpu_fraction == 0.25
+
+
+def test_extremes():
+    all_gpu = _static(0.0).plan(_batch())
+    assert not all_gpu.cpu_items
+    all_cpu = _static(1.0).plan(_batch())
+    assert not all_cpu.gpu_items
+
+
+def test_invalid_fraction():
+    with pytest.raises(RuntimeConfigError):
+        _static(1.5)
+    with pytest.raises(RuntimeConfigError):
+        _static(-0.1)
+
+
+def test_well_chosen_static_ratio_close_to_measuring_dispatcher():
+    """The paper set the ratio from known relative performance; with the
+    right value the static split should be nearly as good as the
+    measuring dispatcher."""
+    measuring = HybridDispatcher(
+        CpuMtxmKernel(CpuModel(TITAN_NODE.cpu)),
+        CustomGpuKernel(GpuModel(TITAN_NODE.gpu)),
+        cpu_threads=10,
+        gpu_streams=5,
+        mode="hybrid",
+    )
+    rt = NodeRuntime(TITAN_NODE, measuring, flush_interval=0.005)
+    t_measuring = rt.execute(make_tasks(300)).total_seconds
+    k = rt.execute(make_tasks(300)).cpu_fraction_sent  # learn the good ratio
+    rt_static = NodeRuntime(
+        TITAN_NODE, _static(k), flush_interval=0.005
+    )
+    t_static = rt_static.execute(make_tasks(300)).total_seconds
+    assert t_static < 1.25 * t_measuring
+
+
+def test_bad_static_ratio_hurts():
+    """Misjudging the ratio costs real time — why the measuring
+    dispatcher exists."""
+    rt_good = NodeRuntime(TITAN_NODE, _static(0.6), flush_interval=0.005)
+    rt_bad = NodeRuntime(TITAN_NODE, _static(0.95), flush_interval=0.005)
+    t_good = rt_good.execute(make_tasks(300)).total_seconds
+    t_bad = rt_bad.execute(make_tasks(300)).total_seconds
+    assert t_bad > 1.4 * t_good

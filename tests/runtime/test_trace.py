@@ -1,0 +1,86 @@
+"""Tests for execution tracing and the text Gantt renderer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.trace import Tracer, TraceEvent, render_text_gantt
+from tests.conftest import make_runtime
+from tests.runtime.test_node_runtime import make_tasks
+
+
+def test_event_validation():
+    with pytest.raises(SimulationError):
+        TraceEvent("cpu", "x", 2.0, 1.0)
+
+
+def test_tracer_accounting():
+    t = Tracer()
+    t.record("cpu", "a", 0.0, 1.0)
+    t.record("cpu", "b", 2.0, 3.0)
+    t.record("gpu", "c", 0.5, 2.5)
+    assert t.busy("cpu") == pytest.approx(2.0)
+    assert t.busy("gpu") == pytest.approx(2.0)
+    assert t.span() == (0.0, 3.0)
+
+
+def test_utilization_merges_overlaps():
+    t = Tracer()
+    t.record("gpu", "a", 0.0, 2.0)
+    t.record("gpu", "b", 1.0, 3.0)  # overlapping
+    t.record("cpu", "pad", 0.0, 4.0)
+    assert t.utilization("gpu") == pytest.approx(3.0 / 4.0)
+
+
+def test_empty_tracer():
+    t = Tracer()
+    assert t.span() == (0.0, 0.0)
+    assert t.utilization("cpu") == 0.0
+    assert "(no events)" in render_text_gantt(t)
+
+
+def test_gantt_render_shape():
+    t = Tracer()
+    t.record("cpu", "a", 0.0, 0.5)
+    t.record("gpu", "b", 0.5, 1.0)
+    out = render_text_gantt(t, width=20)
+    lines = out.splitlines()
+    assert "timeline" in lines[0]
+    cpu_line = next(line for line in lines if line.startswith("cpu"))
+    gpu_line = next(line for line in lines if line.startswith("gpu"))
+    # CPU busy in the first half, GPU in the second
+    assert "#" in cpu_line.split("|")[1][:10]
+    assert "#" in gpu_line.split("|")[1][10:]
+
+
+def test_gantt_width_validated():
+    with pytest.raises(SimulationError):
+        render_text_gantt(Tracer(), width=2)
+
+
+def test_runtime_populates_tracer():
+    tracer = Tracer()
+    rt = make_runtime("hybrid")
+    rt.tracer = tracer
+    tl = rt.execute(make_tasks(120))
+    assert tracer.by_category("cpu")
+    assert tracer.by_category("gpu")
+    assert tracer.by_category("pcie")
+    assert tracer.by_category("preprocess")
+    assert tracer.by_category("postprocess")
+    # traced busy time agrees with the timeline's accounting
+    assert tracer.busy("gpu") == pytest.approx(tl.gpu_busy, rel=1e-9)
+    assert tracer.busy("pcie") == pytest.approx(tl.pcie_busy, rel=1e-9)
+    # all events inside the run's span
+    start, end = tracer.span()
+    assert start >= 0.0
+    assert end <= tl.total_seconds + 1e-12
+    out = render_text_gantt(tracer)
+    assert "gpu" in out
+
+
+def test_tracing_does_not_change_timing():
+    plain = make_runtime("hybrid").execute(make_tasks(100)).total_seconds
+    rt = make_runtime("hybrid")
+    rt.tracer = Tracer()
+    traced = rt.execute(make_tasks(100)).total_seconds
+    assert traced == pytest.approx(plain)

@@ -1,0 +1,48 @@
+"""Tests for FLOP accounting."""
+
+import pytest
+
+from repro.tensor.flops import (
+    FlopCounter,
+    add_flops,
+    flop_counter,
+    formula1_flops,
+    mtxm_flops,
+)
+
+
+def test_mtxm_flops_formula():
+    assert mtxm_flops(3, 4, 5) == 2 * 3 * 4 * 5
+
+
+def test_formula1_flops_shape():
+    dim, k, rank = 3, 10, 100
+    per_term = dim * 2 * k ** (dim - 1) * k * k + k**dim
+    assert formula1_flops(dim, k, rank) == rank * per_term
+
+
+def test_formula1_flops_monotone_in_rank():
+    assert formula1_flops(3, 10, 50) < formula1_flops(3, 10, 100)
+
+
+def test_add_flops_without_counter_is_noop():
+    add_flops(100, "orphan")  # must not raise
+
+
+def test_counter_labels():
+    with flop_counter() as fc:
+        add_flops(5, "a")
+        add_flops(7, "b")
+        add_flops(3, "a")
+    assert fc.flops == 15
+    assert fc.by_label == {"a": 8, "b": 7}
+
+
+def test_gflops():
+    fc = FlopCounter(flops=2_000_000_000)
+    assert fc.gflops(2.0) == pytest.approx(1.0)
+
+
+def test_gflops_rejects_nonpositive_time():
+    with pytest.raises(ValueError):
+        FlopCounter(flops=1).gflops(0.0)

@@ -1,0 +1,83 @@
+"""Property-based tests of the tensor substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.mtxm import mtxmq
+from repro.tensor.rank_reduction import pad_reduced_result, rank_reduce_pair
+from repro.tensor.transform import transform, transform_seq
+
+dims = st.integers(min_value=1, max_value=3)
+sides = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(seeds, sides, sides, sides)
+@settings(max_examples=50, deadline=None)
+def test_mtxmq_is_transposed_matmul(seed, q, r, c):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((q, r))
+    b = rng.standard_normal((q, c))
+    assert np.allclose(mtxmq(a, b), a.T @ b)
+
+
+@given(seeds, dims, sides)
+@settings(max_examples=40, deadline=None)
+def test_transform_linear_in_input(seed, dim, k):
+    rng = np.random.default_rng(seed)
+    s1 = rng.standard_normal((k,) * dim)
+    s2 = rng.standard_normal((k,) * dim)
+    h = rng.standard_normal((k, k))
+    lhs = transform(s1 + 2.0 * s2, h)
+    rhs = transform(s1, h) + 2.0 * transform(s2, h)
+    assert np.allclose(lhs, rhs, atol=1e-10)
+
+
+@given(seeds, dims, st.integers(min_value=2, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_orthogonal_transform_preserves_norm(seed, dim, k):
+    rng = np.random.default_rng(seed)
+    s = rng.standard_normal((k,) * dim)
+    q, _ = np.linalg.qr(rng.standard_normal((k, k)))
+    r = transform(s, q)
+    assert np.isclose(np.linalg.norm(r), np.linalg.norm(s), rtol=1e-10)
+
+
+@given(seeds, dims, st.integers(min_value=2, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_transform_composition(seed, dim, k):
+    """Transforming by h1 then h2 equals transforming by h1 @ h2."""
+    rng = np.random.default_rng(seed)
+    s = rng.standard_normal((k,) * dim)
+    h1 = rng.standard_normal((k, k))
+    h2 = rng.standard_normal((k, k))
+    two_step = transform(transform(s, h1), h2)
+    one_step = transform(s, h1 @ h2)
+    assert np.allclose(two_step, one_step, atol=1e-9)
+
+
+@given(seeds, st.integers(min_value=2, max_value=10), st.floats(0.05, 0.5))
+@settings(max_examples=40, deadline=None)
+def test_rank_reduction_error_bounded(seed, k, decay):
+    """Reduced multiply differs from full by at most the dropped mass."""
+    rng = np.random.default_rng(seed)
+    tol = 1e-8
+    scale = decay ** np.arange(k)
+    h = rng.standard_normal((k, k)) * np.outer(scale, scale)
+    s = rng.standard_normal((k, k))
+    full = mtxmq(s, h)
+    s_red, h_red, _ = rank_reduce_pair(s, h, tol)
+    reduced = pad_reduced_result(mtxmq(s_red, h_red), k)
+    # dropped rows/cols have norm <= tol each; k of them; data norm bound
+    bound = 2 * k * tol * np.linalg.norm(s) + 1e-12
+    assert np.linalg.norm(full - reduced) <= bound
+
+
+@given(seeds, dims, st.integers(min_value=2, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_transform_seq_equals_transform_for_equal_factors(seed, dim, k):
+    rng = np.random.default_rng(seed)
+    s = rng.standard_normal((k,) * dim)
+    h = rng.standard_normal((k, k))
+    assert np.allclose(transform_seq(s, [h] * dim), transform(s, h))

@@ -1,0 +1,102 @@
+"""Tests for the separated-rank operator application (Formula 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorShapeError
+from repro.tensor.separated import SeparatedTerm, apply_separated
+
+
+def _random_terms(rng, dim, k, rank, coeff_scale=1.0):
+    return [
+        SeparatedTerm(
+            coeff=coeff_scale * float(rng.standard_normal()),
+            factors=tuple(rng.standard_normal((k, k)) for _ in range(dim)),
+        )
+        for _ in range(rank)
+    ]
+
+
+def test_single_term_matches_dense():
+    rng = np.random.default_rng(0)
+    k = 4
+    s = rng.standard_normal((k, k))
+    term = _random_terms(rng, 2, k, 1)[0]
+    got = apply_separated(s, [term])
+    expected = term.coeff * np.einsum(
+        "ab,au,bv->uv", s, term.factors[0], term.factors[1]
+    )
+    assert np.allclose(got, expected)
+
+
+def test_rank_sum_linearity():
+    rng = np.random.default_rng(1)
+    k, dim, rank = 5, 3, 4
+    s = rng.standard_normal((k,) * dim)
+    terms = _random_terms(rng, dim, k, rank)
+    whole = apply_separated(s, terms)
+    parts = sum(apply_separated(s, [t]) for t in terms)
+    assert np.allclose(whole, parts)
+
+
+def test_norm_estimate_is_upper_bound():
+    rng = np.random.default_rng(2)
+    k, dim = 5, 2
+    s = rng.standard_normal((k,) * dim)
+    term = _random_terms(rng, dim, k, 1)[0]
+    out = apply_separated(s, [term])
+    bound = term.norm_estimate() * np.linalg.norm(s)
+    assert np.linalg.norm(out) <= bound + 1e-12
+
+
+def test_screening_skips_small_terms():
+    rng = np.random.default_rng(3)
+    k, dim = 4, 2
+    s = rng.standard_normal((k,) * dim)
+    big = _random_terms(rng, dim, k, 1)[0]
+    tiny = SeparatedTerm(coeff=1e-300, factors=big.factors)
+    screened = apply_separated(s, [big, tiny], screen_below=1e-6)
+    assert np.allclose(screened, apply_separated(s, [big]))
+
+
+def test_all_terms_screened_gives_zero():
+    rng = np.random.default_rng(4)
+    k, dim = 4, 2
+    s = rng.standard_normal((k,) * dim)
+    tiny = SeparatedTerm(
+        coeff=1e-300, factors=tuple(rng.standard_normal((k, k)) for _ in range(dim))
+    )
+    out = apply_separated(s, [tiny], screen_below=1e-6)
+    assert out.shape == s.shape
+    assert np.all(out == 0.0)
+
+
+def test_term_requires_matching_factor_shapes():
+    with pytest.raises(TensorShapeError):
+        SeparatedTerm(coeff=1.0, factors=(np.eye(3), np.eye(4)))
+
+
+def test_term_requires_factors():
+    with pytest.raises(TensorShapeError):
+        SeparatedTerm(coeff=1.0, factors=())
+
+
+def test_dimension_mismatch_rejected():
+    term = SeparatedTerm(coeff=1.0, factors=(np.eye(3), np.eye(3)))
+    with pytest.raises(TensorShapeError):
+        apply_separated(np.zeros((3, 3, 3)), [term])
+
+
+def test_empty_terms_rejected():
+    with pytest.raises(TensorShapeError):
+        apply_separated(np.zeros((3, 3)), [])
+
+
+def test_rectangular_factors_change_output_shape():
+    rng = np.random.default_rng(5)
+    s = rng.standard_normal((4, 4))
+    term = SeparatedTerm(
+        coeff=2.0, factors=(rng.standard_normal((4, 6)), rng.standard_normal((4, 6)))
+    )
+    out = apply_separated(s, [term])
+    assert out.shape == (6, 6)
