@@ -1,0 +1,31 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint ruff mypy test trace-check
+
+## check: everything CI runs — in-tree analyzer, ruff, mypy, tier-1 tests
+check: lint ruff mypy test
+
+## lint: the project's own determinism/resource-safety analyzer (hard gate)
+lint:
+	$(PYTHON) -m repro.lint src/repro
+
+## ruff / mypy: optional external baselines — skipped when not installed
+ruff:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \
+	then ruff check src tests; \
+	else echo "ruff not installed; skipping (pip install .[lint])"; fi
+
+mypy:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; \
+	then $(PYTHON) -m mypy; \
+	else echo "mypy not installed; skipping (pip install .[lint])"; fi
+
+## test: tier-1 suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+## trace-check: just the dynamic happens-before tests
+trace-check:
+	$(PYTHON) -m pytest -q tests/lint/test_trace_check.py \
+	    tests/integration/test_trace_consistency.py

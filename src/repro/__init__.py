@@ -40,6 +40,8 @@ Quickstart::
     g = op.apply(f)
 """
 
+from __future__ import annotations
+
 from repro._version import __version__
 
 # Public names are imported lazily (PEP 562) so that importing `repro`

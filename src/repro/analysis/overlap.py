@@ -32,10 +32,12 @@ class OverlapAnalysis:
 
     @property
     def speedup_vs_cpu(self) -> float:
+        """How many times faster the hybrid run is than CPU-only."""
         return self.cpu_only_seconds / self.hybrid_seconds
 
     @property
     def speedup_vs_gpu(self) -> float:
+        """How many times faster the hybrid run is than GPU-only."""
         return self.gpu_only_seconds / self.hybrid_seconds
 
 

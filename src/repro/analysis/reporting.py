@@ -36,6 +36,7 @@ class ReportTable:
     notes: list[str] = field(default_factory=list)
 
     def add_row(self, *values) -> None:
+        """Append one row; cell count must match the column count."""
         if len(values) != len(self.columns):
             raise ReproError(
                 f"row has {len(values)} cells, table has {len(self.columns)} columns"
@@ -43,9 +44,11 @@ class ReportTable:
         self.rows.append(list(values))
 
     def add_note(self, note: str) -> None:
+        """Attach a footnote printed under the table."""
         self.notes.append(note)
 
     def render(self) -> str:
+        """The fixed-width text form (title, header, rows, footnotes)."""
         cells = [[_fmt(v) for v in row] for row in self.rows]
         widths = [
             max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells
@@ -66,4 +69,5 @@ class ReportTable:
         return "\n".join(out)
 
     def print(self) -> None:  # noqa: A003 - deliberate, mirrors rich-style API
+        """Render to stdout with surrounding blank lines."""
         print("\n" + self.render() + "\n")

@@ -110,6 +110,7 @@ class CoulombApplication:
             self.rank = coulomb_rank(self.precision, self.dim)
 
     def workload(self) -> SyntheticApplyWorkload:
+        """The synthetic Apply workload matching this configuration."""
         return SyntheticApplyWorkload(
             dim=self.dim,
             k=self.k,

@@ -40,6 +40,7 @@ class TdseApplication:
     seed: int = 41
 
     def workload(self) -> SyntheticApplyWorkload:
+        """The synthetic 4-D TDSE Apply workload for this configuration."""
         return SyntheticApplyWorkload(
             dim=self.dim,
             k=self.k,

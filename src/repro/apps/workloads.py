@@ -167,6 +167,7 @@ class SyntheticApplyWorkload:
     # -- views --------------------------------------------------------------------
 
     def task_count_by_level(self) -> dict[int, int]:
+        """Histogram of task counts per tree level (sorted by level)."""
         hist: dict[int, int] = {}
         for t in self.tasks:
             hist[t.key.level] = hist.get(t.key.level, 0) + 1

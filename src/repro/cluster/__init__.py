@@ -9,6 +9,8 @@ network model verifies, rather than assumes, the paper's claim that
 inter-node communication is not a bottleneck.
 """
 
+from __future__ import annotations
+
 # Lazy exports (PEP 562): the simulation module imports the kernel and
 # runtime layers, which in turn reach back into operator utilities —
 # eager imports here would close that cycle.

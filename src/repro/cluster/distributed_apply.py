@@ -52,6 +52,7 @@ class DistributedApplyResult:
 
     @property
     def n_ranks(self) -> int:
+        """Number of ranks that participated in the run."""
         return len(self.node_timelines)
 
 
@@ -83,6 +84,7 @@ class DistributedApply:
         self.network = network or NetworkModel()
 
     def apply(self, f: MultiresolutionFunction) -> DistributedApplyResult:
+        """Run the distributed hybrid Apply on ``f`` end to end."""
         if (f.dim, f.k) != (self.op.dim, self.op.k):
             raise OperatorError(
                 f"operator (dim={self.op.dim}, k={self.op.k}) cannot act on "

@@ -47,6 +47,7 @@ class NodeResult:
 
     @property
     def total_seconds(self) -> float:
+        """The rank's compute makespan plus its network drain."""
         return self.timeline.total_seconds + self.comm_seconds
 
 

@@ -30,6 +30,7 @@ class MessageLog:
     by_pair: dict[tuple[int, int], int] = field(default_factory=dict)
 
     def record(self, src: int, dst: int, nbytes: int) -> None:
+        """Count one src -> dst accumulate message of ``nbytes``."""
         self.n_messages += 1
         self.bytes_total += nbytes
         pair = (src, dst)
@@ -50,6 +51,7 @@ class DistributedTree:
     # -- placement ----------------------------------------------------------
 
     def owner(self, key: Key) -> int:
+        """The rank owning ``key`` (validated against the shard count)."""
         rank = self.pmap.owner(key)
         if not 0 <= rank < self.pmap.n_ranks:
             raise ClusterConfigError(
@@ -58,6 +60,7 @@ class DistributedTree:
         return rank
 
     def shard(self, rank: int) -> FunctionTree:
+        """The local tree shard of one rank."""
         return self.shards[rank]
 
     # -- global views ---------------------------------------------------------
@@ -66,6 +69,7 @@ class DistributedTree:
         return key in self.shards[self.owner(key)]
 
     def get(self, key: Key) -> FunctionNode | None:
+        """The node stored under ``key`` on its owning shard, if any."""
         return self.shards[self.owner(key)].get(key)
 
     def insert(self, key: Key, node: FunctionNode) -> int:
@@ -75,9 +79,11 @@ class DistributedTree:
         return rank
 
     def size(self) -> int:
+        """Total node count across every shard."""
         return sum(len(s) for s in self.shards)
 
     def shard_sizes(self) -> list[int]:
+        """Per-rank node counts (the load-balance view)."""
         return [len(s) for s in self.shards]
 
     # -- the operation the cluster runtime needs ---------------------------------

@@ -40,6 +40,7 @@ class HashProcessMap(ProcessMap):
     """Even distribution by stable key hash (no locality)."""
 
     def owner(self, key: Key) -> int:
+        """The rank holding ``key``: its stable hash modulo the ranks."""
         return stable_key_hash(key) % self.n_ranks
 
 
@@ -64,12 +65,14 @@ class SubtreePartitionMap(ProcessMap):
         self.anchor_level = anchor_level
 
     def anchor_of(self, key: Key) -> Key:
+        """The ancestor at ``anchor_level`` that decides ``key``'s rank."""
         k = key
         while k.level > self.anchor_level:
             k = k.parent()
         return k
 
     def owner(self, key: Key) -> int:
+        """The rank of ``key``'s anchor subtree (coarse keys hash directly)."""
         if key.level < self.anchor_level:
             # the (few) coarse keys above the anchors are hashed directly
             return stable_key_hash(key) % self.n_ranks
@@ -164,12 +167,14 @@ class CostPartitionMap(ProcessMap):
         return cls(n_ranks, anchors)
 
     def anchor_of(self, key: Key) -> Key:
+        """The nearest registered anchor on ``key``'s ancestor chain."""
         k = key
         while k not in self._anchors and k.level > 0:
             k = k.parent()
         return k
 
     def owner(self, key: Key) -> int:
+        """The anchor's assigned rank (hash fallback off the known tree)."""
         anchor = self.anchor_of(key)
         rank = self._anchors.get(anchor)
         if rank is None:
@@ -179,6 +184,7 @@ class CostPartitionMap(ProcessMap):
 
     @property
     def n_anchors(self) -> int:
+        """Number of registered anchor subtrees."""
         return len(self._anchors)
 
 
@@ -191,6 +197,7 @@ class LevelStripeMap(ProcessMap):
     """
 
     def owner(self, key: Key) -> int:
+        """Stripe by translation index within the key's level."""
         index = 0
         for t in key.translation:
             index = index * 31 + t

@@ -17,6 +17,7 @@ from repro.experiments import REGISTRY
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Regenerate the requested tables/figures; returns the exit status."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation tables and figures.",

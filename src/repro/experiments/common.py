@@ -30,6 +30,7 @@ class ExperimentResult:
     data: dict = field(default_factory=dict)
 
     def print(self) -> None:  # noqa: A003
+        """Render the result table to stdout."""
         self.table.print()
 
 

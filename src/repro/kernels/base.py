@@ -44,10 +44,12 @@ class FormulaPayload:
 
     @property
     def rank(self) -> int:
+        """Separation rank M of the payload's operator expansion."""
         return len(self.factors)
 
     @property
     def dim(self) -> int:
+        """Dimensionality d of the payload tensor."""
         return self.s.ndim
 
     def reference_result(self) -> np.ndarray:
@@ -108,6 +110,7 @@ class KernelTiming:
     launches: int
 
     def gflops(self) -> float:
+        """Achieved GFLOPS implied by this timing (0 for zero time)."""
         if self.seconds <= 0:
             return 0.0
         return self.flops / self.seconds / 1e9
@@ -128,4 +131,5 @@ class ComputeKernel(abc.ABC):
         """Numerically execute one work item (None for cost-only items)."""
 
     def run_batch(self, items: list[WorkItem]) -> list[np.ndarray | None]:
+        """Numerically execute every item of a batch, in order."""
         return [self.run_item(item) for item in items]

@@ -54,6 +54,7 @@ class CpuMtxmKernel(ComputeKernel):
     # -- numerics ---------------------------------------------------------------
 
     def run_item(self, item: WorkItem) -> np.ndarray | None:
+        """Evaluate Formula 1 on the CPU (with optional rank reduction)."""
         payload = item.payload
         if payload is None:
             return None
@@ -80,6 +81,7 @@ class CpuMtxmKernel(ComputeKernel):
     # -- timing -------------------------------------------------------------------
 
     def batch_timing(self, stats: BatchStats, parallelism: int) -> KernelTiming:
+        """Batch duration on ``parallelism`` CPU threads (starvation-aware)."""
         flops = stats.flops
         if self.rank_reduction:
             flops = int(flops / self.reduction_factor)

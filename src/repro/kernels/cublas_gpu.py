@@ -44,6 +44,7 @@ class CublasKernel(ComputeKernel):
     # -- numerics --------------------------------------------------------------
 
     def run_item(self, item: WorkItem) -> np.ndarray | None:
+        """Evaluate Formula 1 (cuBLAS differs in cost, not arithmetic)."""
         payload = item.payload
         if payload is None:
             return None
@@ -56,6 +57,7 @@ class CublasKernel(ComputeKernel):
     # -- timing ---------------------------------------------------------------------
 
     def batch_timing(self, stats: BatchStats, parallelism: int) -> KernelTiming:
+        """Batch duration with one DGEMM launch per contraction step."""
         if stats.n_items == 0 or stats.steps == 0:
             return KernelTiming(0.0, 0, 0)
         # reconstruct the GEMM shape (rows, q) x (q, q)

@@ -77,6 +77,7 @@ class CustomGpuKernel(ComputeKernel):
     # -- numerics (identical arithmetic to the CPU kernel) -------------------------
 
     def run_item(self, item: WorkItem) -> np.ndarray | None:
+        """Evaluate Formula 1 (fusion changes scheduling, not arithmetic)."""
         payload = item.payload
         if payload is None:
             return None
@@ -100,6 +101,7 @@ class CustomGpuKernel(ComputeKernel):
         return (capacity / working_bytes) ** 0.45
 
     def batch_timing(self, stats: BatchStats, parallelism: int) -> KernelTiming:
+        """Batch duration for the fused kernel across CUDA streams."""
         if stats.n_items == 0:
             return KernelTiming(0.0, 0, 0)
         sm_per = sm_per_instance_for(

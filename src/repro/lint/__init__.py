@@ -1,0 +1,38 @@
+"""repro.lint — determinism & resource-safety static analysis.
+
+The simulated CPU-GPU runtime rests on invariants the code states only
+in prose: batches never reorder, lose, or duplicate items; the GPU block
+cache is strictly write-once behind a capacity check; and the
+discrete-event simulation is deterministic, so every table and figure of
+the reproduction is exactly repeatable.  This package makes those
+invariants machine-checked:
+
+- :mod:`repro.lint.core` — the analyzer engine: rule registry, per-line
+  ``# repro: noqa[RULE]`` suppression, file discovery;
+- :mod:`repro.lint.rules` — the rule families (determinism, float-time
+  hygiene, resource safety, API hygiene), each grounded in a runtime
+  invariant documented in ``docs/LINT.md``;
+- :mod:`repro.lint.cli` — ``python -m repro.lint`` / ``repro-lint`` with
+  text and JSON output, nonzero exit on findings (CI-consumable);
+- :mod:`repro.lint.trace_check` — the *dynamic* complement: replays a
+  structured :class:`repro.runtime.trace.Tracer` log and asserts
+  happens-before consistency of the batching runtime.
+
+Run ``python -m repro.lint src/repro`` to lint the package;
+``python -m repro.lint --list-rules`` enumerates every rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import Finding, LintConfig, Rule, all_rules, lint_paths
+from repro.lint.trace_check import TraceCheckError, check_runtime_log
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "TraceCheckError",
+    "check_runtime_log",
+]

@@ -1,0 +1,111 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit status is CI-consumable: 0 clean, 1 findings, 2 usage error.  The
+``--format json`` output is a stable object with the finding list and a
+summary, so pipelines can consume it without parsing text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.lint.core import LintConfig, LintUsageError, all_rules, lint_paths
+
+#: default lint target when no paths are given (repo layout)
+DEFAULT_PATHS = ("src/repro",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Determinism & resource-safety static analyzer for the "
+            "simulated CPU-GPU runtime."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _parse_rule_list(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    return frozenset(r.strip().upper() for r in raw.split(",") if r.strip())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the exit status instead of raising SystemExit."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            scope = ", ".join(rule.scope) if rule.scope else "all files"
+            print(f"{rule_id}  [{scope}]  {rule.summary}")
+        return 0
+
+    config = LintConfig(
+        select=_parse_rule_list(args.select),
+        ignore=_parse_rule_list(args.ignore) or frozenset(),
+    )
+    try:
+        findings = lint_paths(args.paths, config)
+    except LintUsageError as err:
+        print(f"repro-lint: error: {err}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        by_rule = Counter(f.rule for f in findings)
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "summary": {
+                        "total": len(findings),
+                        "by_rule": dict(sorted(by_rule.items())),
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        n = len(findings)
+        print(f"repro-lint: {n} finding{'s' if n != 1 else ''}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

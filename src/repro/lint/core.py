@@ -1,0 +1,251 @@
+"""The analyzer engine: rules, findings, suppression, file discovery.
+
+A :class:`Rule` inspects one parsed file (:class:`FileContext`) and
+yields :class:`Finding` objects.  Rules register themselves in a module
+registry via the :func:`register` decorator; :func:`lint_paths` walks a
+file tree, runs every in-scope rule, and filters suppressed findings.
+
+Suppression is per line and per rule::
+
+    t = time.time()  # repro: noqa[DET001]
+
+A bare ``# repro: noqa`` suppresses every rule on that line.  Rules may
+declare a *scope* — a set of package directory names (``runtime``,
+``cluster``, ...) — and only fire on files whose path contains one of
+them; scope-less rules fire everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+
+class LintUsageError(ReproError, ValueError):
+    """The analyzer was invoked with invalid paths or rule selections."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def render(self) -> str:
+        """The canonical one-line ``path:line:col: RULE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (the ``--format json`` shape)."""
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Path components, used for rule scoping (``runtime`` etc.)."""
+        return self.path.parts
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` located at ``node``."""
+        return Finding(
+            rule=rule,
+            message=message,
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+        )
+
+
+class Rule:
+    """Base class for analyzer rules.
+
+    Subclasses set :attr:`id` (``DET001``...), :attr:`summary` (one-line
+    description shown by ``--list-rules``), optionally :attr:`scope`
+    (directory names the rule is restricted to), and implement
+    :meth:`check`.
+    """
+
+    id: str = ""
+    summary: str = ""
+    #: directory names this rule is restricted to (None = everywhere)
+    scope: tuple[str, ...] | None = None
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule is in scope for ``ctx``'s path."""
+        if self.scope is None:
+            return True
+        return any(part in self.scope for part in ctx.parts)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file; overridden by every rule."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.id}: {self.summary}>"
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = cls()
+    if not rule.id:
+        raise LintUsageError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise LintUsageError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registry (id -> rule instance), importing rule modules once."""
+    # rule modules self-register on import
+    import repro.lint.rules  # noqa: F401  (import for side effect)
+
+    return dict(_REGISTRY)
+
+
+#: matches `# repro: noqa` and `# repro: noqa[DET001, RES002]`
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+def suppressed_rules(line: str) -> set[str] | None:
+    """Rule ids suppressed on ``line``.
+
+    Returns ``None`` when the line has no ``# repro: noqa`` marker, the
+    empty set for a bare marker (suppress everything), and the named ids
+    for the bracketed form.
+    """
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    rules = m.group("rules")
+    if rules is None:
+        return set()
+    return {r.strip().upper() for r in rules.split(",") if r.strip()}
+
+
+def is_suppressed(finding: Finding, lines: list[str]) -> bool:
+    """Whether ``finding`` is silenced by a noqa marker on its line."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    marked = suppressed_rules(lines[finding.line - 1])
+    if marked is None:
+        return False
+    return not marked or finding.rule in marked
+
+
+@dataclass
+class LintConfig:
+    """Analyzer configuration: which rules run.
+
+    Args:
+        select: rule ids to run (default: all registered).
+        ignore: rule ids to skip.
+    """
+
+    select: frozenset[str] | None = None
+    ignore: frozenset[str] = frozenset()
+
+    def active_rules(self) -> list[Rule]:
+        """Rules enabled by this configuration, id-sorted."""
+        rules = all_rules()
+        if self.select is not None:
+            unknown = set(self.select) - set(rules)
+            if unknown:
+                raise LintUsageError(f"unknown rule ids: {sorted(unknown)}")
+        unknown = set(self.ignore) - set(rules)
+        if unknown:
+            raise LintUsageError(f"unknown rule ids: {sorted(unknown)}")
+        active = [
+            rule
+            for rule_id, rule in sorted(rules.items())
+            if (self.select is None or rule_id in self.select)
+            and rule_id not in self.ignore
+        ]
+        return active
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``*.py`` files."""
+    seen: set[Path] = set()
+    collected: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            collected.extend(sorted(p.rglob("*.py")))
+        elif p.is_file():
+            collected.append(p)
+        else:
+            raise LintUsageError(f"no such file or directory: {p}")
+    for p in collected:
+        if p not in seen:
+            seen.add(p)
+            yield p
+
+
+def lint_file(path: Path, config: LintConfig | None = None) -> list[Finding]:
+    """Run every active, in-scope rule over one file."""
+    config = config or LintConfig()
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as err:
+        return [
+            Finding(
+                rule="PARSE",
+                message=f"cannot parse file: {err.msg}",
+                path=str(path),
+                line=err.lineno or 1,
+                col=(err.offset or 0) + 1,
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree, lines=lines)
+    findings: list[Finding] = []
+    for rule in config.active_rules():
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not is_suppressed(finding, lines):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[str | Path], config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint every python file under ``paths``; the analyzer entry point."""
+    config = config or LintConfig()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, config))
+    return findings

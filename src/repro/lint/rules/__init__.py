@@ -1,0 +1,21 @@
+"""Rule families of the repro analyzer.
+
+Importing this package registers every rule with
+:mod:`repro.lint.core`; each module documents the runtime invariant its
+rules protect (see ``docs/LINT.md`` for the full catalogue):
+
+- :mod:`repro.lint.rules.determinism` — ``DET``: simulated time and
+  seeded randomness only inside the event-driven subsystems;
+- :mod:`repro.lint.rules.floats` — ``FLT``: no exact equality on
+  float-valued simulated-time expressions;
+- :mod:`repro.lint.rules.resources` — ``RES``: capacity-checked cache
+  and buffer mutation, no swallowed hardware errors;
+- :mod:`repro.lint.rules.api` — ``API``: mutable defaults, postponed
+  annotations, public docstrings.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import api, determinism, floats, resources
+
+__all__ = ["api", "determinism", "floats", "resources"]

@@ -1,0 +1,87 @@
+"""Shared AST helpers for the analyzer rules."""
+
+from __future__ import annotations
+
+import ast
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted names they import.
+
+    ``import numpy as np``           -> ``{"np": "numpy"}``
+    ``from time import monotonic``   -> ``{"monotonic": "time.monotonic"}``
+    ``from datetime import datetime`` -> ``{"datetime": "datetime.datetime"}``
+
+    Only top-level and function-local imports reachable by a plain walk
+    are considered, which is all this codebase uses.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call_name(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    """The fully-qualified dotted name a call resolves to, if static.
+
+    ``np.random.rand(...)`` with ``import numpy as np`` resolves to
+    ``numpy.random.rand``; calls through computed expressions resolve to
+    ``None``.
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    root, _, rest = name.partition(".")
+    base = aliases.get(root)
+    if base is None:
+        return name
+    return f"{base}.{rest}" if rest else base
+
+
+def body_only_swallows(body: list[ast.stmt]) -> bool:
+    """Whether an except body does nothing but drop the error.
+
+    True when every statement is ``pass``, ``continue``, ``...``, or a
+    bare docstring — i.e. the handler neither re-raises, logs, recovers,
+    nor records the failure.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ellipsis
+        return False
+    return True
+
+
+def handler_exception_names(handler: ast.ExceptHandler) -> list[str]:
+    """Terminal names of the exception types an except clause catches."""
+    node = handler.type
+    if node is None:
+        return []
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for elt in elts:
+        dotted = dotted_name(elt)
+        if dotted:
+            names.append(dotted.rsplit(".", 1)[-1])
+    return names

@@ -1,0 +1,136 @@
+"""``API`` — API-hygiene rules.
+
+These protect maintainability invariants rather than simulation ones:
+mutable default arguments alias state across calls (deadly for a runtime
+whose objects are re-instantiated per experiment); ``from __future__
+import annotations`` keeps the ``X | None`` annotation style this
+codebase uses importable everywhere; and public functions carry
+docstrings because the docstrings are where the paper's prose invariants
+live.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict",
+                            "deque", "Counter", "OrderedDict"})
+
+_FunctionDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    """Whether a default-value expression is a shared mutable object."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """API001: no mutable default arguments."""
+
+    id = "API001"
+    summary = "mutable default argument (shared across calls); default to None"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag list/dict/set(-building) defaults on any function."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, _FunctionDef):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield ctx.finding(
+                        self.id,
+                        default,
+                        f"mutable default argument in {node.name}(); one "
+                        "object is shared across every call — default to "
+                        "None and build inside",
+                    )
+
+
+@register
+class FutureAnnotationsRule(Rule):
+    """API002: annotated modules import annotations from __future__."""
+
+    id = "API002"
+    summary = (
+        "module uses annotations without `from __future__ import "
+        "annotations` (the codebase's X | None style needs it)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag annotated modules missing the postponed-annotations import."""
+        has_future = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "__future__"
+            and any(alias.name == "annotations" for alias in node.names)
+            for node in ctx.tree.body
+        )
+        if has_future:
+            return
+        for node in ast.walk(ctx.tree):
+            annotated = isinstance(node, ast.AnnAssign) or (
+                isinstance(node, _FunctionDef)
+                and (
+                    node.returns is not None
+                    or any(
+                        a.annotation is not None
+                        for a in [
+                            *node.args.args,
+                            *node.args.posonlyargs,
+                            *node.args.kwonlyargs,
+                        ]
+                    )
+                )
+            )
+            if annotated:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "module has annotations but no `from __future__ import "
+                    "annotations`; postponed evaluation keeps `X | None` "
+                    "importable and annotation cost zero",
+                )
+                return
+
+
+@register
+class PublicDocstringRule(Rule):
+    """API003: public functions and methods carry docstrings."""
+
+    id = "API003"
+    summary = (
+        "public function/method without a docstring (the docstrings "
+        "carry the paper's invariants)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag module/class-level public defs lacking a docstring."""
+        yield from self._visit(ctx, ctx.tree)
+
+    def _visit(self, ctx: FileContext, parent: ast.AST) -> Iterator[Finding]:
+        for node in ast.iter_child_nodes(parent):
+            if isinstance(node, _FunctionDef):
+                if node.name.startswith("_"):
+                    continue  # private helpers and dunders document freely
+                if ast.get_docstring(node) is None:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"public function {node.name}() has no docstring",
+                    )
+                # nested defs are closures, not API — do not descend
+            elif isinstance(node, ast.ClassDef):
+                if not node.name.startswith("_"):
+                    yield from self._visit(ctx, node)

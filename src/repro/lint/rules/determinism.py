@@ -1,0 +1,114 @@
+"""``DET`` — determinism rules for the simulated-time subsystems.
+
+The discrete-event engine (:mod:`repro.runtime.events`) guarantees that
+"events scheduled for the same instant fire in scheduling order, so
+simulations are exactly reproducible".  That guarantee — and with it
+every timing table and figure of the reproduction — dies the moment code
+inside the event-driven subsystems (``runtime/``, ``cluster/``,
+``dht/``) reads the host's wall clock or draws from process-global RNG
+state.  Simulated time must come from ``Environment.now``; randomness
+must come from an explicitly seeded generator owned by the workload.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.core import FileContext, Finding, Rule, register
+from repro.lint.rules._util import import_aliases, resolve_call_name
+
+#: subsystems that run on simulated time
+SIMULATED_TIME_SCOPE = ("runtime", "cluster", "dht")
+
+#: wall-clock reads (and real sleeps) banned on the simulated clock
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: module-level RNG entry points that draw from hidden global state
+_GLOBAL_RNG_PREFIXES = ("random.", "numpy.random.")
+#: explicit-generator constructors, fine *when seeded*
+_SEEDED_CONSTRUCTORS = frozenset(
+    {"random.Random", "random.SystemRandom", "numpy.random.default_rng",
+     "numpy.random.Generator", "numpy.random.RandomState"}
+)
+
+
+@register
+class WallClockRule(Rule):
+    """DET001: no wall-clock reads inside simulated-time subsystems."""
+
+    id = "DET001"
+    summary = (
+        "wall-clock call in simulated-time code (use Environment.now, "
+        "not time.time/monotonic/datetime.now)"
+    )
+    scope = SIMULATED_TIME_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag calls resolving to banned wall-clock functions."""
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node, aliases)
+            if name in WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"call to {name}() in simulated-time code; simulated "
+                    "time must come from the event loop (Environment.now)",
+                )
+
+
+@register
+class GlobalRngRule(Rule):
+    """DET002: no global/unseeded RNG inside simulated-time subsystems."""
+
+    id = "DET002"
+    summary = (
+        "module-level or unseeded RNG in simulated-time code (pass a "
+        "seeded random.Random / numpy Generator instead)"
+    )
+    scope = SIMULATED_TIME_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag module-level RNG draws and unseeded generator constructors."""
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node, aliases)
+            if name is None:
+                continue
+            if name in _SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"{name}() constructed without a seed; simulations "
+                        "must be exactly reproducible",
+                    )
+                continue
+            if name.startswith(_GLOBAL_RNG_PREFIXES):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"call to {name}() draws from process-global RNG state; "
+                    "use an explicitly seeded generator owned by the workload",
+                )

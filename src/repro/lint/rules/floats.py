@@ -1,0 +1,66 @@
+"""``FLT`` — float-time hygiene rules.
+
+Simulated instants are floats accumulated through ``Environment.now``
+(``heapq`` of ``now + delay``), so two logically-equal instants can
+differ in the last ulp.  The batching runtime learned this the hard way:
+the flusher compares ``deadline`` against ``now`` with ``>=``, never
+``==``, "which also guarantees progress against floating-point deadline
+rounding" (:mod:`repro.runtime.node`).  Exact ``==``/``!=`` on
+simulated-time expressions is therefore a latent nondeterminism bug in
+``runtime/`` and a silent mis-bucketing bug in ``analysis/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+#: identifiers that denote simulated-time values in this codebase
+TIME_NAME_RE = re.compile(
+    r"(?:^|_)(?:now|time|seconds|deadline|elapsed|duration|start|end|"
+    r"makespan|span|instant)(?:_|$)|_at$"
+)
+
+
+def _is_time_like(node: ast.expr) -> bool:
+    """Whether an expression syntactically denotes a simulated instant."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.Name):
+        return bool(TIME_NAME_RE.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(TIME_NAME_RE.search(node.attr))
+    return False
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """FLT001: no exact equality on simulated-time expressions."""
+
+    id = "FLT001"
+    summary = (
+        "== / != on a simulated-time or float expression (compare with "
+        "a tolerance or an ordering, not exact equality)"
+    )
+    scope = ("runtime", "analysis")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag Eq/NotEq comparisons with a time-like operand."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_time_like(left) or _is_time_like(right):
+                    yield ctx.finding(
+                        self.id,
+                        left,
+                        "exact equality on a simulated-time/float value; "
+                        "floats accumulated through the event loop differ "
+                        "in the last ulp — use a tolerance or >=/<=",
+                    )

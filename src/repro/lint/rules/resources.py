@@ -1,0 +1,141 @@
+"""``RES`` — resource-safety rules.
+
+The write-once GPU block cache (:class:`repro.kernels.gpu_cache.GpuBlockCache`)
+and the pinned buffer pool (:class:`repro.runtime.buffers.PinnedBufferPool`)
+enforce their capacity invariants *inside* their mutation APIs: inserting
+beyond capacity raises :class:`~repro.errors.HardwareModelError`, invalid
+pool shapes raise :class:`~repro.errors.RuntimeConfigError`.  Two things
+defeat that design — swallowing the documented error types, and mutating
+cache state behind the API's back.  These rules flag both, plus the
+classic bare ``except:`` that hides everything including
+``KeyboardInterrupt``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.core import FileContext, Finding, Rule, register
+from repro.lint.rules._util import body_only_swallows, handler_exception_names
+
+#: the documented capacity/configuration error types of the runtime
+GUARD_ERRORS = ("HardwareModelError", "RuntimeConfigError")
+
+#: attributes that make up GpuBlockCache's capacity-checked state
+_CACHE_STATE_ATTRS = frozenset({"resident_bytes", "_resident"})
+#: the module allowed to touch that state directly
+_CACHE_MODULE = "gpu_cache.py"
+
+
+@register
+class BareExceptRule(Rule):
+    """RES001: no bare or overbroad silently-swallowing except clauses."""
+
+    id = "RES001"
+    summary = (
+        "bare except, or except Exception whose body only swallows "
+        "(handle, log, or re-raise)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``except:`` and do-nothing ``except Exception:`` handlers."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "bare except hides every failure including "
+                    "KeyboardInterrupt; catch a specific ReproError subclass",
+                )
+                continue
+            names = handler_exception_names(node)
+            if (
+                any(n in ("Exception", "BaseException") for n in names)
+                and body_only_swallows(node.body)
+            ):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "except Exception that silently swallows; handle the "
+                    "error or let it propagate",
+                )
+
+
+@register
+class SwallowedGuardErrorRule(Rule):
+    """RES002: the documented capacity errors must not be swallowed."""
+
+    id = "RES002"
+    summary = (
+        "HardwareModelError/RuntimeConfigError caught and dropped; the "
+        "capacity guard raised for a reason — handle or re-raise"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag except clauses that drop the runtime's guard errors."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = handler_exception_names(node)
+            caught = [n for n in names if n in GUARD_ERRORS]
+            if caught and body_only_swallows(node.body):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{' and '.join(caught)} swallowed; a capacity or "
+                    "configuration guard fired — recover explicitly or "
+                    "let the simulation fail loudly",
+                )
+
+
+@register
+class CacheBypassRule(Rule):
+    """RES003: cache state mutates only through the capacity-checked API."""
+
+    id = "RES003"
+    summary = (
+        "GpuBlockCache residency state mutated outside gpu_cache.py, "
+        "bypassing the write-once capacity check"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag writes to cache residency attributes from other modules."""
+        if ctx.path.name == _CACHE_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Call):
+                # cache._resident.add(...) / .update(...) / .clear()
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr in _CACHE_STATE_ATTRS
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"direct mutation of .{func.value.attr}.{func.attr}() "
+                        "bypasses the write-once capacity check; insert "
+                        "through bytes_to_transfer()",
+                    )
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in _CACHE_STATE_ATTRS
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        target,
+                        f"assignment to .{target.attr} bypasses the "
+                        "write-once capacity check; insert through "
+                        "bytes_to_transfer()",
+                    )

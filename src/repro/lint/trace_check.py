@@ -1,0 +1,130 @@
+"""Dynamic happens-before checking of batching-runtime trace logs.
+
+The static rules guarantee the *code* cannot reach for wall clocks or
+bypass the capacity checks; this module guarantees a *run* obeyed the
+batching contract the paper states in Section II-A.  It replays the
+structured log a :class:`repro.runtime.trace.Tracer` collects
+(:class:`~repro.runtime.trace.RuntimeLogRecord`) and asserts:
+
+1. **no loss, no duplication** — every submitted work item is flushed
+   in exactly one batch, and nothing is flushed that was not submitted;
+2. **per-kind FIFO** — concatenating the flushed batches of one kind
+   reproduces that kind's submission order exactly (the accumulator
+   "never reorders items of one kind");
+3. **causality** — an item's flush instant is never earlier than its
+   submit instant, and the log itself is time-ordered (simulated time
+   is monotonic);
+4. **write-once transfers** — no GPU operator block appears in two
+   ``block_transfer`` records (the whole point of the device cache).
+
+:func:`check_runtime_log` raises :class:`TraceCheckError` listing every
+violation; :func:`verify_tracer` is the one-call form used by the
+integration tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable
+
+from repro.errors import ReproError
+from repro.runtime.trace import RuntimeLogRecord, Tracer
+
+
+class TraceCheckError(ReproError):
+    """A runtime trace log violated the batching happens-before contract."""
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        summary = "; ".join(self.violations[:5])
+        if len(self.violations) > 5:
+            summary += f"; ... ({len(self.violations)} total)"
+        super().__init__(f"runtime trace violates batching invariants: {summary}")
+
+
+def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
+    """Replay ``records`` and return every invariant violation found.
+
+    An empty result means the run obeyed the batching contract.  The
+    record stream must be in emission order (as collected by a
+    :class:`~repro.runtime.trace.Tracer`).
+    """
+    violations: list[str] = []
+    submit_order: dict[str, list[Hashable]] = {}
+    submit_time: dict[Hashable, float] = {}
+    flush_order: dict[str, list[Hashable]] = {}
+    flush_count: Counter[Hashable] = Counter()
+    transferred: Counter[Hashable] = Counter()
+    last_at: float | None = None
+
+    for rec in records:
+        if last_at is not None and rec.at < last_at:
+            violations.append(
+                f"log goes back in time: {rec.op} at {rec.at} after {last_at}"
+            )
+        last_at = rec.at
+        if rec.op == "submit":
+            (item_id,) = rec.ids
+            if item_id in submit_time:
+                violations.append(f"item {item_id!r} submitted twice")
+            submit_order.setdefault(rec.kind, []).append(item_id)
+            submit_time[item_id] = rec.at
+        elif rec.op == "flush":
+            for item_id in rec.ids:
+                flush_count[item_id] += 1
+                flush_order.setdefault(rec.kind, []).append(item_id)
+                if item_id not in submit_time:
+                    violations.append(
+                        f"item {item_id!r} flushed in kind {rec.kind} but "
+                        "never submitted"
+                    )
+                elif rec.at < submit_time[item_id]:
+                    violations.append(
+                        f"item {item_id!r} flushed at {rec.at} before its "
+                        f"submission at {submit_time[item_id]}"
+                    )
+        elif rec.op == "block_transfer":
+            for key in rec.ids:
+                transferred[key] += 1
+
+    for item_id, count in flush_count.items():
+        if count > 1:
+            violations.append(
+                f"item {item_id!r} appears in {count} flushed batches "
+                "(batches must partition the submitted items)"
+            )
+    for kind, submitted in submit_order.items():
+        flushed = flush_order.get(kind, [])
+        missing = set(submitted) - set(flushed)
+        if missing:
+            violations.append(
+                f"kind {kind}: {len(missing)} submitted item(s) never "
+                "flushed (work lost)"
+            )
+        # FIFO: flushed sequence must equal submission sequence (per kind)
+        if not missing and all(c == 1 for i, c in flush_count.items()) and (
+            flushed != submitted
+        ):
+            violations.append(
+                f"kind {kind}: flush order differs from submission order "
+                "(the accumulator must never reorder items of one kind)"
+            )
+    for key, count in transferred.items():
+        if count > 1:
+            violations.append(
+                f"block {key!r} transferred {count} times; the GPU block "
+                "cache is write-once"
+            )
+    return violations
+
+
+def check_runtime_log(records: Iterable[RuntimeLogRecord]) -> None:
+    """Raise :class:`TraceCheckError` if ``records`` violate the contract."""
+    violations = find_violations(records)
+    if violations:
+        raise TraceCheckError(violations)
+
+
+def verify_tracer(tracer: Tracer) -> None:
+    """Check the structured log of one traced run (integration-test hook)."""
+    check_runtime_log(tracer.log)

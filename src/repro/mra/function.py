@@ -353,6 +353,7 @@ class MultiresolutionFunction:
     # -- arithmetic ---------------------------------------------------------------
 
     def copy(self) -> "MultiresolutionFunction":
+        """Deep copy sharing no tree state with the original."""
         return MultiresolutionFunction(
             self.dim,
             self.k,

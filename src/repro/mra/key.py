@@ -41,9 +41,11 @@ class Key:
 
     @property
     def dim(self) -> int:
+        """Dimensionality of the key's translation vector."""
         return len(self.translation)
 
     def parent(self) -> "Key":
+        """The key of the enclosing box one level coarser."""
         if self.level == 0:
             raise TreeStructureError("the root key has no parent")
         return Key(self.level - 1, tuple(t // 2 for t in self.translation))
@@ -80,6 +82,7 @@ class Key:
         return Key(self.level, translated)
 
     def box_center(self) -> tuple[float, ...]:
+        """Center point of the box in the unit volume."""
         scale = 1.0 / (1 << self.level)
         return tuple((t + 0.5) * scale for t in self.translation)
 
@@ -88,6 +91,7 @@ class Key:
         return 1.0 / (1 << self.level)
 
     def contains(self, point: tuple[float, ...]) -> bool:
+        """Whether ``point`` (unit coordinates) falls inside the box."""
         scale = float(1 << self.level)
         return all(
             t <= x * scale < t + 1 or (x == 1.0 and t == (1 << self.level) - 1)

@@ -30,6 +30,7 @@ class FunctionNode:
 
     @property
     def has_coeffs(self) -> bool:
+        """Whether this box currently stores coefficients."""
         return self.coeffs is not None
 
     def norm(self) -> float:
@@ -46,6 +47,7 @@ class FunctionNode:
             self.coeffs = self.coeffs + t
 
     def copy(self) -> "FunctionNode":
+        """Deep copy (coefficients included)."""
         return FunctionNode(
             coeffs=None if self.coeffs is None else self.coeffs.copy(),
             has_children=self.has_children,

@@ -51,18 +51,22 @@ class FunctionTree:
         return iter(self._nodes)
 
     def get(self, key: Key, default: FunctionNode | None = None) -> FunctionNode | None:
+        """The node at ``key``, or ``default`` when absent."""
         return self._nodes.get(key, default)
 
     def items(self):
+        """(key, node) pairs in insertion order."""
         return self._nodes.items()
 
     def keys(self):
+        """All keys present in the tree, in insertion order."""
         return self._nodes.keys()
 
     # -- structure ---------------------------------------------------------
 
     @property
     def root(self) -> Key:
+        """The level-0 key of this tree's dimensionality."""
         return Key.root(self.dim)
 
     def ensure_path(self, key: Key) -> FunctionNode:
@@ -90,11 +94,13 @@ class FunctionTree:
         return node
 
     def leaves(self) -> Iterator[tuple[Key, FunctionNode]]:
+        """(key, node) pairs of boxes without children."""
         for key, node in self._nodes.items():
             if not node.has_children:
                 yield key, node
 
     def interior(self) -> Iterator[tuple[Key, FunctionNode]]:
+        """(key, node) pairs of boxes that have children."""
         for key, node in self._nodes.items():
             if node.has_children:
                 yield key, node
@@ -105,14 +111,17 @@ class FunctionTree:
             yield key, self._nodes[key]
 
     def max_level(self) -> int:
+        """Finest refinement level present (raises on an empty tree)."""
         if not self._nodes:
             raise TreeStructureError("empty tree has no levels")
         return max(k.level for k in self._nodes)
 
     def size(self) -> int:
+        """Total number of tree nodes."""
         return len(self._nodes)
 
     def n_leaves(self) -> int:
+        """Number of leaf boxes."""
         return sum(1 for _ in self.leaves())
 
     def level_histogram(self) -> dict[int, int]:
@@ -123,6 +132,7 @@ class FunctionTree:
         return dict(sorted(hist.items()))
 
     def copy(self) -> "FunctionTree":
+        """Deep copy: every node is copied, nothing shared."""
         t = FunctionTree(self.dim)
         t._nodes = {k: n.copy() for k, n in self._nodes.items()}
         return t

@@ -78,6 +78,7 @@ class TwoScaleFilter:
 
     @classmethod
     def build(cls, k: int) -> "TwoScaleFilter":
+        """The (cached) two-scale filter for k scaling functions."""
         return _build_filter(k)
 
     def filter_pair(self, s0: np.ndarray, s1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -27,10 +27,12 @@ class CacheStats:
 
     @property
     def accesses(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when never accessed)."""
         return self.hits / self.accesses if self.accesses else 0.0
 
 
@@ -51,6 +53,7 @@ class OperatorBlockCache:
     def get_or_compute(
         self, key: Hashable, compute: Callable[[], np.ndarray]
     ) -> np.ndarray:
+        """The cached block for ``key``, computing and inserting on miss."""
         entry = self._data.get(key)
         if entry is not None:
             self.stats.hits += 1
@@ -68,5 +71,6 @@ class OperatorBlockCache:
         return len(self._data)
 
     def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
         self._data.clear()
         self.stats = CacheStats()

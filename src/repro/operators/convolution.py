@@ -56,6 +56,7 @@ class ApplyStats:
     by_level: dict[int, int] = field(default_factory=dict)
 
     def record_task(self, level: int) -> None:
+        """Count one surviving (source node, displacement) task."""
         self.tasks += 1
         self.by_level[level] = self.by_level.get(level, 0) + 1
 

@@ -63,6 +63,7 @@ class GaussianExpansion:
         return float(np.max(np.abs(approx - ref) / np.abs(ref)))
 
     def truncated(self, keep: np.ndarray) -> "GaussianExpansion":
+        """A new expansion keeping only the indexed terms."""
         return GaussianExpansion(self.coeffs[keep].copy(), self.exponents[keep].copy())
 
 

@@ -46,6 +46,7 @@ class TreeOpResult:
 
     @property
     def levels(self) -> int:
+        """Number of level-synchronous waves the operation ran."""
         return len(self.wave_seconds)
 
 

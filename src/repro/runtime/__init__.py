@@ -15,6 +15,8 @@ The control-flow change the paper makes (Section II) is reproduced here:
   supplied by the hardware models of :mod:`repro.hardware`.
 """
 
+from __future__ import annotations
+
 # Names are resolved lazily (PEP 562): the dispatcher and node modules
 # import the kernel interfaces, which in turn import the task dataclasses
 # from this package — eager imports here would close that cycle.

@@ -32,9 +32,11 @@ class Batch:
 
     @property
     def size(self) -> int:
+        """Number of work items in the batch."""
         return len(self.items)
 
     def stats(self) -> BatchStats:
+        """Aggregate shape of the batch for the kernel cost models."""
         return BatchStats.of(self.items)
 
 
@@ -118,7 +120,9 @@ class BatchAccumulator:
 
     @property
     def pending(self) -> int:
+        """Total items waiting across all open (unflushed) batches."""
         return sum(len(b.items) for b in self._open.values())
 
     def pending_kinds(self) -> list[TaskKind]:
+        """Kinds that currently have an open batch, in insertion order."""
         return list(self._open)

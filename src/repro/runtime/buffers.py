@@ -37,6 +37,7 @@ class TransferPlan:
 
     @property
     def total_seconds(self) -> float:
+        """End-to-end PCIe cost: setup + wire time + per-transfer latency."""
         return self.setup_seconds + self.wire_seconds + self.latency_seconds
 
 

@@ -102,6 +102,7 @@ class HybridDispatcher:
     # -- planning ---------------------------------------------------------------
 
     def plan(self, batch: Batch) -> DispatchPlan:
+        """Split one flushed batch per the configured mode (cpu/gpu/hybrid)."""
         stats = batch.stats()
         m, n = self.device_estimates(stats)
         if self.mode == "cpu":
@@ -251,6 +252,7 @@ class StaticSplitDispatcher(HybridDispatcher):
         self.cpu_fraction = cpu_fraction
 
     def plan(self, batch: Batch) -> DispatchPlan:
+        """Split the batch at the fixed developer-chosen CPU fraction."""
         stats = batch.stats()
         m, n = self.device_estimates(stats)
         cpu_items, gpu_items = self._split_by_flops(

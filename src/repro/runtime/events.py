@@ -109,6 +109,7 @@ class Environment:
         self._counter += 1
 
     def event(self) -> Event:
+        """A fresh untriggered event bound to this environment."""
         return Event(self)
 
     def timeout(self, delay: float, value=None) -> Event:
@@ -124,6 +125,7 @@ class Environment:
         return ev
 
     def process(self, gen: Generator) -> Process:
+        """Start ``gen`` as a DES process; the Process triggers on return."""
         return Process(self, gen)
 
     def run(self, until: float | None = None) -> float:
@@ -200,6 +202,7 @@ class Resource:
         self._last_change = now
 
     def request(self) -> Event:
+        """Request one slot; the returned event triggers when granted."""
         ev = Event(self.env)
         if self.in_use < self.capacity:
             self._account()
@@ -210,6 +213,7 @@ class Resource:
         return ev
 
     def release(self) -> None:
+        """Free one slot, handing it straight to the next FIFO waiter."""
         if self.in_use <= 0:
             raise SimulationError("release of an idle resource")
         if self._waiting:

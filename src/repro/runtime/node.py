@@ -62,6 +62,7 @@ class NodeTimeline:
 
     @property
     def cpu_fraction_sent(self) -> float:
+        """Fraction of all dispatched items that ran on the CPU."""
         total = self.n_cpu_items + self.n_gpu_items
         return self.n_cpu_items / total if total else 0.0
 
@@ -110,6 +111,22 @@ class NodeRuntime:
         if self.tracer is not None:
             self.tracer.record(category, label, start, end)
 
+    # -- structured happens-before log (consumed by repro.lint.trace_check) --------
+
+    def _log_submit(self, item, at: float) -> None:
+        if self.tracer is not None:
+            self.tracer.log_submit(str(item.kind), id(item), at)
+
+    def _log_flush(self, batch: Batch, at: float) -> None:
+        if self.tracer is not None:
+            self.tracer.log_flush(
+                str(batch.kind), [id(it) for it in batch.items], at
+            )
+
+    def _log_block_transfer(self, block_keys, at: float) -> None:
+        if self.tracer is not None:
+            self.tracer.log_block_transfer(block_keys, at)
+
     # -- transfer estimate used by the dispatcher's split --------------------------
 
     def _transfer_estimate(self, stats: BatchStats) -> float:
@@ -139,6 +156,7 @@ class NodeRuntime:
             timeline.setup_seconds = self.buffer_pool.setup_cost_seconds
 
         def dispatch(batch: Batch) -> None:
+            self._log_flush(batch, env.now)
             timeline.n_batches += 1
             done = env.process(self._run_batch(env, batch, timeline,
                                                compute_pool, gpu, pcie, data_pool))
@@ -163,6 +181,7 @@ class NodeRuntime:
                     item = task.run_preprocess()
                     if item.on_complete is None and task.postprocess is not None:
                         item.on_complete = task.postprocess
+                    self._log_submit(item, env.now)
                     full = acc.submit(item, env.now)
                     if full is not None:
                         dispatch(full)
@@ -269,6 +288,9 @@ class NodeRuntime:
             bytes_in = stats.input_bytes + block_bytes
         else:
             per_block = stats.unique_block_bytes / max(1, len(stats.block_keys))
+            shipped_keys = [
+                k for k in stats.block_keys if k not in self.gpu_cache
+            ]
             block_bytes = self.gpu_cache.bytes_to_transfer(
                 stats.block_keys, per_block
             )
@@ -280,6 +302,8 @@ class NodeRuntime:
         t0 = env.now
         yield env.timeout(plan_in.total_seconds)
         self._trace("pcie", "to device", t0, env.now)
+        if not self.naive_port:
+            self._log_block_transfer(shipped_keys, env.now)
         pcie.release()
         timeline.bytes_to_gpu += bytes_in
         timeline.block_bytes_shipped += block_bytes

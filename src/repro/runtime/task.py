@@ -96,6 +96,7 @@ class HybridTask:
     work: WorkItem | None = None
 
     def run_preprocess(self) -> WorkItem:
+        """Run the preprocess sub-task, yielding this task's WorkItem."""
         if self.preprocess is not None:
             self.work = self.preprocess()
         if self.work is None:
@@ -119,6 +120,7 @@ class BatchStats:
 
     @classmethod
     def of(cls, items: list[WorkItem]) -> "BatchStats":
+        """Aggregate ``items``, deduplicating operator-block bytes."""
         stats = cls()
         seen: dict[Hashable, None] = {}
         for it in items:

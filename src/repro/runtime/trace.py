@@ -5,13 +5,26 @@ simulated clock; :func:`render_text_gantt` draws them as an ASCII
 timeline — the textual equivalent of the timeline figures used to study
 CPU/GPU overlap.  Tracing is opt-in and has no effect on the
 simulation.
+
+Besides the interval lanes, a tracer keeps a *structured happens-before
+log* (:class:`RuntimeLogRecord`): every work-item submission, every
+batch flush (with the flushed item identities), and every write-once
+block transfer.  :mod:`repro.lint.trace_check` replays that log after a
+run and asserts the batching invariants the paper relies on — no item
+lost, duplicated, or reordered within its kind, and no operator block
+shipped twice.
 """
 
 from __future__ import annotations
 
+import json
+from collections.abc import Hashable, Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+
+#: operations recorded in the structured runtime log
+LOG_OPS = ("submit", "flush", "block_transfer")
 
 #: categories rendered as separate Gantt lanes, in display order
 LANES = ("preprocess", "cpu", "pcie", "gpu", "postprocess")
@@ -34,7 +47,59 @@ class TraceEvent:
 
     @property
     def duration(self) -> float:
+        """Length of the interval in simulated seconds."""
         return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RuntimeLogRecord:
+    """One structured happens-before record of the batching runtime.
+
+    Attributes:
+        op: one of :data:`LOG_OPS` — ``submit`` (one work item entered
+            the accumulator), ``flush`` (one batch left it), or
+            ``block_transfer`` (operator blocks crossed PCIe into the
+            write-once cache).
+        at: simulated instant of the operation.
+        kind: the task kind (stringified) for submit/flush; empty for
+            block transfers.
+        ids: the identities involved — a single work-item id for
+            ``submit``, the flushed item ids in batch order for
+            ``flush``, the transferred block keys for
+            ``block_transfer``.
+    """
+
+    op: str
+    at: float
+    kind: str
+    ids: tuple[Hashable, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in LOG_OPS:
+            raise SimulationError(f"unknown runtime log op {self.op!r}")
+
+    def to_json(self) -> str:
+        """One JSON line (block keys stringified for portability)."""
+        return json.dumps(
+            {
+                "op": self.op,
+                "at": self.at,
+                "kind": self.kind,
+                "ids": [str(i) for i in self.ids],
+            }
+        )
+
+
+def log_records_from_jsonl(lines: Iterable[str]) -> Iterator[RuntimeLogRecord]:
+    """Parse records serialised by :meth:`RuntimeLogRecord.to_json`."""
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        yield RuntimeLogRecord(
+            op=raw["op"], at=raw["at"], kind=raw["kind"], ids=tuple(raw["ids"])
+        )
 
 
 @dataclass
@@ -42,11 +107,35 @@ class Tracer:
     """Collects trace events during one runtime execution."""
 
     events: list[TraceEvent] = field(default_factory=list)
+    #: structured happens-before log consumed by repro.lint.trace_check
+    log: list[RuntimeLogRecord] = field(default_factory=list)
 
     def record(self, category: str, label: str, start: float, end: float) -> None:
+        """Record one interval on a Gantt lane."""
         self.events.append(TraceEvent(category, label, start, end))
 
+    # -- structured happens-before log -----------------------------------------
+
+    def log_submit(self, kind: str, item_id: Hashable, at: float) -> None:
+        """Record one work item entering the batch accumulator."""
+        self.log.append(RuntimeLogRecord("submit", at, kind, (item_id,)))
+
+    def log_flush(
+        self, kind: str, item_ids: Iterable[Hashable], at: float
+    ) -> None:
+        """Record one batch leaving the accumulator, items in batch order."""
+        self.log.append(RuntimeLogRecord("flush", at, kind, tuple(item_ids)))
+
+    def log_block_transfer(
+        self, block_keys: Iterable[Hashable], at: float
+    ) -> None:
+        """Record operator blocks shipped into the write-once GPU cache."""
+        keys = tuple(block_keys)
+        if keys:
+            self.log.append(RuntimeLogRecord("block_transfer", at, "", keys))
+
     def by_category(self, category: str) -> list[TraceEvent]:
+        """Events of one Gantt lane, in recording order."""
         return [e for e in self.events if e.category == category]
 
     def busy(self, category: str) -> float:
@@ -54,6 +143,7 @@ class Tracer:
         return sum(e.duration for e in self.by_category(category))
 
     def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all recorded events."""
         if not self.events:
             return (0.0, 0.0)
         return (

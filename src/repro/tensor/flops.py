@@ -30,6 +30,7 @@ class FlopCounter:
     by_label: dict[str, int] = field(default_factory=dict)
 
     def add(self, n: int, label: str = "") -> None:
+        """Record ``n`` FLOPs, optionally under a per-label bucket."""
         self.flops += n
         if label:
             self.by_label[label] = self.by_label.get(label, 0) + n

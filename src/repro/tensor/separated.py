@@ -47,6 +47,7 @@ class SeparatedTerm:
 
     @property
     def dim(self) -> int:
+        """Dimensionality d of the separated term."""
         return len(self.factors)
 
     def norm_estimate(self) -> float:

@@ -1,0 +1,123 @@
+"""CLI contract tests: output formats, exit codes, rule selection."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: environment for subprocess runs: the src tree importable regardless of cwd
+SUBPROC_ENV = {
+    **os.environ,
+    "PYTHONPATH": str(REPO_ROOT / "src")
+    + os.pathsep
+    + os.environ.get("PYTHONPATH", ""),
+}
+
+CLEAN = """
+from __future__ import annotations
+
+def visible() -> int:
+    \"\"\"Documented.\"\"\"
+    return 1
+"""
+
+DIRTY = """
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def write(tmp_path, relpath, source):
+    """Write a dedented fixture file and return its path."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return target
+
+
+class TestMainFunction:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", CLEAN)
+        assert main([str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one_text(self, tmp_path, capsys):
+        write(tmp_path, "runtime/mod.py", DIRTY)
+        assert main([str(tmp_path), "--select", "DET001"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "1 finding" in out
+
+    def test_json_format_shape(self, tmp_path, capsys):
+        write(tmp_path, "runtime/mod.py", DIRTY)
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total"] >= 1
+        assert payload["summary"]["by_rule"].get("DET001") == 1
+        finding = payload["findings"][0]
+        assert set(finding) == {"rule", "message", "path", "line", "col"}
+
+    def test_json_clean_summary(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", CLEAN)
+        assert main([str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"findings": [], "summary": {"total": 0, "by_rule": {}}}
+
+    def test_ignore_silences_rule(self, tmp_path):
+        write(tmp_path, "runtime/mod.py", DIRTY)
+        assert (
+            main(
+                [str(tmp_path), "--ignore", "DET001,API002,API003"]
+            )
+            == 0
+        )
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", CLEAN)
+        assert main([str(tmp_path), "--select", "XX123"]) == 2
+
+    def test_list_rules_catalogue(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "FLT001", "RES001", "RES002",
+                        "RES003", "API001", "API002", "API003"):
+            assert rule_id in out
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_on_findings(self, tmp_path):
+        """``python -m repro.lint --format json`` exits nonzero on findings."""
+        write(tmp_path, "runtime/mod.py", DIRTY)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path), "--format", "json"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=SUBPROC_ENV,
+        )
+        assert proc.returncode == 1
+        assert json.loads(proc.stdout)["summary"]["total"] >= 1
+
+    def test_python_dash_m_clean(self, tmp_path):
+        write(tmp_path, "pkg/mod.py", CLEAN)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=SUBPROC_ENV,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

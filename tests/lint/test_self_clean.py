@@ -1,0 +1,26 @@
+"""Tier-1 enforcement: the analyzer runs clean over ``src/repro``.
+
+This is the teeth of the lint subsystem — any rule violation introduced
+anywhere in the package (without an explicit, justified
+``# repro: noqa[RULE]``) fails the test suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.core import lint_paths
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_tree_exists():
+    """Sanity: the path the enforcement test lints is the real package."""
+    assert (SRC_REPRO / "runtime" / "events.py").is_file()
+
+
+def test_analyzer_clean_on_src_repro():
+    """Every rule passes on the whole package (zero findings)."""
+    findings = lint_paths([SRC_REPRO])
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"repro.lint found violations in src/repro:\n{rendered}"

@@ -1,0 +1,124 @@
+"""Unit tests for the dynamic happens-before checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.trace_check import (
+    TraceCheckError,
+    check_runtime_log,
+    find_violations,
+    verify_tracer,
+)
+from repro.runtime.trace import (
+    RuntimeLogRecord,
+    Tracer,
+    log_records_from_jsonl,
+)
+
+
+def rec(op, at, kind="k", ids=()):
+    """Shorthand record constructor."""
+    return RuntimeLogRecord(op=op, at=at, kind=kind, ids=tuple(ids))
+
+
+def good_log():
+    """A compliant run: two kinds, FIFO flushes, write-once transfers."""
+    return [
+        rec("submit", 0.0, "a", [1]),
+        rec("submit", 0.1, "b", [10]),
+        rec("submit", 0.2, "a", [2]),
+        rec("flush", 0.5, "a", [1, 2]),
+        rec("block_transfer", 0.6, "", ["h0", "h1"]),
+        rec("submit", 0.7, "a", [3]),
+        rec("flush", 0.8, "b", [10]),
+        rec("flush", 1.0, "a", [3]),
+        rec("block_transfer", 1.1, "", ["h2"]),
+    ]
+
+
+class TestCompliantLogs:
+    def test_good_log_passes(self):
+        assert find_violations(good_log()) == []
+        check_runtime_log(good_log())  # must not raise
+
+    def test_empty_log_passes(self):
+        check_runtime_log([])
+
+    def test_verify_tracer_on_fresh_tracer(self):
+        verify_tracer(Tracer())
+
+
+class TestViolations:
+    def test_item_in_two_batches(self):
+        log = good_log() + [rec("flush", 2.0, "a", [2])]
+        violations = find_violations(log)
+        assert any("2 flushed batches" in v for v in violations)
+        with pytest.raises(TraceCheckError):
+            check_runtime_log(log)
+
+    def test_lost_item(self):
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("submit", 0.1, "a", [2]),
+            rec("flush", 0.5, "a", [1]),
+        ]
+        assert any("never flushed" in v for v in find_violations(log))
+
+    def test_flush_of_unsubmitted_item(self):
+        log = [rec("flush", 0.5, "a", [99])]
+        assert any("never submitted" in v for v in find_violations(log))
+
+    def test_fifo_reorder_detected(self):
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("submit", 0.1, "a", [2]),
+            rec("flush", 0.5, "a", [2, 1]),
+        ]
+        assert any("order" in v for v in find_violations(log))
+
+    def test_flush_before_submit_time(self):
+        log = [
+            rec("submit", 1.0, "a", [1]),
+            rec("flush", 0.5, "a", [1]),
+        ]
+        violations = find_violations(log)
+        assert any("before its submission" in v for v in violations)
+        # the log also went back in time
+        assert any("back in time" in v for v in violations)
+
+    def test_double_block_transfer(self):
+        log = good_log() + [rec("block_transfer", 2.0, "", ["h0"])]
+        assert any("write-once" in v for v in find_violations(log))
+
+    def test_duplicate_submit(self):
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("submit", 0.1, "a", [1]),
+            rec("flush", 0.5, "a", [1, 1]),
+        ]
+        assert any("submitted twice" in v for v in find_violations(log))
+
+    def test_error_message_caps_listing(self):
+        log = [rec("flush", 0.0, "a", [i]) for i in range(10)]
+        with pytest.raises(TraceCheckError) as err:
+            check_runtime_log(log)
+        assert "..." in str(err.value)
+        assert len(err.value.violations) == 10
+
+
+class TestSerialization:
+    def test_jsonl_round_trip(self):
+        original = good_log()
+        text = [r.to_json() for r in original] + ["", "  "]
+        parsed = list(log_records_from_jsonl(text))
+        assert len(parsed) == len(original)
+        # ids are stringified on serialisation; structure must survive
+        assert find_violations(parsed) == []
+        assert [r.op for r in parsed] == [r.op for r in original]
+
+    def test_unknown_op_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            rec("teleport", 0.0)
