@@ -6,6 +6,8 @@ bullet list ("aggregate the computation, aggregate the data inputs,
 overlap CPU with GPU computation") plus the Section VI future work.
 """
 
+import pytest
+
 from repro.experiments.ablations import (
     run_batching_ablation,
     run_dynamic_parallelism_ablation,
@@ -73,3 +75,34 @@ def test_ablation_flush_interval(run_once, show):
     out = result.data["out"]
     best = min(out.values())
     assert out[0.005] < 1.2 * best
+
+
+def test_ablation_pipeline(run_once, show):
+    from repro.experiments.ablations import run_pipeline_ablation
+
+    result = run_once(run_pipeline_ablation, bench_scale())
+    show(result)
+    # the acceptance bar: overlapping batches must strictly beat the
+    # one-batch-at-a-time baseline on the irregular mixed-kind workload
+    assert result.data["pipelined"] < result.data["serialized"]
+    assert result.data["speedup"] > 1.1
+
+
+def test_ablation_adaptive_dispatch(run_once, show):
+    from repro.experiments.ablations import run_adaptive_ablation
+
+    result = run_once(run_adaptive_ablation, bench_scale())
+    show(result)
+    times = result.data["times"]
+    reference = times["well-calibrated static (reference)"]
+    static_bad = times["2x-miscalibrated static"]
+    adaptive = times["2x-miscalibrated adaptive (EWMA)"]
+    # miscalibration costs the static dispatcher real time; the EWMA
+    # loop claws most of it back
+    assert static_bad > 1.1 * reference
+    assert adaptive < static_bad
+    assert adaptive < reference + 0.5 * (static_bad - reference)
+    # the planned CPU fraction converges onto the reference's
+    ks = result.data["cpu_fractions"]["2x-miscalibrated adaptive (EWMA)"]
+    ref_k = result.data["cpu_fractions"]["well-calibrated static (reference)"][-1]
+    assert ks[-1] == pytest.approx(ref_k, abs=0.1 * ref_k)

@@ -2,7 +2,11 @@
 
 from repro.analysis.overlap import OverlapAnalysis, analyze_overlap
 from repro.analysis.metrics import gflops, speedup, scaling_efficiency
-from repro.analysis.reporting import ReportTable
+from repro.analysis.reporting import (
+    ReportTable,
+    batch_metrics_table,
+    calibration_table,
+)
 
 __all__ = [
     "OverlapAnalysis",
@@ -11,4 +15,6 @@ __all__ = [
     "speedup",
     "scaling_efficiency",
     "ReportTable",
+    "batch_metrics_table",
+    "calibration_table",
 ]

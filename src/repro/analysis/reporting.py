@@ -3,13 +3,22 @@
 Every benchmark prints a :class:`ReportTable` whose rows carry both the
 paper's published number and the simulation's measured one, so
 EXPERIMENTS.md can be assembled directly from benchmark output.
+
+:func:`calibration_table` and :func:`batch_metrics_table` turn the
+per-batch :class:`~repro.runtime.metrics.RuntimeMetrics` a run collects
+into the same table form, so pipeline overlap and dispatcher
+calibration can be inspected next to the paper tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # avoid a runtime analysis -> runtime package cycle
+    from repro.runtime.metrics import RuntimeMetrics
 
 
 def _fmt(value) -> str:
@@ -71,3 +80,69 @@ class ReportTable:
     def print(self) -> None:  # noqa: A003 - deliberate, mirrors rich-style API
         """Render to stdout with surrounding blank lines."""
         print("\n" + self.render() + "\n")
+
+
+def batch_metrics_table(
+    metrics: "RuntimeMetrics", title: str = "Per-batch pipeline metrics"
+) -> ReportTable:
+    """One row per dispatched batch: split, stage times, cache outcome."""
+    table = ReportTable(
+        title=title,
+        columns=[
+            "batch", "kind", "items", "cpu", "gpu", "k_cpu",
+            "cpu ms", "xfer-in ms", "wait ms", "gpu ms", "xfer-out ms",
+            "ship/wait/hit",
+        ],
+    )
+    for b in metrics.batches:
+        table.add_row(
+            b.index,
+            b.kind,
+            b.n_items,
+            b.n_cpu_items,
+            b.n_gpu_items,
+            b.cpu_fraction,
+            b.measured_cpu_seconds * 1e3,
+            b.transfer_in_seconds * 1e3,
+            b.block_wait_seconds * 1e3,
+            b.measured_gpu_seconds * 1e3,
+            b.transfer_out_seconds * 1e3,
+            f"{b.blocks_shipped}/{b.blocks_waited}/{b.blocks_hit}",
+        )
+    c = metrics.counters
+    table.add_note(
+        f"{c['batches']} batches, {c['items']} items "
+        f"({c['cpu_items']} cpu / {c['gpu_items']} gpu); blocks "
+        f"shipped={c['blocks_shipped']} waited={c['blocks_waited']} "
+        f"hit={c['blocks_hit']}"
+    )
+    return table
+
+
+def calibration_table(
+    metrics: "RuntimeMetrics", title: str = "Dispatcher calibration"
+) -> ReportTable:
+    """Per-batch calibration state: scales in force, estimate accuracy."""
+    table = ReportTable(
+        title=title,
+        columns=[
+            "batch", "k_cpu", "cpu scale", "gpu scale",
+            "est cpu ms", "meas cpu ms", "est gpu ms", "meas gpu ms",
+        ],
+    )
+    for b in metrics.batches:
+        table.add_row(
+            b.index,
+            b.cpu_fraction,
+            b.cpu_scale,
+            b.gpu_scale,
+            b.est_cpu_seconds * 1e3,
+            b.measured_cpu_seconds * 1e3,
+            b.est_gpu_seconds * 1e3,
+            b.measured_gpu_side_seconds * 1e3,
+        )
+    cpu_err, gpu_err = metrics.estimate_error()
+    table.add_note(
+        f"mean |measured/estimate - 1|: cpu={cpu_err:.3f} gpu={gpu_err:.3f}"
+    )
+    return table

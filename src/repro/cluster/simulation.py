@@ -27,7 +27,7 @@ from repro.hardware.specs import NodeSpec, TITAN_NODE
 from repro.kernels.cpu_kernel import CpuMtxmKernel
 from repro.kernels.cublas_gpu import CublasKernel
 from repro.kernels.custom_gpu import CustomGpuKernel
-from repro.runtime.dispatcher import HybridDispatcher
+from repro.runtime.dispatcher import AdaptiveDispatcher, HybridDispatcher
 from repro.runtime.node import NodeRuntime, NodeTimeline
 from repro.runtime.task import HybridTask
 
@@ -95,6 +95,11 @@ class ClusterSimulation:
         failed_gpus: optional ranks whose GPU is unavailable — they fall
             back to CPU-only dispatch while the rest of the partition
             keeps its configured mode (failure injection).
+        pipelined: run each node's batches through the concurrent
+            pipeline (default); ``False`` serialises batches per node.
+        adaptive: use the feedback-calibrated
+            :class:`~repro.runtime.dispatcher.AdaptiveDispatcher` on
+            every rank instead of the static cost model.
     """
 
     def __init__(
@@ -114,6 +119,8 @@ class ClusterSimulation:
         max_batch_size: int = 60,
         stragglers: dict[int, float] | None = None,
         failed_gpus: set[int] | None = None,
+        pipelined: bool = True,
+        adaptive: bool = False,
     ):
         if n_nodes < 1:
             raise ClusterConfigError(f"need at least one node, got {n_nodes}")
@@ -146,6 +153,8 @@ class ClusterSimulation:
                 f"straggler slowdowns must be positive: {self.stragglers}"
             )
         self.failed_gpus = set(failed_gpus or ())
+        self.pipelined = pipelined
+        self.adaptive = adaptive
 
     # -- runtime assembly --------------------------------------------------------
 
@@ -179,19 +188,28 @@ class ClusterSimulation:
         if rank in self.failed_gpus and self.mode != "cpu":
             # the fallback node has its full CPU available for compute
             threads = spec.cpu.cores
-        dispatcher = HybridDispatcher(
-            cpu_kernel,
-            gpu_kernel,
-            cpu_threads=threads,
-            gpu_streams=self.gpu_streams,
-            mode=mode,
-        )
+        if self.adaptive and mode == "hybrid":
+            dispatcher = AdaptiveDispatcher(
+                cpu_kernel,
+                gpu_kernel,
+                cpu_threads=threads,
+                gpu_streams=self.gpu_streams,
+            )
+        else:
+            dispatcher = HybridDispatcher(
+                cpu_kernel,
+                gpu_kernel,
+                cpu_threads=threads,
+                gpu_streams=self.gpu_streams,
+                mode=mode,
+            )
         return NodeRuntime(
             spec,
             dispatcher,
             data_threads=self.data_threads,
             flush_interval=self.flush_interval,
             max_batch_size=self.max_batch_size,
+            pipelined=self.pipelined,
         )
 
     # -- the run ---------------------------------------------------------------------

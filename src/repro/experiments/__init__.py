@@ -26,11 +26,13 @@ from repro.experiments.tables import (
 )
 from repro.experiments.figures import run_fig5, run_fig6
 from repro.experiments.ablations import (
+    run_adaptive_ablation,
     run_batching_ablation,
     run_flush_interval_ablation,
     run_dynamic_parallelism_ablation,
     run_naive_port_ablation,
     run_overlap_ablation,
+    run_pipeline_ablation,
     run_transfer_ablation,
 )
 
@@ -50,6 +52,8 @@ REGISTRY = {
     "ablation-naive-port": run_naive_port_ablation,
     "ablation-dynamic-parallelism": run_dynamic_parallelism_ablation,
     "ablation-flush-interval": run_flush_interval_ablation,
+    "ablation-pipeline": run_pipeline_ablation,
+    "ablation-adaptive": run_adaptive_ablation,
 }
 
 __all__ = ["REGISTRY"] + sorted(

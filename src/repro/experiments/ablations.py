@@ -121,6 +121,114 @@ def run_dynamic_parallelism_ablation(scale: float = 1.0) -> ExperimentResult:
     )
 
 
+def _mixed_kind_tasks(n: int):
+    """An irregular two-operator stream (paper Table IV has several
+    operators in flight): interleaved k=12 and k=20 Coulomb tasks, so
+    consecutive batches belong to different kinds with very different
+    per-item weights."""
+    a = single_node_tasks(n // 2, k=12, rank=100)
+    b = single_node_tasks(n - n // 2, k=20, rank=60)
+    out = []
+    for x, y in zip(a, b):
+        out.append(x)
+        out.append(y)
+    out.extend(a[len(b):] or b[len(a):])
+    return out
+
+
+def run_pipeline_ablation(scale: float = 1.0) -> ExperimentResult:
+    """The concurrent pipeline vs serialised batches.
+
+    Both runtimes are identical hybrid configurations; the only change
+    is ``pipelined`` — multi-slot compute/stream pools, duplex PCIe,
+    double-buffered staging and a multi-batch admission window vs one
+    batch at a time through single-slot resources.  The workload is
+    irregular (mixed heavy kinds, small batches), so single batches
+    cannot balance CPU against GPU at item granularity — the overlap
+    across consecutive batches is where the pipeline wins.
+    """
+    n = max(80, scaled(240, scale))
+    out = {}
+    for label, pipelined in (
+        ("pipelined (overlapped batches)", True),
+        ("serialized (one batch at a time)", False),
+    ):
+        tl = make_runtime(
+            "hybrid", pipelined=pipelined, max_batch_size=10
+        ).execute(_mixed_kind_tasks(n))
+        out[label] = tl.total_seconds
+    table = ReportTable(
+        "Ablation — pipelined vs serialized node runtime (hybrid mode)",
+        ["configuration", "seconds"],
+    )
+    for label, seconds in out.items():
+        table.add_row(label, seconds)
+    speedup = out["serialized (one batch at a time)"] / out[
+        "pipelined (overlapped batches)"
+    ]
+    table.add_note(f"pipeline speedup: {speedup:.2f}x")
+    return ExperimentResult(
+        name="ablation-pipeline",
+        table=table,
+        data={
+            "pipelined": out["pipelined (overlapped batches)"],
+            "serialized": out["serialized (one batch at a time)"],
+            "speedup": speedup,
+        },
+    )
+
+
+def run_adaptive_ablation(scale: float = 1.0) -> ExperimentResult:
+    """Feedback calibration: an AdaptiveDispatcher started with a 2x
+    miscalibrated GPU cost model vs a static dispatcher with the same
+    bad model, and vs the well-calibrated baseline."""
+    # small batches so the run has enough of them for the EWMA loop to
+    # act on plans within the admission window
+    n = max(600, scaled(ABLATION_TASKS, scale))
+    out = {}
+    runs = {}
+    configs = (
+        ("well-calibrated static (reference)", False, 1.0),
+        ("2x-miscalibrated static", False, 2.0),
+        ("2x-miscalibrated adaptive (EWMA)", True, 2.0),
+    )
+    for label, adaptive, gpu_scale in configs:
+        rt = make_runtime(
+            "hybrid", adaptive=adaptive, gpu_scale=gpu_scale, max_batch_size=30
+        )
+        if not adaptive:
+            rt.dispatcher.gpu_time_scale = gpu_scale
+        tl = rt.execute(single_node_tasks(n))
+        out[label] = tl.total_seconds
+        runs[label] = tl
+    table = ReportTable(
+        "Ablation — feedback-calibrated dispatch under model miscalibration",
+        ["configuration", "seconds", "final gpu scale", "final k_cpu"],
+    )
+    for label, adaptive, gpu_scale in configs:
+        tl = runs[label]
+        final_k = (
+            tl.metrics.batches[-1].cpu_fraction if tl.metrics.batches else 0.0
+        )
+        final_scale = (
+            runs[label].metrics.batches[-1].gpu_scale
+            if tl.metrics.batches
+            else gpu_scale
+        )
+        table.add_row(label, out[label], final_scale, final_k)
+    return ExperimentResult(
+        name="ablation-adaptive",
+        table=table,
+        data={
+            "times": out,
+            "cpu_fractions": {
+                label: runs[label].metrics.cpu_fractions()
+                for label, _, _ in configs
+            },
+        },
+    )
+
+
 def run_flush_interval_ablation(scale: float = 1.0) -> ExperimentResult:
     """The batching timer: too short starves batches, too long delays
     work; the mid-range is near-optimal for this workload."""

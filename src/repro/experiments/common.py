@@ -16,7 +16,7 @@ from repro.hardware.specs import TITAN_NODE
 from repro.kernels.cpu_kernel import CpuMtxmKernel
 from repro.kernels.cublas_gpu import CublasKernel
 from repro.kernels.custom_gpu import CustomGpuKernel
-from repro.runtime.dispatcher import HybridDispatcher
+from repro.runtime.dispatcher import AdaptiveDispatcher, HybridDispatcher
 from repro.runtime.node import NodeRuntime
 from repro.runtime.task import HybridTask
 
@@ -50,14 +50,35 @@ def make_runtime(
     max_batch_size: int = 60,
     data_threads: int = 2,
     naive_port: bool = False,
+    pipelined: bool = True,
+    adaptive: bool = False,
+    cpu_scale: float = 1.0,
+    gpu_scale: float = 1.0,
 ) -> NodeRuntime:
-    """A Titan-node runtime with the given dispatch configuration."""
+    """A Titan-node runtime with the given dispatch configuration.
+
+    ``adaptive=True`` swaps in the feedback-calibrated
+    :class:`~repro.runtime.dispatcher.AdaptiveDispatcher` (only
+    meaningful with ``mode="hybrid"``); ``cpu_scale``/``gpu_scale`` set
+    its initial — possibly deliberately miscalibrated — cost-model
+    multipliers.
+    """
     cpu = CpuMtxmKernel(CpuModel(TITAN_NODE.cpu), rank_reduction=rank_reduction)
     gm = GpuModel(TITAN_NODE.gpu)
     gpu = CustomGpuKernel(gm) if gpu_kernel == "custom" else CublasKernel(gm)
-    dispatcher = HybridDispatcher(
-        cpu, gpu, cpu_threads=cpu_threads, gpu_streams=gpu_streams, mode=mode
-    )
+    if adaptive:
+        dispatcher = AdaptiveDispatcher(
+            cpu,
+            gpu,
+            cpu_threads=cpu_threads,
+            gpu_streams=gpu_streams,
+            cpu_scale=cpu_scale,
+            gpu_scale=gpu_scale,
+        )
+    else:
+        dispatcher = HybridDispatcher(
+            cpu, gpu, cpu_threads=cpu_threads, gpu_streams=gpu_streams, mode=mode
+        )
     return NodeRuntime(
         TITAN_NODE,
         dispatcher,
@@ -65,6 +86,7 @@ def make_runtime(
         flush_interval=flush_interval,
         max_batch_size=max_batch_size,
         naive_port=naive_port,
+        pipelined=pipelined,
     )
 
 

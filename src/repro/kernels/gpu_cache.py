@@ -5,17 +5,52 @@ software cache containing the already transferred 2-D tensors has been
 implemented.  This write-once cache has been modeled after a CPU software
 cache present in MADNESS for similar purposes."
 
-The cache tracks which ``h`` blocks are already resident on the device;
-:meth:`bytes_to_transfer` filters a batch's block set down to the misses
-and is what the transfer model actually charges.
+The cache tracks which ``h`` blocks are already resident on the device.
+Because batch transfers take *time* on the simulated clock, residency is
+a two-phase protocol:
+
+- :meth:`begin_transfer` partitions a batch's block set into resident
+  hits, blocks currently **in flight** on PCIe for another batch (the
+  waiter path — they must not be re-shipped, but they are not usable
+  until the owning transfer completes), and genuine misses, which it
+  marks in flight and charges to this batch;
+- :meth:`commit_transfer` makes the shipped blocks resident once the
+  transfer has completed on the simulated clock.
+
+Marking blocks resident at *lookup* time — the old single-phase
+:meth:`bytes_to_transfer`, kept for non-overlapping callers — is a
+TOCTOU race once transfers overlap: a second in-flight batch would see
+blocks as cached before they arrived.  The two-phase API is what the
+pipelined node runtime uses.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
 
 from repro.errors import HardwareModelError
 from repro.operators.cache import CacheStats
+
+
+@dataclass(frozen=True)
+class TransferTicket:
+    """One batch's view of the cache at transfer-begin time.
+
+    Attributes:
+        ship_keys: blocks this batch must transfer (now in flight, owned
+            by this ticket until :meth:`GpuBlockCache.commit_transfer`).
+        wait_keys: blocks another batch is currently transferring; the
+            holder must wait for that transfer's completion before
+            computing on them (and must not re-ship them).
+        hit_keys: blocks already resident on the device.
+        bytes_to_ship: PCIe bytes this batch is charged for.
+    """
+
+    ship_keys: tuple[Hashable, ...]
+    wait_keys: tuple[Hashable, ...]
+    hit_keys: tuple[Hashable, ...]
+    bytes_to_ship: int
 
 
 class GpuBlockCache:
@@ -25,7 +60,9 @@ class GpuBlockCache:
         capacity_bytes: device memory budget for blocks.  The cache is
             write-once (no eviction): inserting beyond capacity raises,
             mirroring the paper's assumption that all blocks of a run fit
-            in the M2090's 6 GB.
+            in the M2090's 6 GB.  Reserved (in-flight) bytes count
+            against capacity from reservation time, so two overlapping
+            transfers cannot jointly overflow the device.
     """
 
     def __init__(self, capacity_bytes: int):
@@ -35,8 +72,10 @@ class GpuBlockCache:
             )
         self.capacity_bytes = capacity_bytes
         self.resident_bytes = 0
+        self.reserved_bytes = 0
         self.stats = CacheStats()
         self._resident: set[Hashable] = set()
+        self._in_flight: dict[Hashable, int] = {}
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._resident
@@ -44,29 +83,83 @@ class GpuBlockCache:
     def __len__(self) -> int:
         return len(self._resident)
 
+    def in_flight(self, key: Hashable) -> bool:
+        """True while ``key`` is being transferred but has not arrived."""
+        return key in self._in_flight
+
+    @staticmethod
+    def _unique(block_keys: Iterable[Hashable]) -> list[Hashable]:
+        """Deduplicate keys preserving first-occurrence order."""
+        seen: dict[Hashable, None] = {}
+        for k in block_keys:
+            if k not in seen:
+                seen[k] = None
+        return list(seen)
+
+    # -- two-phase transfer protocol -------------------------------------------
+
+    def begin_transfer(
+        self, block_keys: Iterable[Hashable], bytes_per_block: float
+    ) -> TransferTicket:
+        """Partition a batch's blocks into hits / in-flight waits / ships.
+
+        Ship keys are marked in flight and their bytes reserved against
+        capacity; residency is granted only by :meth:`commit_transfer`.
+        Hits and waits cost nothing on PCIe (the whole point of
+        write-once residency) — but a wait is only *usable* once the
+        owning transfer commits.  All statistics count unique keys.
+        """
+        unique = self._unique(block_keys)
+        hits = tuple(k for k in unique if k in self._resident)
+        waits = tuple(
+            k for k in unique if k in self._in_flight and k not in self._resident
+        )
+        ship = tuple(
+            k for k in unique if k not in self._resident and k not in self._in_flight
+        )
+        per_block = int(bytes_per_block)
+        total = int(len(ship) * bytes_per_block)
+        used = self.resident_bytes + self.reserved_bytes
+        if used + total > self.capacity_bytes:
+            raise HardwareModelError(
+                f"GPU block cache overflow: {used + total} bytes "
+                f"exceeds capacity {self.capacity_bytes}"
+            )
+        for k in ship:
+            self._in_flight[k] = per_block
+        self.reserved_bytes += total
+        self.stats.hits += len(hits)
+        self.stats.waits += len(waits)
+        self.stats.misses += len(ship)
+        return TransferTicket(
+            ship_keys=ship, wait_keys=waits, hit_keys=hits, bytes_to_ship=total
+        )
+
+    def commit_transfer(self, ticket: TransferTicket) -> None:
+        """Make a ticket's shipped blocks resident (transfer completed)."""
+        for k in ticket.ship_keys:
+            if k not in self._in_flight:
+                raise HardwareModelError(
+                    f"commit of block {k!r} that is not in flight"
+                )
+            del self._in_flight[k]
+            self._resident.add(k)
+        self.reserved_bytes -= ticket.bytes_to_ship
+        self.resident_bytes += ticket.bytes_to_ship
+        self.stats.bytes_inserted += ticket.bytes_to_ship
+
+    # -- single-phase convenience (no overlapping transfers) --------------------
+
     def bytes_to_transfer(
         self, block_keys: Iterable[Hashable], bytes_per_block: float
     ) -> int:
-        """Bytes of blocks a batch must ship; marks them resident.
+        """Bytes of blocks a batch must ship; marks them resident at once.
 
-        Hits cost nothing (the whole point of write-once residency).
+        This is the begin+commit pair collapsed to an instant — correct
+        only when transfers cannot overlap (the serialized runtime and
+        cost-model probes).  The pipelined runtime must use the
+        two-phase API instead.
         """
-        missing = [k for k in block_keys if k not in self._resident]
-        hits = 0
-        for k in block_keys:
-            if k in self._resident:
-                hits += 1
-        # note: keys may repeat across items of a batch; count uniques
-        unique_missing = set(missing)
-        total = int(len(unique_missing) * bytes_per_block)
-        if self.resident_bytes + total > self.capacity_bytes:
-            raise HardwareModelError(
-                f"GPU block cache overflow: {self.resident_bytes + total} bytes "
-                f"exceeds capacity {self.capacity_bytes}"
-            )
-        self._resident.update(unique_missing)
-        self.resident_bytes += total
-        self.stats.hits += hits
-        self.stats.misses += len(unique_missing)
-        self.stats.bytes_inserted += total
-        return total
+        ticket = self.begin_transfer(block_keys, bytes_per_block)
+        self.commit_transfer(ticket)
+        return ticket.bytes_to_ship

@@ -15,7 +15,14 @@ structured log a :class:`repro.runtime.trace.Tracer` collects
    submit instant, and the log itself is time-ordered (simulated time
    is monotonic);
 4. **write-once transfers** — no GPU operator block appears in two
-   ``block_transfer`` records (the whole point of the device cache).
+   ``block_transfer`` records (the whole point of the device cache);
+5. **arrival ordering** — a GPU kernel (``gpu_compute`` record) never
+   starts before every operator block it reads has *arrived* on the
+   device (its ``block_transfer`` record, logged at transfer
+   completion, is at an earlier-or-equal instant).  A kernel reading a
+   block that never arrived is the cache-timing race the two-phase
+   protocol exists to prevent.  Logs without ``gpu_compute`` records
+   (older runs, CPU-only runs) trivially satisfy this check.
 
 :func:`check_runtime_log` raises :class:`TraceCheckError` listing every
 violation; :func:`verify_tracer` is the one-call form used by the
@@ -55,6 +62,8 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
     flush_order: dict[str, list[Hashable]] = {}
     flush_count: Counter[Hashable] = Counter()
     transferred: Counter[Hashable] = Counter()
+    arrival_time: dict[Hashable, float] = {}
+    computes: list[RuntimeLogRecord] = []
     last_at: float | None = None
 
     for rec in records:
@@ -86,6 +95,9 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
         elif rec.op == "block_transfer":
             for key in rec.ids:
                 transferred[key] += 1
+                arrival_time.setdefault(key, rec.at)
+        elif rec.op == "gpu_compute":
+            computes.append(rec)
 
     for item_id, count in flush_count.items():
         if count > 1:
@@ -115,6 +127,22 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
                 f"block {key!r} transferred {count} times; the GPU block "
                 "cache is write-once"
             )
+    # arrival ordering: checked against the whole log's arrivals so a
+    # kernel reading a block whose transfer completes *later* is reported
+    # as such rather than as missing
+    for rec in computes:
+        for key in rec.ids:
+            if key not in arrival_time:
+                violations.append(
+                    f"gpu compute ({rec.kind}) at {rec.at} reads block "
+                    f"{key!r} that never arrived on the device"
+                )
+            elif arrival_time[key] > rec.at:
+                violations.append(
+                    f"gpu compute ({rec.kind}) at {rec.at} reads block "
+                    f"{key!r} whose transfer completes later, at "
+                    f"{arrival_time[key]} (residency granted before arrival)"
+                )
     return violations
 
 

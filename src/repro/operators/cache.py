@@ -21,14 +21,24 @@ import numpy as np
 
 @dataclass
 class CacheStats:
+    """Unique-key lookup counters of a write-once cache.
+
+    Every counter is per *unique key per lookup batch*: a key repeated
+    within one lookup counts once, so hit rates are comparable across
+    batch shapes.  ``waits`` counts keys that were in flight on PCIe for
+    another batch at lookup time — not re-shipped (no miss) but not yet
+    usable (no hit); only the GPU-side cache produces them.
+    """
+
     hits: int = 0
     misses: int = 0
+    waits: int = 0
     bytes_inserted: int = 0
 
     @property
     def accesses(self) -> int:
-        """Total lookups (hits + misses)."""
-        return self.hits + self.misses
+        """Total lookups (hits + misses + in-flight waits)."""
+        return self.hits + self.misses + self.waits
 
     @property
     def hit_rate(self) -> float:

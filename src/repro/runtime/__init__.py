@@ -35,10 +35,14 @@ _LAZY = {
     "PinnedBufferPool": "repro.runtime.buffers",
     "TransferPlan": "repro.runtime.buffers",
     "HybridDispatcher": "repro.runtime.dispatcher",
+    "AdaptiveDispatcher": "repro.runtime.dispatcher",
+    "StaticSplitDispatcher": "repro.runtime.dispatcher",
     "optimal_split": "repro.runtime.dispatcher",
     "overlap_time": "repro.runtime.dispatcher",
     "NodeRuntime": "repro.runtime.node",
     "NodeTimeline": "repro.runtime.node",
+    "BatchMetrics": "repro.runtime.metrics",
+    "RuntimeMetrics": "repro.runtime.metrics",
 }
 
 
@@ -71,8 +75,12 @@ __all__ = [
     "PinnedBufferPool",
     "TransferPlan",
     "HybridDispatcher",
+    "AdaptiveDispatcher",
+    "StaticSplitDispatcher",
     "optimal_split",
     "overlap_time",
     "NodeRuntime",
     "NodeTimeline",
+    "BatchMetrics",
+    "RuntimeMetrics",
 ]

@@ -55,15 +55,30 @@ class PinnedBufferPool:
     the whole point of pre-allocation.
     """
 
-    def __init__(self, pcie: PcieSpec, n_buffers: int = 4, buffer_bytes: int = 64 << 20):
+    def __init__(
+        self,
+        pcie: PcieSpec,
+        n_buffers: int = 4,
+        buffer_bytes: int = 64 << 20,
+        stage_slots: int = 2,
+    ):
         if n_buffers < 1 or buffer_bytes < 1:
             raise RuntimeConfigError(
                 f"invalid buffer pool: n_buffers={n_buffers}, "
                 f"buffer_bytes={buffer_bytes}"
             )
+        if not 1 <= stage_slots <= n_buffers:
+            raise RuntimeConfigError(
+                f"stage_slots must be in [1, n_buffers={n_buffers}], "
+                f"got {stage_slots}"
+            )
         self.pcie = pcie
         self.n_buffers = n_buffers
         self.buffer_bytes = buffer_bytes
+        #: batches that may hold a staged aggregation buffer at once —
+        #: 2 is classic double buffering (batch i+1 ships while batch i
+        #: computes); the pipelined runtime enforces it as a resource
+        self.stage_slots = stage_slots
         self.setup_cost_seconds = n_buffers * pcie.page_lock_seconds
         self.teardown_cost_seconds = n_buffers * pcie.page_unlock_seconds
 

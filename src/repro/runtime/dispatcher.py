@@ -87,53 +87,88 @@ class HybridDispatcher:
         self.gpu_streams = gpu_streams
         self.mode = mode
         self.transfer_estimator = transfer_estimator or (lambda stats: 0.0)
+        # calibration multipliers applied to the raw cost-model estimates;
+        # 1.0 here, adjusted online by AdaptiveDispatcher
+        self.cpu_time_scale = 1.0
+        self.gpu_time_scale = 1.0
+
+    def _estimator(self, transfer_estimator):
+        """Per-plan transfer estimator, defaulting to the constructor's.
+
+        A dispatcher may be shared between nodes (the cluster simulation
+        builds one per rank, but callers are free not to), so per-node
+        estimators are passed per plan instead of mutated onto the
+        instance.
+        """
+        return transfer_estimator if transfer_estimator is not None else (
+            self.transfer_estimator
+        )
 
     # -- estimates ------------------------------------------------------------
 
-    def device_estimates(self, stats: BatchStats) -> tuple[float, float]:
+    def device_estimates(
+        self, stats: BatchStats, transfer_estimator=None
+    ) -> tuple[float, float]:
         """(m, n): whole-batch CPU-only and GPU-only durations."""
-        m = self.cpu_kernel.batch_timing(stats, self.cpu_threads).seconds
+        estimate = self._estimator(transfer_estimator)
+        m = (
+            self.cpu_kernel.batch_timing(stats, self.cpu_threads).seconds
+            * self.cpu_time_scale
+        )
         n = (
             self.gpu_kernel.batch_timing(stats, self.gpu_streams).seconds
-            + self.transfer_estimator(stats)
-        )
+            + estimate(stats)
+        ) * self.gpu_time_scale
         return m, n
 
     # -- planning ---------------------------------------------------------------
 
-    def plan(self, batch: Batch) -> DispatchPlan:
+    def plan(self, batch: Batch, transfer_estimator=None) -> DispatchPlan:
         """Split one flushed batch per the configured mode (cpu/gpu/hybrid)."""
         stats = batch.stats()
-        m, n = self.device_estimates(stats)
+        m, n = self.device_estimates(stats, transfer_estimator)
         if self.mode == "cpu":
             return DispatchPlan(list(batch.items), [], m, n, 1.0)
         if self.mode == "gpu":
             return DispatchPlan([], list(batch.items), m, n, 0.0)
-        cut = self._best_cut(batch.items)
+        cut = self._best_cut(batch.items, transfer_estimator)
         cpu_items, gpu_items = list(batch.items[:cut]), list(batch.items[cut:])
-        total = sum(it.flops for it in batch.items) or 1
-        k = sum(it.flops for it in cpu_items) / total
+        k = self._fraction(cpu_items, batch.items)
         return DispatchPlan(cpu_items, gpu_items, m, n, k)
+
+    @staticmethod
+    def _fraction(cpu_items: list[WorkItem], items) -> float:
+        """Work fraction the CPU received: by FLOPs, or by item count for
+        all-zero-FLOP batches (data-only kinds must still report where
+        their items went)."""
+        total = sum(it.flops for it in items)
+        if total == 0:
+            return len(cpu_items) / len(items) if len(items) else 0.0
+        return sum(it.flops for it in cpu_items) / total
 
     # -- split search ----------------------------------------------------------
 
     def _cpu_seconds(self, items: list[WorkItem]) -> float:
         if not items:
             return 0.0
-        return self.cpu_kernel.batch_timing(
-            BatchStats.of(items), self.cpu_threads
-        ).seconds
+        return (
+            self.cpu_kernel.batch_timing(
+                BatchStats.of(items), self.cpu_threads
+            ).seconds
+            * self.cpu_time_scale
+        )
 
-    def _gpu_seconds(self, items: list[WorkItem]) -> float:
+    def _gpu_seconds(self, items: list[WorkItem], transfer_estimator=None) -> float:
         if not items:
             return 0.0
+        estimate = self._estimator(transfer_estimator)
         stats = BatchStats.of(items)
         return (
             self.gpu_kernel.batch_timing(stats, self.gpu_streams).seconds
-            + self.transfer_estimator(stats)
-        )
+            + estimate(stats)
+        ) * self.gpu_time_scale
 
-    def _best_cut(self, items: list[WorkItem]) -> int:
+    def _best_cut(self, items: list[WorkItem], transfer_estimator=None) -> int:
         """Cut index minimising ``max(cpu(items[:cut]), gpu(items[cut:]))``.
 
         This realises the paper's optimal overlap against the *actual*
@@ -144,6 +179,7 @@ class HybridDispatcher:
         share small or empty.  All cuts are evaluated exactly, using
         prefix/suffix aggregate statistics built in one pass each.
         """
+        estimate = self._estimator(transfer_estimator)
         n = len(items)
         prefixes = self._running_stats(items)
         suffixes = self._running_stats(list(reversed(items)))
@@ -152,13 +188,17 @@ class HybridDispatcher:
         for cut in range(n + 1):
             cpu_t = (
                 self.cpu_kernel.batch_timing(prefixes[cut], self.cpu_threads).seconds
+                * self.cpu_time_scale
                 if cut
                 else 0.0
             )
             gpu_stats = suffixes[n - cut]
             gpu_t = (
-                self.gpu_kernel.batch_timing(gpu_stats, self.gpu_streams).seconds
-                + self.transfer_estimator(gpu_stats)
+                (
+                    self.gpu_kernel.batch_timing(gpu_stats, self.gpu_streams).seconds
+                    + estimate(gpu_stats)
+                )
+                * self.gpu_time_scale
                 if cut < n
                 else 0.0
             )
@@ -251,11 +291,94 @@ class StaticSplitDispatcher(HybridDispatcher):
         )
         self.cpu_fraction = cpu_fraction
 
-    def plan(self, batch: Batch) -> DispatchPlan:
+    def plan(self, batch: Batch, transfer_estimator=None) -> DispatchPlan:
         """Split the batch at the fixed developer-chosen CPU fraction."""
         stats = batch.stats()
-        m, n = self.device_estimates(stats)
+        m, n = self.device_estimates(stats, transfer_estimator)
         cpu_items, gpu_items = self._split_by_flops(
             batch.items, self.cpu_fraction
         )
         return DispatchPlan(cpu_items, gpu_items, m, n, self.cpu_fraction)
+
+
+class AdaptiveDispatcher(HybridDispatcher):
+    """A hybrid dispatcher that recalibrates its cost model online.
+
+    The cost-model estimates ``m`` and ``n`` are multiplied by
+    calibration scales that an EWMA of *measured* simulated batch
+    durations keeps pulling toward reality:
+
+        ``scale <- (1 - alpha) * scale + alpha * measured / estimated``
+
+    where ``estimated`` is the raw (unscaled) cost-model prediction for
+    the share actually dispatched and ``measured`` is the simulated
+    service time it actually took (PCIe transfers included on the GPU
+    side).  This is the hybrid-execution feedback loop of Rengasamy &
+    Vadhiyar: a miscalibrated model (wrong CPU flops rate, stale
+    transfer estimate, cache effects the static model cannot see)
+    converges within a few batches instead of skewing every split.
+
+    Args:
+        cpu_scale / gpu_scale: initial calibration (1.0 = trust the
+            model; 2.0 = "the CPU is twice as slow as the model says").
+        ewma_alpha: feedback smoothing factor in (0, 1]; higher adapts
+            faster but follows noise.
+    """
+
+    def __init__(
+        self,
+        cpu_kernel: ComputeKernel,
+        gpu_kernel: ComputeKernel,
+        *,
+        cpu_threads: int,
+        gpu_streams: int,
+        transfer_estimator=None,
+        cpu_scale: float = 1.0,
+        gpu_scale: float = 1.0,
+        ewma_alpha: float = 0.5,
+    ):
+        if cpu_scale <= 0 or gpu_scale <= 0:
+            raise RuntimeConfigError(
+                f"calibration scales must be positive: cpu={cpu_scale}, "
+                f"gpu={gpu_scale}"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise RuntimeConfigError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}"
+            )
+        super().__init__(
+            cpu_kernel,
+            gpu_kernel,
+            cpu_threads=cpu_threads,
+            gpu_streams=gpu_streams,
+            mode="hybrid",
+            transfer_estimator=transfer_estimator,
+        )
+        self.cpu_time_scale = cpu_scale
+        self.gpu_time_scale = gpu_scale
+        self.ewma_alpha = ewma_alpha
+        #: (cpu_scale, gpu_scale) after each observation, oldest first
+        self.history: list[tuple[float, float]] = []
+
+    def observe(
+        self,
+        *,
+        est_cpu_seconds: float = 0.0,
+        measured_cpu_seconds: float = 0.0,
+        est_gpu_seconds: float = 0.0,
+        measured_gpu_seconds: float = 0.0,
+    ) -> None:
+        """Feed one batch's raw estimates and measured durations back.
+
+        Estimates must be the *unscaled* cost-model predictions for the
+        shares that actually ran; shares that did not run (zero
+        estimate) leave their scale untouched.
+        """
+        a = self.ewma_alpha
+        if est_cpu_seconds > 0 and measured_cpu_seconds > 0:
+            ratio = measured_cpu_seconds / est_cpu_seconds
+            self.cpu_time_scale = (1 - a) * self.cpu_time_scale + a * ratio
+        if est_gpu_seconds > 0 and measured_gpu_seconds > 0:
+            ratio = measured_gpu_seconds / est_gpu_seconds
+            self.gpu_time_scale = (1 - a) * self.gpu_time_scale + a * ratio
+        self.history.append((self.cpu_time_scale, self.gpu_time_scale))

@@ -226,3 +226,12 @@ class Resource:
     def busy_time(self) -> float:
         """Integrated (slots x time) of use up to the current instant."""
         return self._busy_area + self.in_use * (self.env.now - self._last_change)
+
+    def normalized_busy(self) -> float:
+        """Slot-seconds divided by capacity — never exceeds elapsed time.
+
+        For a 1-slot resource this equals :meth:`busy_time`; for
+        multi-slot pools it is the equivalent fully-occupied duration,
+        the number utilisation reports compare against the makespan.
+        """
+        return self.busy_time() / self.capacity

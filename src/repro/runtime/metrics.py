@@ -1,0 +1,136 @@
+"""Per-batch runtime counters: what the dispatcher predicted vs what ran.
+
+Every batch the node runtime executes is recorded as one
+:class:`BatchMetrics` — the dispatcher's (possibly calibrated) estimates
+``m``/``n``, the split it chose, and the *measured* simulated durations
+of each pipeline stage (CPU compute, PCIe in, in-flight block wait, GPU
+compute, PCIe out).  :class:`RuntimeMetrics` aggregates them and is
+surfaced on :class:`~repro.runtime.node.NodeTimeline` so experiments and
+:mod:`repro.analysis.reporting` can show calibration convergence and
+stage overlap without re-instrumenting the runtime.
+
+The measured values feed the :class:`~repro.runtime.dispatcher.
+AdaptiveDispatcher` EWMA loop — this module is the "measured batch
+timings" half of the feedback calibration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BatchMetrics:
+    """One dispatched batch, estimates beside measurements.
+
+    Attributes:
+        index: dispatch order of the batch within the run.
+        kind: stringified task kind.
+        n_items / n_cpu_items / n_gpu_items: split sizes.
+        cpu_fraction: work fraction the dispatcher sent to the CPU.
+        est_cpu_seconds / est_gpu_seconds: the dispatcher's whole-batch
+            ``m`` and ``n`` (after calibration scaling).
+        cpu_scale / gpu_scale: calibration multipliers in force when the
+            batch was planned (1.0 for non-adaptive dispatchers).
+        measured_cpu_seconds: simulated service time of the CPU share.
+        transfer_in_seconds / transfer_out_seconds: PCIe charges.
+        block_wait_seconds: time spent waiting for operator blocks that
+            another batch had in flight (the write-once waiter path).
+        measured_gpu_seconds: simulated service time of the GPU kernel.
+        blocks_shipped / blocks_waited / blocks_hit: write-once cache
+            outcome for the batch's unique block keys.
+        dispatched_at / completed_at: simulated instants bracketing the
+            batch's compute phases (postprocess excluded).
+    """
+
+    index: int
+    kind: str
+    n_items: int = 0
+    n_cpu_items: int = 0
+    n_gpu_items: int = 0
+    cpu_fraction: float = 0.0
+    est_cpu_seconds: float = 0.0
+    est_gpu_seconds: float = 0.0
+    cpu_scale: float = 1.0
+    gpu_scale: float = 1.0
+    measured_cpu_seconds: float = 0.0
+    transfer_in_seconds: float = 0.0
+    transfer_out_seconds: float = 0.0
+    block_wait_seconds: float = 0.0
+    measured_gpu_seconds: float = 0.0
+    blocks_shipped: int = 0
+    blocks_waited: int = 0
+    blocks_hit: int = 0
+    dispatched_at: float = 0.0
+    completed_at: float = 0.0
+
+    @property
+    def measured_gpu_side_seconds(self) -> float:
+        """Everything the GPU share cost: transfers, waits and compute."""
+        return (
+            self.transfer_in_seconds
+            + self.block_wait_seconds
+            + self.measured_gpu_seconds
+            + self.transfer_out_seconds
+        )
+
+
+@dataclass
+class RuntimeMetrics:
+    """All batch records of one run plus whole-run counters."""
+
+    batches: list[BatchMetrics] = field(default_factory=list)
+    counters: Counter = field(default_factory=Counter)
+
+    def record(self, batch: BatchMetrics) -> None:
+        """Append one finished batch and fold it into the counters."""
+        self.batches.append(batch)
+        self.counters["batches"] += 1
+        self.counters["items"] += batch.n_items
+        self.counters["cpu_items"] += batch.n_cpu_items
+        self.counters["gpu_items"] += batch.n_gpu_items
+        self.counters["blocks_shipped"] += batch.blocks_shipped
+        self.counters["blocks_waited"] += batch.blocks_waited
+        self.counters["blocks_hit"] += batch.blocks_hit
+
+    @property
+    def n_batches(self) -> int:
+        """Number of batches recorded."""
+        return len(self.batches)
+
+    def cpu_fractions(self) -> list[float]:
+        """Chosen CPU fraction per batch, in dispatch order."""
+        return [b.cpu_fraction for b in self.batches]
+
+    def total_block_wait_seconds(self) -> float:
+        """Summed in-flight block wait time across batches."""
+        return sum(b.block_wait_seconds for b in self.batches)
+
+    def estimate_error(self) -> tuple[float, float]:
+        """Mean |measured/estimated - 1| per device over observed batches.
+
+        Returns (cpu_error, gpu_error); a device with no observed
+        batches reports 0.0.
+        """
+        cpu_ratios = [
+            b.measured_cpu_seconds / b.est_cpu_seconds
+            for b in self.batches
+            if b.est_cpu_seconds > 0 and b.measured_cpu_seconds > 0
+        ]
+        gpu_ratios = [
+            b.measured_gpu_side_seconds / b.est_gpu_seconds
+            for b in self.batches
+            if b.est_gpu_seconds > 0 and b.measured_gpu_side_seconds > 0
+        ]
+        cpu_err = (
+            sum(abs(r - 1.0) for r in cpu_ratios) / len(cpu_ratios)
+            if cpu_ratios
+            else 0.0
+        )
+        gpu_err = (
+            sum(abs(r - 1.0) for r in gpu_ratios) / len(gpu_ratios)
+            if gpu_ratios
+            else 0.0
+        )
+        return cpu_err, gpu_err

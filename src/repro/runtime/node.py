@@ -7,11 +7,19 @@ through the full pipeline on simulated time:
    the resulting work items to the :class:`~repro.runtime.batching.BatchAccumulator`;
 2. a flusher watches the batching timer and hands expired batches to the
    :class:`~repro.runtime.dispatcher.HybridDispatcher`;
-3. each batch's CPU share occupies the compute-thread pool; the GPU share
-   is staged through the pinned buffer pool (PCIe resource), filtered by
-   the write-once device block cache, and executed on the GPU resource
-   with stream-level concurrency inside the kernel timing;
+3. each batch's CPU share occupies compute-thread slots; the GPU share
+   is staged through a double-buffered pinned transfer slot, filtered by
+   the write-once device block cache (two-phase: residency commits only
+   when the transfer *completes* on the simulated clock), shipped over
+   the duplex PCIe link, and executed on GPU stream slots;
 4. *postprocess* sub-tasks run back on the data threads.
+
+By default the runtime is **pipelined** (Section II-A's overlap made
+real): the compute pool has one slot per CPU thread, the GPU one slot
+per stream, and PCIe is full duplex — so batch *i+1* ships while batch
+*i* computes and CPU shares of consecutive batches overlap.  With
+``pipelined=False`` every pool is a single slot and batches serialise,
+which is the pre-pipeline baseline the ablations compare against.
 
 When the tasks carry numeric payloads the kernels actually compute, so
 the same machinery that produces the paper's timings also produces real
@@ -32,6 +40,7 @@ from repro.runtime.batching import Batch, BatchAccumulator
 from repro.runtime.buffers import PinnedBufferPool, naive_transfer_plan
 from repro.runtime.dispatcher import HybridDispatcher
 from repro.runtime.events import AllOf, Environment, Event, Resource
+from repro.runtime.metrics import BatchMetrics, RuntimeMetrics
 from repro.runtime.task import BatchStats, HybridTask
 from repro.runtime.trace import Tracer
 
@@ -47,8 +56,15 @@ class NodeTimeline:
     setup_seconds: float = 0.0
     cpu_compute_busy: float = 0.0
     gpu_busy: float = 0.0
+    #: raw slot-seconds (busy integrated over all pool slots); for
+    #: single-slot pools these equal the *_busy fields
+    cpu_slot_seconds: float = 0.0
+    gpu_slot_seconds: float = 0.0
     pcie_busy: float = 0.0
+    pcie_to_busy: float = 0.0
+    pcie_from_busy: float = 0.0
     data_busy: float = 0.0
+    block_wait_seconds: float = 0.0
     n_tasks: int = 0
     n_batches: int = 0
     n_cpu_items: int = 0
@@ -59,12 +75,27 @@ class NodeTimeline:
     est_cpu_only: float = 0.0  # sum over batches of m
     est_gpu_only: float = 0.0  # sum over batches of n
     results: list = field(default_factory=list)
+    #: per-batch estimate-vs-measured records of the run
+    metrics: RuntimeMetrics | None = None
 
     @property
     def cpu_fraction_sent(self) -> float:
         """Fraction of all dispatched items that ran on the CPU."""
         total = self.n_cpu_items + self.n_gpu_items
         return self.n_cpu_items / total if total else 0.0
+
+
+@dataclass
+class _Pools:
+    """The simulated resources of one ``execute`` run."""
+
+    compute: Resource
+    gpu: Resource
+    pcie_to: Resource
+    pcie_from: Resource
+    data: Resource
+    admit: Resource
+    stage: Resource | None = None
 
 
 class NodeRuntime:
@@ -82,15 +113,23 @@ class NodeRuntime:
         gpu_cache: GpuBlockCache | None = None,
         charge_setup: bool = True,
         naive_port: bool = False,
+        pipelined: bool = True,
+        max_inflight_batches: int = 4,
         tracer: "Tracer | None" = None,
     ):
         """``naive_port=True`` models the strawman the paper argues
         against (Section I): no batching (every task dispatched alone),
         no pre-allocated pinned buffers (each input is a separate
         pageable transfer), no write-once device cache (operator blocks
-        re-shipped every time)."""
+        re-shipped every time).  ``pipelined=False`` keeps the batching
+        machinery but serialises batches through single-slot resource
+        pools (the pre-pipeline baseline)."""
         if data_threads < 1:
             raise RuntimeConfigError(f"data_threads must be >= 1, got {data_threads}")
+        if max_inflight_batches < 1:
+            raise RuntimeConfigError(
+                f"max_inflight_batches must be >= 1, got {max_inflight_batches}"
+            )
         self.spec = spec
         self.dispatcher = dispatcher
         self.cpu_model = CpuModel(spec.cpu)
@@ -100,6 +139,12 @@ class NodeRuntime:
         if naive_port:
             max_batch_size = 1
             flush_interval = min(flush_interval, 1e-6)
+            pipelined = False  # the strawman predates the pipeline
+        self.pipelined = pipelined
+        #: dispatched batches admitted to the pipeline at once; batches
+        #: beyond the window queue un-planned, so a calibrating
+        #: dispatcher plans them with feedback from completed ones
+        self.max_inflight_batches = max_inflight_batches
         self.flush_interval = flush_interval
         self.max_batch_size = max_batch_size
         self.buffer_pool = buffer_pool or PinnedBufferPool(spec.pcie)
@@ -127,6 +172,10 @@ class NodeRuntime:
         if self.tracer is not None:
             self.tracer.log_block_transfer(block_keys, at)
 
+    def _log_gpu_compute(self, kind, block_keys, at: float) -> None:
+        if self.tracer is not None:
+            self.tracer.log_gpu_compute(str(kind), block_keys, at)
+
     # -- transfer estimate used by the dispatcher's split --------------------------
 
     def _transfer_estimate(self, stats: BatchStats) -> float:
@@ -135,22 +184,44 @@ class NodeRuntime:
 
     # -- execution -----------------------------------------------------------------
 
+    def _make_pools(self, env: Environment) -> _Pools:
+        """The run's resources: multi-slot when pipelined, single-slot
+        (fully serialised batches, half-duplex PCIe) otherwise."""
+        if self.pipelined:
+            return _Pools(
+                compute=Resource(env, self.dispatcher.cpu_threads),
+                gpu=Resource(env, self.dispatcher.gpu_streams),
+                pcie_to=Resource(env, 1),
+                pcie_from=Resource(env, 1),
+                data=Resource(env, 1),
+                admit=Resource(env, self.max_inflight_batches),
+                stage=Resource(env, self.buffer_pool.stage_slots),
+            )
+        pcie = Resource(env, 1)
+        return _Pools(
+            compute=Resource(env, 1),
+            gpu=Resource(env, 1),
+            pcie_to=pcie,
+            pcie_from=pcie,  # half duplex: one link resource both ways
+            data=Resource(env, 1),
+            admit=Resource(env, 1),  # one batch at a time: no pipelining
+            stage=None,
+        )
+
     def execute(self, tasks: list[HybridTask]) -> NodeTimeline:
         """Run the full pipeline over ``tasks``; returns the timeline."""
         env = Environment()
-        timeline = NodeTimeline(n_tasks=len(tasks))
+        metrics = RuntimeMetrics()
+        timeline = NodeTimeline(n_tasks=len(tasks), metrics=metrics)
         acc = BatchAccumulator(
             flush_interval=self.flush_interval, max_batch_size=self.max_batch_size
         )
-        compute_pool = Resource(env, 1)  # batches serialise; threads inside timing
-        gpu = Resource(env, 1)
-        pcie = Resource(env, 1)
-        data_pool = Resource(env, 1)
+        pools = self._make_pools(env)
+        #: block key -> Event triggered when its transfer completes
+        inflight: dict = {}
         batch_events: list[Event] = []
         producer_done = env.event()
         wake_flusher = [env.event()]
-
-        self.dispatcher.transfer_estimator = self._transfer_estimate
 
         if self.charge_setup:
             timeline.setup_seconds = self.buffer_pool.setup_cost_seconds
@@ -158,8 +229,17 @@ class NodeRuntime:
         def dispatch(batch: Batch) -> None:
             self._log_flush(batch, env.now)
             timeline.n_batches += 1
-            done = env.process(self._run_batch(env, batch, timeline,
-                                               compute_pool, gpu, pcie, data_pool))
+            done = env.process(
+                self._run_batch(
+                    env,
+                    batch,
+                    timeline.n_batches - 1,
+                    timeline,
+                    pools,
+                    inflight,
+                    metrics,
+                )
+            )
             batch_events.append(done)
 
         def producer():
@@ -170,13 +250,13 @@ class NodeRuntime:
                 pre_bytes = sum(t.pre_bytes for t in chunk)
                 dt = self.cpu_model.data_seconds(pre_bytes, len(chunk))
                 dt /= self.data_threads
-                req = data_pool.request()
+                req = pools.data.request()
                 yield req
                 timeline.data_busy += dt
                 t0 = env.now
                 yield env.timeout(dt)
                 self._trace("preprocess", f"chunk@{start}", t0, env.now)
-                data_pool.release()
+                pools.data.release()
                 for task in chunk:
                     item = task.run_preprocess()
                     if item.on_complete is None and task.postprocess is not None:
@@ -223,9 +303,17 @@ class NodeRuntime:
         env.process(finisher())
         env.run()
         timeline.total_seconds = env.now
-        timeline.cpu_compute_busy = compute_pool.busy_time()
-        timeline.gpu_busy = gpu.busy_time()
-        timeline.pcie_busy = pcie.busy_time()
+        timeline.cpu_compute_busy = pools.compute.normalized_busy()
+        timeline.gpu_busy = pools.gpu.normalized_busy()
+        timeline.cpu_slot_seconds = pools.compute.busy_time()
+        timeline.gpu_slot_seconds = pools.gpu.busy_time()
+        timeline.pcie_to_busy = pools.pcie_to.busy_time()
+        timeline.pcie_from_busy = (
+            pools.pcie_from.busy_time() if pools.pcie_from is not pools.pcie_to
+            else 0.0
+        )
+        timeline.pcie_busy = timeline.pcie_to_busy + timeline.pcie_from_busy
+        timeline.block_wait_seconds = metrics.total_block_wait_seconds()
         if acc.pending:
             raise RuntimeConfigError(
                 f"runtime finished with {acc.pending} unflushed items"
@@ -234,48 +322,144 @@ class NodeRuntime:
 
     # -- per-batch pipeline -----------------------------------------------------------
 
-    def _run_batch(self, env, batch, timeline, compute_pool, gpu, pcie, data_pool):
-        plan = self.dispatcher.plan(batch)
+    def _run_batch(self, env, batch, index, timeline, pools, inflight, metrics):
+        # admission window: plan only once a pipeline slot frees, so a
+        # calibrating dispatcher plans this batch with the feedback of
+        # the batches that already completed
+        req = pools.admit.request()
+        yield req
+        plan = self.dispatcher.plan(
+            batch, transfer_estimator=self._transfer_estimate
+        )
         timeline.est_cpu_only += plan.est_cpu_seconds
         timeline.est_gpu_only += plan.est_gpu_seconds
         timeline.n_cpu_items += len(plan.cpu_items)
         timeline.n_gpu_items += len(plan.gpu_items)
+        rec = BatchMetrics(
+            index=index,
+            kind=str(batch.kind),
+            n_items=batch.size,
+            n_cpu_items=len(plan.cpu_items),
+            n_gpu_items=len(plan.gpu_items),
+            cpu_fraction=plan.cpu_fraction,
+            est_cpu_seconds=plan.est_cpu_seconds,
+            est_gpu_seconds=plan.est_gpu_seconds,
+            cpu_scale=self.dispatcher.cpu_time_scale,
+            gpu_scale=self.dispatcher.gpu_time_scale,
+            dispatched_at=env.now,
+        )
         parts = []
         if plan.cpu_items:
-            parts.append(env.process(self._cpu_part(env, plan.cpu_items, timeline,
-                                                    compute_pool)))
+            parts.append(
+                env.process(self._cpu_part(env, plan.cpu_items, pools, rec))
+            )
         if plan.gpu_items:
-            parts.append(env.process(self._gpu_part(env, plan.gpu_items, timeline,
-                                                    gpu, pcie)))
+            parts.append(
+                env.process(
+                    self._gpu_part(
+                        env, batch.kind, plan.gpu_items, timeline, pools,
+                        inflight, rec,
+                    )
+                )
+            )
         if parts:
             yield AllOf(env, parts)
+        pools.admit.release()
+        rec.completed_at = env.now
+        metrics.record(rec)
+        self._feed_back(plan, rec)
         # postprocess: accumulate results back into the tree (data threads)
         post_bytes = sum(it.output_bytes for it in batch.items)
         dt = self.cpu_model.data_seconds(post_bytes, len(batch.items))
         dt /= self.data_threads
-        req = data_pool.request()
+        req = pools.data.request()
         yield req
         timeline.data_busy += dt
         t0 = env.now
         yield env.timeout(dt)
         self._trace("postprocess", str(batch.kind), t0, env.now)
-        data_pool.release()
+        pools.data.release()
 
-    def _cpu_part(self, env, items, timeline, compute_pool):
+    def _feed_back(self, plan, rec: BatchMetrics) -> None:
+        """Report measured batch durations to a calibrating dispatcher.
+
+        Estimates passed back are the *raw* (unscaled) cost-model
+        predictions for the dispatched shares, so the EWMA tracks
+        model-vs-reality rather than chasing its own calibration.
+        """
+        observe = getattr(self.dispatcher, "observe", None)
+        if observe is None:
+            return
+        raw_gpu_est = 0.0
+        if plan.gpu_items:
+            gpu_stats = BatchStats.of(plan.gpu_items)
+            raw_gpu_est = (
+                self.dispatcher.gpu_kernel.batch_timing(
+                    gpu_stats, self.dispatcher.gpu_streams
+                ).seconds
+                + self._transfer_estimate(gpu_stats)
+            )
+        observe(
+            est_cpu_seconds=rec.measured_cpu_seconds,  # raw model == charge
+            measured_cpu_seconds=rec.measured_cpu_seconds,
+            est_gpu_seconds=raw_gpu_est,
+            measured_gpu_seconds=rec.measured_gpu_side_seconds,
+        )
+
+    # -- pipeline stages ---------------------------------------------------------
+
+    def _occupy(self, env, resource, seconds, category, label, t_done=None):
+        """One slot-slice: hold a slot of ``resource`` for ``seconds``."""
+        req = resource.request()
+        yield req
+        t0 = env.now
+        yield env.timeout(seconds)
+        self._trace(category, label, t0, env.now)
+        resource.release()
+
+    def _occupy_slices(self, env, resource, n_slices, seconds, category, label):
+        """Charge ``seconds`` on ``n_slices`` concurrent slots; the
+        returned events complete when every slice has run."""
+        n = max(1, min(n_slices, resource.capacity))
+        return [
+            env.process(
+                self._occupy(env, resource, seconds, category,
+                             f"{label} [{i + 1}/{n}]" if n > 1 else label)
+            )
+            for i in range(n)
+        ]
+
+    def _cpu_part(self, env, items, pools, rec):
         stats = BatchStats.of(items)
         timing = self.dispatcher.cpu_kernel.batch_timing(
             stats, self.dispatcher.cpu_threads
         )
-        req = compute_pool.request()
-        yield req
-        t0 = env.now
-        yield env.timeout(timing.seconds)
-        self._trace("cpu", f"{len(items)} items", t0, env.now)
-        compute_pool.release()
-        self._run_numeric(self.dispatcher.cpu_kernel, items, timeline)
+        # one CPU compute task is single-threaded, so the share occupies
+        # min(threads, items) slots — the kernel model already clamps its
+        # duration the same way
+        n_slices = (
+            min(self.dispatcher.cpu_threads, len(items)) if self.pipelined else 1
+        )
+        slices = self._occupy_slices(
+            env, pools.compute, n_slices, timing.seconds, "cpu",
+            f"{len(items)} items",
+        )
+        yield AllOf(env, slices)
+        rec.measured_cpu_seconds = timing.seconds
+        self._run_numeric(self.dispatcher.cpu_kernel, items, None)
 
-    def _gpu_part(self, env, items, timeline, gpu, pcie):
+    def _gpu_part(self, env, kind, items, timeline, pools, inflight, rec):
         stats = BatchStats.of(items)
+        # double-buffered staging: hold one aggregation buffer from
+        # transfer start until the kernel has consumed it.  Acquired
+        # *before* the cache reservation — a shipper that has marked
+        # blocks in flight must never queue behind batches that hold
+        # stage slots while waiting for those very blocks.
+        if pools.stage is not None:
+            req = pools.stage.request()
+            yield req
+        ticket = None
+        arrival_events: list[Event] = []
         if self.naive_port:
             # no device cache: every block travels with its task, and
             # every tensor is a separate pageable transfer
@@ -288,35 +472,74 @@ class NodeRuntime:
             bytes_in = stats.input_bytes + block_bytes
         else:
             per_block = stats.unique_block_bytes / max(1, len(stats.block_keys))
-            shipped_keys = [
-                k for k in stats.block_keys if k not in self.gpu_cache
+            # unique keys in first-use order (deterministic, unlike the
+            # aggregate stats' set)
+            ordered_keys: list = []
+            seen: set = set()
+            for it in items:
+                for k in it.block_keys:
+                    if k not in seen:
+                        seen.add(k)
+                        ordered_keys.append(k)
+            # two-phase write-once cache: reserve now, resident only when
+            # the transfer completes — a concurrent batch sees in-flight
+            # blocks as *waits*, not hits (the TOCTOU fix)
+            ticket = self.gpu_cache.begin_transfer(ordered_keys, per_block)
+            arrival_events = [
+                inflight[k] for k in ticket.wait_keys if k in inflight
             ]
-            block_bytes = self.gpu_cache.bytes_to_transfer(
-                stats.block_keys, per_block
-            )
+            if ticket.ship_keys:
+                arrived = env.event()
+                for k in ticket.ship_keys:
+                    inflight[k] = arrived
+            block_bytes = ticket.bytes_to_ship
             bytes_in = stats.input_bytes + block_bytes
             plan_in = self.buffer_pool.plan(bytes_in)
-        req = pcie.request()
+        req = pools.pcie_to.request()
         yield req
-        timeline.pcie_busy += plan_in.total_seconds
         t0 = env.now
         yield env.timeout(plan_in.total_seconds)
         self._trace("pcie", "to device", t0, env.now)
-        if not self.naive_port:
-            self._log_block_transfer(shipped_keys, env.now)
-        pcie.release()
+        pools.pcie_to.release()
+        rec.transfer_in_seconds = plan_in.total_seconds
+        if ticket is not None:
+            self.gpu_cache.commit_transfer(ticket)
+            rec.blocks_shipped = len(ticket.ship_keys)
+            rec.blocks_waited = len(ticket.wait_keys)
+            rec.blocks_hit = len(ticket.hit_keys)
+            if ticket.ship_keys:
+                self._log_block_transfer(ticket.ship_keys, env.now)
+                inflight[ticket.ship_keys[0]].succeed()
         timeline.bytes_to_gpu += bytes_in
         timeline.block_bytes_shipped += block_bytes
+
+        # waiter path: blocks another batch had in flight must have
+        # *arrived* before this batch may compute on them
+        wait_t0 = env.now
+        pending = [ev for ev in arrival_events if not ev.triggered]
+        if pending:
+            yield AllOf(env, pending)
+        rec.block_wait_seconds = env.now - wait_t0
 
         timing = self.dispatcher.gpu_kernel.batch_timing(
             stats, self.dispatcher.gpu_streams
         )
-        req = gpu.request()
-        yield req
-        t0 = env.now
-        yield env.timeout(timing.seconds)
-        self._trace("gpu", f"{len(items)} items", t0, env.now)
-        gpu.release()
+        if ticket is not None:
+            self._log_gpu_compute(
+                kind, ticket.ship_keys + ticket.wait_keys + ticket.hit_keys,
+                env.now,
+            )
+        n_slices = (
+            min(self.dispatcher.gpu_streams, len(items)) if self.pipelined else 1
+        )
+        slices = self._occupy_slices(
+            env, pools.gpu, n_slices, timing.seconds, "gpu",
+            f"{len(items)} items",
+        )
+        yield AllOf(env, slices)
+        rec.measured_gpu_seconds = timing.seconds
+        if pools.stage is not None:
+            pools.stage.release()
 
         if self.naive_port:
             plan_out = naive_transfer_plan(
@@ -324,22 +547,22 @@ class NodeRuntime:
             )
         else:
             plan_out = self.buffer_pool.plan(stats.output_bytes)
-        req = pcie.request()
+        req = pools.pcie_from.request()
         yield req
         t0 = env.now
         yield env.timeout(plan_out.total_seconds)
         self._trace("pcie", "from device", t0, env.now)
-        pcie.release()
+        pools.pcie_from.release()
+        rec.transfer_out_seconds = plan_out.total_seconds
         timeline.bytes_from_gpu += stats.output_bytes
         self._run_numeric(self.dispatcher.gpu_kernel, items, timeline)
 
-    @staticmethod
-    def _run_numeric(kernel: ComputeKernel, items, timeline) -> None:
+    def _run_numeric(self, kernel: ComputeKernel, items, timeline) -> None:
         for item in items:
             if item.payload is None:
                 continue
             result = kernel.run_item(item)
             if item.on_complete is not None:
                 item.on_complete(result)
-            else:
+            elif timeline is not None:
                 timeline.results.append((item, result))

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 
 #: operations recorded in the structured runtime log
-LOG_OPS = ("submit", "flush", "block_transfer")
+LOG_OPS = ("submit", "flush", "block_transfer", "gpu_compute")
 
 #: categories rendered as separate Gantt lanes, in display order
 LANES = ("preprocess", "cpu", "pcie", "gpu", "postprocess")
@@ -57,16 +57,19 @@ class RuntimeLogRecord:
 
     Attributes:
         op: one of :data:`LOG_OPS` — ``submit`` (one work item entered
-            the accumulator), ``flush`` (one batch left it), or
-            ``block_transfer`` (operator blocks crossed PCIe into the
-            write-once cache).
+            the accumulator), ``flush`` (one batch left it),
+            ``block_transfer`` (operator blocks finished crossing PCIe
+            into the write-once cache — recorded at *arrival* time), or
+            ``gpu_compute`` (one batch's GPU kernel started, with the
+            block keys it reads).
         at: simulated instant of the operation.
-        kind: the task kind (stringified) for submit/flush; empty for
-            block transfers.
+        kind: the task kind (stringified) for submit/flush/gpu_compute;
+            empty for block transfers.
         ids: the identities involved — a single work-item id for
             ``submit``, the flushed item ids in batch order for
             ``flush``, the transferred block keys for
-            ``block_transfer``.
+            ``block_transfer``, the block keys read for
+            ``gpu_compute``.
     """
 
     op: str
@@ -129,10 +132,19 @@ class Tracer:
     def log_block_transfer(
         self, block_keys: Iterable[Hashable], at: float
     ) -> None:
-        """Record operator blocks shipped into the write-once GPU cache."""
+        """Record operator blocks *arriving* in the write-once GPU cache
+        (the transfer-completion instant, not its start)."""
         keys = tuple(block_keys)
         if keys:
             self.log.append(RuntimeLogRecord("block_transfer", at, "", keys))
+
+    def log_gpu_compute(
+        self, kind: str, block_keys: Iterable[Hashable], at: float
+    ) -> None:
+        """Record one batch's GPU kernel starting on the given blocks."""
+        self.log.append(
+            RuntimeLogRecord("gpu_compute", at, kind, tuple(block_keys))
+        )
 
     def by_category(self, category: str) -> list[TraceEvent]:
         """Events of one Gantt lane, in recording order."""

@@ -1,0 +1,91 @@
+"""Property tests: pipelined execution preserves the batching contract.
+
+Hypothesis drives randomized irregular task streams (mixed kinds, random
+weights, random batching knobs) through the *pipelined* runtime and
+asserts, via the happens-before log, that concurrency never loses,
+duplicates, or reorders work items within a kind — the invariants
+:mod:`repro.lint.trace_check` formalises.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.trace_check import find_violations
+from repro.runtime.task import HybridTask, TaskKind, WorkItem
+from repro.runtime.trace import Tracer
+from tests.conftest import make_runtime
+
+#: (q, rank) shapes — distinct q means a distinct TaskKind
+_SHAPES = [(12, 20), (16, 40), (24, 60)]
+
+
+def _task(shape_idx: int, weight: int, block_family: int) -> HybridTask:
+    q, rank = _SHAPES[shape_idx]
+    item = WorkItem(
+        kind=TaskKind("integral_compute", (3, q)),
+        flops=1_000_000 * (1 + weight),
+        input_bytes=q**3 * 8,
+        output_bytes=q**3 * 8,
+        block_keys=tuple((block_family, mu) for mu in range(rank)),
+        block_bytes=rank * q * q * 8,
+        steps=rank * 3,
+        step_rows=q * q,
+        step_q=q,
+    )
+    return HybridTask(
+        work=item, pre_bytes=item.input_bytes, post_bytes=item.output_bytes
+    )
+
+
+task_streams = st.lists(
+    st.tuples(
+        st.integers(0, len(_SHAPES) - 1),  # kind
+        st.integers(0, 30),  # weight multiplier
+        st.integers(0, 3),  # block family shared across tasks
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(
+    stream=task_streams,
+    max_batch_size=st.integers(1, 12),
+    flush_ms=st.sampled_from([0.5, 2.0, 8.0]),
+)
+@settings(max_examples=30, deadline=None)
+def test_pipelined_run_never_loses_duplicates_or_reorders(
+    stream, max_batch_size, flush_ms
+):
+    tasks = [_task(*spec) for spec in stream]
+    tracer = Tracer()
+    rt = make_runtime(
+        "hybrid",
+        max_batch_size=max_batch_size,
+        flush_interval=flush_ms / 1e3,
+    )
+    rt.tracer = tracer
+    tl = rt.execute(tasks)
+    assert tl.n_cpu_items + tl.n_gpu_items == len(tasks)
+    assert find_violations(tracer.log) == []
+
+
+@given(stream=task_streams)
+@settings(max_examples=15, deadline=None)
+def test_pipelined_and_serialized_process_identical_work(stream):
+    """Concurrency changes the clock, never the set of work performed."""
+    results = []
+    for pipelined in (True, False):
+        rt = make_runtime("hybrid", max_batch_size=8)
+        rt.pipelined = pipelined
+        tl = rt.execute([_task(*spec) for spec in stream])
+        results.append(
+            (
+                tl.n_cpu_items + tl.n_gpu_items,
+                tl.bytes_from_gpu,
+                tl.n_batches,
+            )
+        )
+    assert results[0] == results[1]

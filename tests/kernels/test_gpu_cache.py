@@ -46,3 +46,74 @@ def test_capacity_overflow_raises():
 def test_invalid_capacity():
     with pytest.raises(HardwareModelError):
         GpuBlockCache(0)
+
+
+# -- two-phase transfer protocol (the pipelined runtime's API) ----------------
+
+
+def test_begin_does_not_grant_residency():
+    cache = GpuBlockCache(1 << 20)
+    ticket = cache.begin_transfer(["a", "b"], 100.0)
+    assert ticket.ship_keys == ("a", "b")
+    assert "a" not in cache
+    assert cache.in_flight("a")
+    assert cache.resident_bytes == 0
+    assert cache.reserved_bytes == 200
+
+
+def test_commit_grants_residency():
+    cache = GpuBlockCache(1 << 20)
+    ticket = cache.begin_transfer(["a", "b"], 100.0)
+    cache.commit_transfer(ticket)
+    assert "a" in cache and "b" in cache
+    assert not cache.in_flight("a")
+    assert cache.resident_bytes == 200
+    assert cache.reserved_bytes == 0
+    assert cache.stats.bytes_inserted == 200
+
+
+def test_concurrent_batch_waits_instead_of_hitting():
+    """Regression for the TOCTOU race: while a transfer is in flight a
+    second batch must see its blocks as waits, not as resident hits."""
+    cache = GpuBlockCache(1 << 20)
+    first = cache.begin_transfer(["a", "b"], 100.0)
+    second = cache.begin_transfer(["a", "c"], 100.0)
+    assert second.wait_keys == ("a",)
+    assert second.hit_keys == ()
+    assert second.ship_keys == ("c",)
+    assert second.bytes_to_ship == 100
+    cache.commit_transfer(first)
+    third = cache.begin_transfer(["a"], 100.0)
+    assert third.hit_keys == ("a",)
+
+
+def test_commit_of_foreign_ticket_raises():
+    from repro.kernels.gpu_cache import TransferTicket
+
+    cache = GpuBlockCache(1 << 20)
+    bogus = TransferTicket(("x",), (), (), 100)
+    with pytest.raises(HardwareModelError):
+        cache.commit_transfer(bogus)
+
+
+def test_reserved_bytes_count_against_capacity():
+    """Two overlapping transfers cannot jointly overflow the device."""
+    cache = GpuBlockCache(250)
+    cache.begin_transfer(["a", "b"], 100.0)  # not committed yet
+    with pytest.raises(HardwareModelError):
+        cache.begin_transfer(["c"], 100.0)
+
+
+def test_stats_count_unique_keys_consistently():
+    """Regression: hits used to count per occurrence while misses counted
+    per unique key, skewing every derived hit rate."""
+    cache = GpuBlockCache(1 << 20)
+    cache.bytes_to_transfer(["a", "a", "b"], 100.0)
+    assert cache.stats.misses == 2
+    assert cache.stats.hits == 0
+    cache.bytes_to_transfer(["a", "b", "b", "c"], 100.0)
+    assert cache.stats.misses == 3
+    assert cache.stats.hits == 2
+    assert cache.stats.waits == 0
+    assert cache.stats.accesses == 5
+    assert cache.stats.bytes_inserted == 300

@@ -99,6 +99,40 @@ class TestViolations:
         ]
         assert any("submitted twice" in v for v in find_violations(log))
 
+    def test_gpu_compute_on_block_that_never_arrived(self):
+        log = good_log() + [rec("gpu_compute", 2.0, "a", ["ghost"])]
+        assert any("never arrived" in v for v in find_violations(log))
+
+    def test_gpu_compute_before_transfer_completes(self):
+        """The TOCTOU race the two-phase cache prevents: a kernel reads a
+        block whose transfer finishes only later."""
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("flush", 0.1, "a", [1]),
+            rec("gpu_compute", 0.2, "a", ["h0"]),
+            rec("block_transfer", 0.6, "", ["h0"]),
+        ]
+        assert any(
+            "transfer completes later" in v for v in find_violations(log)
+        )
+
+    def test_gpu_compute_after_arrival_passes(self):
+        log = good_log() + [
+            rec("gpu_compute", 2.0, "a", ["h0", "h1", "h2"]),
+        ]
+        assert find_violations(log) == []
+
+    def test_gpu_compute_at_arrival_instant_passes(self):
+        """Completion and compute at the same instant is legal (the
+        commit happens-before the kernel in scheduling order)."""
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("flush", 0.1, "a", [1]),
+            rec("block_transfer", 0.5, "", ["h0"]),
+            rec("gpu_compute", 0.5, "a", ["h0"]),
+        ]
+        assert find_violations(log) == []
+
     def test_error_message_caps_listing(self):
         log = [rec("flush", 0.0, "a", [i]) for i in range(10)]
         with pytest.raises(TraceCheckError) as err:

@@ -11,8 +11,13 @@ from repro.hardware.specs import TITAN_NODE
 from repro.kernels.cpu_kernel import CpuMtxmKernel
 from repro.kernels.custom_gpu import CustomGpuKernel
 from repro.runtime.batching import Batch
-from repro.runtime.dispatcher import HybridDispatcher, optimal_split, overlap_time
-from repro.runtime.task import TaskKind, WorkItem
+from repro.runtime.dispatcher import (
+    AdaptiveDispatcher,
+    HybridDispatcher,
+    optimal_split,
+    overlap_time,
+)
+from repro.runtime.task import BatchStats, TaskKind, WorkItem
 
 
 def test_optimal_split_formula():
@@ -125,3 +130,97 @@ def test_invalid_parallelism_rejected():
             cpu_threads=0,
             gpu_streams=5,
         )
+
+
+def test_zero_flop_batch_reports_item_fraction():
+    """Regression: an all-zero-FLOP batch with a non-empty CPU share used
+    to report cpu_fraction = 0.0, hiding where the items actually went."""
+    kind = TaskKind("data_only", 0)
+    items = [
+        WorkItem(kind=kind, flops=0, input_bytes=64000, output_bytes=64000)
+        for _ in range(10)
+    ]
+    cpu_items, gpu_items = items[:4], items[4:]
+    k = HybridDispatcher._fraction(cpu_items, items)
+    assert k == pytest.approx(0.4)
+    assert HybridDispatcher._fraction([], []) == 0.0
+
+
+def test_per_plan_transfer_estimator_does_not_stick():
+    """plan() takes the transfer estimator per call; the instance default
+    must survive untouched so shared dispatchers stay uncorrupted."""
+    disp = _make_dispatcher("hybrid")
+    default = disp.transfer_estimator
+    expensive = lambda stats: 10.0  # noqa: E731
+    plan_slow = disp.plan(_batch(flops=1_000_000), transfer_estimator=expensive)
+    assert disp.transfer_estimator is default
+    plan_default = disp.plan(_batch(flops=1_000_000))
+    # a 10s transfer charge must push work off the GPU
+    assert plan_slow.cpu_fraction >= plan_default.cpu_fraction
+
+
+def _make_adaptive(**kwargs):
+    return AdaptiveDispatcher(
+        CpuMtxmKernel(CpuModel(TITAN_NODE.cpu)),
+        CustomGpuKernel(GpuModel(TITAN_NODE.gpu)),
+        cpu_threads=10,
+        gpu_streams=5,
+        **kwargs,
+    )
+
+
+def test_adaptive_validates_parameters():
+    with pytest.raises(RuntimeConfigError):
+        _make_adaptive(cpu_scale=0.0)
+    with pytest.raises(RuntimeConfigError):
+        _make_adaptive(gpu_scale=-1.0)
+    with pytest.raises(RuntimeConfigError):
+        _make_adaptive(ewma_alpha=0.0)
+    with pytest.raises(RuntimeConfigError):
+        _make_adaptive(ewma_alpha=1.5)
+
+
+def test_observe_moves_scales_toward_measured_ratio():
+    disp = _make_adaptive(ewma_alpha=0.5)
+    disp.observe(
+        est_cpu_seconds=1.0,
+        measured_cpu_seconds=2.0,
+        est_gpu_seconds=1.0,
+        measured_gpu_seconds=0.5,
+    )
+    assert disp.cpu_time_scale == pytest.approx(1.5)
+    assert disp.gpu_time_scale == pytest.approx(0.75)
+    assert disp.history == [(1.5, 0.75)]
+
+
+def test_observe_ignores_absent_shares():
+    disp = _make_adaptive()
+    disp.observe(est_gpu_seconds=1.0, measured_gpu_seconds=1.0)
+    assert disp.cpu_time_scale == 1.0
+
+
+def test_adaptive_converges_within_ten_batches():
+    """Acceptance: started 2x miscalibrated, the planned CPU fraction
+    reaches within 10% of the well-calibrated dispatcher's within 10
+    plan/observe rounds."""
+    reference = _make_dispatcher("hybrid")
+    optimal_k = reference.plan(_batch()).cpu_fraction
+    disp = _make_adaptive(gpu_scale=2.0)
+    k = None
+    for _ in range(10):
+        plan = disp.plan(_batch())
+        k = plan.cpu_fraction
+        # measured == the raw model (the simulated hardware *is* the
+        # model): feed back unscaled estimates for the dispatched share
+        gpu_raw = (
+            disp.gpu_kernel.batch_timing(BatchStats.of(plan.gpu_items), 5).seconds
+            if plan.gpu_items
+            else 0.0
+        )
+        disp.observe(
+            est_cpu_seconds=1.0,
+            measured_cpu_seconds=1.0,
+            est_gpu_seconds=gpu_raw,
+            measured_gpu_seconds=gpu_raw,
+        )
+    assert k == pytest.approx(optimal_k, abs=0.1 * max(optimal_k, 1e-9))

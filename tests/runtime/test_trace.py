@@ -67,8 +67,10 @@ def test_runtime_populates_tracer():
     assert tracer.by_category("pcie")
     assert tracer.by_category("preprocess")
     assert tracer.by_category("postprocess")
-    # traced busy time agrees with the timeline's accounting
-    assert tracer.busy("gpu") == pytest.approx(tl.gpu_busy, rel=1e-9)
+    # traced busy time agrees with the timeline's accounting: each GPU
+    # slice interval holds exactly one stream slot, so the traced sum is
+    # the pool's integrated slot-seconds
+    assert tracer.busy("gpu") == pytest.approx(tl.gpu_slot_seconds, rel=1e-9)
     assert tracer.busy("pcie") == pytest.approx(tl.pcie_busy, rel=1e-9)
     # all events inside the run's span
     start, end = tracer.span()
