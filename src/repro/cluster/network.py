@@ -30,9 +30,9 @@ class NetworkModel:
     def __post_init__(self) -> None:
         if self.injection_bytes_per_second <= 0 or self.latency_seconds < 0:
             raise ClusterConfigError(f"invalid network model: {self}")
-        if not 0.0 <= self.overlap_fraction < 1.0:
+        if not 0.0 <= self.overlap_fraction <= 1.0:
             raise ClusterConfigError(
-                f"overlap fraction must be in [0, 1), got {self.overlap_fraction}"
+                f"overlap fraction must be in [0, 1], got {self.overlap_fraction}"
             )
 
     def drain_seconds(self, n_messages: int, bytes_total: int) -> float:

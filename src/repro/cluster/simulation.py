@@ -14,6 +14,7 @@ accumulations cross ranks, and those are asynchronous.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.apps.workloads import ClusterTask
@@ -21,6 +22,9 @@ from repro.cluster.load_balance import LoadImbalance, imbalance_metrics
 from repro.cluster.network import NetworkModel
 from repro.dht.process_map import ProcessMap
 from repro.errors import ClusterConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import GpuFailure
+from repro.faults.policies import GpuBatchTimeout, RetryPolicy
 from repro.hardware.cpu_model import CpuModel
 from repro.hardware.gpu_model import GpuModel
 from repro.hardware.specs import NodeSpec, TITAN_NODE
@@ -44,6 +48,9 @@ class NodeResult:
     comm_seconds: float
     n_messages: int
     message_bytes: int
+    #: simulated instant the rank crashed (None = survived the run);
+    #: a crashed rank's unfinished tasks were redistributed to survivors
+    crashed_at: float | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -63,6 +70,8 @@ class ClusterResult:
     total_tasks: int = 0
     total_messages: int = 0
     total_message_bytes: int = 0
+    #: accumulate messages the injector lost (each charged a retransmit)
+    total_lost_messages: int = 0
 
     @property
     def comm_fraction(self) -> float:
@@ -92,9 +101,21 @@ class ClusterSimulation:
         stragglers: optional {rank: slowdown_factor} — those nodes run
             their compute that many times slower (thermal throttling,
             shared-service jitter; real Titan partitions had them).
-        failed_gpus: optional ranks whose GPU is unavailable — they fall
-            back to CPU-only dispatch while the rest of the partition
-            keeps its configured mode (failure injection).
+        fault_injector: optional :class:`~repro.faults.injector.
+            FaultInjector` — its :class:`~repro.faults.models.GpuFailure`
+            models decide which ranks fall back to CPU-only dispatch,
+            :class:`~repro.faults.models.NodeCrash` models trigger task
+            redistribution to surviving ranks, and message-loss/-delay
+            models are charged onto each rank's network drain.  The
+            injector also rides along into every rank's node runtime, so
+            transient GPU faults, PCIe degradations and stragglers fire
+            inside the batching pipeline.
+        retry_policy / gpu_timeout: per-rank resilience policies handed
+            to every node runtime (only meaningful with a fault
+            injector).
+        failed_gpus: deprecated alias for ``fault_injector`` with one
+            permanent :class:`~repro.faults.models.GpuFailure` per rank;
+            emits a :class:`DeprecationWarning`.
         pipelined: run each node's batches through the concurrent
             pipeline (default); ``False`` serialises batches per node.
         adaptive: use the feedback-calibrated
@@ -118,6 +139,9 @@ class ClusterSimulation:
         flush_interval: float = 0.01,
         max_batch_size: int = 60,
         stragglers: dict[int, float] | None = None,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        gpu_timeout: GpuBatchTimeout | None = None,
         failed_gpus: set[int] | None = None,
         pipelined: bool = True,
         adaptive: bool = False,
@@ -152,7 +176,25 @@ class ClusterSimulation:
             raise ClusterConfigError(
                 f"straggler slowdowns must be positive: {self.stragglers}"
             )
-        self.failed_gpus = set(failed_gpus or ())
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        self.gpu_timeout = gpu_timeout
+        if failed_gpus:
+            warnings.warn(
+                "failed_gpus is deprecated; pass fault_injector="
+                "FaultInjector(faults=[GpuFailure(rank=r, permanent=True) "
+                "for r in ranks]) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if self.fault_injector is None:
+                self.fault_injector = FaultInjector()
+            self.fault_injector.add(
+                *(
+                    GpuFailure(rank=r, permanent=True)
+                    for r in sorted(failed_gpus)
+                )
+            )
         self.pipelined = pipelined
         self.adaptive = adaptive
 
@@ -172,10 +214,15 @@ class ClusterSimulation:
         )
         return replace(self.node_spec, cpu=cpu, gpu=gpu)
 
+    def _gpu_failed(self, rank: int) -> bool:
+        inj = self.fault_injector
+        return inj is not None and inj.gpu_permanently_failed(rank, 0.0)
+
     def _make_runtime(self, rank: int = 0) -> NodeRuntime:
         spec = self._spec_for_rank(rank)
         mode = self.mode
-        if rank in self.failed_gpus and mode in ("gpu", "hybrid"):
+        gpu_failed = self._gpu_failed(rank)
+        if gpu_failed and mode in ("gpu", "hybrid"):
             mode = "cpu"
         cpu_model = CpuModel(spec.cpu)
         gpu_model = GpuModel(spec.gpu)
@@ -185,7 +232,7 @@ class ClusterSimulation:
         else:
             gpu_kernel = CublasKernel(gpu_model)
         threads = self.cpu_threads
-        if rank in self.failed_gpus and self.mode != "cpu":
+        if gpu_failed and self.mode != "cpu":
             # the fallback node has its full CPU available for compute
             threads = spec.cpu.cores
         if self.adaptive and mode == "hybrid":
@@ -210,42 +257,111 @@ class ClusterSimulation:
             flush_interval=self.flush_interval,
             max_batch_size=self.max_batch_size,
             pipelined=self.pipelined,
+            fault_injector=self.fault_injector,
+            retry_policy=self.retry_policy,
+            gpu_timeout=self.gpu_timeout,
+            rank=rank,
         )
 
     # -- the run ---------------------------------------------------------------------
+
+    def _hybrid_tasks(
+        self, rank: int, rank_tasks: list[ClusterTask]
+    ) -> tuple[list[HybridTask], int, int]:
+        """Build a rank's runtime batch input and count its off-node
+        accumulate messages; returns (tasks, n_messages, message_bytes)."""
+        n_messages = 0
+        message_bytes = 0
+        hybrid_tasks: list[HybridTask] = []
+        for t in rank_tasks:
+            # preprocess copies the input tensor into the aggregation
+            # buffer; the operator blocks are cache *lookups* (the
+            # write-once CPU cache), charged as per-block bookkeeping.
+            hybrid_tasks.append(
+                HybridTask(
+                    work=t.item,
+                    pre_bytes=t.item.input_bytes + 64 * len(t.item.block_keys),
+                    post_bytes=t.item.output_bytes,
+                )
+            )
+            if self.pmap.owner(t.neighbor) != rank:
+                n_messages += 1
+                message_bytes += t.item.output_bytes
+        return hybrid_tasks, n_messages, message_bytes
+
+    def _redistribute_crashes(
+        self, per_rank: list[list[ClusterTask]]
+    ) -> dict[int, float]:
+        """Hand a crashed rank's unfinished tasks to the survivors.
+
+        Faults are pre-scheduled, so the crash point is known before the
+        run: the crashed rank's full share is simulated once to estimate
+        its would-be makespan, the completed prefix (work up to the
+        crash instant) stays put, and the orphaned tail is reassigned
+        deterministically through the process map onto the surviving
+        ranks — the DHT-backed recovery path, where ownership simply
+        rehashes over the shrunken rank set.
+        """
+        inj = self.fault_injector
+        if inj is None or not inj.active:
+            return {}
+        crashed = {
+            rank: at
+            for rank in range(self.n_nodes)
+            if (at := inj.crash_time(rank)) is not None
+        }
+        if not crashed:
+            return {}
+        survivors = [r for r in range(self.n_nodes) if r not in crashed]
+        if not survivors:
+            raise ClusterConfigError(
+                f"every rank crashes ({sorted(crashed)}); no survivors"
+            )
+        for rank, at in sorted(crashed.items()):
+            share = per_rank[rank]
+            if not share:
+                continue
+            hybrid_tasks, _, _ = self._hybrid_tasks(rank, share)
+            est = self._make_runtime(rank).execute(hybrid_tasks).total_seconds
+            frac = min(1.0, at / est) if est > 0 else 0.0
+            n_done = int(frac * len(share))
+            per_rank[rank] = share[:n_done]
+            for task in share[n_done:]:
+                target = survivors[self.pmap.owner(task.key) % len(survivors)]
+                per_rank[target].append(task)
+        return crashed
 
     def run(self, tasks: list[ClusterTask]) -> ClusterResult:
         """Execute the workload; returns makespan and diagnostics."""
         per_rank: list[list[ClusterTask]] = [[] for _ in range(self.n_nodes)]
         for task in tasks:
             per_rank[self.pmap.owner(task.key)].append(task)
+        crashed = self._redistribute_crashes(per_rank)
 
         node_results: list[NodeResult] = []
         total_messages = 0
         total_message_bytes = 0
+        total_lost = 0
         for rank, rank_tasks in enumerate(per_rank):
-            n_messages = 0
-            message_bytes = 0
-            hybrid_tasks: list[HybridTask] = []
-            for t in rank_tasks:
-                # preprocess copies the input tensor into the aggregation
-                # buffer; the operator blocks are cache *lookups* (the
-                # write-once CPU cache), charged as per-block bookkeeping.
-                hybrid_tasks.append(
-                    HybridTask(
-                        work=t.item,
-                        pre_bytes=t.item.input_bytes + 64 * len(t.item.block_keys),
-                        post_bytes=t.item.output_bytes,
-                    )
-                )
-                if self.pmap.owner(t.neighbor) != rank:
-                    n_messages += 1
-                    message_bytes += t.item.output_bytes
+            hybrid_tasks, n_messages, message_bytes = self._hybrid_tasks(
+                rank, rank_tasks
+            )
             if hybrid_tasks:
                 timeline = self._make_runtime(rank).execute(hybrid_tasks)
             else:
                 timeline = NodeTimeline(n_tasks=0)
             comm = self.network.drain_seconds(n_messages, message_bytes)
+            inj = self.fault_injector
+            if inj is not None and inj.active and n_messages:
+                lost, delay = inj.message_faults(rank, n_messages)
+                if lost:
+                    # each lost accumulate is retransmitted once
+                    avg_bytes = message_bytes / n_messages
+                    comm += self.network.drain_seconds(
+                        lost, int(lost * avg_bytes)
+                    )
+                    total_lost += lost
+                comm += delay
             node_results.append(
                 NodeResult(
                     rank=rank,
@@ -254,6 +370,7 @@ class ClusterSimulation:
                     comm_seconds=comm,
                     n_messages=n_messages,
                     message_bytes=message_bytes,
+                    crashed_at=crashed.get(rank),
                 )
             )
             total_messages += n_messages
@@ -270,4 +387,5 @@ class ClusterSimulation:
             total_tasks=len(tasks),
             total_messages=total_messages,
             total_message_bytes=total_message_bytes,
+            total_lost_messages=total_lost,
         )

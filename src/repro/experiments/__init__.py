@@ -24,6 +24,7 @@ from repro.experiments.tables import (
     run_table5,
     run_table6,
 )
+from repro.experiments.chaos import run_chaos_ablation
 from repro.experiments.figures import run_fig5, run_fig6
 from repro.experiments.ablations import (
     run_adaptive_ablation,
@@ -54,6 +55,7 @@ REGISTRY = {
     "ablation-flush-interval": run_flush_interval_ablation,
     "ablation-pipeline": run_pipeline_ablation,
     "ablation-adaptive": run_adaptive_ablation,
+    "ablation-chaos": run_chaos_ablation,
 }
 
 __all__ = ["REGISTRY"] + sorted(

@@ -54,6 +54,11 @@ def make_runtime(
     adaptive: bool = False,
     cpu_scale: float = 1.0,
     gpu_scale: float = 1.0,
+    fault_injector=None,
+    retry_policy=None,
+    gpu_timeout=None,
+    degraded_mode=None,
+    tracer=None,
 ) -> NodeRuntime:
     """A Titan-node runtime with the given dispatch configuration.
 
@@ -61,7 +66,9 @@ def make_runtime(
     :class:`~repro.runtime.dispatcher.AdaptiveDispatcher` (only
     meaningful with ``mode="hybrid"``); ``cpu_scale``/``gpu_scale`` set
     its initial — possibly deliberately miscalibrated — cost-model
-    multipliers.
+    multipliers.  The ``fault_injector``/``retry_policy``/
+    ``gpu_timeout``/``degraded_mode`` knobs arm the :mod:`repro.faults`
+    resilience layer (chaos experiments).
     """
     cpu = CpuMtxmKernel(CpuModel(TITAN_NODE.cpu), rank_reduction=rank_reduction)
     gm = GpuModel(TITAN_NODE.gpu)
@@ -87,6 +94,11 @@ def make_runtime(
         max_batch_size=max_batch_size,
         naive_port=naive_port,
         pipelined=pipelined,
+        fault_injector=fault_injector,
+        retry_policy=retry_policy,
+        gpu_timeout=gpu_timeout,
+        degraded_mode=degraded_mode,
+        tracer=tracer,
     )
 
 

@@ -148,6 +148,25 @@ class GpuBlockCache:
         self.resident_bytes += ticket.bytes_to_ship
         self.stats.bytes_inserted += ticket.bytes_to_ship
 
+    def abort_transfer(self, ticket: TransferTicket) -> None:
+        """Roll a ticket back after a faulted transfer.
+
+        The ticket's ship keys leave the in-flight set **without**
+        gaining residency and their reserved bytes are released, so
+        waiters blocked on those keys re-ship them on their own next
+        :meth:`begin_transfer` instead of waiting forever on a transfer
+        that will never commit.  Aborting a ticket whose blocks are not
+        in flight (already committed or aborted) raises.
+        """
+        for k in ticket.ship_keys:
+            if k not in self._in_flight:
+                raise HardwareModelError(
+                    f"abort of block {k!r} that is not in flight"
+                )
+            del self._in_flight[k]
+        self.reserved_bytes -= ticket.bytes_to_ship
+        self.stats.aborts += len(ticket.ship_keys)
+
     # -- single-phase convenience (no overlapping transfers) --------------------
 
     def bytes_to_transfer(

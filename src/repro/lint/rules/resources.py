@@ -9,6 +9,13 @@ defeat that design — swallowing the documented error types, and mutating
 cache state behind the API's back.  These rules flag both, plus the
 classic bare ``except:`` that hides everything including
 ``KeyboardInterrupt``.
+
+With the fault-injection layer (:mod:`repro.faults`) the runtime now
+*retries* failed work, which invites a fourth failure mode: the
+unbounded retry loop.  A ``while True`` that catches an error and
+``continue``-s without counting attempts spins forever once a fault is
+permanent; RES004 flags it (the sanctioned shape is
+:class:`repro.faults.policies.RetryPolicy` with ``max_attempts``).
 """
 
 from __future__ import annotations
@@ -138,4 +145,71 @@ class CacheBypassRule(Rule):
                         f"assignment to .{target.attr} bypasses the "
                         "write-once capacity check; insert through "
                         "bytes_to_transfer()",
+                    )
+
+
+def _shallow_walk(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements, skipping nested loop and function subtrees.
+
+    A nested loop's retry structure is its own problem (the rule visits
+    it separately), and ``continue`` inside one targets *that* loop —
+    counting its nodes here would produce false verdicts either way.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node,
+            (ast.While, ast.For, ast.AsyncFor, ast.FunctionDef,
+             ast.AsyncFunctionDef, ast.Lambda),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class UnboundedRetryRule(Rule):
+    """RES004: retry loops must bound their attempts."""
+
+    id = "RES004"
+    summary = (
+        "while True retry loop: except + continue with no attempt "
+        "counter and no raise/break escape — spins forever on a "
+        "permanent fault"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``while True`` loops that swallow-and-retry unboundedly."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            test = node.test
+            if not (isinstance(test, ast.Constant) and test.value is True):
+                continue
+            local = list(_shallow_walk(node.body))
+            # an attempt counter (attempt += 1 and friends) bounds the
+            # loop provided something checks it; give the counter the
+            # benefit of the doubt and only flag counter-less loops
+            if any(isinstance(n, ast.AugAssign) for n in local):
+                continue
+            for handler in local:
+                if not isinstance(handler, ast.ExceptHandler):
+                    continue
+                handler_nodes = list(_shallow_walk(handler.body))
+                retries = any(
+                    isinstance(h, ast.Continue) for h in handler_nodes
+                )
+                escapes = any(
+                    isinstance(h, (ast.Raise, ast.Break, ast.Return))
+                    for h in handler_nodes
+                )
+                if retries and not escapes:
+                    yield ctx.finding(
+                        self.id,
+                        handler,
+                        "except-and-continue inside while True with no "
+                        "attempt counter; bound retries (see "
+                        "repro.faults.policies.RetryPolicy) or re-raise "
+                        "after a budget",
                     )

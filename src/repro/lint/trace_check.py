@@ -22,7 +22,16 @@ structured log a :class:`repro.runtime.trace.Tracer` collects
    completion, is at an earlier-or-equal instant).  A kernel reading a
    block that never arrived is the cache-timing race the two-phase
    protocol exists to prevent.  Logs without ``gpu_compute`` records
-   (older runs, CPU-only runs) trivially satisfy this check.
+   (older runs, CPU-only runs) trivially satisfy this check;
+6. **effectively-exactly-once accumulation** — under fault injection a
+   GPU batch may execute several attempts (``gpu_compute`` records with
+   ``attempt > 0``), but each flushed item must land in **exactly one**
+   ``accumulate`` record: replays must not double-count results, and
+   retry budget exhaustion must not drop them.  Every retried attempt
+   must also be justified by a preceding ``gpu_fault`` record of the
+   same kind, an accumulate must not precede its batch's flush, and
+   logs without ``accumulate`` records (pre-faults runs) trivially
+   satisfy the check.
 
 :func:`check_runtime_log` raises :class:`TraceCheckError` listing every
 violation; :func:`verify_tracer` is the one-call form used by the
@@ -64,6 +73,11 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
     transferred: Counter[Hashable] = Counter()
     arrival_time: dict[Hashable, float] = {}
     computes: list[RuntimeLogRecord] = []
+    flush_time: dict[Hashable, float] = {}
+    accumulate_count: Counter[Hashable] = Counter()
+    accumulates: list[RuntimeLogRecord] = []
+    faults_by_kind: Counter[str] = Counter()
+    retried_by_kind: Counter[str] = Counter()
     last_at: float | None = None
 
     for rec in records:
@@ -82,6 +96,7 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
             for item_id in rec.ids:
                 flush_count[item_id] += 1
                 flush_order.setdefault(rec.kind, []).append(item_id)
+                flush_time.setdefault(item_id, rec.at)
                 if item_id not in submit_time:
                     violations.append(
                         f"item {item_id!r} flushed in kind {rec.kind} but "
@@ -98,6 +113,14 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
                 arrival_time.setdefault(key, rec.at)
         elif rec.op == "gpu_compute":
             computes.append(rec)
+            if rec.attempt > 0:
+                retried_by_kind[rec.kind] += 1
+        elif rec.op == "gpu_fault":
+            faults_by_kind[rec.kind] += 1
+        elif rec.op == "accumulate":
+            accumulates.append(rec)
+            for item_id in rec.ids:
+                accumulate_count[item_id] += 1
 
     for item_id, count in flush_count.items():
         if count > 1:
@@ -143,6 +166,42 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
                     f"{key!r} whose transfer completes later, at "
                     f"{arrival_time[key]} (residency granted before arrival)"
                 )
+    # effectively-exactly-once accumulation: only checked when the run
+    # logged accumulates at all (older logs carry none)
+    if accumulates:
+        for item_id, count in flush_count.items():
+            n = accumulate_count.get(item_id, 0)
+            if n == 0:
+                violations.append(
+                    f"item {item_id!r} flushed but never accumulated "
+                    "(result lost — retry budget exhaustion must fall "
+                    "back, not drop)"
+                )
+            elif n > 1:
+                violations.append(
+                    f"item {item_id!r} accumulated {n} times (a replayed "
+                    "attempt double-counted its results)"
+                )
+        for item_id in accumulate_count:
+            if item_id not in flush_count:
+                violations.append(
+                    f"item {item_id!r} accumulated but never flushed"
+                )
+        for rec in accumulates:
+            for item_id in rec.ids:
+                if item_id in flush_time and rec.at < flush_time[item_id]:
+                    violations.append(
+                        f"item {item_id!r} accumulated at {rec.at} before "
+                        f"its flush at {flush_time[item_id]}"
+                    )
+    for kind, n_retried in retried_by_kind.items():
+        n_faults = faults_by_kind.get(kind, 0)
+        if n_retried > n_faults:
+            violations.append(
+                f"kind {kind}: {n_retried} retried gpu attempt(s) but only "
+                f"{n_faults} recorded fault(s) — every replay must be "
+                "justified by a fault"
+            )
     return violations
 
 

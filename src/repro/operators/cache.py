@@ -27,13 +27,16 @@ class CacheStats:
     within one lookup counts once, so hit rates are comparable across
     batch shapes.  ``waits`` counts keys that were in flight on PCIe for
     another batch at lookup time — not re-shipped (no miss) but not yet
-    usable (no hit); only the GPU-side cache produces them.
+    usable (no hit); only the GPU-side cache produces them.  ``aborts``
+    counts keys whose transfer was rolled back after a fault (GPU-side
+    cache only; an aborted key re-ships as a fresh miss next lookup).
     """
 
     hits: int = 0
     misses: int = 0
     waits: int = 0
     bytes_inserted: int = 0
+    aborts: int = 0
 
     @property
     def accesses(self) -> int:

@@ -42,6 +42,15 @@ class BatchMetrics:
             outcome for the batch's unique block keys.
         dispatched_at / completed_at: simulated instants bracketing the
             batch's compute phases (postprocess excluded).
+        attempts: GPU attempts the batch took (1 = clean first try;
+            only fault injection produces more).
+        gpu_faults: injected GPU faults the batch absorbed.
+        retry_wait_seconds: backoff time spent between attempts.
+        fallback_items: GPU-planned items that ultimately ran on the
+            CPU (retry budget exhausted, timeout re-plan, or degraded
+            mode).
+        degraded: whether the batch ran while the node was in CPU-only
+            degraded mode.
     """
 
     index: int
@@ -64,6 +73,11 @@ class BatchMetrics:
     blocks_hit: int = 0
     dispatched_at: float = 0.0
     completed_at: float = 0.0
+    attempts: int = 1
+    gpu_faults: int = 0
+    retry_wait_seconds: float = 0.0
+    fallback_items: int = 0
+    degraded: bool = False
 
     @property
     def measured_gpu_side_seconds(self) -> float:
@@ -93,6 +107,11 @@ class RuntimeMetrics:
         self.counters["blocks_shipped"] += batch.blocks_shipped
         self.counters["blocks_waited"] += batch.blocks_waited
         self.counters["blocks_hit"] += batch.blocks_hit
+        self.counters["gpu_faults"] += batch.gpu_faults
+        self.counters["retries"] += max(0, batch.attempts - 1)
+        self.counters["fallback_items"] += batch.fallback_items
+        if batch.degraded:
+            self.counters["degraded_batches"] += 1
 
     @property
     def n_batches(self) -> int:
@@ -106,6 +125,10 @@ class RuntimeMetrics:
     def total_block_wait_seconds(self) -> float:
         """Summed in-flight block wait time across batches."""
         return sum(b.block_wait_seconds for b in self.batches)
+
+    def total_retry_wait_seconds(self) -> float:
+        """Summed backoff wait time across retried batches."""
+        return sum(b.retry_wait_seconds for b in self.batches)
 
     def estimate_error(self) -> tuple[float, float]:
         """Mean |measured/estimated - 1| per device over observed batches.

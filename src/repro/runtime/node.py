@@ -31,6 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import RuntimeConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.policies import (
+    DegradedModeController,
+    GpuBatchTimeout,
+    RetryPolicy,
+)
 from repro.hardware.cpu_model import CpuModel
 from repro.hardware.gpu_model import GpuModel
 from repro.hardware.specs import NodeSpec
@@ -77,6 +83,12 @@ class NodeTimeline:
     results: list = field(default_factory=list)
     #: per-batch estimate-vs-measured records of the run
     metrics: RuntimeMetrics | None = None
+    #: fault-injection outcome (all zero on a clean run)
+    n_gpu_faults: int = 0
+    n_retries: int = 0
+    n_fallback_items: int = 0
+    retry_wait_seconds: float = 0.0
+    degraded_seconds: float = 0.0
 
     @property
     def cpu_fraction_sent(self) -> float:
@@ -116,6 +128,11 @@ class NodeRuntime:
         pipelined: bool = True,
         max_inflight_batches: int = 4,
         tracer: "Tracer | None" = None,
+        fault_injector: "FaultInjector | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
+        gpu_timeout: "GpuBatchTimeout | None" = None,
+        degraded_mode: "DegradedModeController | None" = None,
+        rank: int = 0,
     ):
         """``naive_port=True`` models the strawman the paper argues
         against (Section I): no batching (every task dispatched alone),
@@ -123,7 +140,16 @@ class NodeRuntime:
         pageable transfer), no write-once device cache (operator blocks
         re-shipped every time).  ``pipelined=False`` keeps the batching
         machinery but serialises batches through single-slot resource
-        pools (the pre-pipeline baseline)."""
+        pools (the pre-pipeline baseline).
+
+        ``fault_injector`` arms the chaos hooks (GPU batch faults, PCIe
+        degradation, compute slowdowns); faulted GPU batches are retried
+        per ``retry_policy`` (default :class:`RetryPolicy`), watched by
+        the optional ``gpu_timeout``, and repeated faults flip the node
+        to CPU-only through ``degraded_mode``.  With no injector — or an
+        injector with no faults registered — none of these paths run and
+        the timeline is bit-identical to a fault-free runtime.  ``rank``
+        identifies the node to per-rank fault models."""
         if data_threads < 1:
             raise RuntimeConfigError(f"data_threads must be >= 1, got {data_threads}")
         if max_inflight_batches < 1:
@@ -151,6 +177,13 @@ class NodeRuntime:
         self.gpu_cache = gpu_cache or GpuBlockCache(spec.gpu.ram_bytes)
         self.charge_setup = charge_setup and not naive_port
         self.tracer = tracer
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.gpu_timeout = gpu_timeout
+        self.degraded_mode = degraded_mode
+        self.rank = rank
+        #: set per execute(): True only when registered faults exist
+        self._chaos = False
 
     def _trace(self, category: str, label: str, start: float, end: float) -> None:
         if self.tracer is not None:
@@ -172,9 +205,19 @@ class NodeRuntime:
         if self.tracer is not None:
             self.tracer.log_block_transfer(block_keys, at)
 
-    def _log_gpu_compute(self, kind, block_keys, at: float) -> None:
+    def _log_gpu_compute(self, kind, block_keys, at: float, attempt: int = 0) -> None:
         if self.tracer is not None:
-            self.tracer.log_gpu_compute(str(kind), block_keys, at)
+            self.tracer.log_gpu_compute(str(kind), block_keys, at, attempt)
+
+    def _log_gpu_fault(self, kind, at: float, attempt: int) -> None:
+        if self.tracer is not None:
+            self.tracer.log_gpu_fault(str(kind), at, attempt)
+
+    def _log_accumulate(self, batch: Batch, at: float, attempt: int) -> None:
+        if self.tracer is not None:
+            self.tracer.log_accumulate(
+                str(batch.kind), [id(it) for it in batch.items], at, attempt
+            )
 
     # -- transfer estimate used by the dispatcher's split --------------------------
 
@@ -211,6 +254,12 @@ class NodeRuntime:
     def execute(self, tasks: list[HybridTask]) -> NodeTimeline:
         """Run the full pipeline over ``tasks``; returns the timeline."""
         env = Environment()
+        # armed only when faults are actually registered: an injector
+        # with an empty schedule leaves every code path — and thus the
+        # timeline — bit-identical to a run without one
+        self._chaos = (
+            self.fault_injector is not None and self.fault_injector.active
+        )
         metrics = RuntimeMetrics()
         timeline = NodeTimeline(n_tasks=len(tasks), metrics=metrics)
         acc = BatchAccumulator(
@@ -314,6 +363,13 @@ class NodeRuntime:
         )
         timeline.pcie_busy = timeline.pcie_to_busy + timeline.pcie_from_busy
         timeline.block_wait_seconds = metrics.total_block_wait_seconds()
+        timeline.n_gpu_faults = metrics.counters["gpu_faults"]
+        timeline.n_retries = metrics.counters["retries"]
+        timeline.n_fallback_items = metrics.counters["fallback_items"]
+        timeline.retry_wait_seconds = metrics.total_retry_wait_seconds()
+        if self.degraded_mode is not None:
+            self.degraded_mode.finish(env.now)
+            timeline.degraded_seconds = self.degraded_mode.degraded_seconds
         if acc.pending:
             raise RuntimeConfigError(
                 f"runtime finished with {acc.pending} unflushed items"
@@ -348,18 +404,43 @@ class NodeRuntime:
             gpu_scale=self.dispatcher.gpu_time_scale,
             dispatched_at=env.now,
         )
+        gpu_items = plan.gpu_items
+        replanned: list = []
+        if self._chaos and gpu_items:
+            ctl = self.degraded_mode
+            if ctl is not None and ctl.degraded and not ctl.should_probe(env.now):
+                # graceful degradation: the GPU share never leaves the host
+                replanned, gpu_items = gpu_items, []
+                rec.degraded = True
+            elif self.gpu_timeout is not None:
+                g_stats = BatchStats.of(gpu_items)
+                est = (
+                    self.dispatcher.gpu_kernel.batch_timing(
+                        g_stats, self.dispatcher.gpu_streams
+                    ).seconds
+                    + self._transfer_estimate(g_stats)
+                )
+                if est > self.gpu_timeout.timeout_seconds:
+                    # the watchdog would kill it anyway: re-plan CPU-side
+                    replanned, gpu_items = gpu_items, []
         parts = []
         if plan.cpu_items:
             parts.append(
                 env.process(self._cpu_part(env, plan.cpu_items, pools, rec))
             )
-        if plan.gpu_items:
+        if gpu_items:
             parts.append(
                 env.process(
                     self._gpu_part(
-                        env, batch.kind, plan.gpu_items, timeline, pools,
-                        inflight, rec,
+                        env, batch.kind, gpu_items, timeline, pools,
+                        inflight, rec, index,
                     )
+                )
+            )
+        if replanned:
+            parts.append(
+                env.process(
+                    self._cpu_fallback(env, replanned, timeline, pools, rec)
                 )
             )
         if parts:
@@ -378,6 +459,7 @@ class NodeRuntime:
         t0 = env.now
         yield env.timeout(dt)
         self._trace("postprocess", str(batch.kind), t0, env.now)
+        self._log_accumulate(batch, env.now, rec.attempts - 1)
         pools.data.release()
 
     def _feed_back(self, plan, rec: BatchMetrics) -> None:
@@ -434,6 +516,9 @@ class NodeRuntime:
         timing = self.dispatcher.cpu_kernel.batch_timing(
             stats, self.dispatcher.cpu_threads
         )
+        seconds = timing.seconds
+        if self._chaos:
+            seconds *= self.fault_injector.compute_slowdown(self.rank, env.now)
         # one CPU compute task is single-threaded, so the share occupies
         # min(threads, items) slots — the kernel model already clamps its
         # duration the same way
@@ -441,14 +526,44 @@ class NodeRuntime:
             min(self.dispatcher.cpu_threads, len(items)) if self.pipelined else 1
         )
         slices = self._occupy_slices(
-            env, pools.compute, n_slices, timing.seconds, "cpu",
+            env, pools.compute, n_slices, seconds, "cpu",
             f"{len(items)} items",
         )
         yield AllOf(env, slices)
-        rec.measured_cpu_seconds = timing.seconds
+        rec.measured_cpu_seconds = seconds
         self._run_numeric(self.dispatcher.cpu_kernel, items, None)
 
-    def _gpu_part(self, env, kind, items, timeline, pools, inflight, rec):
+    def _cpu_fallback(self, env, items, timeline, pools, rec):
+        """Replay GPU-planned items on the CPU compute pool.
+
+        The re-execution path of the resilience layer: items whose GPU
+        share exhausted its retry budget, tripped the batch timeout, or
+        arrived while the node was degraded run here exactly once — the
+        postprocess accumulate happens once per batch regardless of how
+        the compute share was (re)placed.
+        """
+        stats = BatchStats.of(items)
+        timing = self.dispatcher.cpu_kernel.batch_timing(
+            stats, self.dispatcher.cpu_threads
+        )
+        seconds = timing.seconds
+        if self._chaos:
+            seconds *= self.fault_injector.compute_slowdown(self.rank, env.now)
+        n_slices = (
+            min(self.dispatcher.cpu_threads, len(items)) if self.pipelined else 1
+        )
+        slices = self._occupy_slices(
+            env, pools.compute, n_slices, seconds, "cpu",
+            f"fallback {len(items)} items",
+        )
+        yield AllOf(env, slices)
+        rec.fallback_items += len(items)
+        timeline.n_gpu_items -= len(items)
+        timeline.n_cpu_items += len(items)
+        self._run_numeric(self.dispatcher.cpu_kernel, items, timeline)
+
+    def _gpu_part(self, env, kind, items, timeline, pools, inflight, rec,
+                  batch_index=0):
         stats = BatchStats.of(items)
         # double-buffered staging: hold one aggregation buffer from
         # transfer start until the kernel has consumed it.  Acquired
@@ -498,10 +613,14 @@ class NodeRuntime:
         req = pools.pcie_to.request()
         yield req
         t0 = env.now
-        yield env.timeout(plan_in.total_seconds)
+        t_in = plan_in.total_seconds
+        if self._chaos:
+            # degraded link: remaining-bandwidth fraction stretches the charge
+            t_in /= self.fault_injector.pcie_factor(self.rank, env.now)
+        yield env.timeout(t_in)
         self._trace("pcie", "to device", t0, env.now)
         pools.pcie_to.release()
-        rec.transfer_in_seconds = plan_in.total_seconds
+        rec.transfer_in_seconds = t_in
         if ticket is not None:
             self.gpu_cache.commit_transfer(ticket)
             rec.blocks_shipped = len(ticket.ship_keys)
@@ -524,22 +643,36 @@ class NodeRuntime:
         timing = self.dispatcher.gpu_kernel.batch_timing(
             stats, self.dispatcher.gpu_streams
         )
-        if ticket is not None:
-            self._log_gpu_compute(
-                kind, ticket.ship_keys + ticket.wait_keys + ticket.hit_keys,
-                env.now,
-            )
+        block_keys_read = (
+            ticket.ship_keys + ticket.wait_keys + ticket.hit_keys
+            if ticket is not None
+            else ()
+        )
         n_slices = (
             min(self.dispatcher.gpu_streams, len(items)) if self.pipelined else 1
         )
-        slices = self._occupy_slices(
-            env, pools.gpu, n_slices, timing.seconds, "gpu",
-            f"{len(items)} items",
-        )
-        yield AllOf(env, slices)
-        rec.measured_gpu_seconds = timing.seconds
+        if not self._chaos:
+            if ticket is not None:
+                self._log_gpu_compute(kind, block_keys_read, env.now)
+            slices = self._occupy_slices(
+                env, pools.gpu, n_slices, timing.seconds, "gpu",
+                f"{len(items)} items",
+            )
+            yield AllOf(env, slices)
+            rec.measured_gpu_seconds = timing.seconds
+            gpu_ok = True
+        else:
+            gpu_ok = yield from self._gpu_compute_attempts(
+                env, kind, items, pools, rec, timing.seconds, n_slices,
+                block_keys_read, batch_index,
+            )
         if pools.stage is not None:
             pools.stage.release()
+        if not gpu_ok:
+            # retry budget exhausted (or the node degraded mid-batch):
+            # the share replays on the CPU; no device→host drain happens
+            yield from self._cpu_fallback(env, items, timeline, pools, rec)
+            return
 
         if self.naive_port:
             plan_out = naive_transfer_plan(
@@ -550,12 +683,65 @@ class NodeRuntime:
         req = pools.pcie_from.request()
         yield req
         t0 = env.now
-        yield env.timeout(plan_out.total_seconds)
+        t_out = plan_out.total_seconds
+        if self._chaos:
+            t_out /= self.fault_injector.pcie_factor(self.rank, env.now)
+        yield env.timeout(t_out)
         self._trace("pcie", "from device", t0, env.now)
         pools.pcie_from.release()
-        rec.transfer_out_seconds = plan_out.total_seconds
+        rec.transfer_out_seconds = t_out
         timeline.bytes_from_gpu += stats.output_bytes
         self._run_numeric(self.dispatcher.gpu_kernel, items, timeline)
+
+    def _gpu_compute_attempts(
+        self, env, kind, items, pools, rec, compute_seconds, n_slices,
+        block_keys, batch_index,
+    ):
+        """Fault-aware GPU compute: attempt → fault? → backoff → retry.
+
+        Each attempt is an independent seeded trial; a faulted attempt
+        occupies its stream slots for at most the watchdog timeout (the
+        stall is only *detected* then), is logged as ``gpu_fault``, and
+        backs off per the retry policy before requeueing.  Returns True
+        when an attempt completed, False when the caller must replay the
+        share CPU-side.  Operator blocks were committed at transfer time,
+        so retries hit the write-once cache instead of re-shipping.
+        """
+        inj = self.fault_injector
+        ctl = self.degraded_mode
+        attempt = 0
+        while True:
+            seconds = compute_seconds * inj.compute_slowdown(self.rank, env.now)
+            faulted = inj.gpu_batch_fault(self.rank, batch_index, attempt, env.now)
+            if faulted and self.gpu_timeout is not None:
+                seconds = min(seconds, self.gpu_timeout.timeout_seconds)
+            label = f"{len(items)} items"
+            if attempt:
+                label += f" [try {attempt + 1}]"
+            self._log_gpu_compute(kind, block_keys, env.now, attempt)
+            slices = self._occupy_slices(
+                env, pools.gpu, n_slices, seconds, "gpu", label
+            )
+            yield AllOf(env, slices)
+            rec.attempts = attempt + 1
+            if not faulted:
+                rec.measured_gpu_seconds = seconds
+                if ctl is not None:
+                    ctl.record_success(env.now)
+                return True
+            rec.gpu_faults += 1
+            self._log_gpu_fault(kind, env.now, attempt)
+            if ctl is not None:
+                ctl.record_fault(env.now)
+            attempt += 1
+            if attempt >= self.retry_policy.max_attempts or (
+                ctl is not None and ctl.degraded
+            ):
+                return False
+            wait = self.retry_policy.backoff_seconds(attempt, key=batch_index)
+            if wait > 0:
+                yield env.timeout(wait)
+                rec.retry_wait_seconds += wait
 
     def _run_numeric(self, kernel: ComputeKernel, items, timeline) -> None:
         for item in items:

@@ -24,7 +24,14 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 
 #: operations recorded in the structured runtime log
-LOG_OPS = ("submit", "flush", "block_transfer", "gpu_compute")
+LOG_OPS = (
+    "submit",
+    "flush",
+    "block_transfer",
+    "gpu_compute",
+    "gpu_fault",
+    "accumulate",
+)
 
 #: categories rendered as separate Gantt lanes, in display order
 LANES = ("preprocess", "cpu", "pcie", "gpu", "postprocess")
@@ -59,27 +66,38 @@ class RuntimeLogRecord:
         op: one of :data:`LOG_OPS` — ``submit`` (one work item entered
             the accumulator), ``flush`` (one batch left it),
             ``block_transfer`` (operator blocks finished crossing PCIe
-            into the write-once cache — recorded at *arrival* time), or
+            into the write-once cache — recorded at *arrival* time),
             ``gpu_compute`` (one batch's GPU kernel started, with the
-            block keys it reads).
+            block keys it reads), ``gpu_fault`` (one GPU batch attempt
+            faulted under injection), or ``accumulate`` (one batch's
+            results accumulated back into the tree at postprocess).
         at: simulated instant of the operation.
-        kind: the task kind (stringified) for submit/flush/gpu_compute;
-            empty for block transfers.
+        kind: the task kind (stringified) for submit/flush/gpu_compute/
+            gpu_fault/accumulate; empty for block transfers.
         ids: the identities involved — a single work-item id for
             ``submit``, the flushed item ids in batch order for
-            ``flush``, the transferred block keys for
-            ``block_transfer``, the block keys read for
-            ``gpu_compute``.
+            ``flush`` and ``accumulate``, the transferred block keys
+            for ``block_transfer``, the block keys read for
+            ``gpu_compute``; empty for ``gpu_fault``.
+        attempt: execution attempt the record belongs to (0 = first
+            try); nonzero only for retried GPU batches under fault
+            injection, letting :mod:`repro.lint.trace_check` verify
+            effectively-exactly-once accumulation despite replays.
     """
 
     op: str
     at: float
     kind: str
     ids: tuple[Hashable, ...]
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if self.op not in LOG_OPS:
             raise SimulationError(f"unknown runtime log op {self.op!r}")
+        if self.attempt < 0:
+            raise SimulationError(
+                f"negative attempt {self.attempt} in runtime log record"
+            )
 
     def to_json(self) -> str:
         """One JSON line (block keys stringified for portability)."""
@@ -89,6 +107,7 @@ class RuntimeLogRecord:
                 "at": self.at,
                 "kind": self.kind,
                 "ids": [str(i) for i in self.ids],
+                "attempt": self.attempt,
             }
         )
 
@@ -101,7 +120,11 @@ def log_records_from_jsonl(lines: Iterable[str]) -> Iterator[RuntimeLogRecord]:
             continue
         raw = json.loads(line)
         yield RuntimeLogRecord(
-            op=raw["op"], at=raw["at"], kind=raw["kind"], ids=tuple(raw["ids"])
+            op=raw["op"],
+            at=raw["at"],
+            kind=raw["kind"],
+            ids=tuple(raw["ids"]),
+            attempt=raw.get("attempt", 0),
         )
 
 
@@ -139,11 +162,39 @@ class Tracer:
             self.log.append(RuntimeLogRecord("block_transfer", at, "", keys))
 
     def log_gpu_compute(
-        self, kind: str, block_keys: Iterable[Hashable], at: float
+        self,
+        kind: str,
+        block_keys: Iterable[Hashable],
+        at: float,
+        attempt: int = 0,
     ) -> None:
         """Record one batch's GPU kernel starting on the given blocks."""
         self.log.append(
-            RuntimeLogRecord("gpu_compute", at, kind, tuple(block_keys))
+            RuntimeLogRecord(
+                "gpu_compute", at, kind, tuple(block_keys), attempt
+            )
+        )
+
+    def log_gpu_fault(self, kind: str, at: float, attempt: int) -> None:
+        """Record one GPU batch attempt faulting (injected fault)."""
+        self.log.append(RuntimeLogRecord("gpu_fault", at, kind, (), attempt))
+
+    def log_accumulate(
+        self,
+        kind: str,
+        item_ids: Iterable[Hashable],
+        at: float,
+        attempt: int = 0,
+    ) -> None:
+        """Record one batch's results accumulating at postprocess time.
+
+        ``attempt`` is the attempt whose results were accumulated — the
+        effectively-exactly-once invariant says each item appears in
+        exactly one accumulate record no matter how many attempts its
+        batch took.
+        """
+        self.log.append(
+            RuntimeLogRecord("accumulate", at, kind, tuple(item_ids), attempt)
         )
 
     def by_category(self, category: str) -> list[TraceEvent]:

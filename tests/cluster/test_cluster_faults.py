@@ -1,0 +1,140 @@
+"""Cluster-level fault injection: the FaultInjector-backed replacement
+for ``failed_gpus``, node-crash redistribution, and message faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workloads import SyntheticApplyWorkload
+from repro.cluster.simulation import ClusterSimulation
+from repro.dht.process_map import HashProcessMap
+from repro.errors import ClusterConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    GpuFailure,
+    MessageDelay,
+    MessageLoss,
+    NodeCrash,
+)
+
+NODES = 4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return SyntheticApplyWorkload(
+        dim=3, k=10, rank=60, n_tasks=800, n_tree_leaves=128, seed=5
+    )
+
+
+def run(workload, **kwargs):
+    sim = ClusterSimulation(NODES, HashProcessMap(NODES), mode="hybrid",
+                            **kwargs)
+    return sim.run(workload.tasks)
+
+
+class TestDeprecatedAlias:
+    def test_failed_gpus_warns(self, workload):
+        with pytest.warns(DeprecationWarning, match="fault_injector"):
+            ClusterSimulation(
+                NODES, HashProcessMap(NODES), failed_gpus={1}
+            )
+
+    def test_alias_matches_injector_equivalent(self, workload):
+        with pytest.warns(DeprecationWarning):
+            legacy = run(workload, failed_gpus={1})
+        inj = FaultInjector(faults=[GpuFailure(rank=1, permanent=True)])
+        modern = run(workload, fault_injector=inj)
+        assert legacy.makespan_seconds == modern.makespan_seconds
+        for a, b in zip(legacy.node_results, modern.node_results):
+            assert a.timeline.total_seconds == b.timeline.total_seconds
+
+    def test_alias_still_falls_back_to_cpu(self, workload):
+        with pytest.warns(DeprecationWarning):
+            res = run(workload, failed_gpus={1})
+        assert res.node_results[1].timeline.n_gpu_items == 0
+        assert res.node_results[2].timeline.n_gpu_items > 0
+
+
+class TestNodeCrash:
+    def test_tasks_conserved_after_crash(self, workload):
+        clean = run(workload)
+        at = clean.makespan_seconds * 0.4
+        inj = FaultInjector(faults=[NodeCrash(rank=2, at=at)])
+        res = run(workload, fault_injector=inj)
+        assert sum(r.n_tasks for r in res.node_results) == len(workload.tasks)
+        assert res.node_results[2].crashed_at == at
+        assert all(
+            r.crashed_at is None
+            for r in res.node_results
+            if r.rank != 2
+        )
+
+    def test_survivors_absorb_the_orphans(self, workload):
+        clean = run(workload)
+        inj = FaultInjector(
+            faults=[NodeCrash(rank=2, at=clean.makespan_seconds * 0.4)]
+        )
+        res = run(workload, fault_injector=inj)
+        assert res.node_results[2].n_tasks < clean.node_results[2].n_tasks
+        survivors = [r for r in res.node_results if r.rank != 2]
+        grew = [
+            r
+            for r, c in zip(survivors, (
+                x for x in clean.node_results if x.rank != 2
+            ))
+            if r.n_tasks > c.n_tasks
+        ]
+        assert grew, "no survivor picked up redistributed work"
+        assert res.makespan_seconds > clean.makespan_seconds
+
+    def test_crash_after_completion_redistributes_nothing(self, workload):
+        clean = run(workload)
+        inj = FaultInjector(
+            faults=[NodeCrash(rank=2, at=clean.makespan_seconds * 10)]
+        )
+        res = run(workload, fault_injector=inj)
+        assert [r.n_tasks for r in res.node_results] == [
+            r.n_tasks for r in clean.node_results
+        ]
+
+    def test_all_ranks_crashing_rejected(self, workload):
+        inj = FaultInjector(
+            faults=[NodeCrash(rank=r, at=0.1) for r in range(NODES)]
+        )
+        with pytest.raises(ClusterConfigError, match="survivors"):
+            run(workload, fault_injector=inj)
+
+
+class TestMessageFaults:
+    def test_loss_charges_retransmits(self, workload):
+        clean = run(workload)
+        inj = FaultInjector(seed=3, faults=[MessageLoss(rate=0.5)])
+        lossy = run(workload, fault_injector=inj)
+        assert lossy.total_lost_messages > 0
+        assert lossy.makespan_seconds >= clean.makespan_seconds
+        # compute is untouched: only the network drain grows
+        for a, b in zip(lossy.node_results, clean.node_results):
+            assert a.timeline.total_seconds == b.timeline.total_seconds
+            assert a.comm_seconds >= b.comm_seconds
+
+    def test_delay_stalls_drains(self, workload):
+        clean = run(workload)
+        inj = FaultInjector(
+            faults=[MessageDelay(rate=1.0, delay_seconds=1e-4)]
+        )
+        delayed = run(workload, fault_injector=inj)
+        assert delayed.total_lost_messages == 0
+        slower = [
+            r
+            for r, c in zip(delayed.node_results, clean.node_results)
+            if r.n_messages and r.comm_seconds > c.comm_seconds
+        ]
+        assert slower, "delays charged nowhere despite off-node messages"
+
+
+def test_zero_fault_injector_is_identity(workload):
+    clean = run(workload)
+    armed = run(workload, fault_injector=FaultInjector(seed=9))
+    assert armed.makespan_seconds == clean.makespan_seconds
+    assert armed.total_lost_messages == 0

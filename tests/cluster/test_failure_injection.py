@@ -1,6 +1,14 @@
-"""Failure/heterogeneity injection: stragglers and failed GPUs."""
+"""Failure/heterogeneity injection: stragglers and failed GPUs.
+
+Exercises the deprecated ``failed_gpus`` alias on purpose — the
+FaultInjector-backed replacement is covered in test_cluster_faults.py.
+"""
 
 import pytest
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:failed_gpus is deprecated:DeprecationWarning"
+)
 
 from repro.apps.workloads import SyntheticApplyWorkload
 from repro.cluster.simulation import ClusterSimulation

@@ -28,6 +28,14 @@ def test_validation():
     with pytest.raises(ClusterConfigError):
         NetworkModel(injection_bytes_per_second=0.0)
     with pytest.raises(ClusterConfigError):
-        NetworkModel(overlap_fraction=1.0)
+        NetworkModel(overlap_fraction=1.1)
+    with pytest.raises(ClusterConfigError):
+        NetworkModel(overlap_fraction=-0.1)
     with pytest.raises(ClusterConfigError):
         NetworkModel().drain_seconds(-1, 0)
+
+
+def test_full_overlap_is_free():
+    # 1.0 means communication is entirely hidden under compute
+    net = NetworkModel(overlap_fraction=1.0)
+    assert net.drain_seconds(100, 10**9) == 0.0

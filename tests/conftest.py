@@ -101,6 +101,7 @@ def make_runtime(
     rank_reduction: bool = False,
     flush_interval: float = 0.005,
     max_batch_size: int = 60,
+    **runtime_kwargs,
 ) -> NodeRuntime:
     cpu = CpuMtxmKernel(CpuModel(TITAN_NODE.cpu), rank_reduction=rank_reduction)
     gm = GpuModel(TITAN_NODE.gpu)
@@ -113,6 +114,7 @@ def make_runtime(
         dispatcher,
         flush_interval=flush_interval,
         max_batch_size=max_batch_size,
+        **runtime_kwargs,
     )
 
 

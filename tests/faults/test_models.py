@@ -1,0 +1,111 @@
+"""Unit tests for the fault model catalogue."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults.models import (
+    FaultConfigError,
+    GpuFailure,
+    MessageDelay,
+    MessageLoss,
+    NodeCrash,
+    PcieDegradation,
+    StragglerNode,
+    mix64,
+    uniform,
+)
+
+
+class TestWindowAndRank:
+    def test_applies_everywhere_by_default(self):
+        f = GpuFailure(rate=0.5)
+        assert f.applies(0, 0.0)
+        assert f.applies(17, 1e9)
+
+    def test_rank_scoping(self):
+        f = GpuFailure(rate=0.5, rank=2)
+        assert f.applies(2, 0.0)
+        assert not f.applies(3, 0.0)
+
+    def test_window_is_half_open(self):
+        f = StragglerNode(slowdown=2.0, start=1.0, end=2.0)
+        assert not f.applies(0, 0.999)
+        assert f.applies(0, 1.0)
+        assert f.applies(0, 1.999)
+        assert not f.applies(0, 2.0)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(FaultConfigError):
+            GpuFailure(rate=0.5, start=2.0, end=1.0)
+
+
+class TestValidation:
+    def test_gpu_rate_bounds(self):
+        with pytest.raises(FaultConfigError):
+            GpuFailure(rate=1.5)
+        with pytest.raises(FaultConfigError):
+            GpuFailure(rate=-0.1)
+
+    def test_transient_needs_positive_rate(self):
+        with pytest.raises(FaultConfigError):
+            GpuFailure()  # rate 0, not permanent: a no-op fault
+        GpuFailure(permanent=True)  # fine without a rate
+
+    def test_pcie_factor_bounds(self):
+        with pytest.raises(FaultConfigError):
+            PcieDegradation(bandwidth_factor=0.0)
+        with pytest.raises(FaultConfigError):
+            PcieDegradation(bandwidth_factor=1.5)
+        PcieDegradation(bandwidth_factor=1.0)
+
+    def test_straggler_slowdown_bounds(self):
+        with pytest.raises(FaultConfigError):
+            StragglerNode(slowdown=0.5)
+        StragglerNode(slowdown=1.0)
+
+    def test_message_loss_rate_bounds(self):
+        with pytest.raises(FaultConfigError):
+            MessageLoss(rate=0.0)
+        with pytest.raises(FaultConfigError):
+            MessageLoss(rate=1.5)
+
+    def test_message_delay_validation(self):
+        with pytest.raises(FaultConfigError):
+            MessageDelay(delay_seconds=-1.0)
+        MessageDelay(rate=0.5, delay_seconds=1e-3)
+
+    def test_crash_requires_rank(self):
+        with pytest.raises(FaultConfigError):
+            NodeCrash(at=1.0)
+        NodeCrash(rank=0, at=1.0)
+
+    def test_default_window_is_forever(self):
+        f = NodeCrash(rank=0, at=1.0)
+        assert f.end == math.inf
+
+
+class TestDeterministicDraws:
+    def test_uniform_in_unit_interval(self):
+        draws = [uniform(3, i) for i in range(1000)]
+        assert all(0.0 <= u < 1.0 for u in draws)
+
+    def test_uniform_is_reproducible(self):
+        assert uniform(7, 1, 2, 3) == uniform(7, 1, 2, 3)
+
+    def test_uniform_depends_on_every_key_part(self):
+        base = uniform(7, 1, 2, 3)
+        assert uniform(8, 1, 2, 3) != base
+        assert uniform(7, 9, 2, 3) != base
+        assert uniform(7, 1, 9, 3) != base
+        assert uniform(7, 1, 2, 9) != base
+
+    def test_uniform_roughly_uniform(self):
+        mean = sum(uniform(11, i) for i in range(4000)) / 4000
+        assert abs(mean - 0.5) < 0.03
+
+    def test_mix64_is_64_bit(self):
+        for i in range(100):
+            assert 0 <= mix64(5, i) < (1 << 64)

@@ -1,0 +1,108 @@
+"""Unit tests for retry, watchdog and degraded-mode policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.models import FaultConfigError
+from repro.faults.policies import (
+    DegradedModeController,
+    GpuBatchTimeout,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_then_caps(self):
+        p = RetryPolicy(
+            base_backoff=1e-4, backoff_factor=2.0, max_backoff=4e-4, jitter=0.0
+        )
+        waits = [p.backoff_seconds(a) for a in (1, 2, 3, 4)]
+        assert waits == pytest.approx([1e-4, 2e-4, 4e-4, 4e-4])
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        p = RetryPolicy(jitter=0.25, seed=3)
+        raw = RetryPolicy(jitter=0.0).backoff_seconds(1)
+        for key in range(200):
+            w = p.backoff_seconds(1, key=key)
+            assert 0.75 * raw <= w <= 1.25 * raw
+            assert w == p.backoff_seconds(1, key=key)
+
+    def test_jitter_varies_by_key(self):
+        p = RetryPolicy(jitter=0.25, seed=3)
+        assert len({p.backoff_seconds(1, key=k) for k in range(10)}) > 1
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy().backoff_seconds(0)
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(base_backoff=1.0, max_backoff=0.5)
+
+
+class TestGpuBatchTimeout:
+    def test_positive_only(self):
+        with pytest.raises(FaultConfigError):
+            GpuBatchTimeout(timeout_seconds=0.0)
+        assert GpuBatchTimeout(timeout_seconds=0.5).timeout_seconds == 0.5
+
+
+class TestDegradedMode:
+    def test_flips_after_threshold(self):
+        ctl = DegradedModeController(fault_threshold=3)
+        ctl.record_fault(1.0)
+        ctl.record_fault(2.0)
+        assert not ctl.degraded
+        ctl.record_fault(3.0)
+        assert ctl.degraded
+        assert ctl.degradations == 1
+
+    def test_success_resets_streak(self):
+        ctl = DegradedModeController(fault_threshold=2)
+        ctl.record_fault(1.0)
+        ctl.record_success(2.0)
+        ctl.record_fault(3.0)
+        assert not ctl.degraded
+
+    def test_probe_after_interval_and_recovery(self):
+        ctl = DegradedModeController(fault_threshold=1, probe_interval=1.0)
+        ctl.record_fault(0.0)
+        assert ctl.degraded
+        assert not ctl.should_probe(0.5)
+        assert ctl.should_probe(1.0)
+        ctl.record_success(1.5)
+        assert not ctl.degraded
+        assert ctl.recoveries == 1
+        assert ctl.degraded_seconds == pytest.approx(1.5)
+
+    def test_failed_probe_restarts_clock(self):
+        ctl = DegradedModeController(fault_threshold=1, probe_interval=1.0)
+        ctl.record_fault(0.0)
+        ctl.record_fault(1.0)  # failed probe
+        assert ctl.degraded
+        assert not ctl.should_probe(1.5)
+        assert ctl.should_probe(2.0)
+
+    def test_none_interval_never_probes(self):
+        ctl = DegradedModeController(fault_threshold=1, probe_interval=None)
+        ctl.record_fault(0.0)
+        assert not ctl.should_probe(1e9)
+
+    def test_finish_accrues_open_span(self):
+        ctl = DegradedModeController(fault_threshold=1)
+        ctl.record_fault(1.0)
+        ctl.finish(3.0)
+        assert ctl.degraded_seconds == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            DegradedModeController(fault_threshold=0)
+        with pytest.raises(FaultConfigError):
+            DegradedModeController(probe_interval=0.0)

@@ -1,0 +1,120 @@
+"""Property tests: resilience preserves work under any fault schedule.
+
+Hypothesis drives randomized seeded fault schedules — transient GPU
+fault rates, failure windows, permanent failures, retry budgets,
+watchdogs and degraded-mode controllers — through a traced hybrid run
+and asserts the effectively-exactly-once contract: every submitted
+item is accumulated exactly once, no matter which faults fired, and
+the happens-before log stays violation-free.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import GpuFailure, PcieDegradation, StragglerNode
+from repro.faults.policies import (
+    DegradedModeController,
+    GpuBatchTimeout,
+    RetryPolicy,
+)
+from repro.lint.trace_check import verify_tracer
+from repro.runtime.trace import Tracer
+from tests.conftest import make_runtime
+from tests.runtime.test_node_runtime import make_tasks
+
+N_TASKS = 48
+
+
+@st.composite
+def gpu_failures(draw):
+    """One GpuFailure: transient or permanent, whole-run or windowed."""
+    permanent = draw(st.booleans())
+    rate = 0.0 if permanent else draw(st.floats(0.05, 0.6))
+    if draw(st.booleans()):
+        start, end = 0.0, math.inf
+    else:
+        start = draw(st.floats(0.0, 0.02))
+        end = start + draw(st.floats(0.005, 0.05))
+    return GpuFailure(rate=rate, permanent=permanent, start=start, end=end)
+
+
+fault_lists = st.lists(
+    st.one_of(
+        gpu_failures(),
+        st.builds(
+            PcieDegradation,
+            bandwidth_factor=st.floats(0.2, 1.0, exclude_min=True),
+        ),
+        st.builds(StragglerNode, slowdown=st.floats(1.0, 3.0)),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    faults=fault_lists,
+    max_attempts=st.integers(1, 4),
+    use_timeout=st.booleans(),
+    use_degraded=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_any_fault_schedule_accumulates_each_item_exactly_once(
+    seed, faults, max_attempts, use_timeout, use_degraded
+):
+    tasks = make_tasks(N_TASKS)
+    tracer = Tracer()
+    rt = make_runtime(
+        "hybrid",
+        fault_injector=FaultInjector(seed=seed, faults=faults),
+        retry_policy=RetryPolicy(max_attempts=max_attempts, seed=seed),
+        gpu_timeout=GpuBatchTimeout(timeout_seconds=0.05)
+        if use_timeout
+        else None,
+        degraded_mode=DegradedModeController(
+            fault_threshold=2, probe_interval=0.01
+        )
+        if use_degraded
+        else None,
+        tracer=tracer,
+    )
+    tl = rt.execute(tasks)
+
+    # no item lost to the faults, none replayed into the results twice
+    submitted = {id(t.work) for t in tasks}
+    accumulated = [
+        i for r in tracer.log if r.op == "accumulate" for i in r.ids
+    ]
+    assert set(accumulated) == submitted
+    assert len(accumulated) == len(submitted)
+    assert tl.n_cpu_items + tl.n_gpu_items == N_TASKS
+
+    # the full happens-before + exactly-once contract
+    verify_tracer(tracer)
+
+
+@given(seed=st.integers(0, 2**32 - 1), rate=st.floats(0.05, 0.5))
+@settings(max_examples=10, deadline=None)
+def test_fault_schedules_are_reproducible(seed, rate):
+    """Same seed, same faults, same policies — bit-identical timelines."""
+
+    def once():
+        return make_runtime(
+            "hybrid",
+            fault_injector=FaultInjector(
+                seed=seed, faults=[GpuFailure(rate=rate)]
+            ),
+            retry_policy=RetryPolicy(max_attempts=3, seed=seed),
+        ).execute(make_tasks(N_TASKS))
+
+    a, b = once(), once()
+    assert a.total_seconds == b.total_seconds
+    assert a.n_gpu_faults == b.n_gpu_faults
+    assert a.n_retries == b.n_retries
+    assert a.n_fallback_items == b.n_fallback_items

@@ -117,3 +117,63 @@ def test_stats_count_unique_keys_consistently():
     assert cache.stats.waits == 0
     assert cache.stats.accesses == 5
     assert cache.stats.bytes_inserted == 300
+
+
+# -- faulted transfers: abort_transfer ---------------------------------------------
+
+
+def test_abort_releases_in_flight_and_reservation():
+    cache = GpuBlockCache(1 << 20)
+    ticket = cache.begin_transfer(["a", "b"], 100.0)
+    cache.abort_transfer(ticket)
+    assert not cache.in_flight("a") and not cache.in_flight("b")
+    assert "a" not in cache and "b" not in cache  # no phantom residency
+    assert cache.reserved_bytes == 0
+    assert cache.resident_bytes == 0
+    assert cache.stats.aborts == 2
+    assert cache.stats.bytes_inserted == 0
+
+
+def test_aborted_keys_reship_as_fresh_misses():
+    cache = GpuBlockCache(1 << 20)
+    cache.abort_transfer(cache.begin_transfer(["a"], 100.0))
+    retry = cache.begin_transfer(["a"], 100.0)
+    assert retry.ship_keys == ("a",)  # a waiter is not stuck forever
+    assert retry.wait_keys == ()
+    cache.commit_transfer(retry)
+    assert "a" in cache
+
+
+def test_abort_frees_capacity_for_other_batches():
+    cache = GpuBlockCache(250)
+    first = cache.begin_transfer(["a", "b"], 100.0)
+    with pytest.raises(HardwareModelError):
+        cache.begin_transfer(["c"], 100.0)
+    cache.abort_transfer(first)
+    cache.begin_transfer(["c"], 100.0)  # reservation released
+
+
+def test_abort_of_committed_ticket_raises():
+    cache = GpuBlockCache(1 << 20)
+    ticket = cache.begin_transfer(["a"], 100.0)
+    cache.commit_transfer(ticket)
+    with pytest.raises(HardwareModelError):
+        cache.abort_transfer(ticket)
+
+
+def test_double_abort_raises():
+    cache = GpuBlockCache(1 << 20)
+    ticket = cache.begin_transfer(["a"], 100.0)
+    cache.abort_transfer(ticket)
+    with pytest.raises(HardwareModelError):
+        cache.abort_transfer(ticket)
+
+
+def test_abort_with_no_ship_keys_is_noop():
+    cache = GpuBlockCache(1 << 20)
+    cache.commit_transfer(cache.begin_transfer(["a"], 100.0))
+    hit_only = cache.begin_transfer(["a"], 100.0)
+    assert hit_only.ship_keys == ()
+    cache.abort_transfer(hit_only)  # nothing in flight, nothing to undo
+    assert "a" in cache
+    assert cache.stats.aborts == 0

@@ -708,3 +708,133 @@ class TestEngine:
         assert [f.line for f in findings] == sorted(f.line for f in findings)
         rendered = findings[0].render()
         assert "DET001" in rendered and rendered.count(":") >= 3
+
+
+# -- RES004: unbounded retry loops -------------------------------------------------
+
+
+class TestUnboundedRetry:
+    def test_except_continue_without_counter_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/retry.py",
+            """
+            def run_forever(dispatch, batch):
+                while True:
+                    try:
+                        return dispatch(batch)
+                    except RuntimeError:
+                        continue
+            """,
+            select={"RES004"},
+        )
+        assert rule_ids(findings) == {"RES004"}
+        assert "attempt counter" in findings[0].message
+
+    def test_attempt_counter_is_quiet(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/retry.py",
+            """
+            def run_bounded(dispatch, batch, budget):
+                attempt = 0
+                while True:
+                    try:
+                        return dispatch(batch)
+                    except RuntimeError:
+                        attempt += 1
+                        if attempt >= budget:
+                            raise
+                        continue
+            """,
+            select={"RES004"},
+        )
+        assert findings == []
+
+    def test_reraising_handler_is_quiet(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/retry.py",
+            """
+            def run_once_then_fail(dispatch, batch, retriable):
+                while True:
+                    try:
+                        return dispatch(batch)
+                    except RuntimeError as e:
+                        if not retriable(e):
+                            raise
+                        continue
+            """,
+            select={"RES004"},
+        )
+        assert findings == []
+
+    def test_breaking_handler_is_quiet(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/retry.py",
+            """
+            def run(dispatch, batches):
+                done = []
+                while True:
+                    try:
+                        done.append(dispatch(batches))
+                    except RuntimeError:
+                        break
+                return done
+            """,
+            select={"RES004"},
+        )
+        assert findings == []
+
+    def test_bounded_condition_loop_is_quiet(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/retry.py",
+            """
+            def run(dispatch, batch, attempt=0):
+                while attempt < 3:
+                    try:
+                        return dispatch(batch)
+                    except RuntimeError:
+                        attempt = attempt + 1
+                        continue
+            """,
+            select={"RES004"},
+        )
+        assert findings == []
+
+    def test_nested_loop_continue_not_attributed_to_outer(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/retry.py",
+            """
+            def drain(queues, pop):
+                while True:
+                    for q in queues:
+                        try:
+                            pop(q)
+                        except KeyError:
+                            continue
+                    if not any(queues):
+                        return
+            """,
+            select={"RES004"},
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/retry.py",
+            """
+            def spin(poll):
+                while True:
+                    try:
+                        return poll()
+                    except TimeoutError:  # repro: noqa[RES004]
+                        continue
+            """,
+            select={"RES004"},
+        )
+        assert findings == []

@@ -17,9 +17,11 @@ from repro.runtime.trace import (
 )
 
 
-def rec(op, at, kind="k", ids=()):
+def rec(op, at, kind="k", ids=(), attempt=0):
     """Shorthand record constructor."""
-    return RuntimeLogRecord(op=op, at=at, kind=kind, ids=tuple(ids))
+    return RuntimeLogRecord(
+        op=op, at=at, kind=kind, ids=tuple(ids), attempt=attempt
+    )
 
 
 def good_log():
@@ -156,3 +158,93 @@ class TestSerialization:
 
         with pytest.raises(SimulationError):
             rec("teleport", 0.0)
+
+
+# -- effectively-exactly-once accumulation (fault injection) ------------------------
+
+
+def fault_log():
+    """A compliant faulted run: one retry, results accumulated once."""
+    return [
+        rec("submit", 0.0, "a", [1]),
+        rec("submit", 0.1, "a", [2]),
+        rec("flush", 0.2, "a", [1, 2]),
+        rec("gpu_compute", 0.3, "a", ["h0"]),
+        rec("gpu_fault", 0.4, "a"),
+        rec("gpu_compute", 0.5, "a", ["h0"], attempt=1),
+        rec("accumulate", 0.6, "a", [1, 2], attempt=1),
+    ]
+
+
+class TestExactlyOnceAccumulation:
+    def test_faulted_retry_log_passes(self):
+        log = fault_log()
+        # the gpu_compute arrival check needs the block on device
+        log.insert(3, rec("block_transfer", 0.25, "", ["h0"]))
+        assert find_violations(log) == []
+
+    def test_logs_without_accumulates_skip_the_check(self):
+        assert find_violations(good_log()) == []
+
+    def test_double_accumulate_detected(self):
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("flush", 0.2, "a", [1]),
+            rec("accumulate", 0.3, "a", [1]),
+            rec("accumulate", 0.4, "a", [1], attempt=1),
+        ]
+        violations = find_violations(log)
+        assert any("accumulated 2 times" in v for v in violations)
+
+    def test_dropped_item_detected(self):
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("submit", 0.1, "a", [2]),
+            rec("flush", 0.2, "a", [1, 2]),
+            rec("accumulate", 0.3, "a", [1]),  # item 2 vanished
+        ]
+        violations = find_violations(log)
+        assert any("never accumulated" in v for v in violations)
+
+    def test_accumulate_of_unflushed_item_detected(self):
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("flush", 0.2, "a", [1]),
+            rec("accumulate", 0.3, "a", [1, 99]),
+        ]
+        violations = find_violations(log)
+        assert any("never flushed" in v for v in violations)
+
+    def test_accumulate_before_flush_detected(self):
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("accumulate", 0.1, "a", [1]),
+            rec("flush", 0.2, "a", [1]),
+        ]
+        violations = find_violations(log)
+        assert any("before its flush" in v for v in violations)
+
+    def test_unjustified_retry_detected(self):
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("flush", 0.2, "a", [1]),
+            rec("gpu_compute", 0.5, "a", [], attempt=1),  # no gpu_fault
+            rec("accumulate", 0.6, "a", [1], attempt=1),
+        ]
+        violations = find_violations(log)
+        assert any("justified by a fault" in v for v in violations)
+
+    def test_attempt_round_trips_through_jsonl(self):
+        log = fault_log()
+        lines = [r.to_json() for r in log]
+        parsed = list(log_records_from_jsonl(lines))
+        assert [r.attempt for r in parsed] == [r.attempt for r in log]
+
+    def test_legacy_jsonl_defaults_attempt_zero(self):
+        line = '{"op": "submit", "at": 0.0, "kind": "a", "ids": ["1"]}'
+        (parsed,) = log_records_from_jsonl([line])
+        assert parsed.attempt == 0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(Exception):
+            rec("gpu_compute", 0.0, "a", attempt=-1)

@@ -1,0 +1,217 @@
+"""The node runtime under deterministic fault injection.
+
+Covers the resilience contract end to end on a single node: the
+zero-overhead happy path, transient-fault retries, CPU fallback after
+budget exhaustion, the degraded-mode flip and recovery, watchdog
+re-planning, and the trace-checked exactly-once invariant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import GpuFailure, PcieDegradation, StragglerNode
+from repro.faults.policies import (
+    DegradedModeController,
+    GpuBatchTimeout,
+    RetryPolicy,
+)
+from repro.lint.trace_check import verify_tracer
+from repro.runtime.trace import Tracer
+from tests.conftest import make_runtime
+from tests.runtime.test_node_runtime import make_tasks
+
+N = 240
+
+
+def run(mode="hybrid", n=N, **kwargs):
+    return make_runtime(mode, **kwargs).execute(make_tasks(n))
+
+
+class TestZeroOverhead:
+    def test_empty_injector_timeline_is_identical(self):
+        clean = run()
+        armed = run(fault_injector=FaultInjector(seed=123))
+        # bit-identical, field by field (metrics records included)
+        assert dataclasses.asdict(clean) == dataclasses.asdict(armed)
+
+    def test_empty_injector_cpu_and_gpu_modes(self):
+        for mode in ("cpu", "gpu"):
+            clean = run(mode)
+            armed = run(mode, fault_injector=FaultInjector())
+            assert clean.total_seconds == armed.total_seconds
+
+    def test_clean_run_reports_zero_fault_counters(self):
+        tl = run(fault_injector=FaultInjector())
+        assert tl.n_gpu_faults == 0
+        assert tl.n_retries == 0
+        assert tl.n_fallback_items == 0
+        assert tl.retry_wait_seconds == 0.0
+
+
+class TestTransientFaults:
+    def test_retries_complete_all_work(self):
+        inj = FaultInjector(seed=5, faults=[GpuFailure(rate=0.3)])
+        tl = run(fault_injector=inj, retry_policy=RetryPolicy(max_attempts=4))
+        assert tl.n_tasks == N
+        assert tl.n_cpu_items + tl.n_gpu_items == N
+        assert tl.n_gpu_faults > 0
+        assert tl.n_retries > 0
+
+    def test_faults_cost_time(self):
+        clean = run().total_seconds
+        inj = FaultInjector(seed=5, faults=[GpuFailure(rate=0.3)])
+        faulted = run(
+            fault_injector=inj, retry_policy=RetryPolicy(max_attempts=4)
+        ).total_seconds
+        assert faulted > clean
+
+    def test_fault_schedule_is_reproducible(self):
+        def once():
+            inj = FaultInjector(seed=5, faults=[GpuFailure(rate=0.3)])
+            return run(
+                fault_injector=inj, retry_policy=RetryPolicy(max_attempts=4)
+            )
+        a, b = once(), once()
+        assert a.total_seconds == b.total_seconds
+        assert a.n_gpu_faults == b.n_gpu_faults
+
+    def test_counters_match_metrics(self):
+        inj = FaultInjector(seed=5, faults=[GpuFailure(rate=0.3)])
+        tl = run(fault_injector=inj, retry_policy=RetryPolicy(max_attempts=4))
+        assert tl.metrics.counters["gpu_faults"] == tl.n_gpu_faults
+        assert tl.metrics.counters["retries"] == tl.n_retries
+        assert tl.metrics.total_retry_wait_seconds() == pytest.approx(
+            tl.retry_wait_seconds
+        )
+
+
+class TestFallback:
+    def test_permanent_failure_falls_back_to_cpu(self):
+        inj = FaultInjector(faults=[GpuFailure(permanent=True)])
+        tl = run(fault_injector=inj, retry_policy=RetryPolicy(max_attempts=2))
+        assert tl.n_tasks == N
+        assert tl.n_gpu_items == 0  # every GPU share replayed on the CPU
+        assert tl.n_cpu_items == N
+        assert tl.n_fallback_items > 0
+        assert tl.n_gpu_faults > 0
+
+    def test_fallback_run_is_slower_than_clean(self):
+        inj = FaultInjector(faults=[GpuFailure(permanent=True)])
+        tl = run(fault_injector=inj, retry_policy=RetryPolicy(max_attempts=2))
+        assert tl.total_seconds > run().total_seconds
+
+
+class TestDegradedMode:
+    def test_permanent_failure_degrades_node(self):
+        inj = FaultInjector(faults=[GpuFailure(permanent=True)])
+        ctl = DegradedModeController(fault_threshold=1, probe_interval=None)
+        tl = run(
+            fault_injector=inj,
+            retry_policy=RetryPolicy(max_attempts=1),
+            degraded_mode=ctl,
+        )
+        assert ctl.degradations == 1
+        assert tl.degraded_seconds > 0.0
+        assert tl.n_tasks == N
+        assert tl.n_gpu_items == 0
+
+    def test_windowed_failure_recovers_via_probe(self):
+        clean_span = run().total_seconds
+        inj = FaultInjector(
+            faults=[GpuFailure(permanent=True, end=clean_span * 0.3)]
+        )
+        ctl = DegradedModeController(
+            fault_threshold=1, probe_interval=clean_span * 0.05
+        )
+        tl = run(
+            fault_injector=inj,
+            retry_policy=RetryPolicy(max_attempts=1),
+            degraded_mode=ctl,
+        )
+        assert ctl.degradations >= 1
+        assert ctl.recoveries >= 1  # the GPU healed and a probe caught it
+        assert tl.n_gpu_items > 0  # hybrid dispatch resumed
+        assert tl.n_tasks == N
+
+
+class TestWatchdog:
+    def test_oversized_batches_replan_cpu_side(self):
+        # injector active (fault on a rank this node never is) but the
+        # tiny watchdog re-plans every GPU share before dispatch
+        inj = FaultInjector(faults=[GpuFailure(rank=99, permanent=True)])
+        tl = run(
+            fault_injector=inj,
+            gpu_timeout=GpuBatchTimeout(timeout_seconds=1e-9),
+        )
+        assert tl.n_gpu_items == 0
+        assert tl.n_fallback_items > 0
+        assert tl.n_gpu_faults == 0  # re-planned, never dispatched
+        assert tl.n_tasks == N
+
+    def test_timeout_caps_faulted_attempt_cost(self):
+        inj = FaultInjector(faults=[GpuFailure(permanent=True)])
+        slow = run(
+            fault_injector=inj, retry_policy=RetryPolicy(max_attempts=3)
+        ).total_seconds
+        inj2 = FaultInjector(faults=[GpuFailure(permanent=True)])
+        capped = run(
+            fault_injector=inj2,
+            retry_policy=RetryPolicy(max_attempts=3),
+            gpu_timeout=GpuBatchTimeout(timeout_seconds=10.0),
+        ).total_seconds
+        # a generous watchdog that never triggers re-planning still
+        # cannot make things slower than uncapped stalls
+        assert capped <= slow
+
+
+class TestDegradations:
+    def test_pcie_degradation_slows_transfers(self):
+        clean = run("gpu")
+        inj = FaultInjector(faults=[PcieDegradation(bandwidth_factor=0.25)])
+        degraded = run("gpu", fault_injector=inj)
+        assert degraded.total_seconds > clean.total_seconds
+
+    def test_straggler_slows_compute(self):
+        clean = run("cpu")
+        inj = FaultInjector(faults=[StragglerNode(slowdown=2.0)])
+        slow = run("cpu", fault_injector=inj)
+        assert slow.total_seconds > 1.5 * clean.total_seconds
+
+
+class TestTracedChaos:
+    def test_trace_contract_holds_under_faults(self):
+        tracer = Tracer()
+        rt = make_runtime(
+            "hybrid",
+            fault_injector=FaultInjector(seed=5, faults=[GpuFailure(rate=0.3)]),
+            retry_policy=RetryPolicy(max_attempts=4),
+            tracer=tracer,
+        )
+        rt.execute(make_tasks(N))
+        assert any(r.op == "gpu_fault" for r in tracer.log)
+        assert any(
+            r.op == "gpu_compute" and r.attempt > 0 for r in tracer.log
+        )
+        verify_tracer(tracer)
+
+    def test_every_item_accumulated_once_under_fallback(self):
+        tracer = Tracer()
+        rt = make_runtime(
+            "hybrid",
+            fault_injector=FaultInjector(
+                faults=[GpuFailure(permanent=True)]
+            ),
+            retry_policy=RetryPolicy(max_attempts=2),
+            tracer=tracer,
+        )
+        rt.execute(make_tasks(N))
+        verify_tracer(tracer)
+        accumulated = [
+            i for r in tracer.log if r.op == "accumulate" for i in r.ids
+        ]
+        assert len(accumulated) == N
+        assert len(set(accumulated)) == N
