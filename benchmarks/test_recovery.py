@@ -1,0 +1,43 @@
+"""Checkpoint-interval ablation: Young/Daly beats both extremes.
+
+Shape claims at full scale (60 batches, full-state snapshots ~10% of
+the fault-free makespan each):
+
+- never checkpointing loses a full replay window per crash, so its
+  makespan grows steeply with the crash rate;
+- checkpointing every batch pays the quadratic cumulative-state write
+  bill up front at every rate;
+- the Young/Daly period ``sqrt(2 C MTBF)`` undercuts both at every
+  swept rate, and degrades gracefully as the rate rises.
+
+At reduced ``REPRO_BENCH_SCALE`` the batch count shrinks and the
+every-batch write bill with it, so only the against-never ordering is
+asserted below 60 batches.
+"""
+
+from repro.experiments.recovery import CRASH_RATES, run_checkpoint_ablation
+
+from benchmarks.conftest import bench_scale
+
+
+def test_checkpoint_interval_ablation(run_once, show):
+    scale = bench_scale()
+    result = run_once(run_checkpoint_ablation, scale)
+    show(result)
+    rates = result.data["rates"]
+    assert set(rates) == set(CRASH_RATES)
+    clean = result.data["clean"]
+    for rate in CRASH_RATES:
+        row = rates[rate]
+        # checkpointing must beat paying a full replay window per crash
+        assert row["young_daly"] < row["never"]
+        # …while staying a bounded constant factor over fault-free
+        assert row["young_daly"] < 2.0 * clean
+        if scale >= 1.0:
+            # at full batch counts the every-batch write bill loses too
+            assert row["young_daly"] < row["every"]
+    # the penalty of never checkpointing grows with the crash rate
+    assert rates[0.20]["never"] > rates[0.05]["never"]
+    # armed-but-unused recovery is asserted bit-identical inside the
+    # experiment itself; re-state the headline number here
+    assert result.data["clean"] > 0

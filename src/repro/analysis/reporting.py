@@ -7,7 +7,10 @@ EXPERIMENTS.md can be assembled directly from benchmark output.
 :func:`calibration_table` and :func:`batch_metrics_table` turn the
 per-batch :class:`~repro.runtime.metrics.RuntimeMetrics` a run collects
 into the same table form, so pipeline overlap and dispatcher
-calibration can be inspected next to the paper tables.
+calibration can be inspected next to the paper tables;
+:func:`resilience_table` does the same for a cluster run's per-rank
+fault-handling story (degraded-mode spans, recovery probes,
+checkpoint/restart traffic).
 """
 
 from __future__ import annotations
@@ -144,5 +147,49 @@ def calibration_table(
     cpu_err, gpu_err = metrics.estimate_error()
     table.add_note(
         f"mean |measured/estimate - 1|: cpu={cpu_err:.3f} gpu={gpu_err:.3f}"
+    )
+    return table
+
+
+def resilience_table(
+    node_results, title: str = "Per-rank resilience"
+) -> ReportTable:
+    """One row per rank: degraded-mode and checkpoint/restart outcome.
+
+    Takes the ``node_results`` of a :class:`~repro.cluster.simulation.
+    ClusterResult` and renders the fault-handling story of the run —
+    time each rank spent in CPU-only degraded mode, its recovery-probe
+    record (counters the node runtime folds into
+    :class:`~repro.runtime.metrics.RuntimeMetrics`), and its
+    checkpoint/restart traffic.
+    """
+    table = ReportTable(
+        title=title,
+        columns=[
+            "rank", "gpu faults", "degraded s", "probes", "probe ok",
+            "ckpts", "ckpt s", "restarts", "restores", "replayed",
+        ],
+    )
+    for r in node_results:
+        tl = r.timeline
+        counters = tl.metrics.counters if tl.metrics is not None else {}
+        table.add_row(
+            r.rank,
+            tl.n_gpu_faults,
+            tl.degraded_seconds,
+            counters.get("degraded_probes", 0),
+            counters.get("degraded_probe_successes", 0),
+            tl.n_checkpoints,
+            tl.checkpoint_seconds,
+            r.restarts,
+            tl.n_restores,
+            tl.n_replayed_items,
+        )
+    total_degraded = sum(r.timeline.degraded_seconds for r in node_results)
+    total_restarts = sum(r.restarts for r in node_results)
+    table.add_note(
+        f"cluster: {total_degraded * 1e3:.2f} ms degraded, "
+        f"{total_restarts} restart(s), "
+        f"{sum(r.timeline.n_checkpoints for r in node_results)} checkpoint(s)"
     )
     return table

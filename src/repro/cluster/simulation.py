@@ -31,6 +31,7 @@ from repro.hardware.specs import NodeSpec, TITAN_NODE
 from repro.kernels.cpu_kernel import CpuMtxmKernel
 from repro.kernels.cublas_gpu import CublasKernel
 from repro.kernels.custom_gpu import CustomGpuKernel
+from repro.recovery.protocol import RecoveryConfig, run_with_recovery
 from repro.runtime.dispatcher import AdaptiveDispatcher, HybridDispatcher
 from repro.runtime.node import NodeRuntime, NodeTimeline
 from repro.runtime.task import HybridTask
@@ -48,9 +49,12 @@ class NodeResult:
     comm_seconds: float
     n_messages: int
     message_bytes: int
-    #: simulated instant the rank crashed (None = survived the run);
-    #: a crashed rank's unfinished tasks were redistributed to survivors
+    #: simulated instant the rank (first) crashed (None = survived);
+    #: under the deprecated omniscient path its unfinished tasks were
+    #: redistributed, under checkpoint/restart it recovered in place
     crashed_at: float | None = None
+    #: restarts the rank survived under checkpoint/restart recovery
+    restarts: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -72,6 +76,8 @@ class ClusterResult:
     total_message_bytes: int = 0
     #: accumulate messages the injector lost (each charged a retransmit)
     total_lost_messages: int = 0
+    #: restarts summed over ranks (checkpoint/restart recovery only)
+    total_restarts: int = 0
 
     @property
     def comm_fraction(self) -> float:
@@ -121,6 +127,14 @@ class ClusterSimulation:
         adaptive: use the feedback-calibrated
             :class:`~repro.runtime.dispatcher.AdaptiveDispatcher` on
             every rank instead of the static cost model.
+        recovery: optional :class:`~repro.recovery.protocol.
+            RecoveryConfig` — arms checkpoint/restart: when the injector
+            schedules :class:`~repro.faults.models.NodeCrash` faults,
+            every rank checkpoints per the config's policy and crashed
+            ranks recover in place (detect → restore → deterministic
+            replay) instead of the deprecated omniscient redistribution.
+            With no crashes scheduled the armed config costs nothing and
+            the run is bit-identical to an unarmed one.
     """
 
     def __init__(
@@ -145,6 +159,7 @@ class ClusterSimulation:
         failed_gpus: set[int] | None = None,
         pipelined: bool = True,
         adaptive: bool = False,
+        recovery: RecoveryConfig | None = None,
     ):
         if n_nodes < 1:
             raise ClusterConfigError(f"need at least one node, got {n_nodes}")
@@ -197,6 +212,7 @@ class ClusterSimulation:
             )
         self.pipelined = pipelined
         self.adaptive = adaptive
+        self.recovery = recovery
 
     # -- runtime assembly --------------------------------------------------------
 
@@ -301,6 +317,12 @@ class ClusterSimulation:
         deterministically through the process map onto the surviving
         ranks — the DHT-backed recovery path, where ownership simply
         rehashes over the shrunken rank set.
+
+        **Deprecated**: this path knows the crash schedule before the
+        run starts (perfect foresight no real cluster has).  Pass
+        ``recovery=RecoveryConfig(...)`` for honest checkpoint/restart
+        recovery; this legacy path remains for comparison and fires a
+        :class:`DeprecationWarning` from :meth:`run`.
         """
         inj = self.fault_injector
         if inj is None or not inj.active:
@@ -336,7 +358,25 @@ class ClusterSimulation:
         per_rank: list[list[ClusterTask]] = [[] for _ in range(self.n_nodes)]
         for task in tasks:
             per_rank[self.pmap.owner(task.key)].append(task)
-        crashed = self._redistribute_crashes(per_rank)
+        inj = self.fault_injector
+        crash_schedule: dict[int, tuple[float, ...]] = {}
+        if inj is not None and inj.active:
+            crash_schedule = {
+                r: times
+                for r in range(self.n_nodes)
+                if (times := inj.crash_times(r))
+            }
+        use_recovery = self.recovery is not None and bool(crash_schedule)
+        crashed: dict[int, float] = {}
+        if crash_schedule and not use_recovery:
+            warnings.warn(
+                "crash redistribution with perfect foresight is deprecated; "
+                "pass recovery=RecoveryConfig(...) for checkpoint/restart "
+                "recovery",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            crashed = self._redistribute_crashes(per_rank)
 
         node_results: list[NodeResult] = []
         total_messages = 0
@@ -346,12 +386,30 @@ class ClusterSimulation:
             hybrid_tasks, n_messages, message_bytes = self._hybrid_tasks(
                 rank, rank_tasks
             )
-            if hybrid_tasks:
+            restarts = 0
+            if hybrid_tasks and use_recovery:
+                # every rank checkpoints once crashes are scheduled
+                # anywhere; crashed ranks restore and replay in place
+                recovered = run_with_recovery(
+                    lambda r=rank: self._make_runtime(r),
+                    hybrid_tasks,
+                    config=self.recovery,
+                    rank=rank,
+                    injector=inj,
+                )
+                timeline = recovered.timeline
+                restarts = recovered.restarts
+            elif hybrid_tasks:
                 timeline = self._make_runtime(rank).execute(hybrid_tasks)
             else:
                 timeline = NodeTimeline(n_tasks=0)
             comm = self.network.drain_seconds(n_messages, message_bytes)
-            inj = self.fault_injector
+            if restarts and n_messages and hybrid_tasks:
+                # replayed items re-send their off-node accumulates
+                frac = timeline.n_replayed_items / len(hybrid_tasks)
+                comm += self.network.drain_seconds(
+                    int(n_messages * frac), int(message_bytes * frac)
+                )
             if inj is not None and inj.active and n_messages:
                 lost, delay = inj.message_faults(rank, n_messages)
                 if lost:
@@ -370,7 +428,12 @@ class ClusterSimulation:
                     comm_seconds=comm,
                     n_messages=n_messages,
                     message_bytes=message_bytes,
-                    crashed_at=crashed.get(rank),
+                    crashed_at=(
+                        crash_schedule[rank][0]
+                        if restarts
+                        else crashed.get(rank)
+                    ),
+                    restarts=restarts,
                 )
             )
             total_messages += n_messages
@@ -388,4 +451,5 @@ class ClusterSimulation:
             total_messages=total_messages,
             total_message_bytes=total_message_bytes,
             total_lost_messages=total_lost,
+            total_restarts=sum(r.restarts for r in node_results),
         )

@@ -4,6 +4,8 @@ Every subsystem raises subclasses of :class:`ReproError` so callers can
 catch package-level failures without masking programming errors.
 """
 
+from __future__ import annotations
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -35,3 +37,33 @@ class SimulationError(ReproError):
 
 class ClusterConfigError(ReproError, ValueError):
     """Invalid cluster simulation configuration."""
+
+
+class RecoveryConfigError(ReproError, ValueError):
+    """Invalid checkpoint/restart (recovery) configuration."""
+
+
+class DataLossError(ReproError):
+    """Recovery exhausted its restart budget; work was declared lost.
+
+    Raised by the recovery protocol when cascaded crashes exceed
+    ``max_restarts``: the run cannot complete and the caller must treat
+    the remaining work as lost rather than silently dropping it.
+
+    Attributes:
+        rank: the rank whose recovery gave up.
+        restarts: restarts attempted before giving up.
+        at: simulated instant of the fatal crash.
+        lost_items: work items that had not been checkpointed.
+    """
+
+    def __init__(self, rank: int, restarts: int, at: float, lost_items: int):
+        self.rank = rank
+        self.restarts = restarts
+        self.at = at
+        self.lost_items = lost_items
+        super().__init__(
+            f"rank {rank} exhausted its restart budget after {restarts} "
+            f"restart(s) at t={at:.6f}s; {lost_items} un-checkpointed "
+            "item(s) declared lost"
+        )

@@ -26,6 +26,7 @@ from repro.experiments.tables import (
 )
 from repro.experiments.chaos import run_chaos_ablation
 from repro.experiments.figures import run_fig5, run_fig6
+from repro.experiments.recovery import run_checkpoint_ablation
 from repro.experiments.ablations import (
     run_adaptive_ablation,
     run_batching_ablation,
@@ -56,6 +57,7 @@ REGISTRY = {
     "ablation-pipeline": run_pipeline_ablation,
     "ablation-adaptive": run_adaptive_ablation,
     "ablation-chaos": run_chaos_ablation,
+    "ablation-checkpoint": run_checkpoint_ablation,
 }
 
 __all__ = ["REGISTRY"] + sorted(

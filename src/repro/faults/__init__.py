@@ -24,6 +24,7 @@ See ``docs/FAULTS.md`` for the catalogue and guarantees.
 """
 
 from repro.faults.models import (
+    CheckpointCorruption,
     FaultModel,
     GpuFailure,
     MessageDelay,
@@ -40,6 +41,7 @@ from repro.faults.policies import (
 )
 
 __all__ = [
+    "CheckpointCorruption",
     "DegradedModeController",
     "FaultInjector",
     "FaultModel",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.faults.models import (
+    CheckpointCorruption,
     FaultConfigError,
     FaultModel,
     GpuFailure,
@@ -32,9 +33,11 @@ from repro.faults.models import (
 )
 
 #: decision domains, so draws for different questions never correlate
+#: (domain 4 is the retry-policy jitter, see repro.faults.policies)
 _DOMAIN_GPU = 1
 _DOMAIN_MSG_LOSS = 2
 _DOMAIN_MSG_DELAY = 3
+_DOMAIN_CKPT = 5
 
 
 class FaultInjector:
@@ -54,6 +57,7 @@ class FaultInjector:
         self._msg_loss: list[MessageLoss] = []
         self._msg_delay: list[MessageDelay] = []
         self._crashes: list[NodeCrash] = []
+        self._ckpt_corruption: list[CheckpointCorruption] = []
         self.add(*faults)
 
     def add(self, *faults: FaultModel) -> "FaultInjector":
@@ -65,6 +69,7 @@ class FaultInjector:
             MessageLoss: self._msg_loss,
             MessageDelay: self._msg_delay,
             NodeCrash: self._crashes,
+            CheckpointCorruption: self._ckpt_corruption,
         }
         for fault in faults:
             bucket = buckets.get(type(fault))
@@ -85,6 +90,7 @@ class FaultInjector:
             or self._msg_loss
             or self._msg_delay
             or self._crashes
+            or self._ckpt_corruption
         )
 
     @property
@@ -97,6 +103,7 @@ class FaultInjector:
             + self._msg_loss
             + self._msg_delay
             + self._crashes
+            + self._ckpt_corruption
         )
 
     # -- GPU batch faults -------------------------------------------------------
@@ -183,6 +190,27 @@ class FaultInjector:
         """Earliest crash instant scheduled for ``rank`` (None = survives)."""
         times = [c.at for c in self._crashes if c.rank == rank]
         return min(times) if times else None
+
+    def crash_times(self, rank: int) -> tuple[float, ...]:
+        """Every crash instant scheduled for ``rank``, sorted ascending.
+
+        The recovery protocol consumes these one restart at a time:
+        crashes scheduled while the node is already down are skipped
+        (the machine was not up to crash).
+        """
+        return tuple(sorted(c.at for c in self._crashes if c.rank == rank))
+
+    # -- checkpoint integrity ------------------------------------------------------
+
+    def checkpoint_corrupted(self, rank: int, seq: int, now: float) -> bool:
+        """Whether the checkpoint written as ``seq`` on ``rank`` at ``now``
+        is silently corrupted (discovered only at restore time)."""
+        for f in self._ckpt_corruption:
+            if not f.applies(rank, now):
+                continue
+            if uniform(self.seed, _DOMAIN_CKPT, rank, seq) < f.rate:
+                return True
+        return False
 
     # -- installation -------------------------------------------------------------
 

@@ -172,6 +172,28 @@ class NodeCrash(FaultModel):
             raise FaultConfigError(f"crash instant must be >= 0, got {self.at}")
 
 
+@dataclass(frozen=True)
+class CheckpointCorruption(FaultModel):
+    """Each checkpoint written inside the window is silently corrupted
+    with probability ``rate``.
+
+    Corruption is decided (deterministically, per ``(rank, seq)``) when
+    the snapshot is *written* but discovered only when recovery tries to
+    *read* it — the restore path then walks the lineage chain back to
+    the newest uncorrupted ancestor, paying one read charge per
+    corrupted snapshot it rejects.
+    """
+
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.rate <= 1.0:
+            raise FaultConfigError(
+                f"checkpoint corruption rate must be in (0, 1], got {self.rate}"
+            )
+
+
 # -- deterministic per-decision hashing ------------------------------------------
 
 _MASK64 = (1 << 64) - 1

@@ -126,6 +126,11 @@ class DegradedModeController:
     degradations: int = 0
     recoveries: int = 0
     degraded_seconds: float = 0.0
+    #: recovery-probe outcomes (GPU attempts made while degraded); the
+    #: node runtime folds these into :class:`~repro.runtime.metrics.
+    #: RuntimeMetrics` so reports can show them per rank
+    probes: int = 0
+    probe_successes: int = 0
 
     def __post_init__(self) -> None:
         if self.fault_threshold < 1:
@@ -147,6 +152,7 @@ class DegradedModeController:
         self.consecutive_faults += 1
         if self.degraded:
             # a failed probe: stay degraded, restart the probe clock
+            self.probes += 1
             self.last_probe_at = now
             return
         if self.consecutive_faults >= self.fault_threshold:
@@ -158,6 +164,9 @@ class DegradedModeController:
         """One GPU batch completed; recovers the node if it was degraded."""
         self.consecutive_faults = 0
         if self.degraded:
+            # a successful probe: the node recovers to hybrid dispatch
+            self.probes += 1
+            self.probe_successes += 1
             self.degraded_seconds += now - self.degraded_since
             self.degraded_since = None
             self.recoveries += 1

@@ -16,6 +16,14 @@ unbounded retry loop.  A ``while True`` that catches an error and
 ``continue``-s without counting attempts spins forever once a fault is
 permanent; RES004 flags it (the sanctioned shape is
 :class:`repro.faults.policies.RetryPolicy` with ``max_attempts``).
+
+Checkpoint/restart (:mod:`repro.recovery`) adds a fifth: a snapshot
+that *aliases* live mutable state.  A ``Checkpoint(results=self.acc)``
+storing a bare dict/list/array reference silently picks up every
+post-snapshot mutation, so a restore replays *current* state instead of
+checkpointed state and the deterministic-replay guarantee dies; RES005
+flags snapshot constructions whose state-carrying arguments are bare
+names instead of copies.
 """
 
 from __future__ import annotations
@@ -212,4 +220,69 @@ class UnboundedRetryRule(Rule):
                         "attempt counter; bound retries (see "
                         "repro.faults.policies.RetryPolicy) or re-raise "
                         "after a budget",
+                    )
+
+
+#: constructor names whose instances are durable snapshots
+_SNAPSHOT_CTOR_NAMES = ("Checkpoint",)
+#: keyword arguments of a snapshot that carry mutable run state
+_SNAPSHOT_STATE_KWARGS = frozenset(
+    {"results", "items", "item_ids", "state", "payload", "covered"}
+)
+
+
+def _is_snapshot_ctor(func: ast.expr) -> bool:
+    """Whether a call target names a snapshot constructor.
+
+    Matches ``Checkpoint(...)`` / ``x.Checkpoint(...)`` plus any class
+    whose name ends in ``Snapshot`` — the naming convention for durable
+    state captures.
+    """
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name is None:
+        return False
+    return name in _SNAPSHOT_CTOR_NAMES or name.endswith("Snapshot")
+
+
+@register
+class AliasedSnapshotStateRule(Rule):
+    """RES005: snapshots must copy mutable state, never alias it."""
+
+    id = "RES005"
+    summary = (
+        "snapshot construction stores a bare reference to mutable "
+        "state; a later mutation silently rewrites the checkpoint and "
+        "breaks deterministic replay — copy (tuple()/deepcopy) instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag snapshot constructors whose state kwargs alias names.
+
+        A state-carrying keyword (``results=``, ``items=``, ...) whose
+        value is a bare name, attribute or subscript stores a live
+        reference; wrapping it in a call (``tuple(...)``, ``deepcopy``),
+        a literal, or a comprehension materialises a copy and passes.
+        """
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_snapshot_ctor(
+                node.func
+            ):
+                continue
+            for kw in node.keywords:
+                if kw.arg not in _SNAPSHOT_STATE_KWARGS:
+                    continue
+                if isinstance(
+                    kw.value, (ast.Name, ast.Attribute, ast.Subscript)
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        kw.value,
+                        f"snapshot argument {kw.arg}= aliases mutable "
+                        "state; a post-snapshot mutation would rewrite "
+                        "the checkpoint — store a copy "
+                        "(tuple(...)/copy.deepcopy)",
                     )

@@ -31,7 +31,21 @@ structured log a :class:`repro.runtime.trace.Tracer` collects
    must also be justified by a preceding ``gpu_fault`` record of the
    same kind, an accumulate must not precede its batch's flush, and
    logs without ``accumulate`` records (pre-faults runs) trivially
-   satisfy the check.
+   satisfy the check;
+7. **checkpoint/restart accounting** — a log carrying recovery records
+   (``checkpoint`` / ``rollback`` / ``restore``) is split into
+   *epochs* at each ``restore``: every epoch but the last ended in a
+   crash, so within it, work cut off mid-flight is forgiven (submitted
+   items never flushed, flushed items never accumulated).  What is
+   **not** forgiven is the global ledger: checkpoint sequence numbers
+   must increase and parent the durable frontier, a checkpoint may only
+   cover items actually accumulated and not already durable, a
+   ``restore`` must name the preceding ``rollback``'s target and sit on
+   the durable lineage, items covered by a durable snapshot must never
+   be resubmitted or re-accumulated, and after replaying all rollbacks
+   every flushed item must end *effectively accumulated exactly once*
+   (accumulates minus rollbacks = 1) — re-execution restores lost work
+   without ever double-counting it.
 
 :func:`check_runtime_log` raises :class:`TraceCheckError` listing every
 violation; :func:`verify_tracer` is the one-call form used by the
@@ -45,6 +59,9 @@ from collections.abc import Hashable, Iterable
 
 from repro.errors import ReproError
 from repro.runtime.trace import RuntimeLogRecord, Tracer
+
+#: ops that belong to the recovery ledger, not to any execution epoch
+_RECOVERY_OPS = ("checkpoint", "rollback", "restore")
 
 
 class TraceCheckError(ReproError):
@@ -65,6 +82,46 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
     record stream must be in emission order (as collected by a
     :class:`~repro.runtime.trace.Tracer`).
     """
+    records = list(records)
+    violations: list[str] = []
+    last_at: float | None = None
+    for rec in records:
+        if last_at is not None and rec.at < last_at:
+            violations.append(
+                f"log goes back in time: {rec.op} at {rec.at} after {last_at}"
+            )
+        last_at = rec.at
+    # split into execution epochs at each restore; recovery records
+    # belong to the global ledger, not to any epoch
+    epochs: list[list[RuntimeLogRecord]] = [[]]
+    has_recovery = False
+    for rec in records:
+        if rec.op in _RECOVERY_OPS:
+            has_recovery = True
+            if rec.op == "restore":
+                epochs.append([])
+        else:
+            epochs[-1].append(rec)
+    for i, epoch in enumerate(epochs):
+        violations.extend(
+            _epoch_violations(epoch, crashed=i < len(epochs) - 1)
+        )
+    if has_recovery:
+        violations.extend(_recovery_violations(records))
+    return violations
+
+
+def _epoch_violations(
+    records: list[RuntimeLogRecord], *, crashed: bool
+) -> list[str]:
+    """Invariants 1-6 over one execution epoch.
+
+    ``crashed=True`` marks an epoch a node crash cut short: work caught
+    mid-flight is forgiven — submitted items never flushed, flushed
+    items never accumulated, and the per-kind FIFO comparison when items
+    are missing.  The recovery ledger (invariant 7) separately holds
+    the run to account for the forgiven work.
+    """
     violations: list[str] = []
     submit_order: dict[str, list[Hashable]] = {}
     submit_time: dict[Hashable, float] = {}
@@ -78,14 +135,8 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
     accumulates: list[RuntimeLogRecord] = []
     faults_by_kind: Counter[str] = Counter()
     retried_by_kind: Counter[str] = Counter()
-    last_at: float | None = None
 
     for rec in records:
-        if last_at is not None and rec.at < last_at:
-            violations.append(
-                f"log goes back in time: {rec.op} at {rec.at} after {last_at}"
-            )
-        last_at = rec.at
         if rec.op == "submit":
             (item_id,) = rec.ids
             if item_id in submit_time:
@@ -131,12 +182,14 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
     for kind, submitted in submit_order.items():
         flushed = flush_order.get(kind, [])
         missing = set(submitted) - set(flushed)
-        if missing:
+        if missing and not crashed:
             violations.append(
                 f"kind {kind}: {len(missing)} submitted item(s) never "
                 "flushed (work lost)"
             )
-        # FIFO: flushed sequence must equal submission sequence (per kind)
+        # FIFO: flushed sequence must equal submission sequence (per
+        # kind); a crashed epoch with missing items skips it — the cut
+        # leaves a prefix, not a permutation
         if not missing and all(c == 1 for i, c in flush_count.items()) and (
             flushed != submitted
         ):
@@ -150,7 +203,7 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
                 f"block {key!r} transferred {count} times; the GPU block "
                 "cache is write-once"
             )
-    # arrival ordering: checked against the whole log's arrivals so a
+    # arrival ordering: checked against the whole epoch's arrivals so a
     # kernel reading a block whose transfer completes *later* is reported
     # as such rather than as missing
     for rec in computes:
@@ -171,7 +224,7 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
     if accumulates:
         for item_id, count in flush_count.items():
             n = accumulate_count.get(item_id, 0)
-            if n == 0:
+            if n == 0 and not crashed:
                 violations.append(
                     f"item {item_id!r} flushed but never accumulated "
                     "(result lost — retry budget exhaustion must fall "
@@ -202,6 +255,149 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
                 f"{n_faults} recorded fault(s) — every replay must be "
                 "justified by a fault"
             )
+    return violations
+
+
+def _parse_lineage_edge(kind: str) -> tuple[int, int] | None:
+    """``"seq<-parent"`` → (seq, parent), or None when malformed."""
+    seq_s, sep, parent_s = kind.partition("<-")
+    if not sep:
+        return None
+    try:
+        return int(seq_s), int(parent_s)
+    except ValueError:
+        return None
+
+
+def _recovery_violations(records: list[RuntimeLogRecord]) -> list[str]:
+    """Invariant 7: the global checkpoint/rollback/restore ledger.
+
+    One pass over the full log maintaining the durable frontier, the
+    lineage graph, the covered-item set, and each item's *effective*
+    accumulate count (accumulates minus rollbacks); see the module
+    docstring for the rules enforced.
+    """
+    violations: list[str] = []
+    eff: Counter[Hashable] = Counter()
+    flushed_ever: set = set()
+    saw_accumulate = False
+    lineage: dict[int, tuple[int, tuple[Hashable, ...]]] = {}
+    frontier = -1
+    max_seq = -1
+    covered: set = set()
+    pending_rollback_target: int | None = None
+
+    def _covered_upto(seq: int) -> set:
+        out: set = set()
+        while seq != -1 and seq in lineage:
+            parent, ids = lineage[seq]
+            out.update(ids)
+            seq = parent
+        return out
+
+    def _is_ancestor(seq: int, tip: int) -> bool:
+        while tip != -1:
+            if tip == seq:
+                return True
+            tip = lineage[tip][0] if tip in lineage else -1
+        return seq == -1
+
+    for rec in records:
+        if rec.op == "submit":
+            (item_id,) = rec.ids
+            if item_id in covered:
+                violations.append(
+                    f"item {item_id!r} resubmitted after being covered by "
+                    "a durable checkpoint"
+                )
+        elif rec.op == "flush":
+            flushed_ever.update(rec.ids)
+        elif rec.op == "accumulate":
+            saw_accumulate = True
+            for item_id in rec.ids:
+                if item_id in covered:
+                    violations.append(
+                        f"item {item_id!r} re-accumulated after being "
+                        "covered by a durable checkpoint"
+                    )
+                eff[item_id] += 1
+        elif rec.op == "checkpoint":
+            edge = _parse_lineage_edge(rec.kind)
+            if edge is None:
+                violations.append(
+                    f"checkpoint at {rec.at} carries malformed lineage "
+                    f"edge {rec.kind!r}"
+                )
+                continue
+            seq, parent = edge
+            if seq <= max_seq:
+                violations.append(
+                    f"checkpoint seq {seq} not newer than {max_seq} "
+                    "(sequence numbers must increase)"
+                )
+            if parent != frontier:
+                violations.append(
+                    f"checkpoint {seq} parented to {parent} but the "
+                    f"durable frontier is {frontier}"
+                )
+            for item_id in rec.ids:
+                if eff.get(item_id, 0) < 1:
+                    violations.append(
+                        f"checkpoint {seq} covers item {item_id!r} that "
+                        "was never accumulated"
+                    )
+                if item_id in covered:
+                    violations.append(
+                        f"checkpoint {seq} re-covers item {item_id!r} "
+                        "already durable"
+                    )
+            lineage[seq] = (parent, rec.ids)
+            covered.update(rec.ids)
+            frontier = seq
+            max_seq = max(max_seq, seq)
+        elif rec.op == "rollback":
+            pending_rollback_target = int(rec.kind)
+            for item_id in rec.ids:
+                if eff.get(item_id, 0) < 1:
+                    violations.append(
+                        f"rollback at {rec.at} cancels item {item_id!r} "
+                        "that was never accumulated"
+                    )
+                eff[item_id] -= 1
+        elif rec.op == "restore":
+            seq = int(rec.kind)
+            if pending_rollback_target is None:
+                violations.append(
+                    f"restore to seq {seq} without a preceding rollback"
+                )
+            elif seq != pending_rollback_target:
+                violations.append(
+                    f"restore to seq {seq} does not match the preceding "
+                    f"rollback target {pending_rollback_target}"
+                )
+            if not _is_ancestor(seq, frontier):
+                violations.append(
+                    f"restore to seq {seq} which is not on the durable "
+                    "lineage"
+                )
+            pending_rollback_target = None
+            frontier = seq
+            covered = _covered_upto(seq)
+
+    # the final ledger: every flushed item effectively accumulated once
+    if saw_accumulate:
+        for item_id in flushed_ever:
+            n = eff.get(item_id, 0)
+            if n == 0:
+                violations.append(
+                    f"item {item_id!r} rolled back but never "
+                    "re-accumulated (work lost in recovery)"
+                )
+            elif n > 1:
+                violations.append(
+                    f"item {item_id!r} effectively accumulated {n} times "
+                    "despite rollbacks"
+                )
     return violations
 
 

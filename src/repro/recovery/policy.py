@@ -1,0 +1,137 @@
+"""Checkpoint interval policies: *when* a rank writes a snapshot.
+
+A policy answers one question on the simulated clock — "is a checkpoint
+due now?" — given the time since the last snapshot and the batches
+accumulated since.  Three shapes:
+
+- :class:`FixedInterval` — periodic on the clock (``math.inf`` never
+  checkpoints: the full re-execution baseline);
+- :class:`EveryNBatches` — count-based, ``n=1`` being the
+  overhead-bound "checkpoint every batch" extreme;
+- :class:`YoungDaly` — the first-order optimal period
+  ``sqrt(2 · C · MTBF)`` from the checkpoint/restart literature, derived
+  from the write cost ``C`` and the crash rate's mean time between
+  failures.
+
+Policies are stateless and frozen; the per-run counters live in the
+:class:`~repro.recovery.checkpoint.Checkpointer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import RecoveryConfigError
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Base: decides whether a snapshot is due at an instant."""
+
+    def due(self, now: float, last_at: float, batches_since: int) -> bool:
+        """Whether a checkpoint should be written at ``now``.
+
+        Args:
+            now: current simulated instant (segment-local clock).
+            last_at: instant of the segment's last committed snapshot
+                (0.0 when none has been written yet).
+            batches_since: batches accumulated since that snapshot.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedInterval(CheckpointPolicy):
+    """Checkpoint every ``period`` simulated seconds.
+
+    ``period=math.inf`` never checkpoints — the "no recovery state at
+    all" baseline a crashed rank re-executes from scratch under.
+    """
+
+    period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.period > 0:
+            raise RecoveryConfigError(
+                f"checkpoint period must be positive, got {self.period}"
+            )
+
+    def due(self, now: float, last_at: float, batches_since: int) -> bool:
+        """Due once ``period`` has elapsed since the last snapshot."""
+        if math.isinf(self.period):
+            return False
+        return now - last_at >= self.period
+
+
+@dataclass(frozen=True)
+class EveryNBatches(CheckpointPolicy):
+    """Checkpoint after every ``n`` accumulated batches (``n=1`` is the
+    overhead-bound extreme the ablation compares against)."""
+
+    n: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise RecoveryConfigError(
+                f"batch count must be >= 1, got {self.n}"
+            )
+
+    def due(self, now: float, last_at: float, batches_since: int) -> bool:
+        """Due once ``n`` batches have accumulated since the snapshot."""
+        return batches_since >= self.n
+
+
+def young_daly_interval(
+    mtbf_seconds: float, checkpoint_cost_seconds: float
+) -> float:
+    """The Young/Daly first-order optimal period ``sqrt(2·C·MTBF)``.
+
+    Balances checkpoint overhead (shrinks with a longer period) against
+    expected lost work per crash (grows with it); accurate when the
+    write cost ``C`` is small against the mean time between failures.
+    """
+    if mtbf_seconds <= 0:
+        raise RecoveryConfigError(
+            f"MTBF must be positive, got {mtbf_seconds}"
+        )
+    if checkpoint_cost_seconds < 0:
+        raise RecoveryConfigError(
+            f"checkpoint cost must be >= 0, got {checkpoint_cost_seconds}"
+        )
+    return math.sqrt(2.0 * checkpoint_cost_seconds * mtbf_seconds)
+
+
+@dataclass(frozen=True)
+class YoungDaly(CheckpointPolicy):
+    """Fixed-period policy at the Young/Daly optimum for a crash rate.
+
+    Args:
+        mtbf_seconds: mean time between failures of the rank (derive it
+            from the injector's crash schedule: node-seconds per crash).
+        checkpoint_cost_seconds: one full-state snapshot's write cost
+            (use :meth:`~repro.recovery.checkpoint.CheckpointCostModel.
+            write_seconds` on the rank's estimated state size).
+    """
+
+    mtbf_seconds: float = 1.0
+    checkpoint_cost_seconds: float = 1e-3
+
+    def __post_init__(self) -> None:
+        # validates both parameters as a side effect
+        young_daly_interval(self.mtbf_seconds, self.checkpoint_cost_seconds)
+
+    @property
+    def period(self) -> float:
+        """The derived optimal period ``sqrt(2·C·MTBF)``."""
+        return young_daly_interval(
+            self.mtbf_seconds, self.checkpoint_cost_seconds
+        )
+
+    def due(self, now: float, last_at: float, batches_since: int) -> bool:
+        """Due once the Young/Daly period has elapsed."""
+        period = self.period
+        if period <= 0:
+            # zero write cost: checkpoint at every opportunity
+            return batches_since > 0
+        return now - last_at >= period

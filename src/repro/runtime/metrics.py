@@ -118,6 +118,16 @@ class RuntimeMetrics:
         """Number of batches recorded."""
         return len(self.batches)
 
+    def merge_from(self, other: "RuntimeMetrics") -> None:
+        """Fold another run's records into this one.
+
+        Used by the recovery protocol to merge the per-segment metrics
+        of a crashed-and-restarted rank into one whole-run view; batch
+        records are concatenated in segment order and counters summed.
+        """
+        self.batches.extend(other.batches)
+        self.counters.update(other.counters)
+
     def cpu_fractions(self) -> list[float]:
         """Chosen CPU fraction per batch, in dispatch order."""
         return [b.cpu_fraction for b in self.batches]

@@ -89,6 +89,14 @@ class NodeTimeline:
     n_fallback_items: int = 0
     retry_wait_seconds: float = 0.0
     degraded_seconds: float = 0.0
+    #: recovery outcome (zero / None without checkpoint-restart)
+    halted_at: float | None = None
+    n_checkpoints: int = 0
+    checkpoint_seconds: float = 0.0
+    n_restores: int = 0
+    restore_seconds: float = 0.0
+    n_rolled_back_items: int = 0
+    n_replayed_items: int = 0
 
     @property
     def cpu_fraction_sent(self) -> float:
@@ -133,6 +141,7 @@ class NodeRuntime:
         gpu_timeout: "GpuBatchTimeout | None" = None,
         degraded_mode: "DegradedModeController | None" = None,
         rank: int = 0,
+        checkpointer=None,
     ):
         """``naive_port=True`` models the strawman the paper argues
         against (Section I): no batching (every task dispatched alone),
@@ -149,7 +158,14 @@ class NodeRuntime:
         to CPU-only through ``degraded_mode``.  With no injector — or an
         injector with no faults registered — none of these paths run and
         the timeline is bit-identical to a fault-free runtime.  ``rank``
-        identifies the node to per-rank fault models."""
+        identifies the node to per-rank fault models.
+
+        ``checkpointer`` (a :class:`~repro.recovery.checkpoint.
+        Checkpointer`) arms checkpoint/restart: after each batch's
+        accumulate the runtime offers the delta to the checkpointer and,
+        when its policy says a snapshot is due, charges the write on the
+        simulated clock.  An armed checkpointer whose policy never fires
+        adds no events, so the timeline stays bit-identical."""
         if data_threads < 1:
             raise RuntimeConfigError(f"data_threads must be >= 1, got {data_threads}")
         if max_inflight_batches < 1:
@@ -182,6 +198,7 @@ class NodeRuntime:
         self.gpu_timeout = gpu_timeout
         self.degraded_mode = degraded_mode
         self.rank = rank
+        self.checkpointer = checkpointer
         #: set per execute(): True only when registered faults exist
         self._chaos = False
 
@@ -251,8 +268,18 @@ class NodeRuntime:
             stage=None,
         )
 
-    def execute(self, tasks: list[HybridTask]) -> NodeTimeline:
-        """Run the full pipeline over ``tasks``; returns the timeline."""
+    def execute(
+        self, tasks: list[HybridTask], *, halt_at: float | None = None
+    ) -> NodeTimeline:
+        """Run the full pipeline over ``tasks``; returns the timeline.
+
+        ``halt_at`` models a node crash at that simulated instant: the
+        run stops mid-flight (in-flight batches abandoned, pending
+        accumulates allowed) and the timeline's ``halted_at`` records
+        the cut.  A run that finishes *before* ``halt_at`` is not
+        halted — the crash missed the node.  Only the recovery protocol
+        passes this; ordinary callers always run to completion.
+        """
         env = Environment()
         # armed only when faults are actually registered: an injector
         # with an empty schedule leaves every code path — and thus the
@@ -349,8 +376,13 @@ class NodeRuntime:
             if batch_events:
                 yield AllOf(env, batch_events)
 
-        env.process(finisher())
-        env.run()
+        final = env.process(finisher())
+        env.run(until=halt_at)
+        # a crash only lands if the run was still in flight at halt_at;
+        # a queue that drained earlier means the node finished first
+        halted = halt_at is not None and not final.triggered
+        if halted:
+            timeline.halted_at = env.now
         timeline.total_seconds = env.now
         timeline.cpu_compute_busy = pools.compute.normalized_busy()
         timeline.gpu_busy = pools.gpu.normalized_busy()
@@ -370,7 +402,17 @@ class NodeRuntime:
         if self.degraded_mode is not None:
             self.degraded_mode.finish(env.now)
             timeline.degraded_seconds = self.degraded_mode.degraded_seconds
-        if acc.pending:
+            # lifetime probe bookkeeping, assigned (not added) so reruns
+            # sharing one controller report its current totals
+            metrics.counters["degraded_probes"] = self.degraded_mode.probes
+            metrics.counters["degraded_probe_successes"] = (
+                self.degraded_mode.probe_successes
+            )
+            metrics.counters["degradations"] = self.degraded_mode.degradations
+            metrics.counters["degraded_recoveries"] = (
+                self.degraded_mode.recoveries
+            )
+        if acc.pending and not halted:
             raise RuntimeConfigError(
                 f"runtime finished with {acc.pending} unflushed items"
             )
@@ -461,6 +503,38 @@ class NodeRuntime:
         self._trace("postprocess", str(batch.kind), t0, env.now)
         self._log_accumulate(batch, env.now, rec.attempts - 1)
         pools.data.release()
+        if self.checkpointer is not None:
+            self.checkpointer.note_accumulate(batch.items, env.now)
+            if self.checkpointer.due(env.now):
+                yield from self._checkpoint_write(env, pools, timeline)
+
+    def _checkpoint_write(self, env, pools, timeline):
+        """Write one durable snapshot on the simulated clock.
+
+        Serialization *and* the off-node drain occupy a data-thread
+        slot: the snapshot leaves the node over the same NIC that
+        ships results, so checkpoint traffic contends with the
+        pre/postprocess pipeline rather than hiding behind it.  The
+        delta is frozen at ``begin`` and committed only when the drain
+        completes — a crash in between leaves no partial snapshot.
+        """
+        charges = self.checkpointer.begin(env.now)
+        if charges is None:
+            return
+        serialize_seconds, drain_seconds = charges
+        t0 = env.now
+        req = pools.data.request()
+        yield req
+        yield env.timeout(serialize_seconds + drain_seconds)
+        pools.data.release()
+        checkpoint = self.checkpointer.commit(env.now)
+        self._trace("checkpoint", f"seq {checkpoint.seq}", t0, env.now)
+        if self.tracer is not None:
+            self.tracer.log_checkpoint(
+                checkpoint.seq, checkpoint.parent, checkpoint.item_ids, env.now
+            )
+        timeline.n_checkpoints += 1
+        timeline.checkpoint_seconds += env.now - t0
 
     def _feed_back(self, plan, rec: BatchMetrics) -> None:
         """Report measured batch durations to a calibrating dispatcher.

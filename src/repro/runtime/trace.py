@@ -31,10 +31,13 @@ LOG_OPS = (
     "gpu_compute",
     "gpu_fault",
     "accumulate",
+    "checkpoint",
+    "restore",
+    "rollback",
 )
 
 #: categories rendered as separate Gantt lanes, in display order
-LANES = ("preprocess", "cpu", "pcie", "gpu", "postprocess")
+LANES = ("preprocess", "cpu", "pcie", "gpu", "postprocess", "checkpoint")
 
 
 @dataclass(frozen=True)
@@ -69,8 +72,16 @@ class RuntimeLogRecord:
             into the write-once cache — recorded at *arrival* time),
             ``gpu_compute`` (one batch's GPU kernel started, with the
             block keys it reads), ``gpu_fault`` (one GPU batch attempt
-            faulted under injection), or ``accumulate`` (one batch's
-            results accumulated back into the tree at postprocess).
+            faulted under injection), ``accumulate`` (one batch's
+            results accumulated back into the tree at postprocess),
+            ``checkpoint`` (one durable snapshot committed — kind is
+            ``"seq<-parent"`` encoding the lineage edge, ids are the
+            newly covered item ids), ``restore`` (recovery rolled the
+            rank's state back to a checkpoint — kind is the restored
+            sequence number, ``-1`` for a from-scratch restart), or
+            ``rollback`` (un-checkpointed accumulates cancelled at
+            crash detection — kind is the restore target, ids the
+            rolled-back item ids).
         at: simulated instant of the operation.
         kind: the task kind (stringified) for submit/flush/gpu_compute/
             gpu_fault/accumulate; empty for block transfers.
@@ -142,15 +153,28 @@ class Tracer:
 
     # -- structured happens-before log -----------------------------------------
 
+    def _log(
+        self,
+        op: str,
+        at: float,
+        kind: str,
+        ids: tuple[Hashable, ...],
+        attempt: int = 0,
+    ) -> None:
+        """Append one structured record (the single funnel every
+        ``log_*`` helper goes through, so :class:`OffsetTracer` can
+        shift instants in one place)."""
+        self.log.append(RuntimeLogRecord(op, at, kind, ids, attempt))
+
     def log_submit(self, kind: str, item_id: Hashable, at: float) -> None:
         """Record one work item entering the batch accumulator."""
-        self.log.append(RuntimeLogRecord("submit", at, kind, (item_id,)))
+        self._log("submit", at, kind, (item_id,))
 
     def log_flush(
         self, kind: str, item_ids: Iterable[Hashable], at: float
     ) -> None:
         """Record one batch leaving the accumulator, items in batch order."""
-        self.log.append(RuntimeLogRecord("flush", at, kind, tuple(item_ids)))
+        self._log("flush", at, kind, tuple(item_ids))
 
     def log_block_transfer(
         self, block_keys: Iterable[Hashable], at: float
@@ -159,7 +183,7 @@ class Tracer:
         (the transfer-completion instant, not its start)."""
         keys = tuple(block_keys)
         if keys:
-            self.log.append(RuntimeLogRecord("block_transfer", at, "", keys))
+            self._log("block_transfer", at, "", keys)
 
     def log_gpu_compute(
         self,
@@ -169,15 +193,11 @@ class Tracer:
         attempt: int = 0,
     ) -> None:
         """Record one batch's GPU kernel starting on the given blocks."""
-        self.log.append(
-            RuntimeLogRecord(
-                "gpu_compute", at, kind, tuple(block_keys), attempt
-            )
-        )
+        self._log("gpu_compute", at, kind, tuple(block_keys), attempt)
 
     def log_gpu_fault(self, kind: str, at: float, attempt: int) -> None:
         """Record one GPU batch attempt faulting (injected fault)."""
-        self.log.append(RuntimeLogRecord("gpu_fault", at, kind, (), attempt))
+        self._log("gpu_fault", at, kind, (), attempt)
 
     def log_accumulate(
         self,
@@ -193,9 +213,35 @@ class Tracer:
         exactly one accumulate record no matter how many attempts its
         batch took.
         """
-        self.log.append(
-            RuntimeLogRecord("accumulate", at, kind, tuple(item_ids), attempt)
-        )
+        self._log("accumulate", at, kind, tuple(item_ids), attempt)
+
+    # -- recovery ops (consumed by trace_check invariant #7) ----------------------
+
+    def log_checkpoint(
+        self,
+        seq: int,
+        parent: int,
+        item_ids: Iterable[Hashable],
+        at: float,
+    ) -> None:
+        """Record one committed checkpoint: the lineage edge
+        ``seq<-parent`` plus the item ids newly covered (the delta over
+        the parent snapshot)."""
+        self._log("checkpoint", at, f"{seq}<-{parent}", tuple(item_ids))
+
+    def log_rollback(
+        self, target_seq: int, item_ids: Iterable[Hashable], at: float
+    ) -> None:
+        """Record un-checkpointed accumulates being cancelled at crash
+        detection; ``target_seq`` is the checkpoint recovery will
+        restore (``-1`` = restart from scratch)."""
+        self._log("rollback", at, str(target_seq), tuple(item_ids))
+
+    def log_restore(self, seq: int, at: float) -> None:
+        """Record recovery completing a restore to checkpoint ``seq``
+        (``-1`` = from-scratch restart); every record after this one
+        belongs to the replay epoch."""
+        self._log("restore", at, str(seq), ())
 
     def by_category(self, category: str) -> list[TraceEvent]:
         """Events of one Gantt lane, in recording order."""
@@ -236,6 +282,45 @@ class Tracer:
         if cur_end is not None:
             covered += cur_end - cur_start
         return covered / total
+
+
+class OffsetTracer(Tracer):
+    """A view of a base tracer that shifts every instant by an offset.
+
+    The recovery protocol runs each post-restart segment on a *fresh*
+    simulated clock (the node rebooted), but the run's happens-before
+    log must stay on one global timeline; an ``OffsetTracer`` shares the
+    base tracer's event and log lists and adds the segment's wall-clock
+    offset to every recorded instant, so restarted segments append
+    globally monotonic records.
+    """
+
+    def __init__(self, base: Tracer, offset: float):
+        if offset < 0:
+            raise SimulationError(f"tracer offset must be >= 0, got {offset}")
+        # share, not copy: appends land in the base tracer's lists
+        self.events = base.events
+        self.log = base.log
+        self.offset = offset
+
+    def record(self, category: str, label: str, start: float, end: float) -> None:
+        """Record one Gantt interval, shifted onto the global clock."""
+        self.events.append(
+            TraceEvent(category, label, start + self.offset, end + self.offset)
+        )
+
+    def _log(
+        self,
+        op: str,
+        at: float,
+        kind: str,
+        ids: tuple[Hashable, ...],
+        attempt: int = 0,
+    ) -> None:
+        """Append one structured record, shifted onto the global clock."""
+        self.log.append(
+            RuntimeLogRecord(op, at + self.offset, kind, ids, attempt)
+        )
 
 
 def render_text_gantt(tracer: Tracer, width: int = 72) -> str:

@@ -1,7 +1,15 @@
 """Cluster-level fault injection: the FaultInjector-backed replacement
-for ``failed_gpus``, node-crash redistribution, and message faults."""
+for ``failed_gpus``, node-crash redistribution, and message faults.
+
+Node-crash handling has two modes: the deprecated omniscient
+redistribution (no ``recovery=`` config — crashes warn and the crashed
+rank's tasks teleport to survivors before the run) and checkpoint/
+restart recovery (``recovery=RecoveryConfig(...)`` — the crashed rank
+restores its last snapshot and replays in place)."""
 
 from __future__ import annotations
+
+import warnings
 
 import pytest
 
@@ -16,6 +24,7 @@ from repro.faults.models import (
     MessageLoss,
     NodeCrash,
 )
+from repro.recovery import CheckpointCostModel, EveryNBatches, RecoveryConfig
 
 NODES = 4
 
@@ -57,11 +66,15 @@ class TestDeprecatedAlias:
 
 
 class TestNodeCrash:
+    """The deprecated omniscient-redistribution path (no recovery
+    config): still supported, but every crash now warns."""
+
     def test_tasks_conserved_after_crash(self, workload):
         clean = run(workload)
         at = clean.makespan_seconds * 0.4
         inj = FaultInjector(faults=[NodeCrash(rank=2, at=at)])
-        res = run(workload, fault_injector=inj)
+        with pytest.warns(DeprecationWarning, match="perfect foresight"):
+            res = run(workload, fault_injector=inj)
         assert sum(r.n_tasks for r in res.node_results) == len(workload.tasks)
         assert res.node_results[2].crashed_at == at
         assert all(
@@ -75,7 +88,8 @@ class TestNodeCrash:
         inj = FaultInjector(
             faults=[NodeCrash(rank=2, at=clean.makespan_seconds * 0.4)]
         )
-        res = run(workload, fault_injector=inj)
+        with pytest.warns(DeprecationWarning, match="perfect foresight"):
+            res = run(workload, fault_injector=inj)
         assert res.node_results[2].n_tasks < clean.node_results[2].n_tasks
         survivors = [r for r in res.node_results if r.rank != 2]
         grew = [
@@ -93,7 +107,8 @@ class TestNodeCrash:
         inj = FaultInjector(
             faults=[NodeCrash(rank=2, at=clean.makespan_seconds * 10)]
         )
-        res = run(workload, fault_injector=inj)
+        with pytest.warns(DeprecationWarning, match="perfect foresight"):
+            res = run(workload, fault_injector=inj)
         assert [r.n_tasks for r in res.node_results] == [
             r.n_tasks for r in clean.node_results
         ]
@@ -102,8 +117,67 @@ class TestNodeCrash:
         inj = FaultInjector(
             faults=[NodeCrash(rank=r, at=0.1) for r in range(NODES)]
         )
-        with pytest.raises(ClusterConfigError, match="survivors"):
-            run(workload, fault_injector=inj)
+        with pytest.warns(DeprecationWarning, match="perfect foresight"):
+            with pytest.raises(ClusterConfigError, match="survivors"):
+                run(workload, fault_injector=inj)
+
+
+class TestCheckpointRecovery:
+    """Crashes with ``recovery=RecoveryConfig(...)``: the crashed rank
+    restores its last checkpoint and replays in place — no omniscient
+    redistribution, no deprecation warning."""
+
+    @staticmethod
+    def recovery_config():
+        # node makespans here are a few ms; keep the detection and
+        # restart charges proportionate
+        return RecoveryConfig(
+            policy=EveryNBatches(2),
+            cost_model=CheckpointCostModel(
+                drain_gbps=4.0, restart_seconds=1e-4
+            ),
+            failure_detection_timeout=1e-4,
+        )
+
+    def test_recovery_path_emits_no_deprecation(self, workload):
+        clean = run(workload)
+        inj = FaultInjector(
+            faults=[NodeCrash(rank=2, at=clean.makespan_seconds * 0.4)]
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run(workload, fault_injector=inj,
+                recovery=self.recovery_config())
+
+    def test_crashed_rank_keeps_its_tasks(self, workload):
+        clean = run(workload)
+        at = clean.node_results[2].total_seconds * 0.4
+        inj = FaultInjector(faults=[NodeCrash(rank=2, at=at)])
+        res = run(workload, fault_injector=inj,
+                  recovery=self.recovery_config())
+        # nothing teleports: every rank runs exactly its own share
+        assert [r.n_tasks for r in res.node_results] == [
+            r.n_tasks for r in clean.node_results
+        ]
+        assert sum(r.n_tasks for r in res.node_results) == len(workload.tasks)
+        assert res.total_restarts >= 1
+        assert res.node_results[2].crashed_at == at
+        assert res.node_results[2].restarts >= 1
+        assert all(
+            r.restarts == 0 for r in res.node_results if r.rank != 2
+        )
+        # the victim pays detection + restore + replay
+        assert res.makespan_seconds > clean.makespan_seconds
+
+    def test_recovery_without_crashes_stays_dormant(self, workload):
+        clean = run(workload)
+        res = run(
+            workload,
+            fault_injector=FaultInjector(seed=9),
+            recovery=self.recovery_config(),
+        )
+        assert res.total_restarts == 0
+        assert res.makespan_seconds == clean.makespan_seconds
 
 
 class TestMessageFaults:

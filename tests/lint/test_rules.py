@@ -838,3 +838,94 @@ class TestUnboundedRetry:
             select={"RES004"},
         )
         assert findings == []
+
+
+# -- RES005: aliased snapshot state ------------------------------------------------
+
+
+class TestAliasedSnapshotState:
+    def test_bare_name_state_kwarg_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "recovery/ckpt.py",
+            """
+            def snap(Checkpoint, acc):
+                return Checkpoint(seq=0, results=acc)
+            """,
+            select={"RES005"},
+        )
+        assert rule_ids(findings) == {"RES005"}
+        assert "aliases mutable state" in findings[0].message
+
+    def test_attribute_and_subscript_fire(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "recovery/ckpt.py",
+            """
+            def snap(Checkpoint, self, table):
+                a = Checkpoint(items=self.pending)
+                b = Checkpoint(state=table["rank0"])
+                return a, b
+            """,
+            select={"RES005"},
+        )
+        assert len(findings) == 2
+        assert rule_ids(findings) == {"RES005"}
+
+    def test_snapshot_suffix_class_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "recovery/ckpt.py",
+            """
+            def snap(RankSnapshot, live):
+                return RankSnapshot(payload=live)
+            """,
+            select={"RES005"},
+        )
+        assert rule_ids(findings) == {"RES005"}
+
+    def test_copied_state_is_quiet(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "recovery/ckpt.py",
+            """
+            import copy
+
+            def snap(Checkpoint, acc, pending):
+                return Checkpoint(
+                    seq=0,
+                    results=copy.deepcopy(acc),
+                    items=tuple(pending),
+                    item_ids=[id(i) for i in pending],
+                    state={},
+                )
+            """,
+            select={"RES005"},
+        )
+        assert findings == []
+
+    def test_non_state_kwargs_and_other_ctors_quiet(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "recovery/ckpt.py",
+            """
+            def snap(Checkpoint, Batch, rank, acc):
+                a = Checkpoint(rank=rank, seq=0, parent=-1)
+                b = Batch(results=acc)
+                return a, b
+            """,
+            select={"RES005"},
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "recovery/ckpt.py",
+            """
+            def snap(Checkpoint, acc):
+                return Checkpoint(results=acc)  # repro: noqa[RES005]
+            """,
+            select={"RES005"},
+        )
+        assert findings == []

@@ -248,3 +248,145 @@ class TestExactlyOnceAccumulation:
     def test_negative_attempt_rejected(self):
         with pytest.raises(Exception):
             rec("gpu_compute", 0.0, "a", attempt=-1)
+
+
+def recovery_log():
+    """A compliant crash-and-recover run: one checkpoint survives the
+    crash, the un-checkpointed tail is rolled back and replayed."""
+    return [
+        # epoch 0 — cut short by a crash
+        rec("submit", 0.0, "a", [1]),
+        rec("submit", 0.1, "a", [2]),
+        rec("submit", 0.2, "a", [3]),
+        rec("flush", 0.3, "a", [1, 2]),
+        rec("accumulate", 0.4, "a", [1, 2]),
+        rec("checkpoint", 0.5, "0<--1", [1, 2]),
+        rec("flush", 0.6, "a", [3]),
+        rec("accumulate", 0.7, "a", [3]),
+        # crash: 3 was accumulated after the snapshot — roll it back
+        rec("rollback", 0.9, "0", [3]),
+        rec("restore", 1.0, "0"),
+        # epoch 1 — replay the lost window
+        rec("submit", 1.1, "a", [3]),
+        rec("flush", 1.2, "a", [3]),
+        rec("accumulate", 1.3, "a", [3]),
+    ]
+
+
+class TestRecoveryLedger:
+    def test_compliant_recovery_log_passes(self):
+        assert find_violations(recovery_log()) == []
+
+    def test_crashed_epoch_forgives_cut_off_work(self):
+        # item 3's first life (flushed, accumulated, rolled back) and
+        # item 4 (submitted, never flushed) are forgiven in the crashed
+        # epoch — the global ledger still balances
+        log = recovery_log()
+        log.insert(3, rec("submit", 0.25, "a", [4]))
+        log += [
+            rec("submit", 1.4, "a", [4]),
+            rec("flush", 1.5, "a", [4]),
+            rec("accumulate", 1.6, "a", [4]),
+        ]
+        assert find_violations(log) == []
+
+    def test_final_epoch_not_forgiven(self):
+        # the same cut-off shape in the *final* epoch is real work loss
+        log = recovery_log() + [rec("submit", 1.4, "a", [5])]
+        violations = find_violations(log)
+        assert any("never flushed" in v for v in violations)
+
+    def test_malformed_lineage_edge(self):
+        log = recovery_log()
+        log[5] = rec("checkpoint", 0.5, "zero", [1, 2])
+        violations = find_violations(log)
+        assert any("malformed lineage" in v for v in violations)
+
+    def test_sequence_numbers_must_increase(self):
+        log = recovery_log() + [
+            rec("checkpoint", 1.4, "0<-0", [3]),
+        ]
+        violations = find_violations(log)
+        assert any("must increase" in v for v in violations)
+
+    def test_checkpoint_must_parent_the_frontier(self):
+        log = recovery_log() + [
+            rec("checkpoint", 1.4, "2<--1", [3]),
+        ]
+        violations = find_violations(log)
+        assert any("durable frontier is 0" in v for v in violations)
+
+    def test_checkpoint_covering_unaccumulated_item(self):
+        log = recovery_log() + [
+            rec("checkpoint", 1.4, "1<-0", [3, 99]),
+        ]
+        violations = find_violations(log)
+        assert any("never accumulated" in v for v in violations)
+
+    def test_checkpoint_recovering_durable_item(self):
+        log = recovery_log() + [
+            rec("checkpoint", 1.4, "1<-0", [3, 1]),
+        ]
+        violations = find_violations(log)
+        assert any("re-covers item" in v for v in violations)
+
+    def test_rollback_of_unaccumulated_item(self):
+        log = recovery_log()
+        log[8] = rec("rollback", 0.9, "0", [3, 42])
+        violations = find_violations(log)
+        assert any("cancels item" in v for v in violations)
+
+    def test_restore_requires_preceding_rollback(self):
+        log = recovery_log()
+        del log[8]  # drop the rollback
+        violations = find_violations(log)
+        assert any("without a preceding rollback" in v for v in violations)
+
+    def test_restore_must_match_rollback_target(self):
+        log = recovery_log()
+        log[8] = rec("rollback", 0.9, "-1", [1, 2, 3])
+        violations = find_violations(log)
+        assert any("does not match the preceding rollback" in v
+                   for v in violations)
+
+    def test_restore_off_the_lineage(self):
+        log = recovery_log()
+        log[8] = rec("rollback", 0.9, "7", [3])
+        log[9] = rec("restore", 1.0, "7")
+        violations = find_violations(log)
+        assert any("not on the durable lineage" in v for v in violations)
+
+    def test_resubmit_of_durable_item(self):
+        log = recovery_log() + [rec("submit", 1.4, "a", [1])]
+        violations = find_violations(log)
+        assert any("resubmitted after being covered" in v
+                   for v in violations)
+
+    def test_reaccumulate_of_durable_item(self):
+        log = recovery_log() + [
+            rec("flush", 1.5, "a", [1]),
+            rec("accumulate", 1.6, "a", [1]),
+        ]
+        violations = find_violations(log)
+        assert any("re-accumulated after being covered" in v
+                   for v in violations)
+
+    def test_rolled_back_item_never_replayed_is_work_lost(self):
+        log = recovery_log()[:11]  # cut the replay after its submit
+        violations = find_violations(log)
+        assert any("work lost in recovery" in v for v in violations)
+
+    def test_double_count_across_epochs(self):
+        # item 3 replayed although its first accumulate was never
+        # rolled back: effectively counted twice
+        log = recovery_log()
+        log[8] = rec("rollback", 0.9, "0", [])
+        violations = find_violations(log)
+        assert any("effectively accumulated 2 times" in v
+                   for v in violations)
+
+    def test_recovery_error_raised(self):
+        log = recovery_log()
+        log[8] = rec("rollback", 0.9, "0", [])
+        with pytest.raises(TraceCheckError):
+            check_runtime_log(log)

@@ -1,0 +1,234 @@
+"""Snapshot cost model, lineage store, and the Checkpointer driver."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import RecoveryConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import CheckpointCorruption
+from repro.recovery import (
+    Checkpoint,
+    CheckpointCostModel,
+    CheckpointStore,
+    Checkpointer,
+    EveryNBatches,
+    FixedInterval,
+)
+
+
+def item(n_bytes: int = 100):
+    return SimpleNamespace(output_bytes=n_bytes)
+
+
+def ck(seq, parent, *, ids=(), state_bytes=0, corrupted=False, at=0.0):
+    return Checkpoint(
+        rank=0,
+        seq=seq,
+        parent=parent,
+        at=at,
+        cursor=len(ids),
+        item_ids=tuple(ids),
+        state_bytes=state_bytes,
+        corrupted=corrupted,
+    )
+
+
+class TestCostModel:
+    def test_write_is_serialize_plus_drain(self):
+        model = CheckpointCostModel(
+            serialize_gbps=1.0,
+            drain_gbps=0.5,
+            write_latency_seconds=0.01,
+        )
+        n = 10**9
+        assert model.serialize_seconds(n) == pytest.approx(1.0)
+        assert model.drain_seconds(n) == pytest.approx(2.01)
+        assert model.write_seconds(n) == pytest.approx(3.01)
+
+    def test_read_pays_the_reverse_path(self):
+        model = CheckpointCostModel(
+            serialize_gbps=1.0,
+            drain_gbps=0.5,
+            read_latency_seconds=0.02,
+        )
+        assert model.read_seconds(10**9) == pytest.approx(3.02)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"serialize_gbps": 0.0},
+            {"drain_gbps": -1.0},
+            {"write_latency_seconds": -1e-3},
+            {"restart_seconds": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(RecoveryConfigError):
+            CheckpointCostModel(**kwargs)
+
+
+class TestCheckpointValidation:
+    def test_bad_lineage_edges_rejected(self):
+        with pytest.raises(RecoveryConfigError):
+            ck(-1, -1)
+        with pytest.raises(RecoveryConfigError):
+            ck(2, 2)  # self-parent
+        with pytest.raises(RecoveryConfigError):
+            ck(1, 3)  # parent newer than child
+
+
+class TestCheckpointStore:
+    def test_add_enforces_sequence_and_parent(self):
+        store = CheckpointStore()
+        store.add(ck(0, -1))
+        with pytest.raises(RecoveryConfigError):
+            store.add(ck(2, 0))  # skips seq 1
+        with pytest.raises(RecoveryConfigError):
+            store.add(ck(1, -1))  # not parented to the frontier
+        store.add(ck(1, 0))
+        assert store.frontier_seq == 1
+
+    def test_lineage_oldest_first(self):
+        store = CheckpointStore()
+        for seq in range(3):
+            store.add(ck(seq, seq - 1))
+        assert [c.seq for c in store.lineage(2)] == [0, 1, 2]
+        assert store.lineage(-1) == []
+
+    def test_select_restore_walks_past_corruption(self):
+        store = CheckpointStore()
+        store.add(ck(0, -1))
+        store.add(ck(1, 0, corrupted=True))
+        store.add(ck(2, 1, corrupted=True))
+        choice, tried = store.select_restore()
+        assert choice.seq == 0
+        # one read charged per snapshot tried, rejects included
+        assert [c.seq for c in tried] == [2, 1, 0]
+
+    def test_select_restore_fully_corrupted_chain(self):
+        store = CheckpointStore()
+        store.add(ck(0, -1, corrupted=True))
+        choice, tried = store.select_restore()
+        assert choice is None
+        assert [c.seq for c in tried] == [0]
+
+    def test_restore_leaves_dead_branch_in_store(self):
+        store = CheckpointStore()
+        store.add(ck(0, -1))
+        store.add(ck(1, 0, corrupted=True))
+        store.restore_to(0)
+        assert store.frontier_seq == 0
+        assert store.next_seq() == 2  # seq numbers stay monotonic
+        store.add(ck(2, 0))  # new branch extends the restored frontier
+        assert [c.seq for c in store.lineage(2)] == [0, 2]
+
+    def test_covered_views(self):
+        store = CheckpointStore()
+        store.add(ck(0, -1, ids=("a", "b"), state_bytes=200))
+        store.add(ck(1, 0, ids=("c",), state_bytes=300))
+        assert store.covered_ids(1) == {"a", "b", "c"}
+        assert store.covered_bytes(1) == 300
+        assert store.covered_bytes(-1) == 0
+        assert store.covered_count(-1) == 0
+
+    def test_restore_to_unknown_seq_rejected(self):
+        with pytest.raises(RecoveryConfigError):
+            CheckpointStore().restore_to(5)
+
+
+class TestCheckpointer:
+    def make(self, policy=None, **kwargs):
+        store = CheckpointStore()
+        return store, Checkpointer(
+            store, policy or EveryNBatches(1), CheckpointCostModel(), **kwargs
+        )
+
+    def test_not_due_without_pending_delta(self):
+        _, cp = self.make()
+        assert not cp.due(1.0)
+        cp.note_accumulate([item()], 0.5)
+        assert cp.due(1.0)
+
+    def test_begin_freezes_delta_and_prices_full_state(self):
+        store, cp = self.make()
+        cp.note_accumulate([item(1000), item(1000)], 0.1)
+        charges = cp.begin(0.2)
+        assert charges is not None
+        serialize, drain = charges
+        model = cp.cost_model
+        assert serialize == pytest.approx(model.serialize_seconds(2000))
+        assert drain == pytest.approx(model.drain_seconds(2000))
+        # racing accumulates stay pending for the *next* snapshot
+        late = item(500)
+        cp.note_accumulate([late], 0.25)
+        assert cp.begin(0.25) is None  # one write in flight at a time
+        checkpoint = cp.commit(0.3)
+        assert checkpoint.seq == 0
+        assert len(checkpoint.item_ids) == 2
+        assert cp.uncheckpointed_items() == [late]
+
+    def test_full_state_cost_is_cumulative(self):
+        store, cp = self.make()
+        cp.note_accumulate([item(1000)], 0.1)
+        cp.begin(0.1)
+        cp.commit(0.2)
+        cp.note_accumulate([item(500)], 0.3)
+        serialize, _ = cp.begin(0.3)
+        # classic CPR: the second write re-serializes everything durable
+        assert serialize == pytest.approx(
+            cp.cost_model.serialize_seconds(1500)
+        )
+
+    def test_commit_without_begin_rejected(self):
+        _, cp = self.make()
+        with pytest.raises(RecoveryConfigError):
+            cp.commit(0.0)
+
+    def test_crash_mid_write_leaves_no_partial_snapshot(self):
+        store, cp = self.make()
+        lost = [item(), item()]
+        cp.note_accumulate(lost, 0.1)
+        cp.begin(0.2)
+        # crash: begin never reaches commit
+        assert store.checkpoints == []
+        assert cp.uncheckpointed_items() == lost
+
+    def test_cursor_advances_along_lineage(self):
+        store, cp = self.make()
+        cp.note_accumulate([item(), item()], 0.1)
+        cp.begin(0.1)
+        first = cp.commit(0.2)
+        cp.note_accumulate([item()], 0.3)
+        cp.begin(0.3)
+        second = cp.commit(0.4)
+        assert (first.cursor, second.cursor) == (2, 3)
+        assert second.parent == first.seq
+
+    def test_corruption_drawn_from_injector_at_write_time(self):
+        injector = FaultInjector(3, [CheckpointCorruption(rate=1.0)])
+        _, cp = self.make(injector=injector, rank=0)
+        cp.note_accumulate([item()], 0.1)
+        cp.begin(0.1)
+        assert cp.commit(0.2).corrupted
+
+    def test_snapshot_results_are_copies(self):
+        source = {}
+        _, cp = self.make(result_source=source)
+        it = item()
+        source[id(it)] = [1.0, 2.0]
+        cp.note_accumulate([it], 0.1)
+        cp.begin(0.1)
+        checkpoint = cp.commit(0.2)
+        source[id(it)].append(3.0)  # post-snapshot mutation
+        ((_, stored),) = checkpoint.results
+        assert stored == [1.0, 2.0]
+
+    def test_reset_segment_drops_uncommitted_state(self):
+        _, cp = self.make(policy=FixedInterval(0.5))
+        cp.note_accumulate([item()], 0.4)
+        cp.begin(0.6)
+        cp.reset_segment(clock_offset=1.0)
+        assert cp.uncheckpointed_items() == []
+        assert cp.clock_offset == 1.0
+        assert not cp.due(0.4)  # policy clock restarted at segment zero

@@ -1,0 +1,95 @@
+"""Checkpoint interval policies: due logic and parameter validation."""
+
+import math
+
+import pytest
+
+from repro.errors import RecoveryConfigError
+from repro.recovery import (
+    EveryNBatches,
+    FixedInterval,
+    YoungDaly,
+    young_daly_interval,
+)
+
+
+class TestFixedInterval:
+    def test_due_once_period_elapsed(self):
+        policy = FixedInterval(period=0.5)
+        assert not policy.due(0.3, 0.0, 2)
+        assert policy.due(0.5, 0.0, 2)
+        assert policy.due(1.7, 1.0, 1)
+
+    def test_clock_is_relative_to_last_checkpoint(self):
+        policy = FixedInterval(period=0.5)
+        assert not policy.due(1.2, 1.0, 3)
+
+    def test_infinite_period_never_due(self):
+        policy = FixedInterval(period=math.inf)
+        assert not policy.due(1e9, 0.0, 10_000)
+
+    @pytest.mark.parametrize("period", [0.0, -1.0, -math.inf])
+    def test_nonpositive_period_rejected(self, period):
+        with pytest.raises(RecoveryConfigError):
+            FixedInterval(period=period)
+
+
+class TestEveryNBatches:
+    def test_due_after_n_batches(self):
+        policy = EveryNBatches(n=3)
+        assert not policy.due(1.0, 0.0, 2)
+        assert policy.due(1.0, 0.0, 3)
+        assert policy.due(0.0, 0.0, 4)
+
+    def test_every_batch_extreme(self):
+        policy = EveryNBatches(n=1)
+        assert policy.due(0.0, 0.0, 1)
+        assert not policy.due(0.0, 0.0, 0)
+
+    @pytest.mark.parametrize("n", [0, -1])
+    def test_n_below_one_rejected(self, n):
+        with pytest.raises(RecoveryConfigError):
+            EveryNBatches(n=n)
+
+
+class TestYoungDaly:
+    def test_interval_formula(self):
+        # sqrt(2 * C * MTBF)
+        assert young_daly_interval(2.0, 0.25) == pytest.approx(1.0)
+        assert young_daly_interval(50.0, 0.01) == pytest.approx(1.0)
+
+    def test_interval_grows_with_cost_and_mtbf(self):
+        assert young_daly_interval(10.0, 0.1) < young_daly_interval(10.0, 0.4)
+        assert young_daly_interval(10.0, 0.1) < young_daly_interval(40.0, 0.1)
+
+    def test_zero_cost_interval_is_zero(self):
+        assert young_daly_interval(10.0, 0.0) == 0.0
+
+    @pytest.mark.parametrize("mtbf", [0.0, -1.0])
+    def test_nonpositive_mtbf_rejected(self, mtbf):
+        with pytest.raises(RecoveryConfigError):
+            young_daly_interval(mtbf, 0.1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(RecoveryConfigError):
+            young_daly_interval(1.0, -0.1)
+
+    def test_policy_period_property(self):
+        policy = YoungDaly(mtbf_seconds=2.0, checkpoint_cost_seconds=0.25)
+        assert policy.period == pytest.approx(1.0)
+
+    def test_policy_due_at_period(self):
+        policy = YoungDaly(mtbf_seconds=2.0, checkpoint_cost_seconds=0.25)
+        assert not policy.due(0.9, 0.0, 5)
+        assert policy.due(1.0, 0.0, 5)
+
+    def test_zero_cost_checkpoints_every_opportunity(self):
+        policy = YoungDaly(mtbf_seconds=2.0, checkpoint_cost_seconds=0.0)
+        assert policy.due(0.0, 0.0, 1)
+        assert not policy.due(0.0, 0.0, 0)
+
+    def test_invalid_parameters_rejected_at_construction(self):
+        with pytest.raises(RecoveryConfigError):
+            YoungDaly(mtbf_seconds=0.0, checkpoint_cost_seconds=0.1)
+        with pytest.raises(RecoveryConfigError):
+            YoungDaly(mtbf_seconds=1.0, checkpoint_cost_seconds=-1.0)
