@@ -1,14 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint ruff mypy test trace-check
+.PHONY: check lint lint-tests ruff mypy test coverage golden trace-check
 
 ## check: everything CI runs — in-tree analyzer, ruff, mypy, tier-1 tests
-check: lint ruff mypy test
+check: lint lint-tests ruff mypy test
 
 ## lint: the project's own determinism/resource-safety analyzer (hard gate)
 lint:
 	$(PYTHON) -m repro.lint src/repro
+
+## lint-tests: determinism / float-time hygiene over the test suites
+## (tests may opt out per line with a justified `# repro: noqa[FLT001]`)
+lint-tests:
+	$(PYTHON) -m repro.lint tests benchmarks --select DET001,DET002,FLT001
 
 ## ruff / mypy: optional external baselines — skipped when not installed
 ruff:
@@ -24,6 +29,19 @@ mypy:
 ## test: tier-1 suite
 test:
 	$(PYTHON) -m pytest -x -q
+
+## coverage: tier-1 suite under pytest-cov, gated on the in-repo ratchet
+## floor (.coverage-floor).  Raise the floor when coverage rises; CI
+## blocks on it.  Skipped when pytest-cov is not installed.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; \
+	then $(PYTHON) -m pytest -x -q --cov=repro \
+	    --cov-report=term --cov-fail-under="$$(cat .coverage-floor)"; \
+	else echo "pytest-cov not installed; skipping (pip install .[test])"; fi
+
+## golden: regenerate the golden trace fixtures (review the diff!)
+golden:
+	$(PYTHON) -m pytest tests/obs/test_golden_traces.py -q --update-golden
 
 ## trace-check: just the dynamic happens-before tests
 trace-check:

@@ -193,3 +193,54 @@ def resilience_table(
         f"{sum(r.timeline.n_checkpoints for r in node_results)} checkpoint(s)"
     )
     return table
+
+
+def critical_path_table(path, title: str = "Critical path") -> ReportTable:
+    """One row per stage of a :class:`~repro.obs.critical_path.
+    CriticalPath`: on-path time, share, union busy time, slack, and the
+    first-order what-if makespan were the stage free."""
+    table = ReportTable(
+        title=title,
+        columns=[
+            "stage", "on-path ms", "share", "busy ms", "slack ms",
+            "what-if ms",
+        ],
+    )
+    stages = sorted(
+        set(path.breakdown) | set(path.union_busy), key=lambda s: (
+            -path.breakdown.get(s, 0.0), s
+        )
+    )
+    for stage in stages:
+        table.add_row(
+            stage,
+            path.breakdown.get(stage, 0.0) * 1e3,
+            f"{path.share(stage):.1%}",
+            path.union_busy.get(stage) * 1e3
+            if stage in path.union_busy else None,
+            path.slack.get(stage) * 1e3 if stage in path.slack else None,
+            path.what_if.get(stage) * 1e3 if stage in path.what_if else None,
+        )
+    table.add_note(
+        f"makespan {path.makespan * 1e3:.3f} ms, path length "
+        f"{path.length * 1e3:.3f} ms, bound stage: {path.bound_stage}"
+    )
+    return table
+
+
+def metrics_table(registry, title: str = "Run metrics") -> ReportTable:
+    """Every metric of a :class:`~repro.obs.metrics.MetricsRegistry` as
+    one row (counters: final total; gauges: last level; histograms:
+    count/mean/max)."""
+    table = ReportTable(title=title, columns=["metric", "type", "value"])
+    for name, counter in registry.counters.items():
+        table.add_row(name, "counter", counter.total)
+    for name, gauge in registry.gauges.items():
+        table.add_row(name, "gauge", gauge.value)
+    for name, hist in registry.histograms.items():
+        s = hist.summary()
+        table.add_row(
+            name, "histogram",
+            f"n={s['count']} mean={s['mean']:.3g} max={s['max']:.3g}",
+        )
+    return table

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.apps.workloads import ClusterTask
 from repro.cluster.load_balance import LoadImbalance, imbalance_metrics
@@ -35,6 +36,10 @@ from repro.recovery.protocol import RecoveryConfig, run_with_recovery
 from repro.runtime.dispatcher import AdaptiveDispatcher, HybridDispatcher
 from repro.runtime.node import NodeRuntime, NodeTimeline
 from repro.runtime.task import HybridTask
+from repro.runtime.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 GPU_KERNELS = ("custom", "cublas")
 
@@ -135,6 +140,17 @@ class ClusterSimulation:
             replay) instead of the deprecated omniscient redistribution.
             With no crashes scheduled the armed config costs nothing and
             the run is bit-identical to an unarmed one.
+        rank_tracers: optional {rank: Tracer} — each listed rank's node
+            runtime records its interval lanes and happens-before log
+            into the given tracer (recovery segments are offset-shifted
+            onto it), and the rank's network drain is appended as a
+            ``network`` lane event so critical-path analysis sees the
+            communication stage.
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            every rank publishes into (a cluster-wide aggregate view);
+            the simulation adds its own ``cluster.*`` metrics.  Both
+            observers are zero-cost when absent and perturb no
+            timelines when armed.
     """
 
     def __init__(
@@ -160,6 +176,8 @@ class ClusterSimulation:
         pipelined: bool = True,
         adaptive: bool = False,
         recovery: RecoveryConfig | None = None,
+        rank_tracers: dict[int, Tracer] | None = None,
+        registry: "MetricsRegistry | None" = None,
     ):
         if n_nodes < 1:
             raise ClusterConfigError(f"need at least one node, got {n_nodes}")
@@ -213,6 +231,8 @@ class ClusterSimulation:
         self.pipelined = pipelined
         self.adaptive = adaptive
         self.recovery = recovery
+        self.rank_tracers = dict(rank_tracers or {})
+        self.registry = registry
 
     # -- runtime assembly --------------------------------------------------------
 
@@ -234,7 +254,9 @@ class ClusterSimulation:
         inj = self.fault_injector
         return inj is not None and inj.gpu_permanently_failed(rank, 0.0)
 
-    def _make_runtime(self, rank: int = 0) -> NodeRuntime:
+    def _make_runtime(
+        self, rank: int = 0, *, attach_observers: bool = True
+    ) -> NodeRuntime:
         spec = self._spec_for_rank(rank)
         mode = self.mode
         gpu_failed = self._gpu_failed(rank)
@@ -277,6 +299,10 @@ class ClusterSimulation:
             retry_policy=self.retry_policy,
             gpu_timeout=self.gpu_timeout,
             rank=rank,
+            # the recovery protocol attaches offset-shifted observers
+            # itself, one per segment
+            tracer=self.rank_tracers.get(rank) if attach_observers else None,
+            registry=self.registry if attach_observers else None,
         )
 
     # -- the run ---------------------------------------------------------------------
@@ -391,11 +417,15 @@ class ClusterSimulation:
                 # every rank checkpoints once crashes are scheduled
                 # anywhere; crashed ranks restore and replay in place
                 recovered = run_with_recovery(
-                    lambda r=rank: self._make_runtime(r),
+                    lambda r=rank: self._make_runtime(
+                        r, attach_observers=False
+                    ),
                     hybrid_tasks,
                     config=self.recovery,
                     rank=rank,
                     injector=inj,
+                    tracer=self.rank_tracers.get(rank),
+                    registry=self.registry,
                 )
                 timeline = recovered.timeline
                 restarts = recovered.restarts
@@ -419,7 +449,34 @@ class ClusterSimulation:
                         lost, int(lost * avg_bytes)
                     )
                     total_lost += lost
+                    if self.registry is not None:
+                        self.registry.counter("cluster.lost_messages").inc(
+                            timeline.total_seconds, lost
+                        )
                 comm += delay
+            tracer = self.rank_tracers.get(rank)
+            if tracer is not None and comm > 0:
+                # the un-hidden accumulate drain trails the rank's local
+                # work; exposing it as a lane lets critical-path analysis
+                # attribute communication-bound runs to the network stage
+                tracer.record(
+                    "network", "drain",
+                    timeline.total_seconds, timeline.total_seconds + comm,
+                )
+            if self.registry is not None:
+                reg = self.registry
+                if n_messages:
+                    reg.counter("cluster.messages").inc(
+                        timeline.total_seconds, n_messages
+                    )
+                if comm > 0:
+                    reg.histogram("cluster.comm_seconds").observe(
+                        timeline.total_seconds, comm
+                    )
+                if restarts:
+                    reg.counter("cluster.restarts").inc(
+                        timeline.total_seconds, restarts
+                    )
             node_results.append(
                 NodeResult(
                     rank=rank,
@@ -440,6 +497,10 @@ class ClusterSimulation:
             total_message_bytes += message_bytes
 
         makespan = max(r.total_seconds for r in node_results)
+        if self.registry is not None:
+            self.registry.gauge("cluster.makespan_seconds").set(
+                makespan, makespan
+            )
         imbalance = imbalance_metrics([float(r.n_tasks) for r in node_results])
         return ClusterResult(
             n_nodes=self.n_nodes,

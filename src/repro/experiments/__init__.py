@@ -26,6 +26,7 @@ from repro.experiments.tables import (
 )
 from repro.experiments.chaos import run_chaos_ablation
 from repro.experiments.figures import run_fig5, run_fig6
+from repro.experiments.profiling import run_pipeline_profile
 from repro.experiments.recovery import run_checkpoint_ablation
 from repro.experiments.ablations import (
     run_adaptive_ablation,
@@ -58,6 +59,7 @@ REGISTRY = {
     "ablation-adaptive": run_adaptive_ablation,
     "ablation-chaos": run_chaos_ablation,
     "ablation-checkpoint": run_checkpoint_ablation,
+    "profile-pipeline": run_pipeline_profile,
 }
 
 __all__ = ["REGISTRY"] + sorted(

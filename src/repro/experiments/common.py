@@ -28,10 +28,15 @@ class ExperimentResult:
     name: str
     table: ReportTable
     data: dict = field(default_factory=dict)
+    #: supporting tables rendered after the headline one (e.g. the
+    #: per-configuration critical paths of a profiling run)
+    extra_tables: list[ReportTable] = field(default_factory=list)
 
     def print(self) -> None:  # noqa: A003
-        """Render the result table to stdout."""
+        """Render the result table(s) to stdout."""
         self.table.print()
+        for extra in self.extra_tables:
+            extra.print()
 
 
 def scaled(n_tasks: int, scale: float) -> int:
@@ -59,6 +64,7 @@ def make_runtime(
     gpu_timeout=None,
     degraded_mode=None,
     tracer=None,
+    registry=None,
 ) -> NodeRuntime:
     """A Titan-node runtime with the given dispatch configuration.
 
@@ -68,7 +74,8 @@ def make_runtime(
     its initial — possibly deliberately miscalibrated — cost-model
     multipliers.  The ``fault_injector``/``retry_policy``/
     ``gpu_timeout``/``degraded_mode`` knobs arm the :mod:`repro.faults`
-    resilience layer (chaos experiments).
+    resilience layer (chaos experiments); ``tracer``/``registry`` arm
+    the :mod:`repro.obs` observers (profiling experiments).
     """
     cpu = CpuMtxmKernel(CpuModel(TITAN_NODE.cpu), rank_reduction=rank_reduction)
     gm = GpuModel(TITAN_NODE.gpu)
@@ -99,6 +106,7 @@ def make_runtime(
         gpu_timeout=gpu_timeout,
         degraded_mode=degraded_mode,
         tracer=tracer,
+        registry=registry,
     )
 
 

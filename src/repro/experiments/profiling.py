@@ -1,0 +1,85 @@
+"""Critical-path profiling of the pipeline ablation.
+
+``profile-pipeline`` re-runs the pipeline ablation's workload with the
+:mod:`repro.obs` observers armed and lets the critical-path analyzer —
+instead of an eyeballed overlap table — explain the speedup: the
+serialized run's chain is bound by the CPU stage, the analyzer's
+overlap estimate for that stage predicts the pipelined makespan, and
+the pipelined run's chain is indeed bound by the GPU.  This is the
+paper's ablation conclusion re-derived from the trace alone.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ReportTable, critical_path_table
+from repro.experiments.ablations import _mixed_kind_tasks
+from repro.experiments.common import ExperimentResult, make_runtime, scaled
+from repro.obs.critical_path import critical_path
+from repro.runtime.trace import Tracer
+
+
+def run_pipeline_profile(scale: float = 1.0) -> ExperimentResult:
+    """Critical-path analysis of serialized vs pipelined batch dispatch.
+
+    Returns per-configuration makespans, bound stages, and the
+    serialized run's overlap estimate next to the actually measured
+    pipelined runtime.
+    """
+    n = max(80, scaled(240, scale))
+    paths = {}
+    for label, pipelined in (("serialized", False), ("pipelined", True)):
+        tracer = Tracer()
+        timeline = make_runtime(
+            "hybrid", pipelined=pipelined, max_batch_size=10, tracer=tracer
+        ).execute(_mixed_kind_tasks(n))
+        paths[label] = critical_path(
+            tracer.events, makespan=timeline.total_seconds
+        )
+    serialized, pipelined_path = paths["serialized"], paths["pipelined"]
+    bound = serialized.bound_stage
+    predicted = serialized.overlap_estimate(bound)
+    actual_speedup = serialized.makespan / pipelined_path.makespan
+    predicted_speedup = serialized.makespan / predicted
+
+    table = ReportTable(
+        "Profile — critical path of the pipeline ablation",
+        ["configuration", "makespan ms", "bound stage", "bound share"],
+    )
+    for label, path in paths.items():
+        table.add_row(
+            label,
+            path.makespan * 1e3,
+            path.bound_stage,
+            f"{path.share(path.bound_stage):.1%}",
+        )
+    table.add_note(
+        f"serialized chain is {bound}-bound; overlapping it predicts "
+        f"{predicted * 1e3:.1f} ms ({predicted_speedup:.2f}x), the "
+        f"pipeline measures {pipelined_path.makespan * 1e3:.1f} ms "
+        f"({actual_speedup:.2f}x)"
+    )
+    return ExperimentResult(
+        name="profile-pipeline",
+        table=table,
+        data={
+            "serialized": serialized.makespan,
+            "pipelined": pipelined_path.makespan,
+            "serialized_bound_stage": bound,
+            "serialized_bound_share": serialized.share(bound),
+            "pipelined_bound_stage": pipelined_path.bound_stage,
+            "pipelined_bound_share": pipelined_path.share(
+                pipelined_path.bound_stage
+            ),
+            "predicted_overlap_makespan": predicted,
+            "predicted_speedup": predicted_speedup,
+            "speedup": actual_speedup,
+        },
+        extra_tables=[
+            critical_path_table(
+                serialized, title="Critical path — serialized"
+            ),
+            critical_path_table(
+                pipelined_path, title="Critical path — pipelined"
+            ),
+        ],
+    )

@@ -25,6 +25,18 @@ TIME_NAME_RE = re.compile(
 )
 
 
+def _is_tolerance_call(node: ast.expr) -> bool:
+    """Whether an operand already carries a tolerance — a
+    ``pytest.approx(...)`` (or bare ``approx(...)``) wrapper: comparing
+    against it with ``==`` is exactly the sanctioned idiom."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "approx"
+    return isinstance(func, ast.Name) and func.id == "approx"
+
+
 def _is_time_like(node: ast.expr) -> bool:
     """Whether an expression syntactically denotes a simulated instant."""
     if isinstance(node, ast.Constant) and isinstance(node.value, float):
@@ -55,6 +67,8 @@ class FloatTimeEqualityRule(Rule):
             operands = [node.left, *node.comparators]
             for op, left, right in zip(node.ops, operands, operands[1:]):
                 if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_tolerance_call(left) or _is_tolerance_call(right):
                     continue
                 if _is_time_like(left) or _is_time_like(right):
                     yield ctx.finding(

@@ -1,0 +1,56 @@
+"""Observability for the simulated runtime: exportable traces,
+critical-path profiling, and simulated-clock metrics.
+
+The package turns the deterministic discrete-event traces the runtime
+already records into three tools (see ``docs/OBSERVABILITY.md``):
+
+- :mod:`repro.obs.dump` / :mod:`repro.obs.export` — canonical trace
+  dumps and Chrome-trace/Perfetto export, byte-identical run to run
+  (the golden-trace regression harness builds on this);
+- :mod:`repro.obs.critical_path` — which stage bounds a run, per-stage
+  slack, and what-if estimates;
+- :mod:`repro.obs.metrics` — counters/gauges/histograms on the
+  simulated clock, published by the runtime, fault, recovery and
+  cluster layers.
+
+``python -m repro.obs`` exposes ``record`` / ``export`` /
+``critical-path`` / ``summary`` over saved dumps or the canonical
+seeded scenarios of :mod:`repro.obs.scenarios`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.critical_path import (
+    CriticalPath,
+    PathSegment,
+    critical_path,
+    critical_path_for_dump,
+)
+from repro.obs.dump import RankDump, RunDump, capture_rank, timeline_summary
+from repro.obs.export import chrome_trace, export_chrome, validate_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ShiftedRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "CriticalPath",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PathSegment",
+    "RankDump",
+    "RunDump",
+    "ShiftedRegistry",
+    "capture_rank",
+    "chrome_trace",
+    "critical_path",
+    "critical_path_for_dump",
+    "export_chrome",
+    "timeline_summary",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,353 @@
+"""Chrome-trace / Perfetto export of a captured run.
+
+:func:`chrome_trace` converts a :class:`~repro.obs.dump.RunDump` into
+the Trace Event Format that ``chrome://tracing`` and https://ui.perfetto.dev
+load directly:
+
+- every rank becomes a **process row** (``pid`` = rank);
+- every Gantt lane becomes a group of **thread rows**, one per
+  concurrency slot (parallel CPU slices / GPU streams / duplex PCIe
+  land on separate rows instead of overdrawing one), assigned by a
+  deterministic greedy sweep;
+- traced intervals become complete (``"X"``) slices carrying their
+  batch index; happens-before log records become instant (``"i"``)
+  events on a per-rank ``events`` row;
+- **flow arrows** (``"s"``/``"f"``) connect each item's ``submit`` to
+  its batch ``flush``, the flush to every ``gpu_compute`` attempt, and
+  on to the batch ``accumulate`` — the dependency chain the paper's
+  batching argument is about;
+- metrics become **counter tracks** (``"C"``) on a synthetic metrics
+  process, one track per counter/gauge (cache hits, inflight batches,
+  faults, checkpoints, ...).
+
+All simulated seconds are exported as microseconds (the format's unit).
+The output dict is serialized canonically, so two runs of the same
+seeded scenario export byte-identical JSON — the property the
+golden-trace suite locks in.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.obs.dump import RankDump, RunDump, dumps_canonical
+from repro.runtime.trace import LANES, TraceEvent
+
+#: schema identity stamped into the export's ``otherData``
+CHROME_SCHEMA = "repro-obs-chrome"
+#: bump on any backwards-incompatible change to the exported layout
+CHROME_VERSION = 1
+
+#: lane display order: runtime lanes first, then the cluster drain
+LANE_ORDER = tuple(LANES) + ("network",)
+
+#: tid of the per-rank happens-before instant row
+LOG_TID = 9000
+#: pid of the synthetic process carrying counter tracks
+METRICS_PID = 10_000
+
+_EPS = 1e-12
+
+
+class ExportError(ReproError, ValueError):
+    """An invalid or schema-violating Chrome-trace document."""
+
+
+def _us(seconds: float) -> float:
+    """Simulated seconds -> Trace Event Format microseconds."""
+    return seconds * 1e6
+
+
+def _lane_order(events: list[TraceEvent]) -> list[str]:
+    """Known lanes in display order, then any extras alphabetically."""
+    present = {e.category for e in events}
+    ordered = [lane for lane in LANE_ORDER if lane in present]
+    ordered += sorted(present - set(LANE_ORDER))
+    return ordered
+
+
+def assign_slots(events: list[TraceEvent]) -> list[tuple[TraceEvent, int]]:
+    """Deterministic greedy slot assignment for one lane's intervals.
+
+    Events are swept in (start, end, label, batch) order; each takes the
+    lowest-numbered slot that is free at its start instant.  Concurrent
+    intervals therefore land on distinct rows, and the assignment is a
+    pure function of the event list.
+    """
+    ordered = sorted(events, key=lambda e: (e.start, e.end, e.label, e.batch))
+    slot_ends: list[float] = []
+    placed: list[tuple[TraceEvent, int]] = []
+    for event in ordered:
+        for slot, end in enumerate(slot_ends):
+            if end <= event.start + _EPS:
+                slot_ends[slot] = event.end
+                placed.append((event, slot))
+                break
+        else:
+            slot_ends.append(event.end)
+            placed.append((event, len(slot_ends) - 1))
+    return placed
+
+
+def _rank_slices(rank: RankDump) -> list[dict]:
+    """Metadata + ``X`` slices for one rank's interval lanes."""
+    out: list[dict] = [
+        {
+            "ph": "M", "name": "process_name", "pid": rank.rank, "tid": 0,
+            "args": {"name": f"rank {rank.rank}"},
+        },
+        {
+            "ph": "M", "name": "process_sort_index", "pid": rank.rank,
+            "tid": 0, "args": {"sort_index": rank.rank},
+        },
+    ]
+    for lane_index, lane in enumerate(_lane_order(rank.events)):
+        lane_events = [e for e in rank.events if e.category == lane]
+        placed = assign_slots(lane_events)
+        n_slots = 1 + max(slot for _, slot in placed)
+        for slot in range(n_slots):
+            tid = lane_index * 100 + slot
+            name = lane if n_slots == 1 else f"{lane} #{slot}"
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": rank.rank,
+                "tid": tid, "args": {"name": name},
+            })
+            out.append({
+                "ph": "M", "name": "thread_sort_index", "pid": rank.rank,
+                "tid": tid, "args": {"sort_index": tid},
+            })
+        for event, slot in placed:
+            slice_event = {
+                "ph": "X",
+                "name": event.label,
+                "cat": event.category,
+                "ts": _us(event.start),
+                "dur": _us(event.duration),
+                "pid": rank.rank,
+                "tid": lane_index * 100 + slot,
+            }
+            if event.batch >= 0:
+                slice_event["args"] = {"batch": event.batch}
+            out.append(slice_event)
+    return out
+
+
+def _rank_instants(rank: RankDump) -> list[dict]:
+    """The happens-before log as instant events on one thread row."""
+    if not rank.log:
+        return []
+    out: list[dict] = [
+        {
+            "ph": "M", "name": "thread_name", "pid": rank.rank,
+            "tid": LOG_TID, "args": {"name": "events"},
+        },
+        {
+            "ph": "M", "name": "thread_sort_index", "pid": rank.rank,
+            "tid": LOG_TID, "args": {"sort_index": LOG_TID},
+        },
+    ]
+    for rec in rank.log:
+        args: dict = {"ids": [str(i) for i in rec.ids]}
+        if rec.kind:
+            args["kind"] = rec.kind
+        if rec.attempt:
+            args["attempt"] = rec.attempt
+        if rec.batch >= 0:
+            args["batch"] = rec.batch
+        out.append({
+            "ph": "i",
+            "name": rec.op,
+            "cat": "log",
+            "s": "t",
+            "ts": _us(rec.at),
+            "pid": rank.rank,
+            "tid": LOG_TID,
+            "args": args,
+        })
+    return out
+
+
+def _rank_flows(rank: RankDump, next_flow_id: int) -> tuple[list[dict], int]:
+    """Flow arrows submit -> flush -> gpu_compute -> accumulate.
+
+    Arrows bind to the instant events of :func:`_rank_instants` (same
+    pid/tid/ts).  Returns the flow events plus the next unused flow id.
+    """
+
+    def start(name: str, at: float, flow_id: int) -> dict:
+        return {
+            "ph": "s", "name": name, "cat": "flow", "id": flow_id,
+            "ts": _us(at), "pid": rank.rank, "tid": LOG_TID,
+        }
+
+    def finish(name: str, at: float, flow_id: int) -> dict:
+        return {
+            "ph": "f", "bp": "e", "name": name, "cat": "flow",
+            "id": flow_id, "ts": _us(at), "pid": rank.rank, "tid": LOG_TID,
+        }
+
+    submits: dict[object, float] = {}
+    flushes: dict[int, float] = {}
+    computes: dict[int, list[float]] = {}
+    accumulates: dict[int, float] = {}
+    for rec in rank.log:
+        if rec.op == "submit" and rec.ids:
+            submits.setdefault(rec.ids[0], rec.at)
+        elif rec.op == "flush" and rec.batch >= 0:
+            flushes.setdefault(rec.batch, rec.at)
+        elif rec.op == "gpu_compute" and rec.batch >= 0:
+            computes.setdefault(rec.batch, []).append(rec.at)
+        elif rec.op == "accumulate" and rec.batch >= 0:
+            accumulates.setdefault(rec.batch, rec.at)
+
+    out: list[dict] = []
+    flow_id = next_flow_id
+
+    def arrow(name: str, from_at: float, to_at: float) -> None:
+        # a causally-inconsistent log (finish before start) gets no
+        # arrow rather than an invalid document
+        nonlocal flow_id
+        if to_at + _EPS < from_at:
+            return
+        out.append(start(name, from_at, flow_id))
+        out.append(finish(name, to_at, flow_id))
+        flow_id += 1
+
+    for rec in rank.log:
+        if rec.op != "flush" or rec.batch < 0:
+            continue
+        for item_id in rec.ids:
+            submitted = submits.get(item_id)
+            if submitted is not None:
+                arrow("item", submitted, rec.at)
+    for batch in sorted(flushes):
+        tail = flushes[batch]
+        for at in computes.get(batch, []):
+            arrow("batch", tail, at)
+            tail = max(tail, at)
+        accumulated = accumulates.get(batch)
+        if accumulated is not None:
+            arrow("batch", tail, accumulated)
+    return out, flow_id
+
+
+def _counter_tracks(dump: RunDump) -> list[dict]:
+    """Counter (``C``) tracks for every counter and gauge sample."""
+    registry = dump.registry
+    if not registry:
+        return []
+    out: list[dict] = [
+        {
+            "ph": "M", "name": "process_name", "pid": METRICS_PID, "tid": 0,
+            "args": {"name": "metrics"},
+        },
+        {
+            "ph": "M", "name": "process_sort_index", "pid": METRICS_PID,
+            "tid": 0, "args": {"sort_index": METRICS_PID},
+        },
+    ]
+    tracks = [(name, c.samples) for name, c in registry.counters.items()]
+    tracks += [(name, g.samples) for name, g in registry.gauges.items()]
+    for name, samples in tracks:
+        for at, value in samples:
+            out.append({
+                "ph": "C",
+                "name": name,
+                "ts": _us(at),
+                "pid": METRICS_PID,
+                "tid": 0,
+                "args": {"value": value},
+            })
+    return out
+
+
+def chrome_trace(dump: RunDump) -> dict:
+    """The run as a Trace Event Format document (JSON-ready dict)."""
+    events: list[dict] = []
+    flow_id = 0
+    for rank in dump.ranks:
+        events.extend(_rank_slices(rank))
+        events.extend(_rank_instants(rank))
+        flows, flow_id = _rank_flows(rank, flow_id)
+        events.extend(flows)
+    events.extend(_counter_tracks(dump))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": CHROME_SCHEMA,
+            "version": CHROME_VERSION,
+            "meta": dict(sorted(dump.meta.items())),
+        },
+    }
+
+
+def export_chrome(dump: RunDump) -> str:
+    """Validated, canonical Chrome-trace JSON text for ``dump``."""
+    trace = chrome_trace(dump)
+    validate_chrome_trace(trace)
+    return dumps_canonical(trace)
+
+
+# -- schema validation ------------------------------------------------------------
+
+_REQUIRED_BY_PH = {
+    "X": ("name", "cat", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "s", "pid", "tid"),
+    "M": ("name", "pid", "args"),
+    "C": ("name", "ts", "pid", "args"),
+    "s": ("name", "id", "ts", "pid", "tid"),
+    "f": ("name", "id", "ts", "pid", "tid"),
+}
+
+
+def validate_chrome_trace(trace: object) -> None:
+    """Assert ``trace`` is a structurally valid Trace Event document.
+
+    Checks the JSON-object container shape, the per-phase required
+    fields, numeric/non-negative timestamps and durations, and that
+    every flow id pairs exactly one start with one finish that does not
+    precede it.  Raises :class:`ExportError` on the first violation.
+    """
+    if not isinstance(trace, dict):
+        raise ExportError(f"trace must be a JSON object, got {type(trace)}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ExportError("trace is missing the traceEvents array")
+    flow_starts: dict[object, float] = {}
+    flow_finishes: dict[object, float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ExportError(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        required = _REQUIRED_BY_PH.get(ph)  # type: ignore[arg-type]
+        if required is None:
+            raise ExportError(f"traceEvents[{i}] has unknown phase {ph!r}")
+        for key in required:
+            if key not in event:
+                raise ExportError(
+                    f"traceEvents[{i}] ({ph!r} {event.get('name')!r}) "
+                    f"is missing {key!r}"
+                )
+        if "ts" in event and not isinstance(event["ts"], (int, float)):
+            raise ExportError(f"traceEvents[{i}] has non-numeric ts")
+        if ph == "X":
+            if not isinstance(event["dur"], (int, float)):
+                raise ExportError(f"traceEvents[{i}] has non-numeric dur")
+            if event["dur"] < 0:
+                raise ExportError(f"traceEvents[{i}] has negative dur")
+        if ph == "s":
+            if event["id"] in flow_starts:
+                raise ExportError(f"duplicate flow start id {event['id']!r}")
+            flow_starts[event["id"]] = event["ts"]
+        if ph == "f":
+            if event["id"] in flow_finishes:
+                raise ExportError(f"duplicate flow finish id {event['id']!r}")
+            flow_finishes[event["id"]] = event["ts"]
+    if set(flow_starts) != set(flow_finishes):
+        unpaired = set(flow_starts) ^ set(flow_finishes)
+        raise ExportError(f"unpaired flow ids: {sorted(unpaired)[:5]}")
+    for flow_id, started in flow_starts.items():
+        if flow_finishes[flow_id] < started - _EPS:
+            raise ExportError(
+                f"flow {flow_id!r} finishes before it starts"
+            )

@@ -150,6 +150,7 @@ def run_with_recovery(
     rank: int = 0,
     injector=None,
     tracer: Tracer | None = None,
+    registry=None,
 ) -> RecoveredRun:
     """Execute ``tasks`` on one rank under checkpoint/restart.
 
@@ -168,6 +169,11 @@ def run_with_recovery(
             runs the protocol armed but crash-free.
         tracer: optional tracer collecting the run's happens-before log
             on one global clock (segments are offset-shifted onto it).
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            each segment publishes through a
+            :meth:`~repro.obs.metrics.MetricsRegistry.shifted` view so
+            samples land on the global timeline, and the protocol itself
+            publishes restart/rollback/restore metrics.
 
     Returns:
         A :class:`RecoveredRun`.
@@ -223,10 +229,14 @@ def run_with_recovery(
     try:
         for t in tasks:
             t.work.on_complete = _make_hook(id(t.work))
+        batches_done = 0
         while True:
             rt = runtime_factory()
             if tracer is not None:
-                rt.tracer = OffsetTracer(tracer, wall)
+                rt.tracer = OffsetTracer(tracer, wall,
+                                         batch_offset=batches_done)
+            if registry is not None:
+                rt.registry = registry.shifted(wall)
             rt.checkpointer = checkpointer
             checkpointer.reset_segment(clock_offset=wall)
             crash_at = next((c for c in schedule if c > wall), None)
@@ -235,6 +245,7 @@ def run_with_recovery(
                 halt_at=None if crash_at is None else crash_at - wall,
             )
             segments.append(timeline)
+            batches_done += int(timeline.n_batches)
             if timeline.halted_at is None:
                 wall += timeline.total_seconds
                 break
@@ -285,6 +296,14 @@ def run_with_recovery(
             restore_seconds += restore_done - detect_at
             n_rolled_back += len(rolled_ids)
             n_replayed += sum(1 for i in rolled_ids if i not in covered)
+            if registry is not None:
+                registry.counter("recovery.restarts").inc(restore_done)
+                registry.counter("recovery.rolled_back_items").inc(
+                    detect_at, len(rolled_ids)
+                )
+                registry.histogram("recovery.restore_seconds").observe(
+                    restore_done, restore_done - detect_at
+                )
             remaining = [t for t in tasks if id(t.work) not in covered]
             wall = restore_done
     finally:

@@ -29,6 +29,7 @@ results (used by :mod:`repro.operators.apply_batched`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import RuntimeConfigError
 from repro.faults.injector import FaultInjector
@@ -49,6 +50,9 @@ from repro.runtime.events import AllOf, Environment, Event, Resource
 from repro.runtime.metrics import BatchMetrics, RuntimeMetrics
 from repro.runtime.task import BatchStats, HybridTask
 from repro.runtime.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> runtime)
+    from repro.obs.metrics import MetricsRegistry
 
 #: tasks whose preprocess is charged as one lump to keep event counts low
 _PRE_CHUNK = 32
@@ -142,6 +146,7 @@ class NodeRuntime:
         degraded_mode: "DegradedModeController | None" = None,
         rank: int = 0,
         checkpointer=None,
+        registry: "MetricsRegistry | None" = None,
     ):
         """``naive_port=True`` models the strawman the paper argues
         against (Section I): no batching (every task dispatched alone),
@@ -165,7 +170,13 @@ class NodeRuntime:
         accumulate the runtime offers the delta to the checkpointer and,
         when its policy says a snapshot is due, charges the write on the
         simulated clock.  An armed checkpointer whose policy never fires
-        adds no events, so the timeline stays bit-identical."""
+        adds no events, so the timeline stays bit-identical.
+
+        ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+        arms metrics publication: batch/item/cache/fault counters, the
+        in-flight-batch gauge and stage-latency histograms are sampled
+        on the simulated clock.  Publishing never changes the event
+        schedule, so the timeline is identical with or without one."""
         if data_threads < 1:
             raise RuntimeConfigError(f"data_threads must be >= 1, got {data_threads}")
         if max_inflight_batches < 1:
@@ -199,12 +210,16 @@ class NodeRuntime:
         self.degraded_mode = degraded_mode
         self.rank = rank
         self.checkpointer = checkpointer
+        self.registry = registry
         #: set per execute(): True only when registered faults exist
         self._chaos = False
 
-    def _trace(self, category: str, label: str, start: float, end: float) -> None:
+    def _trace(
+        self, category: str, label: str, start: float, end: float,
+        batch: int = -1,
+    ) -> None:
         if self.tracer is not None:
-            self.tracer.record(category, label, start, end)
+            self.tracer.record(category, label, start, end, batch)
 
     # -- structured happens-before log (consumed by repro.lint.trace_check) --------
 
@@ -212,28 +227,34 @@ class NodeRuntime:
         if self.tracer is not None:
             self.tracer.log_submit(str(item.kind), id(item), at)
 
-    def _log_flush(self, batch: Batch, at: float) -> None:
+    def _log_flush(self, batch: Batch, at: float, index: int) -> None:
         if self.tracer is not None:
             self.tracer.log_flush(
-                str(batch.kind), [id(it) for it in batch.items], at
+                str(batch.kind), [id(it) for it in batch.items], at, index
             )
 
     def _log_block_transfer(self, block_keys, at: float) -> None:
         if self.tracer is not None:
             self.tracer.log_block_transfer(block_keys, at)
 
-    def _log_gpu_compute(self, kind, block_keys, at: float, attempt: int = 0) -> None:
+    def _log_gpu_compute(
+        self, kind, block_keys, at: float, attempt: int = 0, batch: int = -1
+    ) -> None:
         if self.tracer is not None:
-            self.tracer.log_gpu_compute(str(kind), block_keys, at, attempt)
+            self.tracer.log_gpu_compute(
+                str(kind), block_keys, at, attempt, batch
+            )
 
-    def _log_gpu_fault(self, kind, at: float, attempt: int) -> None:
+    def _log_gpu_fault(self, kind, at: float, attempt: int, batch: int = -1) -> None:
         if self.tracer is not None:
-            self.tracer.log_gpu_fault(str(kind), at, attempt)
+            self.tracer.log_gpu_fault(str(kind), at, attempt, batch)
 
-    def _log_accumulate(self, batch: Batch, at: float, attempt: int) -> None:
+    def _log_accumulate(self, batch: Batch, at: float, attempt: int,
+                        index: int = -1) -> None:
         if self.tracer is not None:
             self.tracer.log_accumulate(
-                str(batch.kind), [id(it) for it in batch.items], at, attempt
+                str(batch.kind), [id(it) for it in batch.items], at, attempt,
+                index,
             )
 
     # -- transfer estimate used by the dispatcher's split --------------------------
@@ -303,13 +324,19 @@ class NodeRuntime:
             timeline.setup_seconds = self.buffer_pool.setup_cost_seconds
 
         def dispatch(batch: Batch) -> None:
-            self._log_flush(batch, env.now)
+            index = timeline.n_batches
+            self._log_flush(batch, env.now, index)
             timeline.n_batches += 1
+            if self.registry is not None:
+                self.registry.counter("runtime.batches_flushed").inc(env.now)
+                self.registry.counter("runtime.items_flushed").inc(
+                    env.now, batch.size
+                )
             done = env.process(
                 self._run_batch(
                     env,
                     batch,
-                    timeline.n_batches - 1,
+                    index,
                     timeline,
                     pools,
                     inflight,
@@ -426,6 +453,10 @@ class NodeRuntime:
         # the batches that already completed
         req = pools.admit.request()
         yield req
+        if self.registry is not None:
+            self.registry.gauge("runtime.inflight_batches").set(
+                env.now, pools.admit.in_use
+            )
         plan = self.dispatcher.plan(
             batch, transfer_estimator=self._transfer_estimate
         )
@@ -468,7 +499,9 @@ class NodeRuntime:
         parts = []
         if plan.cpu_items:
             parts.append(
-                env.process(self._cpu_part(env, plan.cpu_items, pools, rec))
+                env.process(
+                    self._cpu_part(env, plan.cpu_items, pools, rec, index)
+                )
             )
         if gpu_items:
             parts.append(
@@ -482,7 +515,9 @@ class NodeRuntime:
         if replanned:
             parts.append(
                 env.process(
-                    self._cpu_fallback(env, replanned, timeline, pools, rec)
+                    self._cpu_fallback(
+                        env, replanned, timeline, pools, rec, index
+                    )
                 )
             )
         if parts:
@@ -490,6 +525,13 @@ class NodeRuntime:
         pools.admit.release()
         rec.completed_at = env.now
         metrics.record(rec)
+        if self.registry is not None:
+            self.registry.gauge("runtime.inflight_batches").set(
+                env.now, pools.admit.in_use
+            )
+            self.registry.histogram("runtime.batch_seconds").observe(
+                env.now, rec.completed_at - rec.dispatched_at
+            )
         self._feed_back(plan, rec)
         # postprocess: accumulate results back into the tree (data threads)
         post_bytes = sum(it.output_bytes for it in batch.items)
@@ -500,8 +542,12 @@ class NodeRuntime:
         timeline.data_busy += dt
         t0 = env.now
         yield env.timeout(dt)
-        self._trace("postprocess", str(batch.kind), t0, env.now)
-        self._log_accumulate(batch, env.now, rec.attempts - 1)
+        self._trace("postprocess", str(batch.kind), t0, env.now, index)
+        self._log_accumulate(batch, env.now, rec.attempts - 1, index)
+        if self.registry is not None:
+            self.registry.counter("runtime.items_accumulated").inc(
+                env.now, batch.size
+            )
         pools.data.release()
         if self.checkpointer is not None:
             self.checkpointer.note_accumulate(batch.items, env.now)
@@ -535,6 +581,11 @@ class NodeRuntime:
             )
         timeline.n_checkpoints += 1
         timeline.checkpoint_seconds += env.now - t0
+        if self.registry is not None:
+            self.registry.counter("recovery.checkpoints").inc(env.now)
+            self.registry.histogram("recovery.checkpoint_seconds").observe(
+                env.now, env.now - t0
+            )
 
     def _feed_back(self, plan, rec: BatchMetrics) -> None:
         """Report measured batch durations to a calibrating dispatcher.
@@ -564,28 +615,30 @@ class NodeRuntime:
 
     # -- pipeline stages ---------------------------------------------------------
 
-    def _occupy(self, env, resource, seconds, category, label, t_done=None):
+    def _occupy(self, env, resource, seconds, category, label, batch=-1):
         """One slot-slice: hold a slot of ``resource`` for ``seconds``."""
         req = resource.request()
         yield req
         t0 = env.now
         yield env.timeout(seconds)
-        self._trace(category, label, t0, env.now)
+        self._trace(category, label, t0, env.now, batch)
         resource.release()
 
-    def _occupy_slices(self, env, resource, n_slices, seconds, category, label):
+    def _occupy_slices(self, env, resource, n_slices, seconds, category, label,
+                       batch=-1):
         """Charge ``seconds`` on ``n_slices`` concurrent slots; the
         returned events complete when every slice has run."""
         n = max(1, min(n_slices, resource.capacity))
         return [
             env.process(
                 self._occupy(env, resource, seconds, category,
-                             f"{label} [{i + 1}/{n}]" if n > 1 else label)
+                             f"{label} [{i + 1}/{n}]" if n > 1 else label,
+                             batch)
             )
             for i in range(n)
         ]
 
-    def _cpu_part(self, env, items, pools, rec):
+    def _cpu_part(self, env, items, pools, rec, batch=-1):
         stats = BatchStats.of(items)
         timing = self.dispatcher.cpu_kernel.batch_timing(
             stats, self.dispatcher.cpu_threads
@@ -601,13 +654,13 @@ class NodeRuntime:
         )
         slices = self._occupy_slices(
             env, pools.compute, n_slices, seconds, "cpu",
-            f"{len(items)} items",
+            f"{len(items)} items", batch,
         )
         yield AllOf(env, slices)
         rec.measured_cpu_seconds = seconds
         self._run_numeric(self.dispatcher.cpu_kernel, items, None)
 
-    def _cpu_fallback(self, env, items, timeline, pools, rec):
+    def _cpu_fallback(self, env, items, timeline, pools, rec, batch=-1):
         """Replay GPU-planned items on the CPU compute pool.
 
         The re-execution path of the resilience layer: items whose GPU
@@ -628,12 +681,16 @@ class NodeRuntime:
         )
         slices = self._occupy_slices(
             env, pools.compute, n_slices, seconds, "cpu",
-            f"fallback {len(items)} items",
+            f"fallback {len(items)} items", batch,
         )
         yield AllOf(env, slices)
         rec.fallback_items += len(items)
         timeline.n_gpu_items -= len(items)
         timeline.n_cpu_items += len(items)
+        if self.registry is not None:
+            self.registry.counter("faults.fallback_items").inc(
+                env.now, len(items)
+            )
         self._run_numeric(self.dispatcher.cpu_kernel, items, timeline)
 
     def _gpu_part(self, env, kind, items, timeline, pools, inflight, rec,
@@ -692,7 +749,7 @@ class NodeRuntime:
             # degraded link: remaining-bandwidth fraction stretches the charge
             t_in /= self.fault_injector.pcie_factor(self.rank, env.now)
         yield env.timeout(t_in)
-        self._trace("pcie", "to device", t0, env.now)
+        self._trace("pcie", "to device", t0, env.now, batch_index)
         pools.pcie_to.release()
         rec.transfer_in_seconds = t_in
         if ticket is not None:
@@ -703,6 +760,20 @@ class NodeRuntime:
             if ticket.ship_keys:
                 self._log_block_transfer(ticket.ship_keys, env.now)
                 inflight[ticket.ship_keys[0]].succeed()
+            if self.registry is not None:
+                reg = self.registry
+                if ticket.ship_keys:
+                    reg.counter("cache.blocks_shipped").inc(
+                        env.now, len(ticket.ship_keys)
+                    )
+                if ticket.wait_keys:
+                    reg.counter("cache.blocks_waited").inc(
+                        env.now, len(ticket.wait_keys)
+                    )
+                if ticket.hit_keys:
+                    reg.counter("cache.blocks_hit").inc(
+                        env.now, len(ticket.hit_keys)
+                    )
         timeline.bytes_to_gpu += bytes_in
         timeline.block_bytes_shipped += block_bytes
 
@@ -713,6 +784,10 @@ class NodeRuntime:
         if pending:
             yield AllOf(env, pending)
         rec.block_wait_seconds = env.now - wait_t0
+        if self.registry is not None and rec.block_wait_seconds > 0:
+            self.registry.histogram("cache.block_wait_seconds").observe(
+                env.now, rec.block_wait_seconds
+            )
 
         timing = self.dispatcher.gpu_kernel.batch_timing(
             stats, self.dispatcher.gpu_streams
@@ -727,10 +802,12 @@ class NodeRuntime:
         )
         if not self._chaos:
             if ticket is not None:
-                self._log_gpu_compute(kind, block_keys_read, env.now)
+                self._log_gpu_compute(
+                    kind, block_keys_read, env.now, 0, batch_index
+                )
             slices = self._occupy_slices(
                 env, pools.gpu, n_slices, timing.seconds, "gpu",
-                f"{len(items)} items",
+                f"{len(items)} items", batch_index,
             )
             yield AllOf(env, slices)
             rec.measured_gpu_seconds = timing.seconds
@@ -745,7 +822,9 @@ class NodeRuntime:
         if not gpu_ok:
             # retry budget exhausted (or the node degraded mid-batch):
             # the share replays on the CPU; no device→host drain happens
-            yield from self._cpu_fallback(env, items, timeline, pools, rec)
+            yield from self._cpu_fallback(
+                env, items, timeline, pools, rec, batch_index
+            )
             return
 
         if self.naive_port:
@@ -761,7 +840,7 @@ class NodeRuntime:
         if self._chaos:
             t_out /= self.fault_injector.pcie_factor(self.rank, env.now)
         yield env.timeout(t_out)
-        self._trace("pcie", "from device", t0, env.now)
+        self._trace("pcie", "from device", t0, env.now, batch_index)
         pools.pcie_from.release()
         rec.transfer_out_seconds = t_out
         timeline.bytes_from_gpu += stats.output_bytes
@@ -792,9 +871,10 @@ class NodeRuntime:
             label = f"{len(items)} items"
             if attempt:
                 label += f" [try {attempt + 1}]"
-            self._log_gpu_compute(kind, block_keys, env.now, attempt)
+            self._log_gpu_compute(kind, block_keys, env.now, attempt,
+                                  batch_index)
             slices = self._occupy_slices(
-                env, pools.gpu, n_slices, seconds, "gpu", label
+                env, pools.gpu, n_slices, seconds, "gpu", label, batch_index
             )
             yield AllOf(env, slices)
             rec.attempts = attempt + 1
@@ -804,7 +884,9 @@ class NodeRuntime:
                     ctl.record_success(env.now)
                 return True
             rec.gpu_faults += 1
-            self._log_gpu_fault(kind, env.now, attempt)
+            self._log_gpu_fault(kind, env.now, attempt, batch_index)
+            if self.registry is not None:
+                self.registry.counter("faults.gpu_faults").inc(env.now)
             if ctl is not None:
                 ctl.record_fault(env.now)
             attempt += 1
@@ -816,6 +898,10 @@ class NodeRuntime:
             if wait > 0:
                 yield env.timeout(wait)
                 rec.retry_wait_seconds += wait
+                if self.registry is not None:
+                    self.registry.histogram(
+                        "faults.retry_backoff_seconds"
+                    ).observe(env.now, wait)
 
     def _run_numeric(self, kernel: ComputeKernel, items, timeline) -> None:
         for item in items:

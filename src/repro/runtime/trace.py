@@ -42,12 +42,20 @@ LANES = ("preprocess", "cpu", "pcie", "gpu", "postprocess", "checkpoint")
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One traced interval on the simulated clock."""
+    """One traced interval on the simulated clock.
+
+    ``batch`` correlates the interval with the dispatched batch it
+    belongs to (``-1`` for run-scoped work such as preprocess chunks and
+    checkpoint writes) — the handle :mod:`repro.obs` uses to rebuild the
+    per-batch dependency chain for critical-path analysis and to group
+    exported Chrome-trace slices.
+    """
 
     category: str
     label: str
     start: float
     end: float
+    batch: int = -1
 
     def __post_init__(self) -> None:
         if self.end < self.start:
@@ -94,6 +102,11 @@ class RuntimeLogRecord:
             try); nonzero only for retried GPU batches under fault
             injection, letting :mod:`repro.lint.trace_check` verify
             effectively-exactly-once accumulation despite replays.
+        batch: dispatch index of the batch the record belongs to
+            (``-1`` when the record is not batch-scoped: submits,
+            block transfers, checkpoint/restore/rollback records).
+            :mod:`repro.obs` uses it to draw flow arrows from flush
+            through gpu_compute to accumulate.
     """
 
     op: str
@@ -101,6 +114,7 @@ class RuntimeLogRecord:
     kind: str
     ids: tuple[Hashable, ...]
     attempt: int = 0
+    batch: int = -1
 
     def __post_init__(self) -> None:
         if self.op not in LOG_OPS:
@@ -119,6 +133,7 @@ class RuntimeLogRecord:
                 "kind": self.kind,
                 "ids": [str(i) for i in self.ids],
                 "attempt": self.attempt,
+                "batch": self.batch,
             }
         )
 
@@ -136,6 +151,7 @@ def log_records_from_jsonl(lines: Iterable[str]) -> Iterator[RuntimeLogRecord]:
             kind=raw["kind"],
             ids=tuple(raw["ids"]),
             attempt=raw.get("attempt", 0),
+            batch=raw.get("batch", -1),
         )
 
 
@@ -147,9 +163,13 @@ class Tracer:
     #: structured happens-before log consumed by repro.lint.trace_check
     log: list[RuntimeLogRecord] = field(default_factory=list)
 
-    def record(self, category: str, label: str, start: float, end: float) -> None:
-        """Record one interval on a Gantt lane."""
-        self.events.append(TraceEvent(category, label, start, end))
+    def record(
+        self, category: str, label: str, start: float, end: float,
+        batch: int = -1,
+    ) -> None:
+        """Record one interval on a Gantt lane (``batch`` correlates it
+        with a dispatched batch; ``-1`` = run-scoped)."""
+        self.events.append(TraceEvent(category, label, start, end, batch))
 
     # -- structured happens-before log -----------------------------------------
 
@@ -160,21 +180,23 @@ class Tracer:
         kind: str,
         ids: tuple[Hashable, ...],
         attempt: int = 0,
+        batch: int = -1,
     ) -> None:
         """Append one structured record (the single funnel every
         ``log_*`` helper goes through, so :class:`OffsetTracer` can
         shift instants in one place)."""
-        self.log.append(RuntimeLogRecord(op, at, kind, ids, attempt))
+        self.log.append(RuntimeLogRecord(op, at, kind, ids, attempt, batch))
 
     def log_submit(self, kind: str, item_id: Hashable, at: float) -> None:
         """Record one work item entering the batch accumulator."""
         self._log("submit", at, kind, (item_id,))
 
     def log_flush(
-        self, kind: str, item_ids: Iterable[Hashable], at: float
+        self, kind: str, item_ids: Iterable[Hashable], at: float,
+        batch: int = -1,
     ) -> None:
         """Record one batch leaving the accumulator, items in batch order."""
-        self._log("flush", at, kind, tuple(item_ids))
+        self._log("flush", at, kind, tuple(item_ids), 0, batch)
 
     def log_block_transfer(
         self, block_keys: Iterable[Hashable], at: float
@@ -191,13 +213,16 @@ class Tracer:
         block_keys: Iterable[Hashable],
         at: float,
         attempt: int = 0,
+        batch: int = -1,
     ) -> None:
         """Record one batch's GPU kernel starting on the given blocks."""
-        self._log("gpu_compute", at, kind, tuple(block_keys), attempt)
+        self._log("gpu_compute", at, kind, tuple(block_keys), attempt, batch)
 
-    def log_gpu_fault(self, kind: str, at: float, attempt: int) -> None:
+    def log_gpu_fault(
+        self, kind: str, at: float, attempt: int, batch: int = -1
+    ) -> None:
         """Record one GPU batch attempt faulting (injected fault)."""
-        self._log("gpu_fault", at, kind, (), attempt)
+        self._log("gpu_fault", at, kind, (), attempt, batch)
 
     def log_accumulate(
         self,
@@ -205,6 +230,7 @@ class Tracer:
         item_ids: Iterable[Hashable],
         at: float,
         attempt: int = 0,
+        batch: int = -1,
     ) -> None:
         """Record one batch's results accumulating at postprocess time.
 
@@ -213,7 +239,7 @@ class Tracer:
         exactly one accumulate record no matter how many attempts its
         batch took.
         """
-        self._log("accumulate", at, kind, tuple(item_ids), attempt)
+        self._log("accumulate", at, kind, tuple(item_ids), attempt, batch)
 
     # -- recovery ops (consumed by trace_check invariant #7) ----------------------
 
@@ -292,21 +318,37 @@ class OffsetTracer(Tracer):
     log must stay on one global timeline; an ``OffsetTracer`` shares the
     base tracer's event and log lists and adds the segment's wall-clock
     offset to every recorded instant, so restarted segments append
-    globally monotonic records.
+    globally monotonic records.  ``batch_offset`` does the same for
+    batch indices (each segment's runtime counts its batches from 0),
+    keeping batch correlation unique across the whole recovered run.
     """
 
-    def __init__(self, base: Tracer, offset: float):
+    def __init__(self, base: Tracer, offset: float, batch_offset: int = 0):
         if offset < 0:
             raise SimulationError(f"tracer offset must be >= 0, got {offset}")
+        if batch_offset < 0:
+            raise SimulationError(
+                f"tracer batch offset must be >= 0, got {batch_offset}"
+            )
         # share, not copy: appends land in the base tracer's lists
         self.events = base.events
         self.log = base.log
         self.offset = offset
+        self.batch_offset = batch_offset
 
-    def record(self, category: str, label: str, start: float, end: float) -> None:
+    def _shift_batch(self, batch: int) -> int:
+        return batch + self.batch_offset if batch >= 0 else batch
+
+    def record(
+        self, category: str, label: str, start: float, end: float,
+        batch: int = -1,
+    ) -> None:
         """Record one Gantt interval, shifted onto the global clock."""
         self.events.append(
-            TraceEvent(category, label, start + self.offset, end + self.offset)
+            TraceEvent(
+                category, label, start + self.offset, end + self.offset,
+                self._shift_batch(batch),
+            )
         )
 
     def _log(
@@ -316,10 +358,14 @@ class OffsetTracer(Tracer):
         kind: str,
         ids: tuple[Hashable, ...],
         attempt: int = 0,
+        batch: int = -1,
     ) -> None:
         """Append one structured record, shifted onto the global clock."""
         self.log.append(
-            RuntimeLogRecord(op, at + self.offset, kind, ids, attempt)
+            RuntimeLogRecord(
+                op, at + self.offset, kind, ids, attempt,
+                self._shift_batch(batch),
+            )
         )
 
 

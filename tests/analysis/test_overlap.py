@@ -30,3 +30,24 @@ def test_cpu_fraction_favors_faster_device():
     a = analyze_overlap(10.0, 90.0, 9.0)
     # slow GPU -> most work stays on CPU
     assert a.cpu_fraction == pytest.approx(0.9)
+
+
+def test_exactly_optimal_is_not_super_optimal():
+    # the bound itself is not beaten by hitting it
+    optimal = 24.3 * 24.3 / (24.3 + 24.3)
+    a = analyze_overlap(24.3, 24.3, optimal)
+    assert not a.super_optimal
+
+
+def test_analysis_is_frozen():
+    a = analyze_overlap(10.0, 10.0, 6.0)
+    with pytest.raises(Exception):
+        a.hybrid_seconds = 1.0
+
+
+def test_fields_are_recorded_verbatim():
+    a = analyze_overlap(100.0, 50.0, 40.0)
+    assert (a.cpu_only_seconds, a.gpu_only_seconds, a.hybrid_seconds) == (
+        100.0, 50.0, 40.0,
+    )
+    assert 0.0 < a.cpu_fraction < 1.0

@@ -121,3 +121,21 @@ def make_runtime(
 @pytest.fixture()
 def hybrid_runtime() -> NodeRuntime:
     return make_runtime("hybrid")
+
+
+def pytest_addoption(parser):
+    """``--update-golden`` regenerates the committed golden trace
+    fixtures under ``tests/obs/golden/`` instead of comparing against
+    them (see docs/OBSERVABILITY.md for the update workflow)."""
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden trace fixtures from the current runtime",
+    )
+
+
+@pytest.fixture()
+def update_golden(request) -> bool:
+    """Whether this run should rewrite golden fixtures."""
+    return bool(request.config.getoption("--update-golden"))

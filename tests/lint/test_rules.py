@@ -256,6 +256,23 @@ class TestFloatTimeEquality:
         )
         assert findings == []
 
+    def test_approx_comparison_is_quiet(self, tmp_path):
+        # == against pytest.approx() IS the sanctioned tolerance idiom
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/timing.py",
+            """
+            import pytest
+            from pytest import approx
+
+            def check(makespan, elapsed):
+                assert makespan == pytest.approx(1.5)
+                assert approx(2.5) == elapsed
+            """,
+            select={"FLT001"},
+        )
+        assert findings == []
+
 
 # -- RES001: bare / swallowing except ----------------------------------------------
 

@@ -41,3 +41,40 @@ def test_every_level_with_leaves_appears(f2d):
     leaf_levels = {k.level for k, _n in f2d.tree.leaves()}
     for level in leaf_levels:
         assert f"L{level:<2}" in strip
+
+
+def test_histogram_bars_scale_with_counts(f1d):
+    chart = level_histogram_chart(f1d, width=40)
+    hist = f1d.tree.level_histogram()
+    bars = {
+        int(line.split()[0]): line.split()[-1]
+        for line in chart.splitlines()[1:]
+    }
+    peak = max(hist.values())
+    for level, count in hist.items():
+        # every level draws at least one mark; the peak fills the width
+        assert 1 <= len(bars[level]) <= 40
+        if count == peak:
+            assert len(bars[level]) == 40
+
+
+def test_occupancy_strip_negative_axis_rejected(f2d):
+    with pytest.raises(ValueError, match="axis"):
+        occupancy_strip(f2d, axis=-1)
+
+
+def test_occupancy_strip_narrow_width_still_marks(f1d):
+    # deep boxes narrower than one column must still leave a mark
+    strip = occupancy_strip(f1d, width=4)
+    for line in strip.splitlines():
+        assert "#" in line
+
+
+def test_occupancy_strip_second_axis(f2d):
+    # a symmetric 2-D Gaussian refines identically along both axes
+    assert occupancy_strip(f2d, axis=0) == occupancy_strip(f2d, axis=1)
+
+
+def test_tree_summary_fraction_formats(f1d):
+    s = tree_summary(f1d)
+    assert "%" in s and "depth" in s

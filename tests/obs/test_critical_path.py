@@ -1,0 +1,163 @@
+"""Unit tests for the critical-path analyzer."""
+
+import pytest
+
+from repro.obs.critical_path import (
+    IDLE,
+    CriticalPathError,
+    critical_path,
+    critical_path_for_dump,
+)
+from repro.obs.dump import RankDump, RunDump
+from repro.runtime.trace import TraceEvent
+
+
+def _e(category, label, start, end, batch=-1):
+    return TraceEvent(category, label, start, end, batch)
+
+
+class TestChainWalk:
+    def test_simple_chain(self):
+        # cpu feeds pcie feeds gpu, back to back
+        path = critical_path([
+            _e("cpu", "pack", 0.0, 1.0),
+            _e("pcie", "h2d", 1.0, 1.5),
+            _e("gpu", "kernel", 1.5, 3.0),
+        ])
+        assert [s.stage for s in path.segments] == ["cpu", "pcie", "gpu"]
+        assert path.makespan == 3.0
+        assert path.length == pytest.approx(3.0)
+        assert path.bound_stage == "gpu"
+        assert path.breakdown == {"cpu": 1.0, "gpu": 1.5, "pcie": 0.5}
+
+    def test_picks_latest_ending_predecessor(self):
+        # two candidates end before the gpu starts; the later one is the
+        # dependency the run actually waited on
+        path = critical_path([
+            _e("cpu", "short", 0.0, 0.4),
+            _e("cpu", "long", 0.0, 1.0),
+            _e("gpu", "kernel", 1.0, 2.0),
+        ])
+        assert [s.label for s in path.segments] == ["long", "kernel"]
+
+    def test_idle_gap_becomes_segment(self):
+        # nothing completes between 1.0 and 1.5 (a flush-interval wait)
+        path = critical_path([
+            _e("cpu", "work", 0.0, 1.0),
+            _e("gpu", "kernel", 1.5, 2.0),
+        ])
+        assert [s.stage for s in path.segments] == ["cpu", IDLE, "gpu"]
+        assert path.breakdown[IDLE] == pytest.approx(0.5)
+        assert path.length == pytest.approx(1.5)
+
+    def test_leading_idle_to_time_zero(self):
+        path = critical_path([_e("gpu", "kernel", 2.0, 3.0)])
+        assert [s.stage for s in path.segments] == [IDLE, "gpu"]
+        assert path.segments[0].start == 0.0
+
+    def test_trailing_drain_from_makespan(self):
+        path = critical_path(
+            [_e("gpu", "kernel", 0.0, 1.0)], makespan=1.25
+        )
+        assert path.segments[-1].stage == IDLE
+        assert path.segments[-1].label == "drain"
+        assert sum(path.breakdown.values()) == pytest.approx(1.25)
+
+    def test_partition_covers_makespan(self):
+        path = critical_path([
+            _e("cpu", "a", 0.0, 1.0),
+            _e("cpu", "b", 0.2, 0.9),
+            _e("pcie", "x", 1.0, 1.2),
+            _e("gpu", "k", 1.4, 2.5),
+        ])
+        assert sum(path.breakdown.values()) == pytest.approx(path.makespan)
+        for left, right in zip(path.segments, path.segments[1:]):
+            assert left.end == pytest.approx(right.start)
+
+    def test_zero_duration_events_terminate(self):
+        path = critical_path([
+            _e("cpu", "tick", 0.5, 0.5),
+            _e("cpu", "tock", 0.5, 0.5),
+            _e("gpu", "k", 0.5, 1.0),
+        ])
+        assert path.makespan == 1.0
+
+
+class TestErrors:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(CriticalPathError, match="empty trace"):
+            critical_path([])
+
+    def test_makespan_before_latest_end_rejected(self):
+        with pytest.raises(CriticalPathError, match="precedes"):
+            critical_path([_e("cpu", "a", 0.0, 2.0)], makespan=1.0)
+
+
+class TestAnalysis:
+    def _path(self):
+        # serialized-looking run: cpu on the path, gpu underneath
+        return critical_path([
+            _e("cpu", "a", 0.0, 2.0),
+            _e("gpu", "k0", 0.5, 1.0),
+            _e("cpu", "b", 2.0, 4.0),
+            _e("gpu", "k1", 2.5, 3.0),
+        ])
+
+    def test_share_and_bound(self):
+        path = self._path()
+        assert path.bound_stage == "cpu"
+        assert path.share("cpu") == pytest.approx(1.0)
+        assert path.share("gpu") == 0.0
+
+    def test_union_busy_merges_overlaps(self):
+        path = critical_path([
+            _e("cpu", "a", 0.0, 2.0),
+            _e("cpu", "b", 1.0, 3.0),
+        ])
+        assert path.union_busy["cpu"] == pytest.approx(3.0)
+        assert path.slack["cpu"] == pytest.approx(0.0)
+
+    def test_overlap_estimate_floors_at_other_stages(self):
+        path = self._path()
+        # naively removing all cpu time would leave 0; the gpu still has
+        # 1.0s of union work, so the estimate floors there
+        assert path.overlap_estimate("cpu") == pytest.approx(1.0)
+
+    def test_what_if_removes_on_path_time(self):
+        path = self._path()
+        assert path.what_if["cpu"] == pytest.approx(0.0)
+        assert path.what_if["gpu"] == pytest.approx(4.0)
+
+    def test_bound_stage_tie_breaks_by_name(self):
+        path = critical_path([
+            _e("cpu", "a", 0.0, 1.0),
+            _e("gpu", "k", 1.0, 2.0),
+        ])
+        assert path.breakdown["cpu"] == path.breakdown["gpu"]
+        # exact tie: the alphabetically first stage wins, deterministically
+        assert path.bound_stage == "cpu"
+
+
+class TestForDump:
+    def _dump(self):
+        fast = RankDump(rank=0, events=[_e("cpu", "a", 0.0, 1.0)],
+                        summary={"total_seconds": 1.0})
+        slow = RankDump(rank=1, events=[_e("gpu", "k", 0.0, 3.0)],
+                        summary={"total_seconds": 3.0})
+        return RunDump(ranks=[fast, slow])
+
+    def test_picks_bound_rank(self):
+        path = critical_path_for_dump(self._dump())
+        assert path.makespan == 3.0
+        assert path.bound_stage == "gpu"
+
+    def test_explicit_rank(self):
+        path = critical_path_for_dump(self._dump(), rank=0)
+        assert path.makespan == 1.0
+        assert path.bound_stage == "cpu"
+
+    def test_no_events_rejected(self):
+        with pytest.raises(CriticalPathError, match="no traced events"):
+            critical_path_for_dump(RunDump(ranks=[RankDump(rank=0)]))
+        with pytest.raises(CriticalPathError, match="rank 7"):
+            critical_path_for_dump(self._dump(), rank=7)

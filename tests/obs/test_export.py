@@ -1,0 +1,174 @@
+"""Unit tests for the Chrome-trace exporter and its validator."""
+
+import json
+
+import pytest
+
+from repro.obs.dump import RankDump, RunDump
+from repro.obs.export import (
+    CHROME_SCHEMA,
+    CHROME_VERSION,
+    LOG_TID,
+    METRICS_PID,
+    ExportError,
+    assign_slots,
+    chrome_trace,
+    export_chrome,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.trace import RuntimeLogRecord, TraceEvent
+
+
+def _rec(op, at, ids, batch=-1, kind="", attempt=0):
+    return RuntimeLogRecord(
+        op=op, at=at, kind=kind, ids=tuple(ids), attempt=attempt, batch=batch
+    )
+
+
+def _dump():
+    rank = RankDump(
+        rank=0,
+        events=[
+            TraceEvent("cpu", "a", 0.0, 1.0),
+            TraceEvent("cpu", "b", 0.5, 1.5),  # overlaps a -> second slot
+            TraceEvent("gpu", "k", 1.0, 2.0, batch=0),
+        ],
+        log=[
+            _rec("submit", 0.0, ["w0"], kind="k"),
+            _rec("flush", 0.5, ["w0"], batch=0),
+            _rec("gpu_compute", 1.0, ["w0"], batch=0, attempt=1),
+            _rec("accumulate", 2.0, ["w0"], batch=0),
+        ],
+        summary={"total_seconds": 2.0},
+    )
+    registry = MetricsRegistry()
+    registry.counter("runtime.batches_flushed").inc(0.5)
+    registry.gauge("runtime.inflight_batches").set(0.5, 1)
+    dump = RunDump(meta={"scenario": "unit"}, ranks=[rank])
+    dump.registry = registry
+    return dump
+
+
+class TestAssignSlots:
+    def test_concurrent_events_take_distinct_slots(self):
+        events = [
+            TraceEvent("cpu", "a", 0.0, 1.0),
+            TraceEvent("cpu", "b", 0.5, 1.5),
+            TraceEvent("cpu", "c", 1.0, 2.0),
+        ]
+        slots = {e.label: slot for e, slot in assign_slots(events)}
+        assert slots == {"a": 0, "b": 1, "c": 0}
+
+    def test_assignment_is_order_independent(self):
+        events = [
+            TraceEvent("cpu", "a", 0.0, 1.0),
+            TraceEvent("cpu", "b", 0.5, 1.5),
+        ]
+        assert assign_slots(events) == assign_slots(list(reversed(events)))
+
+
+class TestChromeTrace:
+    def test_every_interval_becomes_a_slice(self):
+        dump = _dump()
+        trace = chrome_trace(dump)
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == len(dump.ranks[0].events)
+        # microseconds, batch carried in args
+        gpu = next(s for s in slices if s["cat"] == "gpu")
+        assert gpu["ts"] == pytest.approx(1.0e6)
+        assert gpu["dur"] == pytest.approx(1.0e6)
+        assert gpu["args"] == {"batch": 0}
+
+    def test_every_log_record_becomes_an_instant(self):
+        dump = _dump()
+        trace = chrome_trace(dump)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == len(dump.ranks[0].log)
+        assert all(e["tid"] == LOG_TID for e in instants)
+        compute = next(e for e in instants if e["name"] == "gpu_compute")
+        assert compute["args"]["attempt"] == 1
+
+    def test_flow_arrows_pair_up(self):
+        trace = chrome_trace(_dump())
+        starts = [e for e in trace["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in trace["traceEvents"] if e["ph"] == "f"]
+        # submit->flush, flush->gpu_compute, gpu_compute->accumulate
+        assert len(starts) == len(finishes) == 3
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+
+    def test_counter_tracks_on_metrics_process(self):
+        trace = chrome_trace(_dump())
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {
+            "runtime.batches_flushed", "runtime.inflight_batches",
+        }
+        assert all(e["pid"] == METRICS_PID for e in counters)
+
+    def test_schema_stamped_in_other_data(self):
+        other = chrome_trace(_dump())["otherData"]
+        assert other["schema"] == CHROME_SCHEMA
+        assert other["version"] == CHROME_VERSION
+        assert other["meta"] == {"scenario": "unit"}
+
+    def test_export_chrome_is_valid_canonical_json(self):
+        text = export_chrome(_dump())
+        assert text.endswith("\n")
+        validate_chrome_trace(json.loads(text))
+
+
+class TestValidate:
+    def _trace(self):
+        return chrome_trace(_dump())
+
+    def test_accepts_exported_trace(self):
+        validate_chrome_trace(self._trace())
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ExportError, match="JSON object"):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_events_array(self):
+        with pytest.raises(ExportError, match="traceEvents"):
+            validate_chrome_trace({"otherData": {}})
+
+    def test_rejects_unknown_phase(self):
+        trace = self._trace()
+        trace["traceEvents"].append({"ph": "Z", "name": "x"})
+        with pytest.raises(ExportError, match="unknown phase"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_missing_required_key(self):
+        trace = self._trace()
+        slice_event = next(
+            e for e in trace["traceEvents"] if e["ph"] == "X"
+        )
+        del slice_event["dur"]
+        with pytest.raises(ExportError, match="missing 'dur'"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_negative_duration(self):
+        trace = self._trace()
+        next(e for e in trace["traceEvents"] if e["ph"] == "X")["dur"] = -1.0
+        with pytest.raises(ExportError, match="negative dur"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_unpaired_flow(self):
+        trace = self._trace()
+        trace["traceEvents"].append({
+            "ph": "s", "name": "orphan", "id": 999, "ts": 0.0,
+            "pid": 0, "tid": LOG_TID,
+        })
+        with pytest.raises(ExportError, match="unpaired flow"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_backwards_flow(self):
+        trace = self._trace()
+        trace["traceEvents"] += [
+            {"ph": "s", "name": "b", "id": 999, "ts": 5.0, "pid": 0,
+             "tid": LOG_TID},
+            {"ph": "f", "bp": "e", "name": "b", "id": 999, "ts": 1.0,
+             "pid": 0, "tid": LOG_TID},
+        ]
+        with pytest.raises(ExportError, match="finishes before"):
+            validate_chrome_trace(trace)

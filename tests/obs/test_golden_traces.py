@@ -1,0 +1,79 @@
+"""Golden-trace regression suite.
+
+Every canonical scenario is executed, exported to Chrome-trace JSON,
+and compared byte-for-byte against the committed fixture under
+``tests/obs/golden/``.  The simulation is a pure function of its seeds,
+so any diff means the timeline itself changed — which is either a bug
+or an intentional behaviour change that must be reviewed and committed:
+
+    PYTHONPATH=src python -m pytest tests/obs/test_golden_traces.py \
+        --update-golden
+
+regenerates the fixtures (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import export_chrome, validate_chrome_trace
+from repro.obs.scenarios import SCENARIOS, run_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: diff lines shown before truncating the assertion message
+_DIFF_LINES = 40
+
+
+def _diff(expected: str, actual: str, name: str) -> str:
+    lines = list(
+        difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            actual.splitlines(keepends=True),
+            fromfile=f"golden/{name}",
+            tofile=f"current/{name}",
+        )
+    )
+    shown = "".join(lines[:_DIFF_LINES])
+    if len(lines) > _DIFF_LINES:
+        shown += f"... ({len(lines) - _DIFF_LINES} more diff lines)\n"
+    return shown
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_golden_trace(scenario, update_golden):
+    golden_path = GOLDEN_DIR / f"{scenario}.trace.json"
+    exported = export_chrome(run_scenario(scenario).dump)
+    if update_golden:
+        golden_path.write_text(exported, encoding="utf-8")
+        return
+    assert golden_path.exists(), (
+        f"missing golden fixture {golden_path}; generate it with "
+        f"pytest tests/obs/test_golden_traces.py --update-golden"
+    )
+    expected = golden_path.read_text(encoding="utf-8")
+    assert exported == expected, (
+        f"{scenario!r} trace diverged from its golden fixture — the "
+        f"simulated timeline changed.  If intentional, regenerate with "
+        f"--update-golden and review the diff:\n"
+        + _diff(expected, exported, f"{scenario}.trace.json")
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_export_is_repeatable_and_valid(scenario):
+    # the acceptance bar: byte-identical across repeat runs, schema-valid
+    first = export_chrome(run_scenario(scenario).dump)
+    second = export_chrome(run_scenario(scenario).dump)
+    assert first == second
+    validate_chrome_trace(json.loads(first))
+
+
+def test_every_scenario_has_a_golden_fixture():
+    committed = {p.name for p in GOLDEN_DIR.glob("*.trace.json")}
+    expected = {f"{name}.trace.json" for name in SCENARIOS}
+    assert committed == expected

@@ -1,0 +1,150 @@
+"""Property-based tests: export round-trips and path invariants.
+
+Two families, as promised in docs/OBSERVABILITY.md:
+
+- serialization is lossless — dump -> JSON -> dump preserves every
+  interval, log record and metric sample, and the Chrome export carries
+  every interval as an ``X`` slice and every log record as an ``i``
+  instant;
+- the critical path is a partition of ``[0, makespan]`` whose busy
+  length is at most the makespan and at least the largest single-stage
+  on-path total.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.critical_path import IDLE, critical_path
+from repro.obs.dump import RankDump, RunDump
+from repro.obs.export import export_chrome, validate_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.trace import LANES, LOG_OPS, RuntimeLogRecord, TraceEvent
+
+_instant = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+_duration = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def trace_events(draw):
+    start = draw(_instant)
+    return TraceEvent(
+        category=draw(st.sampled_from(LANES + ("network",))),
+        label=draw(st.sampled_from(["mtxm", "kernel", "h2d", "snapshot"])),
+        start=start,
+        end=start + draw(_duration),
+        batch=draw(st.integers(min_value=-1, max_value=5)),
+    )
+
+
+@st.composite
+def log_records(draw):
+    return RuntimeLogRecord(
+        op=draw(st.sampled_from(LOG_OPS)),
+        at=draw(_instant),
+        kind=draw(st.sampled_from(["", "integral", "apply"])),
+        ids=tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(["w0", "w1", "w2", "b(0,1)"]), max_size=3
+                )
+            )
+        ),
+        attempt=draw(st.integers(min_value=0, max_value=3)),
+        batch=draw(st.integers(min_value=-1, max_value=5)),
+    )
+
+
+@st.composite
+def run_dumps(draw):
+    ranks = []
+    for rank in range(draw(st.integers(min_value=1, max_value=2))):
+        ranks.append(
+            RankDump(
+                rank=rank,
+                events=draw(st.lists(trace_events(), max_size=12)),
+                log=draw(st.lists(log_records(), max_size=8)),
+                summary={"total_seconds": draw(_instant)},
+            )
+        )
+    registry = MetricsRegistry()
+    for at, value in draw(
+        st.lists(st.tuples(_instant, _duration), max_size=5)
+    ):
+        registry.counter("prop.counter").inc(at, value)
+        registry.gauge("prop.gauge").set(at, value)
+        registry.histogram("prop.hist").observe(at, value)
+    dump = RunDump(meta={"scenario": "property"}, ranks=ranks)
+    dump.registry = registry
+    return dump
+
+
+@given(run_dumps())
+@settings(max_examples=30, deadline=None)
+def test_dump_round_trip_is_lossless(dump):
+    rebuilt = RunDump.loads(dump.dumps())
+    assert rebuilt.to_dict() == dump.to_dict()
+    # and the canonical bytes are a fixed point of the round trip
+    assert rebuilt.dumps() == dump.dumps()
+
+
+@given(run_dumps())
+@settings(max_examples=30, deadline=None)
+def test_export_preserves_every_interval_and_record(dump):
+    text = export_chrome(dump)
+    trace = json.loads(text)
+    validate_chrome_trace(trace)
+    for rank in dump.ranks:
+        slices = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == rank.rank
+        ]
+        assert sorted(
+            (s["cat"], s["name"], s["ts"], s["dur"]) for s in slices
+        ) == sorted(
+            (e.category, e.label, e.start * 1e6, e.duration * 1e6)
+            for e in rank.events
+        )
+        instants = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "i" and e["pid"] == rank.rank
+        ]
+        assert sorted((i["name"], i["ts"]) for i in instants) == sorted(
+            (r.op, r.at * 1e6) for r in rank.log
+        )
+
+
+@given(st.lists(trace_events(), min_size=1, max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_critical_path_partitions_the_makespan(events):
+    path = critical_path(events)
+    tol = 1e-6 * max(1.0, path.makespan)
+    assert path.makespan == max(e.end for e in events)
+    # the chain plus idle gaps tiles [0, makespan]
+    assert abs(sum(path.breakdown.values()) - path.makespan) < tol
+    assert path.segments[0].start <= tol
+    assert abs(path.segments[-1].end - path.makespan) < tol
+    for left, right in zip(path.segments, path.segments[1:]):
+        assert abs(left.end - right.start) < tol
+
+
+@given(st.lists(trace_events(), min_size=1, max_size=25), _duration)
+@settings(max_examples=50, deadline=None)
+def test_critical_path_length_bounds(events, extra):
+    makespan = max(e.end for e in events) + extra
+    path = critical_path(events, makespan=makespan)
+    tol = 1e-6 * max(1.0, makespan)
+    busy = {s: t for s, t in path.breakdown.items() if s != IDLE}
+    assert path.length <= makespan + tol
+    assert path.length + tol >= max(busy.values(), default=0.0)
+    # overlap estimates never promise below the busiest other stage
+    for stage in path.union_busy:
+        others = [
+            b for s, b in path.union_busy.items() if s != stage
+        ]
+        assert path.overlap_estimate(stage) + tol >= max(others, default=0.0)

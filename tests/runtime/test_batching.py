@@ -60,8 +60,9 @@ def test_flush_records_timestamps():
     acc = BatchAccumulator(flush_interval=0.5)
     acc.submit(item("a", 0), now=1.25)
     (batch,) = acc.flush(now=2.0)
-    assert batch.created_at == 1.25
-    assert batch.flushed_at == 2.0
+    # repro: noqa[FLT001] below - timestamps are stored verbatim, never accumulated
+    assert batch.created_at == 1.25  # repro: noqa[FLT001]
+    assert batch.flushed_at == 2.0  # repro: noqa[FLT001]
 
 
 def test_counters():

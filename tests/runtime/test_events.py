@@ -78,7 +78,7 @@ def test_yield_none_is_cooperative():
     env.process(proc())
     env.run()
     assert steps == ["one", "two"]
-    assert env.now == 0.0
+    assert env.now == 0.0  # repro: noqa[FLT001] - no timeouts ran, clock never moved
 
 
 def test_event_succeed_with_value():
@@ -127,7 +127,7 @@ def test_run_until_stops_clock():
 
     env.process(proc())
     end = env.run(until=4.0)
-    assert end == 4.0
+    assert end == 4.0  # repro: noqa[FLT001] - run(until=...) returns the bound verbatim
 
 
 def test_negative_delay_rejected():
@@ -149,7 +149,7 @@ def test_allof_waits_for_all():
 
     env.process(waiter())
     env.run()
-    assert done_at == [5.0]
+    assert done_at == [5.0]  # repro: noqa[FLT001] - one hop from t=0, exact
 
 
 def test_allof_empty_fires_immediately():

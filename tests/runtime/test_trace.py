@@ -34,7 +34,7 @@ def test_utilization_merges_overlaps():
 def test_empty_tracer():
     t = Tracer()
     assert t.span() == (0.0, 0.0)
-    assert t.utilization("cpu") == 0.0
+    assert t.utilization("cpu") == 0.0  # repro: noqa[FLT001] - empty tracer, exact zero
     assert "(no events)" in render_text_gantt(t)
 
 
