@@ -1,19 +1,27 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint lint-tests ruff mypy test coverage golden trace-check
+.PHONY: check lint lint-tests races ruff mypy test coverage golden trace-check
 
-## check: everything CI runs — in-tree analyzer, ruff, mypy, tier-1 tests
-check: lint lint-tests ruff mypy test
+## check: everything CI runs — in-tree analyzer, race gate, ruff, mypy,
+## tier-1 tests
+check: lint lint-tests races ruff mypy test
 
-## lint: the project's own determinism/resource-safety analyzer (hard gate)
+## lint: the project's own determinism/resource-safety analyzer (hard
+## gate), full rule set over the library, benchmarks, and examples
 lint:
-	$(PYTHON) -m repro.lint src/repro
+	$(PYTHON) -m repro.lint src/repro benchmarks examples
 
 ## lint-tests: determinism / float-time hygiene over the test suites
 ## (tests may opt out per line with a justified `# repro: noqa[FLT001]`)
 lint-tests:
 	$(PYTHON) -m repro.lint tests benchmarks --select DET001,DET002,FLT001
+
+## races: dynamic race detector + schedule-invariance smoke over the
+## canonical scenarios (10 replay reorderings + 2 live adversarial
+## schedules each; see docs/RACES.md)
+races:
+	$(PYTHON) -m repro.lint races --perturb 10 --live 2
 
 ## ruff / mypy: optional external baselines — skipped when not installed
 ruff:

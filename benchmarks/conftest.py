@@ -18,10 +18,12 @@ import pytest
 
 
 def bench_scale() -> float:
+    """The workload scale factor from ``REPRO_BENCH_SCALE`` (default 1)."""
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
 def scaled(n_tasks: int) -> int:
+    """``n_tasks`` scaled by :func:`bench_scale`, floored at 100."""
     return max(100, int(n_tasks * bench_scale()))
 
 

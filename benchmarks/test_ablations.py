@@ -20,6 +20,7 @@ from benchmarks.conftest import bench_scale
 
 
 def test_ablation_data_aggregation(run_once, show):
+    """Batched pinned transfers beat per-task pageable/pinned copies."""
     result = run_once(run_transfer_ablation)
     show(result)
     assert result.data["pageable"] > 1.5 * result.data["batched"]
@@ -27,6 +28,7 @@ def test_ablation_data_aggregation(run_once, show):
 
 
 def test_ablation_computation_batching(run_once, show):
+    """Aggregating tasks into batches amortises transfer latency."""
     result = run_once(run_batching_ablation, bench_scale())
     show(result)
     results = result.data["results"]
@@ -35,6 +37,7 @@ def test_ablation_computation_batching(run_once, show):
 
 
 def test_ablation_hybrid_overlap(run_once, show):
+    """CPU+GPU overlap beats either device alone."""
     result = run_once(run_overlap_ablation, bench_scale())
     show(result)
     times = result.data["times"]
@@ -42,6 +45,7 @@ def test_ablation_hybrid_overlap(run_once, show):
 
 
 def test_ablation_naive_port(run_once, show):
+    """The paper's extensions beat a naive per-task GPU port."""
     result = run_once(run_naive_port_ablation, bench_scale())
     show(result)
     out = result.data["out"]
@@ -52,6 +56,7 @@ def test_ablation_naive_port(run_once, show):
 
 
 def test_ablation_dynamic_parallelism(run_once, show):
+    """Dynamic-parallelism rank reduction helps Kepler, not Fermi."""
     result = run_once(run_dynamic_parallelism_ablation)
     show(result)
     out = result.data["out"]
@@ -68,6 +73,7 @@ def test_ablation_dynamic_parallelism(run_once, show):
 
 
 def test_ablation_flush_interval(run_once, show):
+    """The default flush interval sits near the makespan optimum."""
     from repro.experiments.ablations import run_flush_interval_ablation
 
     result = run_once(run_flush_interval_ablation, bench_scale())
@@ -78,6 +84,7 @@ def test_ablation_flush_interval(run_once, show):
 
 
 def test_ablation_pipeline(run_once, show):
+    """Overlapping batches beat one-batch-at-a-time serialisation."""
     from repro.experiments.ablations import run_pipeline_ablation
 
     result = run_once(run_pipeline_ablation, bench_scale())
@@ -89,6 +96,7 @@ def test_ablation_pipeline(run_once, show):
 
 
 def test_ablation_adaptive_dispatch(run_once, show):
+    """EWMA dispatch recovers most of a 2x calibration error."""
     from repro.experiments.ablations import run_adaptive_ablation
 
     result = run_once(run_adaptive_ablation, bench_scale())

@@ -10,6 +10,7 @@ from repro.experiments.figures import FIGURE_KS, run_fig5
 
 
 def test_fig5(run_once, show):
+    """Regenerate Figure 5 and assert its scaling-shape claims."""
     result = run_once(run_fig5)
     show(result)
     rows = result.data["rows"]

@@ -10,6 +10,7 @@ from repro.experiments.figures import FIGURE_KS, run_fig6
 
 
 def test_fig6(run_once, show):
+    """Regenerate Figure 6 and assert its scaling-shape claims."""
     result = run_once(run_fig6)
     show(result)
     rows = result.data["rows"]

@@ -20,6 +20,7 @@ from benchmarks.conftest import bench_scale, scaled
 
 
 def test_critical_path_attribution(run_once, show):
+    """Critical-path profile attributes the makespan to real stages."""
     result = run_once(run_pipeline_profile, bench_scale())
     show(result)
     data = result.data
@@ -34,6 +35,7 @@ def test_critical_path_attribution(run_once, show):
 
 
 def test_armed_observers_leave_the_timeline_bit_identical(run_once):
+    """Arming observers must not perturb the simulated timeline."""
     n = scaled(400)
 
     def run(tracer, registry):

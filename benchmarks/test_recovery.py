@@ -21,6 +21,7 @@ from benchmarks.conftest import bench_scale
 
 
 def test_checkpoint_interval_ablation(run_once, show):
+    """Checkpoint-interval sweep exposes the overhead/rework trade."""
     scale = bench_scale()
     result = run_once(run_checkpoint_ablation, scale)
     show(result)

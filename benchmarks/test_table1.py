@@ -11,6 +11,7 @@ from benchmarks.conftest import bench_scale
 
 
 def test_table1(run_once, show):
+    """Regenerate Table 1 and assert its winner/factor claims."""
     result = run_once(run_table1, bench_scale())
     show(result)
     cpu_rows = result.data["cpu"]

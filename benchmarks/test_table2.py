@@ -11,6 +11,7 @@ from benchmarks.conftest import bench_scale
 
 
 def test_table2(run_once, show):
+    """Regenerate Table 2 and assert its winner/factor claims."""
     result = run_once(run_table2, bench_scale())
     show(result)
     cpu, gpu, hybrid = (

@@ -11,6 +11,7 @@ from benchmarks.conftest import bench_scale
 
 
 def test_table4(run_once, show):
+    """Regenerate Table 4 and assert its winner/factor claims."""
     result = run_once(run_table4, bench_scale())
     show(result)
     rows = result.data["rows"]

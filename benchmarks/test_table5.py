@@ -12,6 +12,7 @@ from benchmarks.conftest import bench_scale
 
 
 def test_table5(run_once, show):
+    """Regenerate Table 5 and assert its winner/factor claims."""
     result = run_once(run_table5, bench_scale())
     show(result)
     rows = result.data["rows"]

@@ -11,6 +11,7 @@ from benchmarks.conftest import bench_scale
 
 
 def test_table6(run_once, show):
+    """Regenerate Table 6 and assert its winner/factor claims."""
     result = run_once(run_table6, bench_scale())
     show(result)
     rows = result.data["rows"]

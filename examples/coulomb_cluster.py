@@ -9,6 +9,8 @@ regimes of Tables III-V at a reduced task count.
 Run:  python examples/coulomb_cluster.py
 """
 
+from __future__ import annotations
+
 from collections import Counter
 
 from repro.analysis.reporting import ReportTable
@@ -20,6 +22,7 @@ N_TASKS = 10_000
 
 
 def main() -> None:
+    """Sweep node counts, process maps, and GPU kernels; print the table."""
     print(f"Generating a Coulomb-shaped workload ({N_TASKS} tasks, d=3, k=10)...")
     wl = SyntheticApplyWorkload(
         dim=3, k=10, rank=100, n_tasks=N_TASKS, n_tree_leaves=512, seed=7

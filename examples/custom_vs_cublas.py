@@ -10,6 +10,8 @@ DGEMM, on the GTX 480 testbed model.
 Run:  python examples/custom_vs_cublas.py
 """
 
+from __future__ import annotations
+
 from repro.analysis.reporting import ReportTable
 from repro.hardware.gpu_model import GpuModel
 from repro.hardware.specs import TESTBED_GPU
@@ -44,6 +46,7 @@ def figure_batch(dim: int, k: int, n_mults: int) -> BatchStats:
 
 
 def main() -> None:
+    """Print the Figure 5/6 GFLOPS tables for both kernels."""
     gm = GpuModel(TESTBED_GPU)
     custom, cublas = CustomGpuKernel(gm), CublasKernel(gm)
 

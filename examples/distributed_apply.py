@@ -10,6 +10,8 @@ assembled potential is checked against the analytic answer.
 Run:  python examples/distributed_apply.py
 """
 
+from __future__ import annotations
+
 import math
 
 import numpy as np
@@ -32,11 +34,13 @@ NODES = 8
 
 
 def density(x: np.ndarray) -> np.ndarray:
+    """Normalized Gaussian charge density centred in the unit cube."""
     r2 = ((x - 0.5) ** 2).sum(axis=1)
     return (ALPHA / math.pi) ** 1.5 * np.exp(-ALPHA * r2)
 
 
 def runtime_factory(rank: int) -> NodeRuntime:
+    """A hybrid batching runtime for one simulated Titan node."""
     dispatcher = HybridDispatcher(
         CpuMtxmKernel(CpuModel(TITAN_NODE.cpu)),
         CustomGpuKernel(GpuModel(TITAN_NODE.gpu)),
@@ -48,6 +52,7 @@ def runtime_factory(rank: int) -> NodeRuntime:
 
 
 def main() -> None:
+    """Run the distributed hybrid Apply and check the potential."""
     print("Projecting the density and building the 1/r operator...")
     f = FunctionFactory(dim=3, k=5, thresh=2e-3).from_callable(density)
     op = CoulombOperator(dim=3, k=5, eps=1e-3, r_lo=3e-3)

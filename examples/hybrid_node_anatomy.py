@@ -9,6 +9,8 @@ block cache) -> kernels -> postprocess.
 Run:  python examples/hybrid_node_anatomy.py
 """
 
+from __future__ import annotations
+
 from repro.apps.coulomb import CoulombApplication
 from repro.analysis.overlap import analyze_overlap
 from repro.hardware.cpu_model import CpuModel
@@ -23,6 +25,7 @@ from repro.runtime.trace import Tracer, render_text_gantt
 
 
 def make_runtime(mode: str, tracer: Tracer | None = None) -> NodeRuntime:
+    """A single-node batching runtime in the given dispatch mode."""
     dispatcher = HybridDispatcher(
         CpuMtxmKernel(CpuModel(TITAN_NODE.cpu)),
         CustomGpuKernel(GpuModel(TITAN_NODE.gpu)),
@@ -37,6 +40,7 @@ def make_runtime(mode: str, tracer: Tracer | None = None) -> NodeRuntime:
 
 
 def main() -> None:
+    """Run one Coulomb Apply per dispatch mode and print the anatomy."""
     print("Building a small real Coulomb problem...")
     density, operator, exact = CoulombApplication.real_instance(
         k=5, thresh=2e-3, eps=1e-3, alpha=150.0

@@ -9,6 +9,8 @@ the result against the analytic potential ``erf(sqrt(a) r) / r``.
 Run:  python examples/quickstart.py
 """
 
+from __future__ import annotations
+
 import math
 
 import numpy as np
@@ -28,6 +30,7 @@ def density(x: np.ndarray) -> np.ndarray:
 
 
 def main() -> None:
+    """Project the density, apply 1/r, verify against the analytic answer."""
     print("Projecting the charge density (adaptive refinement)...")
     factory = FunctionFactory(dim=3, k=6, thresh=1e-4)
     rho = factory.from_callable(density)

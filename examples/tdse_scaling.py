@@ -10,6 +10,8 @@ version is benchmarks/test_table6.py).
 Run:  python examples/tdse_scaling.py
 """
 
+from __future__ import annotations
+
 from collections import Counter
 
 from repro.analysis.overlap import analyze_overlap
@@ -20,6 +22,7 @@ from repro.dht.process_map import CostPartitionMap
 
 
 def main() -> None:
+    """Run the 4-D TDSE strong-scaling sweep and print the table."""
     app = TdseApplication(n_tasks=30_000, n_tree_leaves=2048)
     print(
         f"TDSE workload: d={app.dim}, k={app.k} (tensor side {app.tensor_side}), "

@@ -1,8 +1,17 @@
 """Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
 
-Exit status is CI-consumable: 0 clean, 1 findings, 2 usage error.  The
-``--format json`` output is a stable object with the finding list and a
-summary, so pipelines can consume it without parsing text.
+Two modes:
+
+- ``repro-lint [paths...]`` — the static analyzer.  Exit status is
+  CI-consumable: 0 clean, 1 findings, 2 usage error *or* unparseable
+  input (any ``PARSE`` finding).  ``--format json`` is a stable object
+  with the finding list and a summary; ``--format sarif`` is a SARIF
+  2.1.0 run for GitHub code scanning.
+- ``repro-lint races [scenarios...]`` — the dynamic race detector and
+  schedule-perturbation harness over the canonical obs scenarios
+  (see docs/RACES.md).  Exit 0 when every scenario is race-free and
+  every perturbation preserves the invariants, 1 otherwise, 2 on
+  usage errors.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ DEFAULT_PATHS = ("src/repro",)
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The argument parser (exposed for the test suite)."""
+    """The static-analyzer argument parser (exposed for the test suite)."""
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
@@ -36,7 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -58,14 +67,160 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_races_parser() -> argparse.ArgumentParser:
+    """The ``races`` subcommand parser (exposed for the test suite)."""
+    from repro.obs.scenarios import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint races",
+        description=(
+            "Dynamic race detector + schedule-invariance verifier over "
+            "the canonical obs scenarios."
+        ),
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        default=list(SCENARIOS),
+        help=f"scenarios to check (default: all of {', '.join(SCENARIOS)})",
+    )
+    parser.add_argument(
+        "--perturb",
+        type=int,
+        default=0,
+        metavar="K",
+        help=(
+            "also assert byte-identical dumps across K legal replay "
+            "reorderings per scenario (default: 0 = detector only)"
+        ),
+    )
+    parser.add_argument(
+        "--live",
+        type=int,
+        default=0,
+        metavar="L",
+        help=(
+            "also re-execute each scenario under L adversarial "
+            "tie-break schedules and check the ledger invariants "
+            "(default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed for the perturbation RNG streams (default: 0)",
+    )
+    parser.add_argument(
+        "--allow",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help=(
+            "extra fnmatch pattern of resource ids whose conflicts are "
+            "proven commutative (repeatable; extends the built-in "
+            "allowlist)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    return parser
+
+
 def _parse_rule_list(raw: str | None) -> frozenset[str] | None:
     if raw is None:
         return None
     return frozenset(r.strip().upper() for r in raw.split(",") if r.strip())
 
 
+def races_main(argv: Sequence[str]) -> int:
+    """Entry point of the ``races`` subcommand."""
+    from repro.lint.perturb import verify_live_schedules, verify_replay_invariance
+    from repro.lint.races import DEFAULT_COMMUTATIVE, RaceConfig, detect_races
+    from repro.obs.scenarios import SCENARIOS, run_scenario
+
+    args = build_races_parser().parse_args(argv)
+    unknown = [s for s in args.scenarios if s not in SCENARIOS]
+    if unknown:
+        print(
+            f"repro-lint races: error: unknown scenario(s) {unknown}; "
+            f"pick from {sorted(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.perturb < 0 or args.live < 0:
+        print(
+            "repro-lint races: error: --perturb/--live must be >= 0",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = RaceConfig(
+        commutative=DEFAULT_COMMUTATIVE + tuple(args.allow)
+    )
+    results = []
+    dirty = False
+    for scenario in args.scenarios:
+        dump = run_scenario(scenario).dump
+        report = detect_races(dump, config)
+        failures: list[str] = []
+        if args.perturb:
+            failures.extend(
+                verify_replay_invariance(dump, args.perturb, args.seed)
+            )
+        if args.live:
+            failures.extend(
+                verify_live_schedules(
+                    scenario, dump, args.live, args.seed, config
+                )
+            )
+        dirty = dirty or not report.clean or bool(failures)
+        results.append((scenario, report, failures))
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "scenarios": [
+                        {
+                            "scenario": scenario,
+                            "report": report.to_dict(),
+                            "perturbation_failures": failures,
+                            "n_replay": args.perturb,
+                            "n_live": args.live,
+                        }
+                        for scenario, report, failures in results
+                    ],
+                    "clean": not dirty,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for scenario, report, failures in results:
+            status = "CLEAN" if report.clean and not failures else "DIRTY"
+            print(f"== {scenario}: {status}")
+            print(report.render())
+            for failure in failures:
+                print(f"  perturbation: {failure}")
+        verdict = "schedule-dependent behaviour found" if dirty else "clean"
+        print(
+            f"repro-lint races: {len(results)} scenario(s), "
+            f"perturb={args.perturb} live={args.live}: {verdict}"
+        )
+    return 1 if dirty else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the exit status instead of raising SystemExit."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "races":
+        return races_main(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -85,7 +240,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"repro-lint: error: {err}", file=sys.stderr)
         return 2
 
-    if args.format == "json":
+    if args.format == "sarif":
+        from repro.lint.sarif import render_sarif
+
+        print(render_sarif(findings))
+    elif args.format == "json":
         by_rule = Counter(f.rule for f in findings)
         print(
             json.dumps(
@@ -104,6 +263,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(finding.render())
         n = len(findings)
         print(f"repro-lint: {n} finding{'s' if n != 1 else ''}")
+    if any(f.rule == "PARSE" for f in findings):
+        return 2
     return 1 if findings else 0
 
 

@@ -212,9 +212,26 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
 
 
 def lint_file(path: Path, config: LintConfig | None = None) -> list[Finding]:
-    """Run every active, in-scope rule over one file."""
+    """Run every active, in-scope rule over one file.
+
+    A file the analyzer cannot even parse — syntax error, non-UTF-8
+    bytes, null bytes, unreadable on disk — yields a single ``PARSE``
+    finding rather than a traceback; the CLI maps any ``PARSE`` finding
+    to exit status 2.
+    """
     config = config or LintConfig()
-    source = path.read_text(encoding="utf-8")
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [
+            Finding(
+                rule="PARSE",
+                message=f"cannot read file: {err}",
+                path=str(path),
+                line=1,
+                col=1,
+            )
+        ]
     lines = source.splitlines()
     try:
         tree = ast.parse(source, filename=str(path))
@@ -226,6 +243,16 @@ def lint_file(path: Path, config: LintConfig | None = None) -> list[Finding]:
                 path=str(path),
                 line=err.lineno or 1,
                 col=(err.offset or 0) + 1,
+            )
+        ]
+    except ValueError as err:  # e.g. null bytes in the source
+        return [
+            Finding(
+                rule="PARSE",
+                message=f"cannot parse file: {err}",
+                path=str(path),
+                line=1,
+                col=1,
             )
         ]
     ctx = FileContext(path=path, source=source, tree=tree, lines=lines)

@@ -1,0 +1,223 @@
+"""Schedule-perturbation harness: determinism as a verified property.
+
+Two complementary adversaries re-examine the five canonical obs
+scenarios (:mod:`repro.obs.scenarios`):
+
+**Replay reorderings (byte-identity gate).**  A *legal reordering* of a
+rank's capture is any permutation of its streams that a differently
+tie-broken but causally equivalent execution could have emitted:
+interval events in any order (they are value-complete), and log records
+permuted freely *within one simulated instant* as long as each logical
+thread's program order is preserved.  For each scenario the harness
+draws K seeded legal reorderings, pushes each through the canonical
+capture pipeline (deterministic merge order + canonical JSON), and
+asserts the resulting :class:`~repro.obs.dump.RunDump` bytes are
+identical to the unperturbed capture.  This turns "the dump is a pure
+function of the happens-before partial order, not of the emission
+interleaving" — the property a parallel per-rank DES core must preserve
+— into a checked invariant: a merge ambiguity (two same-instant records
+the canonical order cannot distinguish) shows up as a byte diff.
+
+**Live adversarial schedules (ledger gate).**  The scenario is actually
+re-executed under :func:`repro.runtime.events.scheduling_perturbation`,
+which breaks every same-instant tie with a seeded RNG instead of
+scheduling order.  The simulated *timeline* legitimately shifts (FIFO
+resource grants depend on tie order), so bytes are not compared;
+instead the run must keep every schedule-independent promise: the
+happens-before contract (:func:`repro.lint.trace_check.find_violations`
+empty), zero races (:func:`repro.lint.races.detect_races`), and work
+conservation (every rank accumulates exactly the same item set as the
+canonical run).
+
+``python -m repro.lint races --perturb K --live L`` runs both; CI runs
+a reduced-K smoke as a blocking step (see docs/RACES.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.lint.races import RaceConfig, _thread_of, detect_races
+from repro.lint.trace_check import find_violations
+from repro.runtime.events import scheduling_perturbation
+from repro.runtime.trace import RuntimeLogRecord, TraceEvent
+
+
+@dataclass
+class PerturbationResult:
+    """Outcome of perturbing one scenario."""
+
+    scenario: str
+    n_replay: int = 0
+    n_live: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether every perturbation preserved the invariants."""
+        return not self.failures
+
+
+def legal_log_reordering(
+    log: list[RuntimeLogRecord], rng: random.Random
+) -> list[RuntimeLogRecord]:
+    """One seeded legal reordering of a rank's log records.
+
+    Records are shuffled within each equal-instant group, then each
+    logical thread's subsequence is restored to program order — the
+    interleaving freedom a parallel scheduler has, and nothing more.
+    """
+    out: list[RuntimeLogRecord] = []
+    group: list[RuntimeLogRecord] = []
+
+    def flush_group() -> None:
+        if not group:
+            return
+        shuffled = list(group)
+        rng.shuffle(shuffled)
+        # restore per-thread program order: each slot takes the next
+        # unemitted record of the thread the shuffle put there
+        queues: dict[tuple, list[RuntimeLogRecord]] = {}
+        for rec in group:
+            queues.setdefault(_thread_of(rec), []).append(rec)
+        taken: dict[tuple, int] = {}
+        for rec in shuffled:
+            thread = _thread_of(rec)
+            i = taken.get(thread, 0)
+            out.append(queues[thread][i])
+            taken[thread] = i + 1
+        group.clear()
+
+    for rec in log:
+        if group and rec.at != group[0].at:
+            flush_group()
+        group.append(rec)
+    flush_group()
+    return out
+
+
+def legal_event_reordering(
+    events: list[TraceEvent], rng: random.Random
+) -> list[TraceEvent]:
+    """One seeded legal reordering of a rank's interval events (any
+    permutation — an event is value-complete, so emission order carries
+    no information the canonical order may depend on)."""
+    shuffled = list(events)
+    rng.shuffle(shuffled)
+    return shuffled
+
+
+def _perturbed_dump_bytes(dump, rng: random.Random) -> str:
+    """Re-capture ``dump`` from one legal reordering of its streams."""
+    from repro.obs.dump import (
+        RankDump, RunDump, merge_order_events, merge_order_log,
+    )
+
+    ranks = [
+        RankDump(
+            rank=rd.rank,
+            events=merge_order_events(legal_event_reordering(rd.events, rng)),
+            log=merge_order_log(legal_log_reordering(rd.log, rng)),
+            summary=dict(rd.summary),
+        )
+        for rd in dump.ranks
+    ]
+    return RunDump(
+        meta=dict(dump.meta), ranks=ranks, registry=dump.registry
+    ).dumps()
+
+
+def verify_replay_invariance(
+    dump, k: int, seed: int = 0
+) -> list[str]:
+    """Byte-identity of the canonical dump across ``k`` legal
+    reorderings; returns one failure message per divergent replay."""
+    baseline = dump.dumps()
+    failures = []
+    for i in range(k):
+        rng = random.Random(f"replay-{seed}-{i}")
+        if _perturbed_dump_bytes(dump, rng) != baseline:
+            failures.append(
+                f"replay reordering {i} (seed {seed}) changed the "
+                "canonical dump bytes — the deterministic merge is "
+                "ambiguous for some same-instant records"
+            )
+    return failures
+
+
+def _accumulated_ids(rank_dump) -> set:
+    """Every item id the rank ever accumulated (canonical names)."""
+    return {
+        item
+        for rec in rank_dump.log
+        if rec.op == "accumulate"
+        for item in rec.ids
+    }
+
+
+def verify_live_schedules(
+    scenario: str,
+    baseline_dump,
+    k: int,
+    seed: int = 0,
+    config: RaceConfig | None = None,
+) -> list[str]:
+    """Re-execute ``scenario`` under ``k`` adversarial tie-break
+    schedules; returns one failure message per broken invariant."""
+    from repro.obs.scenarios import run_scenario
+
+    baseline_ids = {
+        rd.rank: _accumulated_ids(rd) for rd in baseline_dump.ranks
+    }
+    failures: list[str] = []
+    for i in range(k):
+        rng = random.Random(f"live-{seed}-{scenario}-{i}")
+        with scheduling_perturbation(rng):
+            dump = run_scenario(scenario).dump
+        for rd in dump.ranks:
+            violations = find_violations(rd.log)
+            if violations:
+                failures.append(
+                    f"live schedule {i}: rank {rd.rank} violates the "
+                    f"happens-before contract: {violations[0]} "
+                    f"({len(violations)} total)"
+                )
+            got = _accumulated_ids(rd)
+            want = baseline_ids.get(rd.rank, set())
+            if got != want:
+                failures.append(
+                    f"live schedule {i}: rank {rd.rank} accumulated "
+                    f"{len(got)} item(s) vs {len(want)} in the canonical "
+                    "run — work lost or invented under reordering"
+                )
+        report = detect_races(dump, config)
+        if not report.clean:
+            failures.append(
+                f"live schedule {i}: {len(report.races)} race(s): "
+                + report.races[0].render().splitlines()[0]
+            )
+    return failures
+
+
+def verify_scenario(
+    scenario: str,
+    k_replay: int = 10,
+    k_live: int = 0,
+    seed: int = 0,
+    config: RaceConfig | None = None,
+) -> PerturbationResult:
+    """Run both perturbation gates over one canonical scenario."""
+    from repro.obs.scenarios import run_scenario
+
+    dump = run_scenario(scenario).dump
+    result = PerturbationResult(scenario=scenario)
+    if k_replay > 0:
+        result.failures.extend(verify_replay_invariance(dump, k_replay, seed))
+        result.n_replay = k_replay
+    if k_live > 0:
+        result.failures.extend(
+            verify_live_schedules(scenario, dump, k_live, seed, config)
+        )
+        result.n_live = k_live
+    return result

@@ -1,0 +1,467 @@
+"""Dynamic race detection over the canonical happens-before log.
+
+The batching runtime claims its concurrency is *structured*: every
+access to a logical resource — a GPU cache block, an accumulation
+target, a checkpoint lineage node, a metrics key — is ordered by one of
+the sanctioned primitives (batch program order, the submit→flush edge,
+the two-phase ``begin_transfer``/``block_transfer`` cache protocol, the
+checkpoint/restore ledger).  This module *verifies* that claim on a
+recorded run: it rebuilds the happens-before partial order with one
+vector clock per logical thread and flags every pair of conflicting
+accesses the partial order does not relate.
+
+Threads per rank:
+
+- ``("producer",)`` — work-item submissions (program order);
+- ``("b", i)`` — everything batch ``i`` did: flush, cache reservation,
+  transfer commit, kernel attempts, accumulate;
+- ``("recovery",)`` — checkpoint / rollback / restore records;
+- ``("misc", op)`` — fallback for batch-less records in older logs.
+
+Sanctioned edges joined into the target record's clock:
+
+- ``submit(item) -> flush(batch containing item)``;
+- ``block_transfer(k, batch A) -> gpu_compute(batch B)`` for every key
+  ``k`` that batch B *reserved* via its ``begin_transfer`` record — a
+  kernel read not covered by the reservation has no edge and races with
+  the commit;
+- ``accumulate(item) -> checkpoint covering item`` and
+  ``accumulate(item) -> rollback cancelling item``;
+- ``checkpoint(parent) -> checkpoint(seq<-parent)`` lineage edges and
+  ``checkpoint(seq) -> restore`` for every snapshot the restore walk
+  read (chosen or corrupted-and-rejected);
+- ``restore`` is additionally a rank-wide barrier: a crash-restart is
+  sequential on the physical rank, so every record after the restore is
+  ordered after everything before the crash.
+
+Metrics are handled by ownership analysis rather than clocks (samples
+carry no rank attribution): counters and histograms are commutative
+merges by construction; a *gauge* written in a multi-rank run is a
+last-write-wins conflict unless it is driver-owned (``cluster.``
+prefix) or explicitly allowlisted as commutative — the
+``# repro: noqa``-style suppression for proven-commutative pairs
+(:class:`RaceConfig`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+from repro.lint.trace_check import _parse_lineage_edge
+from repro.lint.vector_clock import VectorClock
+from repro.runtime.trace import RuntimeLogRecord
+
+#: gauge resources accepted as commutative by default, with the proof
+#: obligation documented in docs/RACES.md (display-only gauge whose
+#: merged value is never read back by the simulation)
+DEFAULT_COMMUTATIVE = ("metric:gauge:runtime.inflight_batches",)
+
+#: gauge name prefixes owned by the cluster driver (single writer)
+_DRIVER_GAUGE_PREFIXES = ("cluster.",)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One access to a logical resource, located in the log."""
+
+    resource: str
+    mode: str  # "read" | "write"
+    rank: int
+    index: int  # record position in the rank's log (-1 = synthesized)
+    op: str
+    at: float
+    thread: tuple
+
+    def site(self) -> str:
+        """Human-readable access site."""
+        return (
+            f"rank {self.rank} log[{self.index}] {self.op} at {self.at:.9g} "
+            f"(thread {self.thread})"
+        )
+
+
+@dataclass(frozen=True)
+class Race:
+    """Two conflicting accesses unordered under happens-before."""
+
+    resource: str
+    first: Access
+    second: Access
+    missing_edge: str
+
+    def render(self) -> str:
+        """The canonical multi-line report form."""
+        return (
+            f"race on {self.resource}\n"
+            f"  first:  {self.first.site()} [{self.first.mode}]\n"
+            f"  second: {self.second.site()} [{self.second.mode}]\n"
+            f"  missing edge: {self.missing_edge}"
+        )
+
+
+@dataclass(frozen=True)
+class RaceConfig:
+    """Detector configuration.
+
+    Args:
+        commutative: ``fnmatch`` patterns of resource ids whose
+            conflicting accesses are proven commutative and therefore
+            suppressed (reported separately, never counted as races).
+    """
+
+    commutative: tuple[str, ...] = DEFAULT_COMMUTATIVE
+
+    def is_commutative(self, resource: str) -> bool:
+        """Whether ``resource`` matches a commutative allowlist pattern."""
+        return any(fnmatchcase(resource, pat) for pat in self.commutative)
+
+
+@dataclass
+class RaceReport:
+    """Outcome of one detection run."""
+
+    races: list[Race] = field(default_factory=list)
+    #: conflicts matched by the commutative allowlist (audit trail)
+    suppressed: list[Race] = field(default_factory=list)
+    n_records: int = 0
+    n_accesses: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether no unsuppressed race was found."""
+        return not self.races
+
+    def render(self) -> str:
+        """Text report: every race, then the summary line."""
+        parts = [race.render() for race in self.races]
+        parts.append(
+            f"repro-races: {len(self.races)} race(s), "
+            f"{len(self.suppressed)} suppressed as commutative, "
+            f"{self.n_accesses} accesses over {self.n_records} records"
+        )
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``--format json`` shape)."""
+
+        def acc(a: Access) -> dict:
+            return {
+                "resource": a.resource,
+                "mode": a.mode,
+                "rank": a.rank,
+                "index": a.index,
+                "op": a.op,
+                "at": a.at,
+                "thread": list(a.thread),
+            }
+
+        def race(r: Race) -> dict:
+            return {
+                "resource": r.resource,
+                "first": acc(r.first),
+                "second": acc(r.second),
+                "missing_edge": r.missing_edge,
+            }
+
+        return {
+            "races": [race(r) for r in self.races],
+            "suppressed": [race(r) for r in self.suppressed],
+            "summary": {
+                "n_races": len(self.races),
+                "n_suppressed": len(self.suppressed),
+                "n_records": self.n_records,
+                "n_accesses": self.n_accesses,
+            },
+        }
+
+
+def _thread_of(rec: RuntimeLogRecord) -> tuple:
+    """The logical thread a record belongs to (see module docstring)."""
+    if rec.op == "submit":
+        return ("producer",)
+    if rec.batch >= 0:
+        return ("b", rec.batch)
+    if rec.op in ("checkpoint", "rollback", "restore"):
+        return ("recovery",)
+    return ("misc", rec.op)
+
+
+class _ResourceState:
+    """FastTrack-style per-resource access history."""
+
+    __slots__ = ("last_write", "last_write_vc", "reads")
+
+    def __init__(self):
+        self.last_write: Access | None = None
+        self.last_write_vc: VectorClock | None = None
+        self.reads: list[tuple[Access, VectorClock]] = []
+
+
+class _RankAnalysis:
+    """One rank's happens-before replay and conflict detection."""
+
+    def __init__(self, rank: int, config: RaceConfig):
+        self.rank = rank
+        self.config = config
+        self.clocks: dict[tuple, VectorClock] = {}
+        self.resources: dict[str, _ResourceState] = {}
+        self.submit_vc: dict[Hashable, VectorClock] = {}
+        self.acc_vc: dict[Hashable, VectorClock] = {}
+        self.ckpt_vc: dict[int, VectorClock] = {}
+        self.begin_keys: dict[int, frozenset] = {}
+        self.barrier: VectorClock | None = None
+        self.all_seen = VectorClock()
+        self.races: list[Race] = []
+        self.suppressed: list[Race] = []
+        self.n_accesses = 0
+
+    # -- conflict bookkeeping --------------------------------------------------
+
+    def _emit(self, prior: Access, current: Access, missing_edge: str) -> None:
+        race = Race(current.resource, prior, current, missing_edge)
+        if self.config.is_commutative(current.resource):
+            self.suppressed.append(race)
+        else:
+            self.races.append(race)
+
+    def _access(
+        self, access: Access, vc: VectorClock, missing_edge: str
+    ) -> None:
+        """Record one access; flag it against every unordered conflict."""
+        self.n_accesses += 1
+        state = self.resources.setdefault(access.resource, _ResourceState())
+        if state.last_write is not None and not state.last_write_vc.leq(vc):
+            self._emit(state.last_write, access, missing_edge)
+        if access.mode == "write":
+            for read, read_vc in state.reads:
+                if not read_vc.leq(vc):
+                    self._emit(read, access, missing_edge)
+            state.last_write = access
+            state.last_write_vc = vc
+            state.reads = []
+        else:
+            state.reads.append((access, vc))
+
+    # -- the replay ------------------------------------------------------------
+
+    def feed(self, index: int, rec: RuntimeLogRecord) -> None:
+        """Process one record in stored order."""
+        thread = _thread_of(rec)
+        clock = self.clocks.setdefault(thread, VectorClock())
+        if self.barrier is not None:
+            clock.join(self.barrier)
+
+        # incoming sanctioned edges
+        if rec.op == "flush":
+            for item in rec.ids:
+                src = self.submit_vc.get(item)
+                if src is not None:
+                    clock.join(src)
+        elif rec.op == "gpu_compute":
+            for key in self.begin_keys.get(rec.batch, frozenset()):
+                state = self.resources.get(f"cache:{key}")
+                if state is not None and state.last_write_vc is not None:
+                    clock.join(state.last_write_vc)
+        elif rec.op in ("checkpoint", "rollback"):
+            for item in rec.ids if rec.op == "rollback" else rec.ids:
+                src = self.acc_vc.get(item)
+                if src is not None:
+                    clock.join(src)
+            if rec.op == "checkpoint":
+                edge = _parse_lineage_edge(rec.kind)
+                if edge is not None and edge[1] in self.ckpt_vc:
+                    clock.join(self.ckpt_vc[edge[1]])
+        elif rec.op == "restore":
+            for seq in self._restore_read_seqs(rec):
+                src = self.ckpt_vc.get(seq)
+                if src is not None:
+                    clock.join(src)
+            # crash-restart is sequential on the physical rank
+            clock.join(self.all_seen)
+
+        clock.tick(thread)
+        vc = clock.copy()
+        self.all_seen.join(vc)
+
+        # accesses + state updates
+        if rec.op == "submit":
+            for item in rec.ids:
+                self.submit_vc[item] = vc
+        elif rec.op == "begin_transfer":
+            self.begin_keys[rec.batch] = frozenset(rec.ids)
+        elif rec.op == "block_transfer":
+            for key in rec.ids:
+                self._access(
+                    Access(f"cache:{key}", "write", self.rank, index,
+                           rec.op, rec.at, thread),
+                    vc,
+                    "write-once commit ordering (a block may ship once; "
+                    "a second shipper must be ordered by restore)",
+                )
+        elif rec.op == "gpu_compute":
+            reserved = self.begin_keys.get(rec.batch, frozenset())
+            for key in rec.ids:
+                self._access(
+                    Access(f"cache:{key}", "read", self.rank, index,
+                           rec.op, rec.at, thread),
+                    vc,
+                    (
+                        f"block {key!r} is not covered by the batch's "
+                        "begin_transfer reservation, so the "
+                        "commit_transfer -> gpu_compute edge is missing"
+                        if key not in reserved
+                        else "commit_transfer -> gpu_compute (reservation "
+                        "present but commit unordered)"
+                    ),
+                )
+        elif rec.op == "accumulate":
+            for item in rec.ids:
+                self._access(
+                    Access(f"accum:{item}", "write", self.rank, index,
+                           rec.op, rec.at, thread),
+                    vc,
+                    "flush -> accumulate ordering (two accumulates of one "
+                    "item must be separated by a rollback/restore)",
+                )
+                self.acc_vc[item] = vc
+        elif rec.op == "rollback":
+            for item in rec.ids:
+                self._access(
+                    Access(f"accum:{item}", "write", self.rank, index,
+                           rec.op, rec.at, thread),
+                    vc,
+                    "accumulate -> rollback ordering (a rollback may only "
+                    "cancel accumulates it has observed)",
+                )
+        elif rec.op == "checkpoint":
+            edge = _parse_lineage_edge(rec.kind)
+            for item in rec.ids:
+                self._access(
+                    Access(f"accum:{item}", "read", self.rank, index,
+                           rec.op, rec.at, thread),
+                    vc,
+                    "accumulate -> checkpoint ordering (a snapshot may "
+                    "only cover accumulates it has observed)",
+                )
+            if edge is not None:
+                seq = edge[0]
+                self._access(
+                    Access(f"lineage:{seq}", "write", self.rank, index,
+                           rec.op, rec.at, thread),
+                    vc,
+                    "checkpoint lineage ordering (sequence numbers are "
+                    "written once by the recovery thread)",
+                )
+                self.ckpt_vc[seq] = vc
+        elif rec.op == "restore":
+            for seq in self._restore_read_seqs(rec):
+                self._access(
+                    Access(f"lineage:{seq}", "read", self.rank, index,
+                           rec.op, rec.at, thread),
+                    vc,
+                    "checkpoint -> restore lineage edge missing (restore "
+                    "read a snapshot that was never durably committed)",
+                )
+            self.barrier = vc
+
+    @staticmethod
+    def _restore_read_seqs(rec: RuntimeLogRecord) -> list[int]:
+        """Snapshot sequence numbers a restore record read: the walked
+        snapshots (``s<seq>`` ids) plus the chosen target (kind)."""
+        seqs: list[int] = []
+        for raw in rec.ids:
+            text = str(raw)
+            if text.startswith("s"):
+                try:
+                    seqs.append(int(text[1:]))
+                except ValueError:
+                    continue
+        try:
+            target = int(rec.kind)
+        except ValueError:
+            target = -1
+        if target >= 0 and target not in seqs:
+            seqs.append(target)
+        return seqs
+
+
+def analyze_log(
+    records: Iterable[RuntimeLogRecord],
+    rank: int = 0,
+    config: RaceConfig | None = None,
+) -> RaceReport:
+    """Race-check one rank's log (stored order); the fixture-level API."""
+    config = config or RaceConfig()
+    analysis = _RankAnalysis(rank, config)
+    n = 0
+    for index, rec in enumerate(records):
+        analysis.feed(index, rec)
+        n += 1
+    return RaceReport(
+        races=analysis.races,
+        suppressed=analysis.suppressed,
+        n_records=n,
+        n_accesses=analysis.n_accesses,
+    )
+
+
+def _gauge_races(dump, config: RaceConfig) -> tuple[list[Race], list[Race]]:
+    """Ownership analysis of gauges in a multi-rank dump.
+
+    Counters and histograms merge commutatively (sample multisets);
+    gauges are last-write-wins, so a gauge written in a run with several
+    ranks publishing into one registry is a conflict unless it is
+    driver-owned or allowlisted.  Samples carry no rank attribution, so
+    both access sites are synthesized from the first and last sample.
+    """
+    races: list[Race] = []
+    suppressed: list[Race] = []
+    if len(dump.ranks) < 2:
+        return races, suppressed
+    metrics = dump.registry.to_dict()
+    for name in sorted(metrics.get("gauges", {})):
+        if any(name.startswith(p) for p in _DRIVER_GAUGE_PREFIXES):
+            continue
+        samples = metrics["gauges"][name].get("samples", [])
+        if not samples:
+            continue
+        resource = f"metric:gauge:{name}"
+        first = Access(resource, "write", -1, -1, "gauge.set",
+                       float(samples[0][0]), ("registry",))
+        last = Access(resource, "write", -1, -1, "gauge.set",
+                      float(samples[-1][0]), ("registry",))
+        race = Race(
+            resource, first, last,
+            "gauge written by multiple ranks into one registry with no "
+            "rank qualification; last-write-wins merges are "
+            "schedule-dependent (rank-qualify the name or allowlist it "
+            "as commutative)",
+        )
+        if config.is_commutative(resource):
+            suppressed.append(race)
+        else:
+            races.append(race)
+    return races, suppressed
+
+
+def detect_races(dump, config: RaceConfig | None = None) -> RaceReport:
+    """Race-check a whole captured run (:class:`repro.obs.dump.RunDump`).
+
+    Per-rank logs are replayed independently (ranks share no simulated
+    state except the metrics registry, which gets the ownership
+    analysis).
+    """
+    config = config or RaceConfig()
+    report = RaceReport()
+    for rank_dump in dump.ranks:
+        partial = analyze_log(rank_dump.log, rank_dump.rank, config)
+        report.races.extend(partial.races)
+        report.suppressed.extend(partial.suppressed)
+        report.n_records += partial.n_records
+        report.n_accesses += partial.n_accesses
+    gauge_races, gauge_suppressed = _gauge_races(dump, config)
+    report.races.extend(gauge_races)
+    report.suppressed.extend(gauge_suppressed)
+    return report

@@ -4,6 +4,8 @@ Importing this package registers every rule with
 :mod:`repro.lint.core`; each module documents the runtime invariant its
 rules protect (see ``docs/LINT.md`` for the full catalogue):
 
+- :mod:`repro.lint.rules.concurrency` — ``CONC``: shared state in
+  event-handler code only through the sanctioned ordering primitives;
 - :mod:`repro.lint.rules.determinism` — ``DET``: simulated time and
   seeded randomness only inside the event-driven subsystems;
 - :mod:`repro.lint.rules.floats` — ``FLT``: no exact equality on
@@ -16,6 +18,6 @@ rules protect (see ``docs/LINT.md`` for the full catalogue):
 
 from __future__ import annotations
 
-from repro.lint.rules import api, determinism, floats, resources
+from repro.lint.rules import api, concurrency, determinism, floats, resources
 
-__all__ = ["api", "determinism", "floats", "resources"]
+__all__ = ["api", "concurrency", "determinism", "floats", "resources"]

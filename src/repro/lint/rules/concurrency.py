@@ -1,0 +1,244 @@
+"""``CONC`` — concurrency-hygiene rules for event-handler code.
+
+The dynamic race detector (:mod:`repro.lint.races`) verifies *runs*;
+these rules verify the *code* cannot grow the access patterns the
+detector would flag.  Event-handler code — anything in the
+simulated-time subsystems ``runtime/``, ``cluster/``, ``recovery/`` —
+must touch shared state only through the sanctioned ordering
+primitives: state owned by the runtime object and serialized by slot
+resources, cross-rank data keyed through the DHT owner map, and metrics
+stamped with the simulated clock.
+
+- **CONC001** — module-level mutable state (or ``global`` writes):
+  state shared by every handler with no ordering primitive at all.
+  The scheduler arc makes handlers interleave; module globals are the
+  first thing that silently stops being deterministic.  CONSTANT_CASE
+  and dunder names are exempt — read-only by PEP 8 contract.
+- **CONC002** — read-modify-write of a non-local container inside a DES
+  process generator: between the read and the write the process may
+  yield, and another handler's write is unordered with this one.
+  Shared containers must be routed through their owner (the DHT owner
+  map for cross-rank dicts) or mutated while holding the slot resource.
+- **CONC003** — metrics published with a literal timestamp: registry
+  streams are merged across ranks by simulated time, so a sample
+  stamped off the simulated clock lands at an arbitrary merge position
+  (the registry-mutation-off-the-clock hazard).  Timestamps must be
+  expressions of the event loop (``env.now``, timeline instants).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+import re
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+#: names declared constants by convention (PEP 8 CONSTANT_CASE) or
+#: module metadata (dunders) — read-only by contract, not shared state
+_CONSTANT_NAME = re.compile(r"^(_?[A-Z][A-Z0-9_]*|__\w+__)$")
+
+#: subsystems whose code runs inside event handlers
+EVENT_HANDLER_SCOPE = ("runtime", "cluster", "recovery")
+
+#: constructors whose module-level result is shared mutable state
+_MUTABLE_CALLS = frozenset(
+    {"dict", "list", "set", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
+
+#: metric handle constructors on a registry
+_METRIC_HANDLES = frozenset({"counter", "gauge", "histogram"})
+#: sample-publishing methods whose first argument is a timestamp
+_PUBLISH_METHODS = frozenset({"inc", "set", "observe"})
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    """Whether ``node`` evaluates to a fresh mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@register
+class ModuleStateRule(Rule):
+    """CONC001: no module-level mutable state in event-handler code."""
+
+    id = "CONC001"
+    summary = (
+        "module-level mutable state / global write in event-handler "
+        "code (own the state on the runtime object, serialized by its "
+        "slot resources)"
+    )
+    scope = EVENT_HANDLER_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag mutable module-level assignments and ``global`` writes."""
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not _is_mutable_literal(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and not _CONSTANT_NAME.match(
+                    target.id
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        stmt,
+                        f"module-level mutable container {target.id!r} is "
+                        "shared by every event handler with no ordering "
+                        "primitive; own it on the runtime object instead",
+                    )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Global):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"global write to {', '.join(node.names)} from an "
+                    "event handler; handler state must be owned by the "
+                    "runtime object, not module globals",
+                )
+
+
+def _own_yields(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether ``func`` itself is a generator (yields outside nested
+    defs/lambdas)."""
+
+    class _Finder(ast.NodeVisitor):
+        found = False
+
+        def visit_FunctionDef(self, node):  # noqa: N802 (ast API)
+            pass  # nested scope
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+        visit_Lambda = visit_FunctionDef
+
+        def visit_Yield(self, node):  # noqa: N802 (ast API)
+            self.found = True
+
+        visit_YieldFrom = visit_Yield
+
+    finder = _Finder()
+    for stmt in func.body:
+        finder.visit(stmt)
+    return finder.found
+
+
+def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameters and names assigned anywhere in ``func``'s own body."""
+    args = func.args
+    names = {
+        a.arg
+        for a in (
+            args.posonlyargs + args.args + args.kwonlyargs
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        )
+    }
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, (ast.AnnAssign, ast.For, ast.withitem)):
+            target = getattr(node, "target", None) or getattr(
+                node, "optional_vars", None
+            )
+            if target is not None:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+    return names
+
+
+@register
+class SharedContainerRmwRule(Rule):
+    """CONC002: no unordered container read-modify-write in a process."""
+
+    id = "CONC002"
+    summary = (
+        "read-modify-write of a shared container inside a DES process "
+        "(route it through the owner rank / hold the slot resource)"
+    )
+    scope = EVENT_HANDLER_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``container[key] += ...`` on non-local containers inside
+        generator (process) functions."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _own_yields(node):
+                continue
+            local = _local_names(node)
+            for stmt in ast.walk(node):
+                if not isinstance(stmt, ast.AugAssign):
+                    continue
+                target = stmt.target
+                if not isinstance(target, ast.Subscript):
+                    continue
+                base = target.value
+                if isinstance(base, ast.Name) and base.id in local:
+                    continue
+                yield ctx.finding(
+                    self.id,
+                    stmt,
+                    "read-modify-write of a shared container inside a "
+                    "DES process; the process may yield between read and "
+                    "write — key the write through the owner map or hold "
+                    "the slot resource across it",
+                )
+
+
+@register
+class LiteralTimestampRule(Rule):
+    """CONC003: metrics must be stamped with the simulated clock."""
+
+    id = "CONC003"
+    summary = (
+        "metric published with a literal timestamp (stamp samples with "
+        "the simulated clock: env.now / timeline instants)"
+    )
+    scope = EVENT_HANDLER_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``registry.counter(...).inc(<literal>, ...)`` chains."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _PUBLISH_METHODS:
+                continue
+            receiver = func.value
+            if not (
+                isinstance(receiver, ast.Call)
+                and isinstance(receiver.func, ast.Attribute)
+                and receiver.func.attr in _METRIC_HANDLES
+            ):
+                continue
+            if not node.args:
+                continue
+            stamp = node.args[0]
+            if isinstance(stamp, ast.Constant) and isinstance(
+                stamp.value, (int, float)
+            ) and not isinstance(stamp.value, bool):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"metric sample published via .{func.attr}() with the "
+                    f"literal timestamp {stamp.value!r}; samples merge "
+                    "across ranks by simulated time, so the stamp must "
+                    "come from the event loop (env.now or a timeline "
+                    "instant)",
+                )

@@ -1,0 +1,104 @@
+"""SARIF 2.1.0 output for the analyzer (GitHub code-scanning format).
+
+``repro-lint --format sarif`` emits one SARIF run whose driver lists
+the rule catalogue and whose results carry every finding with its
+physical location, so GitHub code scanning (and any SARIF consumer)
+annotates PR diffs in place.  :func:`findings_from_sarif` inverts the
+mapping — the round-trip the format tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import Finding, all_rules
+
+#: the SARIF version this module emits
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: pseudo-rules the engine emits that are not in the registry
+_ENGINE_RULES = {"PARSE": "file could not be parsed as Python"}
+
+
+def to_sarif(findings: list[Finding]) -> dict:
+    """The SARIF 2.1.0 document for ``findings``.
+
+    The driver's rule table lists the full registered catalogue plus
+    any engine pseudo-rules present in the findings, so every result's
+    ``ruleId`` resolves.
+    """
+    catalogue = {rid: rule.summary for rid, rule in all_rules().items()}
+    for finding in findings:
+        if finding.rule not in catalogue:
+            catalogue[finding.rule] = _ENGINE_RULES.get(
+                finding.rule, finding.rule
+            )
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/madness-repro/docs/LINT.md"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": summary},
+                            }
+                            for rule_id, summary in sorted(catalogue.items())
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule,
+                        "level": "error" if f.rule == "PARSE" else "warning",
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": f.path},
+                                    "region": {
+                                        "startLine": f.line,
+                                        "startColumn": f.col,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }
+
+
+def findings_from_sarif(doc: dict) -> list[Finding]:
+    """Rebuild the finding list from a document :func:`to_sarif` wrote."""
+    findings: list[Finding] = []
+    for run in doc.get("runs", []):
+        for result in run.get("results", []):
+            location = result["locations"][0]["physicalLocation"]
+            findings.append(
+                Finding(
+                    rule=result["ruleId"],
+                    message=result["message"]["text"],
+                    path=location["artifactLocation"]["uri"],
+                    line=location["region"]["startLine"],
+                    col=location["region"]["startColumn"],
+                )
+            )
+    return findings
+
+
+def render_sarif(findings: list[Finding]) -> str:
+    """The serialized SARIF text (stable key order, 2-space indent)."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True)

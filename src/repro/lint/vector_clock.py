@@ -1,0 +1,64 @@
+"""Vector clocks over the happens-before threads of one trace log.
+
+The race detector (:mod:`repro.lint.races`) assigns every log record to
+a logical *thread* — the producer submitting items, one thread per
+dispatched batch, the recovery protocol — and computes a vector clock
+per record: program order advances the record's own component, and each
+sanctioned ordering edge joins the source record's clock into the
+target's.  Two conflicting accesses are a race exactly when neither
+clock is ≤ the other.
+
+Threads are arbitrary hashable keys; clocks are sparse (absent
+component = 0), so a run with hundreds of batch threads stays cheap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+
+class VectorClock:
+    """A sparse vector clock: thread key -> logical timestamp."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, components: dict[Hashable, int] | None = None):
+        self._c: dict[Hashable, int] = dict(components or {})
+
+    def copy(self) -> "VectorClock":
+        """An independent clock with the same components."""
+        return VectorClock(self._c)
+
+    def get(self, thread: Hashable) -> int:
+        """The component for ``thread`` (0 when never ticked)."""
+        return self._c.get(thread, 0)
+
+    def tick(self, thread: Hashable) -> "VectorClock":
+        """Advance ``thread``'s component by one (in place)."""
+        self._c[thread] = self._c.get(thread, 0) + 1
+        return self
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """Componentwise maximum (in place): record an incoming edge."""
+        for thread, stamp in other._c.items():
+            if stamp > self._c.get(thread, 0):
+                self._c[thread] = stamp
+        return self
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Whether this clock happens-before-or-equals ``other``
+        (componentwise ≤)."""
+        return all(
+            stamp <= other._c.get(thread, 0)
+            for thread, stamp in self._c.items()
+        )
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        """Whether neither clock is ordered before the other."""
+        return not self.leq(other) and not other.leq(self)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{t}:{s}" for t, s in sorted(self._c.items(), key=lambda kv: str(kv[0]))
+        )
+        return f"VectorClock({{{inner}}})"

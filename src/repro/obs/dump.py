@@ -33,7 +33,30 @@ from repro.runtime.trace import RuntimeLogRecord, TraceEvent, Tracer
 #: schema identity of the dump format (see docs/OBSERVABILITY.md)
 DUMP_SCHEMA = "repro-obs-dump"
 #: bump on any backwards-incompatible change to the dump layout
-DUMP_VERSION = 1
+DUMP_VERSION = 2
+#: older layouts this tooling still reads (v1: no ``begin_transfer``
+#: records, capture order instead of canonical merge order)
+COMPAT_VERSIONS = frozenset({1, DUMP_VERSION})
+
+#: canonical same-instant ordering of log ops — pipeline-stage order,
+#: with rollback/restore first (they open the replay epoch records that
+#: may share their instant).  Sorting each rank's log by
+#: ``(at, stage, batch, attempt)`` (stable) is the *deterministic
+#: merge*: any legal interleaving of happens-before-unordered records
+#: canonicalizes to the same bytes, which is what the schedule
+#: perturbation harness (repro.lint.perturb) asserts.
+_OP_STAGE = {
+    "rollback": -2,
+    "restore": -1,
+    "submit": 0,
+    "flush": 1,
+    "begin_transfer": 2,
+    "block_transfer": 3,
+    "gpu_compute": 4,
+    "gpu_fault": 5,
+    "accumulate": 6,
+    "checkpoint": 7,
+}
 
 
 class DumpError(ReproError, ValueError):
@@ -187,10 +210,10 @@ class RunDump:
                 f"not a {DUMP_SCHEMA} document: "
                 f"schema={raw.get('schema') if isinstance(raw, dict) else raw!r}"
             )
-        if raw.get("version") != DUMP_VERSION:
+        if raw.get("version") not in COMPAT_VERSIONS:
             raise DumpError(
                 f"unsupported dump version {raw.get('version')!r} "
-                f"(this tooling reads version {DUMP_VERSION})"
+                f"(this tooling reads versions {sorted(COMPAT_VERSIONS)})"
             )
         return cls(
             meta=dict(raw.get("meta", {})),
@@ -230,16 +253,48 @@ def dumps_canonical(obj: dict) -> str:
     return json.dumps(obj, sort_keys=True, indent=1) + "\n"
 
 
+def merge_order_log(
+    log: list[RuntimeLogRecord],
+) -> list[RuntimeLogRecord]:
+    """Deterministic-merge ordering of one rank's log records.
+
+    Stable sort by ``(at, pipeline stage, batch, attempt)``.  Records
+    the happens-before partial order *does* relate keep their program
+    order (same-thread same-instant records differ in stage, batch or
+    attempt consistently with emission order); records it does *not*
+    relate land in one canonical place regardless of the interleaving
+    the scheduler happened to emit them in.  A parallel per-rank
+    simulation merging its streams through this order is byte-identical
+    to the sequential one — the invariant :mod:`repro.lint.perturb`
+    enforces.
+    """
+    return sorted(
+        log,
+        key=lambda r: (r.at, _OP_STAGE.get(r.op, 99), r.batch, r.attempt),
+    )
+
+
+def merge_order_events(events: list[TraceEvent]) -> list[TraceEvent]:
+    """Deterministic-merge ordering of one rank's interval lanes (stable
+    sort by interval, lane, label and batch)."""
+    return sorted(
+        events,
+        key=lambda e: (e.start, e.end, e.category, e.label, e.batch),
+    )
+
+
 def capture_rank(
     rank: int,
     tracer: Tracer,
     summary: dict | None = None,
 ) -> RankDump:
-    """Freeze one rank's tracer into a canonical :class:`RankDump`."""
+    """Freeze one rank's tracer into a canonical :class:`RankDump`:
+    ids canonicalized, records and events in deterministic merge
+    order."""
     return RankDump(
         rank=rank,
-        events=list(tracer.events),
-        log=canonicalize_log(tracer.log),
+        events=merge_order_events(tracer.events),
+        log=merge_order_log(canonicalize_log(tracer.log)),
         summary=dict(summary or {}),
     )
 

@@ -281,7 +281,10 @@ def run_with_recovery(
             rolled_ids = discarded_ids + [id(it) for it in rolled]
             if tracer is not None:
                 tracer.log_rollback(target_seq, rolled_ids, detect_at)
-                tracer.log_restore(target_seq, restore_done)
+                tracer.log_restore(
+                    target_seq, restore_done,
+                    tried=[ck.seq for ck in tried],
+                )
             store.restore_to(target_seq)
             covered = store.covered_ids(target_seq)
             # the sink mirrors durable state: drop rolled-back results,

@@ -16,8 +16,33 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from collections.abc import Generator, Iterable
+from contextlib import contextmanager
+from contextvars import ContextVar
 
 from repro.errors import SimulationError
+
+#: adversarial tie-break source installed by :func:`scheduling_perturbation`
+#: (None = the default deterministic scheduling-order tie-break)
+_TIE_BREAKER: ContextVar = ContextVar("repro-des-tie-breaker", default=None)
+
+
+@contextmanager
+def scheduling_perturbation(rng):
+    """Install ``rng`` (a seeded ``random.Random``) as the same-instant
+    tie-breaker for every :class:`Environment` created in this context.
+
+    The schedule-perturbation harness (:mod:`repro.lint.perturb`) uses
+    this to re-execute a scenario under an *adversarial but still
+    deterministic* schedule: events at one instant fire in seeded-random
+    order instead of scheduling order.  Each (seed, scenario) pair is
+    exactly reproducible, so a divergence the harness finds can be
+    replayed.  Production code never installs a tie-breaker.
+    """
+    token = _TIE_BREAKER.set(rng)
+    try:
+        yield
+    finally:
+        _TIE_BREAKER.reset(token)
 
 
 class Event:
@@ -99,13 +124,21 @@ class Environment:
 
     def __init__(self):
         self.now = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue: list[tuple[float, float, int, Event]] = []
         self._counter = 0
+        #: same-instant tie-break RNG (perturbation harness only)
+        self._tie_breaker = _TIE_BREAKER.get()
 
     def _schedule(self, event: Event, delay: float) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self.now + delay, self._counter, event))
+        # ties on (time, draw) fall back to scheduling order; with no
+        # tie-breaker installed draw is constant and the queue is the
+        # documented deterministic (time, scheduling-order) heap
+        draw = 0.0 if self._tie_breaker is None else self._tie_breaker.random()
+        heapq.heappush(
+            self._queue, (self.now + delay, draw, self._counter, event)
+        )
         self._counter += 1
 
     def event(self) -> Event:
@@ -134,7 +167,7 @@ class Environment:
         Returns the final simulation time.
         """
         while self._queue:
-            t, _seq, event = self._queue[0]
+            t, _draw, _seq, event = self._queue[0]
             if until is not None and t > until:
                 self.now = until
                 return self.now

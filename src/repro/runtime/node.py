@@ -233,9 +233,15 @@ class NodeRuntime:
                 str(batch.kind), [id(it) for it in batch.items], at, index
             )
 
-    def _log_block_transfer(self, block_keys, at: float) -> None:
+    def _log_begin_transfer(self, kind, block_keys, at: float,
+                            batch: int = -1) -> None:
         if self.tracer is not None:
-            self.tracer.log_block_transfer(block_keys, at)
+            self.tracer.log_begin_transfer(str(kind), block_keys, at, batch)
+
+    def _log_block_transfer(self, block_keys, at: float,
+                            batch: int = -1) -> None:
+        if self.tracer is not None:
+            self.tracer.log_block_transfer(block_keys, at, batch)
 
     def _log_gpu_compute(
         self, kind, block_keys, at: float, attempt: int = 0, batch: int = -1
@@ -731,6 +737,7 @@ class NodeRuntime:
             # the transfer completes — a concurrent batch sees in-flight
             # blocks as *waits*, not hits (the TOCTOU fix)
             ticket = self.gpu_cache.begin_transfer(ordered_keys, per_block)
+            self._log_begin_transfer(kind, ordered_keys, env.now, batch_index)
             arrival_events = [
                 inflight[k] for k in ticket.wait_keys if k in inflight
             ]
@@ -758,7 +765,7 @@ class NodeRuntime:
             rec.blocks_waited = len(ticket.wait_keys)
             rec.blocks_hit = len(ticket.hit_keys)
             if ticket.ship_keys:
-                self._log_block_transfer(ticket.ship_keys, env.now)
+                self._log_block_transfer(ticket.ship_keys, env.now, batch_index)
                 inflight[ticket.ship_keys[0]].succeed()
             if self.registry is not None:
                 reg = self.registry

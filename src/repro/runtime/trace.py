@@ -27,6 +27,7 @@ from repro.errors import SimulationError
 LOG_OPS = (
     "submit",
     "flush",
+    "begin_transfer",
     "block_transfer",
     "gpu_compute",
     "gpu_fault",
@@ -76,6 +77,9 @@ class RuntimeLogRecord:
     Attributes:
         op: one of :data:`LOG_OPS` — ``submit`` (one work item entered
             the accumulator), ``flush`` (one batch left it),
+            ``begin_transfer`` (one batch reserved its full block read
+            set in the write-once cache — phase one of the two-phase
+            transfer; ids are every key the batch will read),
             ``block_transfer`` (operator blocks finished crossing PCIe
             into the write-once cache — recorded at *arrival* time),
             ``gpu_compute`` (one batch's GPU kernel started, with the
@@ -198,14 +202,38 @@ class Tracer:
         """Record one batch leaving the accumulator, items in batch order."""
         self._log("flush", at, kind, tuple(item_ids), 0, batch)
 
-    def log_block_transfer(
-        self, block_keys: Iterable[Hashable], at: float
+    def log_begin_transfer(
+        self,
+        kind: str,
+        block_keys: Iterable[Hashable],
+        at: float,
+        batch: int = -1,
     ) -> None:
-        """Record operator blocks *arriving* in the write-once GPU cache
-        (the transfer-completion instant, not its start)."""
+        """Record one batch *reserving* its operator blocks in the
+        write-once GPU cache (phase one of the two-phase protocol).
+
+        ``block_keys`` is the batch's full read set — blocks it ships
+        itself plus blocks it waits on or hits.  Together with the
+        batch's ``block_transfer`` record (which lists only the shipped
+        subset) this declares the cross-batch ordering edge
+        ``commit_transfer(k) -> gpu_compute`` the race detector
+        (:mod:`repro.lint.races`) verifies: a kernel read not covered by
+        its batch's reservation has no sanctioned ordering edge.
+        """
         keys = tuple(block_keys)
         if keys:
-            self._log("block_transfer", at, "", keys)
+            self._log("begin_transfer", at, kind, keys, 0, batch)
+
+    def log_block_transfer(
+        self, block_keys: Iterable[Hashable], at: float, batch: int = -1
+    ) -> None:
+        """Record operator blocks *arriving* in the write-once GPU cache
+        (the transfer-completion instant, not its start); ``batch``
+        identifies the shipping batch so the race detector can tell a
+        batch's own commits from blocks another batch published."""
+        keys = tuple(block_keys)
+        if keys:
+            self._log("block_transfer", at, "", keys, 0, batch)
 
     def log_gpu_compute(
         self,
@@ -263,11 +291,17 @@ class Tracer:
         restore (``-1`` = restart from scratch)."""
         self._log("rollback", at, str(target_seq), tuple(item_ids))
 
-    def log_restore(self, seq: int, at: float) -> None:
+    def log_restore(
+        self, seq: int, at: float, tried: Iterable[int] = ()
+    ) -> None:
         """Record recovery completing a restore to checkpoint ``seq``
         (``-1`` = from-scratch restart); every record after this one
-        belongs to the replay epoch."""
-        self._log("restore", at, str(seq), ())
+        belongs to the replay epoch.  ``tried`` lists the sequence
+        numbers of every snapshot *read* during the restore walk
+        (corrupted rejects included) — the lineage nodes the restore
+        depends on, which the race detector orders against their
+        ``checkpoint`` records."""
+        self._log("restore", at, str(seq), tuple(f"s{t}" for t in tried))
 
     def by_category(self, category: str) -> list[TraceEvent]:
         """Events of one Gantt lane, in recording order."""

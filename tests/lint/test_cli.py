@@ -97,6 +97,87 @@ class TestMainFunction:
             assert rule_id in out
 
 
+class TestSarifFormat:
+    def test_sarif_on_findings(self, tmp_path, capsys):
+        write(tmp_path, "runtime/mod.py", DIRTY)
+        assert main([str(tmp_path), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert any(r["ruleId"] == "DET001" for r in results)
+
+    def test_sarif_clean_run_has_no_results(self, tmp_path, capsys):
+        write(tmp_path, "pkg/mod.py", CLEAN)
+        assert main([str(tmp_path), "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+
+class TestUnparseableFiles:
+    def test_broken_syntax_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "pkg/broken.py", "def broken(:\n")
+        assert main([str(tmp_path)]) == 2
+        assert "PARSE" in capsys.readouterr().out
+
+    def test_non_utf8_file_exits_two_without_traceback(self, tmp_path):
+        target = tmp_path / "pkg" / "binary.py"
+        target.parent.mkdir(parents=True)
+        target.write_bytes(b"x = '\xff\xfe'\n")
+        assert main([str(tmp_path)]) == 2
+
+    def test_null_bytes_exit_two_without_traceback(self, tmp_path):
+        target = tmp_path / "pkg" / "nulls.py"
+        target.parent.mkdir(parents=True)
+        target.write_bytes(b"x = 1\x00\n")
+        assert main([str(tmp_path)]) == 2
+
+    def test_broken_fixture_via_subprocess(self, tmp_path):
+        """Regression: the CLI must exit 2, not crash with a traceback."""
+        write(tmp_path, "pkg/broken.py", "def broken(:\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=SUBPROC_ENV,
+        )
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+
+    def test_parseable_findings_still_exit_one(self, tmp_path):
+        write(tmp_path, "runtime/mod.py", DIRTY)
+        assert main([str(tmp_path), "--select", "DET001"]) == 1
+
+
+class TestRacesSubcommand:
+    def test_clean_scenario_exits_zero(self, capsys):
+        assert main(["races", "serialized"]) == 0
+        out = capsys.readouterr().out
+        assert "serialized: CLEAN" in out
+        assert "0 race(s)" in out
+
+    def test_perturbation_flags_run_both_gates(self, capsys):
+        assert main(["races", "serialized", "--perturb", "3", "--live", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "perturb=3 live=1" in out
+
+    def test_json_format_shape(self, capsys):
+        assert main(["races", "serialized", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        (entry,) = payload["scenarios"]
+        assert entry["scenario"] == "serialized"
+        assert entry["report"]["summary"]["n_races"] == 0
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["races", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_negative_k_exits_two(self, capsys):
+        assert main(["races", "serialized", "--perturb", "-1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestModuleInvocation:
     def test_python_dash_m_on_findings(self, tmp_path):
         """``python -m repro.lint --format json`` exits nonzero on findings."""

@@ -1,0 +1,198 @@
+"""Unit tests for the dynamic race detector.
+
+The adversarial fixtures are hand-built logs with one sanctioned edge
+deliberately removed; the zero-false-positive tests replay real
+canonical scenarios through the detector.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.lint.races import (
+    DEFAULT_COMMUTATIVE,
+    RaceConfig,
+    analyze_log,
+    detect_races,
+)
+from repro.runtime.trace import RuntimeLogRecord
+
+
+def rec(op, at, kind="k", ids=(), attempt=0, batch=-1):
+    """Shorthand record constructor."""
+    return RuntimeLogRecord(
+        op=op, at=at, kind=kind, ids=tuple(ids), attempt=attempt, batch=batch
+    )
+
+
+def ordered_log():
+    """A fully ordered single-batch run: no races by construction."""
+    return [
+        rec("submit", 0.0, "a", [1]),
+        rec("submit", 0.1, "a", [2]),
+        rec("flush", 0.5, "a", [1, 2], batch=0),
+        rec("begin_transfer", 0.5, "a", ["h0", "h1"], batch=0),
+        rec("block_transfer", 0.6, "", ["h0", "h1"], batch=0),
+        rec("gpu_compute", 0.7, "a", ["h0", "h1"], batch=0),
+        rec("accumulate", 0.9, "a", [1, 2], batch=0),
+    ]
+
+
+class TestOrderedLogs:
+    def test_ordered_log_is_clean(self):
+        report = analyze_log(ordered_log())
+        assert report.clean
+        assert report.races == []
+        assert report.n_records == len(ordered_log())
+        assert report.n_accesses > 0
+
+    def test_empty_log_is_clean(self):
+        assert analyze_log([]).clean
+
+    def test_cross_batch_commit_ordered_through_reservation(self):
+        # batch 1 reserves h0 after batch 0 committed it: the
+        # commit -> compute edge exists, no race
+        log = ordered_log() + [
+            rec("flush", 1.0, "a", [3], batch=1),
+            rec("begin_transfer", 1.0, "a", ["h0"], batch=1),
+            rec("gpu_compute", 1.1, "a", ["h0"], batch=1),
+            rec("accumulate", 1.2, "a", [3], batch=1),
+        ]
+        assert analyze_log(log).clean
+
+
+class TestTruePositives:
+    def test_unordered_double_accumulate(self):
+        # the ISSUE acceptance fixture: two batch threads accumulate the
+        # same item with no rollback/restore ordering them
+        log = ordered_log() + [
+            rec("accumulate", 0.95, "a", [1], batch=1),
+        ]
+        report = analyze_log(log)
+        assert not report.clean
+        (race,) = report.races
+        assert race.resource == "accum:1"
+        assert race.first.mode == "write" and race.second.mode == "write"
+        assert "rollback/restore" in race.missing_edge
+
+    def test_unreserved_block_read(self):
+        # batch 1 reads h0 without a begin_transfer reservation: the
+        # commit -> compute edge is missing
+        log = ordered_log() + [
+            rec("gpu_compute", 1.0, "a", ["h0"], batch=1),
+        ]
+        report = analyze_log(log)
+        assert not report.clean
+        (race,) = report.races
+        assert race.resource == "cache:h0"
+        assert "begin_transfer reservation" in race.missing_edge
+
+    def test_double_commit_of_one_block(self):
+        # two batches ship the same block with no restore between: a
+        # write-once violation surfaces as a write-write race
+        log = ordered_log() + [
+            rec("block_transfer", 1.0, "", ["h0"], batch=1),
+        ]
+        report = analyze_log(log)
+        assert any(r.resource == "cache:h0" for r in report.races)
+
+    def test_restore_barrier_orders_epochs(self):
+        # same double-commit shape, but separated by a crash-restart:
+        # the restore barrier orders epoch 2 after everything prior
+        log = ordered_log() + [
+            rec("checkpoint", 0.95, "1<--1", [1, 2]),
+            rec("rollback", 1.0, "1", []),
+            rec("restore", 1.1, "1"),
+            rec("block_transfer", 1.2, "", ["h0"], batch=1),
+        ]
+        assert analyze_log(log).clean
+
+    def test_report_render_and_dict_shape(self):
+        log = ordered_log() + [rec("accumulate", 0.95, "a", [1], batch=1)]
+        report = analyze_log(log)
+        text = report.render()
+        assert "race on accum:1" in text
+        assert "missing edge:" in text
+        payload = report.to_dict()
+        assert payload["summary"]["n_races"] == 1
+        assert payload["races"][0]["resource"] == "accum:1"
+
+
+class TestSuppression:
+    def test_commutative_pattern_suppresses(self):
+        log = ordered_log() + [rec("accumulate", 0.95, "a", [1], batch=1)]
+        config = RaceConfig(commutative=("accum:1",))
+        report = analyze_log(log, config=config)
+        assert report.clean
+        assert len(report.suppressed) == 1
+
+    def test_fnmatch_wildcards(self):
+        config = RaceConfig(commutative=("metric:gauge:runtime.*",))
+        assert config.is_commutative("metric:gauge:runtime.inflight_batches")
+        assert not config.is_commutative("metric:gauge:node.queue_depth")
+
+    def test_default_allowlist_is_narrow(self):
+        config = RaceConfig()
+        assert config.commutative == DEFAULT_COMMUTATIVE
+        assert not config.is_commutative("accum:1")
+
+
+def fake_dump(rank_logs, gauges=None):
+    """A duck-typed RunDump: per-rank logs plus a metrics registry."""
+    metrics = {"gauges": gauges or {}}
+    return SimpleNamespace(
+        ranks=[
+            SimpleNamespace(rank=rank, log=log)
+            for rank, log in enumerate(rank_logs)
+        ],
+        registry=SimpleNamespace(to_dict=lambda: metrics),
+    )
+
+
+class TestGaugeOwnership:
+    def test_unowned_gauge_in_multirank_dump_races(self):
+        dump = fake_dump(
+            [[], []],
+            gauges={"node.queue_depth": {"samples": [(0.1, 1), (0.9, 0)]}},
+        )
+        report = detect_races(dump)
+        (race,) = report.races
+        assert race.resource == "metric:gauge:node.queue_depth"
+        assert "last-write-wins" in race.missing_edge
+
+    def test_driver_owned_gauge_is_fine(self):
+        dump = fake_dump(
+            [[], []],
+            gauges={"cluster.makespan_seconds": {"samples": [(1.0, 2.0)]}},
+        )
+        assert detect_races(dump).clean
+
+    def test_allowlisted_gauge_is_suppressed(self):
+        dump = fake_dump(
+            [[], []],
+            gauges={
+                "runtime.inflight_batches": {"samples": [(0.1, 1), (0.2, 0)]}
+            },
+        )
+        report = detect_races(dump)
+        assert report.clean
+        assert len(report.suppressed) == 1
+
+    def test_single_rank_gauges_never_race(self):
+        dump = fake_dump(
+            [[]],
+            gauges={"node.queue_depth": {"samples": [(0.1, 1)]}},
+        )
+        assert detect_races(dump).clean
+
+
+@pytest.mark.parametrize("scenario", ["serialized", "faulty", "checkpoint"])
+def test_canonical_scenarios_are_race_free(scenario):
+    """Zero false positives on real captured runs (the ISSUE gate)."""
+    from repro.obs.scenarios import run_scenario
+
+    report = detect_races(run_scenario(scenario).dump)
+    assert report.clean, report.render()
+    assert report.n_accesses > 0

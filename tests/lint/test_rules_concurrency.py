@@ -1,0 +1,222 @@
+"""Per-rule fixture tests for the CONC concurrency-hygiene family."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.core import LintConfig, lint_paths
+
+
+def lint_snippet(tmp_path, relpath, source, select=None):
+    """Write ``source`` at ``relpath`` under tmp_path and lint it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    config = LintConfig(select=frozenset(select) if select else None)
+    return lint_paths([tmp_path], config)
+
+
+def rule_ids(findings):
+    """The set of rule ids present in ``findings``."""
+    return {f.rule for f in findings}
+
+
+# -- CONC001: module-level mutable state ------------------------------------------
+
+
+class TestModuleState:
+    def test_module_level_dict_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/state.py",
+            """
+            pending = {}
+            """,
+            select={"CONC001"},
+        )
+        assert rule_ids(findings) == {"CONC001"}
+        assert "pending" in findings[0].message
+
+    def test_mutable_constructor_and_annassign_fire(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "cluster/state.py",
+            """
+            from collections import defaultdict
+
+            queues: dict = defaultdict(list)
+            retries = Counter()
+            """,
+            select={"CONC001"},
+        )
+        assert len(findings) == 2
+
+    def test_global_write_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "recovery/state.py",
+            """
+            _epoch = 0
+
+            def bump():
+                \"\"\"Doc.\"\"\"
+                global _epoch
+                _epoch += 1
+            """,
+            select={"CONC001"},
+        )
+        assert rule_ids(findings) == {"CONC001"}
+        assert "_epoch" in findings[0].message
+
+    def test_constant_case_and_dunders_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/consts.py",
+            """
+            __all__ = ["a"]
+            DEFAULTS = {"a": 1}
+            _LAZY = {"mod": "pkg.mod"}
+            """,
+            select={"CONC001"},
+        )
+        assert findings == []
+
+    def test_out_of_scope_files_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "analysis/state.py",
+            """
+            cache = {}
+            """,
+            select={"CONC001"},
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/state.py",
+            """
+            registry = {}  # repro: noqa[CONC001]
+            """,
+            select={"CONC001"},
+        )
+        assert findings == []
+
+
+# -- CONC002: container RMW inside a DES process ----------------------------------
+
+
+class TestSharedContainerRmw:
+    def test_rmw_of_attribute_container_in_generator_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/proc.py",
+            """
+            def worker(self, env):
+                \"\"\"Doc.\"\"\"
+                while True:
+                    yield env.timeout(1.0)
+                    self.depth[0] += 1
+            """,
+            select={"CONC002"},
+        )
+        assert rule_ids(findings) == {"CONC002"}
+
+    def test_local_container_is_fine(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/proc.py",
+            """
+            def worker(env):
+                \"\"\"Doc.\"\"\"
+                counts = {}
+                yield env.timeout(1.0)
+                counts["a"] += 1
+            """,
+            select={"CONC002"},
+        )
+        assert findings == []
+
+    def test_non_generator_function_is_fine(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/proc.py",
+            """
+            def tally(shared):
+                \"\"\"Doc.\"\"\"
+                shared["a"] += 1
+            """,
+            select={"CONC002"},
+        )
+        assert findings == []
+
+    def test_yield_in_nested_def_does_not_make_outer_a_process(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/proc.py",
+            """
+            def outer(shared):
+                \"\"\"Doc.\"\"\"
+                def gen():
+                    yield 1
+                shared["a"] += 1
+                return gen
+            """,
+            select={"CONC002"},
+        )
+        assert findings == []
+
+
+# -- CONC003: literal metric timestamps -------------------------------------------
+
+
+class TestLiteralTimestamp:
+    def test_literal_stamp_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/metrics.py",
+            """
+            def publish(registry):
+                \"\"\"Doc.\"\"\"
+                registry.counter("runtime.batches").inc(0.0)
+            """,
+            select={"CONC003"},
+        )
+        assert rule_ids(findings) == {"CONC003"}
+        assert "simulated time" in findings[0].message
+
+    def test_clock_stamp_is_fine(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/metrics.py",
+            """
+            def publish(registry, env):
+                \"\"\"Doc.\"\"\"
+                registry.gauge("runtime.depth").set(env.now, 3)
+                registry.histogram("runtime.lat").observe(env.now, 0.5)
+            """,
+            select={"CONC003"},
+        )
+        assert findings == []
+
+    def test_non_metric_receiver_is_fine(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "runtime/metrics.py",
+            """
+            def other(thing):
+                \"\"\"Doc.\"\"\"
+                thing.helper("x").set(1.0, 2)
+            """,
+            select={"CONC003"},
+        )
+        assert findings == []
+
+
+def test_conc_rules_listed_with_event_handler_scope():
+    from repro.lint.core import all_rules
+
+    rules = all_rules()
+    for rule_id in ("CONC001", "CONC002", "CONC003"):
+        assert rules[rule_id].scope == ("runtime", "cluster", "recovery")

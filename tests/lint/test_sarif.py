@@ -1,0 +1,71 @@
+"""SARIF output: document shape and lossless round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import Finding
+from repro.lint.sarif import (
+    SARIF_VERSION,
+    findings_from_sarif,
+    render_sarif,
+    to_sarif,
+)
+
+FIXTURE = [
+    Finding(rule="DET001", message="wall-clock call time.time()",
+            path="src/repro/runtime/node.py", line=12, col=5),
+    Finding(rule="CONC001", message="module-level mutable container 'q'",
+            path="src/repro/cluster/sim.py", line=3, col=1),
+    Finding(rule="PARSE", message="cannot parse file: invalid syntax",
+            path="src/repro/broken.py", line=1, col=9),
+]
+
+
+class TestDocumentShape:
+    def test_version_and_schema(self):
+        doc = to_sarif([])
+        assert doc["version"] == SARIF_VERSION
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(doc["runs"]) == 1
+
+    def test_driver_lists_the_rule_catalogue(self):
+        doc = to_sarif([])
+        rules = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"DET001", "CONC001", "CONC002", "CONC003"} <= rules
+
+    def test_every_result_rule_id_resolves(self):
+        doc = to_sarif(FIXTURE)
+        run = doc["runs"][0]
+        listed = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {r["ruleId"] for r in run["results"]} <= listed
+
+    def test_parse_findings_are_errors(self):
+        doc = to_sarif(FIXTURE)
+        levels = {
+            r["ruleId"]: r["level"] for r in doc["runs"][0]["results"]
+        }
+        assert levels["PARSE"] == "error"
+        assert levels["DET001"] == "warning"
+
+
+class TestRoundTrip:
+    def test_fixture_round_trips_losslessly(self):
+        assert findings_from_sarif(to_sarif(FIXTURE)) == FIXTURE
+
+    def test_render_is_valid_json_and_round_trips(self):
+        doc = json.loads(render_sarif(FIXTURE))
+        assert findings_from_sarif(doc) == FIXTURE
+
+    def test_empty_round_trip(self):
+        assert findings_from_sarif(to_sarif([])) == []
+
+    def test_real_lint_findings_round_trip(self, tmp_path):
+        from repro.lint.core import lint_paths
+
+        bad = tmp_path / "runtime" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+        findings = lint_paths([tmp_path])
+        assert findings  # sanity: the fixture does produce findings
+        assert findings_from_sarif(to_sarif(findings)) == findings

@@ -390,3 +390,103 @@ class TestRecoveryLedger:
         log[8] = rec("rollback", 0.9, "0", [])
         with pytest.raises(TraceCheckError):
             check_runtime_log(log)
+
+
+class TestRecoveryLedgerEdgeCases:
+    """Invariant 7 at its boundaries: runs with no restore at all, an
+    empty lineage, and a restore walk past corrupted snapshots."""
+
+    def test_zero_restore_run_with_checkpoints_passes(self):
+        # armed recovery, no crash: checkpoints commit, nothing restores
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("submit", 0.1, "a", [2]),
+            rec("flush", 0.3, "a", [1, 2]),
+            rec("accumulate", 0.4, "a", [1, 2]),
+            rec("checkpoint", 0.5, "0<--1", [1, 2]),
+            rec("submit", 0.6, "a", [3]),
+            rec("flush", 0.7, "a", [3]),
+            rec("accumulate", 0.8, "a", [3]),
+            rec("checkpoint", 0.9, "1<-0", [3]),
+        ]
+        assert find_violations(log) == []
+
+    def test_zero_restore_run_without_checkpoints_passes(self):
+        # recovery never armed: the ledger must stay entirely silent
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("flush", 0.3, "a", [1]),
+            rec("accumulate", 0.4, "a", [1]),
+        ]
+        assert find_violations(log) == []
+
+    def test_from_scratch_restart_with_empty_lineage(self):
+        # a crash before any checkpoint restores to seq -1: the empty
+        # lineage is a legal restore target and covers nothing
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("flush", 0.3, "a", [1]),
+            rec("accumulate", 0.4, "a", [1]),
+            rec("rollback", 0.5, "-1", [1]),
+            rec("restore", 0.6, "-1"),
+            rec("submit", 0.7, "a", [1]),
+            rec("flush", 0.8, "a", [1]),
+            rec("accumulate", 0.9, "a", [1]),
+        ]
+        assert find_violations(log) == []
+
+    def test_restore_to_missing_seq_on_empty_lineage_flagged(self):
+        # restoring to a checkpoint that never committed cannot be on
+        # the (empty) durable lineage
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("flush", 0.3, "a", [1]),
+            rec("accumulate", 0.4, "a", [1]),
+            rec("rollback", 0.5, "3", [1]),
+            rec("restore", 0.6, "3"),
+        ]
+        violations = find_violations(log)
+        assert any("not on the durable lineage" in v for v in violations)
+
+    def _corrupted_walk_log(self):
+        """Two checkpoints; the newest (seq 1) is corrupted on disk, so
+        the restore walk rejects it (``s1`` in ids) and lands on seq 0."""
+        return [
+            rec("submit", 0.0, "a", [1]),
+            rec("submit", 0.1, "a", [2]),
+            rec("flush", 0.2, "a", [1]),
+            rec("accumulate", 0.3, "a", [1]),
+            rec("checkpoint", 0.4, "0<--1", [1]),
+            rec("flush", 0.5, "a", [2]),
+            rec("accumulate", 0.6, "a", [2]),
+            rec("checkpoint", 0.7, "1<-0", [2]),
+            # crash: seq 1 is unreadable, the walk falls back to seq 0,
+            # so item 2 (covered only by seq 1) must be rolled back
+            rec("rollback", 0.8, "0", [2]),
+            RuntimeLogRecord(
+                op="restore", at=0.9, kind="0", ids=("s1", "s0")
+            ),
+            rec("submit", 1.0, "a", [2]),
+            rec("flush", 1.1, "a", [2]),
+            rec("accumulate", 1.2, "a", [2]),
+        ]
+
+    def test_corrupted_last_snapshot_walk_passes(self):
+        assert find_violations(self._corrupted_walk_log()) == []
+
+    def test_corrupted_walk_uncovers_the_newest_snapshot(self):
+        # after falling back past the corrupted seq 1, item 2 is no
+        # longer durable — re-covering it at seq 2 must be legal
+        log = self._corrupted_walk_log() + [
+            rec("checkpoint", 1.3, "2<-0", [2]),
+        ]
+        assert find_violations(log) == []
+
+    def test_corrupted_walk_without_rollback_is_double_count(self):
+        # dropping the rollback makes the replay of item 2 a real
+        # double accumulation — the walk must not forgive that
+        log = self._corrupted_walk_log()
+        log[8] = rec("rollback", 0.8, "0", [])
+        violations = find_violations(log)
+        assert any("effectively accumulated 2 times" in v
+                   for v in violations)

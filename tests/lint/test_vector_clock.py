@@ -1,0 +1,63 @@
+"""Unit tests for the sparse vector clock."""
+
+from __future__ import annotations
+
+from repro.lint.vector_clock import VectorClock
+
+
+class TestVectorClock:
+    def test_fresh_clock_is_empty(self):
+        vc = VectorClock()
+        assert vc.get(("a",)) == 0
+
+    def test_tick_advances_own_component(self):
+        vc = VectorClock()
+        vc.tick(("a",))
+        vc.tick(("a",))
+        assert vc.get(("a",)) == 2
+        assert vc.get(("b",)) == 0
+
+    def test_join_takes_componentwise_max(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick(("x",))
+        a.tick(("x",))
+        b.tick(("x",))
+        b.tick(("y",))
+        a.join(b)
+        assert a.get(("x",)) == 2
+        assert a.get(("y",)) == 1
+
+    def test_copy_is_independent(self):
+        vc = VectorClock()
+        vc.tick(("a",))
+        snap = vc.copy()
+        vc.tick(("a",))
+        assert snap.get(("a",)) == 1
+        assert vc.get(("a",)) == 2
+
+    def test_leq_is_the_happens_before_order(self):
+        early = VectorClock()
+        early.tick(("a",))
+        late = early.copy()
+        late.tick(("a",))
+        late.tick(("b",))
+        assert early.leq(late)
+        assert not late.leq(early)
+        assert early.leq(early)
+
+    def test_concurrent_clocks(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick(("a",))
+        b.tick(("b",))
+        assert a.concurrent(b)
+        assert b.concurrent(a)
+        # ordering either way kills concurrency
+        b.join(a)
+        assert not a.concurrent(b)
+
+    def test_empty_clock_precedes_everything(self):
+        vc = VectorClock()
+        other = VectorClock()
+        other.tick(("z",))
+        assert vc.leq(other)
+        assert not other.leq(vc)
