@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint lint-tests races ruff mypy test coverage golden trace-check
+.PHONY: check lint lint-tests races ruff mypy test coverage golden trace-check steal-smoke
 
 ## check: everything CI runs — in-tree analyzer, race gate, ruff, mypy,
 ## tier-1 tests
@@ -50,6 +50,11 @@ coverage:
 ## golden: regenerate the golden trace fixtures (review the diff!)
 golden:
 	$(PYTHON) -m pytest tests/obs/test_golden_traces.py -q --update-golden
+
+## steal-smoke: reduced-scale stealing-vs-static benchmark (the full
+## sweep runs 5000 simulated ranks; scale 0.1 stops at 500)
+steal-smoke:
+	REPRO_BENCH_SCALE=0.1 $(PYTHON) -m pytest benchmarks/test_stealing.py -q
 
 ## trace-check: just the dynamic happens-before tests
 trace-check:

@@ -1,0 +1,61 @@
+"""Work stealing vs the static process maps on skewed trees.
+
+The acceptance claim of the dynamic scheduler: on a skewed refinement
+tree at >= 500 simulated ranks, stealing improves the makespan over the
+static :class:`~repro.dht.process_map.SubtreePartitionMap` placement
+and cuts the load imbalance (max/mean busy seconds) by at least 25%,
+while conserving work (every task executed exactly once — enforced
+inside the engine and by ``repro.lint races`` on the ``stealing``
+scenario).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.stealing import run_stealing_vs_static
+
+from benchmarks.conftest import bench_scale
+
+
+def _rows_at(result, ranks):
+    rows = {
+        row["scheduler"]: row
+        for row in result.data["rows"]
+        if row["ranks"] == ranks
+    }
+    assert rows, f"no sweep point at {ranks} ranks"
+    return rows
+
+
+def test_stealing_beats_static_maps_on_skewed_trees(run_once, show):
+    """Stealing wins makespan and cuts imbalance >= 25% at 500 ranks."""
+    result = run_once(run_stealing_vs_static, bench_scale())
+    show(result)
+    rows = _rows_at(result, 500)
+    static = rows["subtree-static"]
+    cost = rows["cost-static"]
+    stealing = rows["subtree+stealing"]
+    # headline: dynamic scheduling beats the paper's static placement
+    assert stealing["makespan"] < static["makespan"]
+    # and even the informed cost-partition static baseline
+    assert stealing["makespan"] < cost["makespan"]
+    # the issue's bar: imbalance (max/mean) reduced by at least 25%
+    assert stealing["imbalance"] <= 0.75 * static["imbalance"]
+    # idle ranks exist under the static maps, none once stealing is on
+    assert static["idle_ranks"] > 0
+    assert stealing["idle_ranks"] == 0
+    # the win comes from actual migration, not pricing differences
+    assert stealing["tasks_migrated"] > 0
+
+
+def test_stealing_scales_with_rank_count(run_once, show):
+    """Every sweep point keeps the makespan win and near-flat balance."""
+    result = run_once(run_stealing_vs_static, bench_scale())
+    show(result)
+    by_ranks: dict[int, dict] = {}
+    for row in result.data["rows"]:
+        by_ranks.setdefault(row["ranks"], {})[row["scheduler"]] = row
+    for ranks, rows in by_ranks.items():
+        stealing = rows["subtree+stealing"]
+        static = rows["subtree-static"]
+        assert stealing["makespan"] < static["makespan"], ranks
+        assert stealing["imbalance"] <= 0.75 * static["imbalance"], ranks

@@ -48,7 +48,9 @@ class DistributedApplyResult:
     comm_seconds: list[float] = field(repr=False)
     n_messages: int = 0
     message_bytes: int = 0
-    imbalance: LoadImbalance = None
+    #: always set by :meth:`DistributedApply.apply`; Optional only so the
+    #: dataclass can be built field-by-field in tests
+    imbalance: LoadImbalance | None = None
 
     @property
     def n_ranks(self) -> int:

@@ -38,17 +38,36 @@ class LoadImbalance:
         return self.mean_load / self.max_load
 
 
-def imbalance_metrics(loads: list[float]) -> LoadImbalance:
-    """Compute :class:`LoadImbalance` for per-rank loads (time or tasks)."""
+#: default relative idle threshold: a rank whose load is below this
+#: fraction of the max load contributes nothing to the makespan
+IDLE_TOLERANCE = 1e-9
+
+
+def imbalance_metrics(
+    loads: list[float], idle_tolerance: float = IDLE_TOLERANCE
+) -> LoadImbalance:
+    """Compute :class:`LoadImbalance` for per-rank loads (time or tasks).
+
+    A rank counts as idle when its load is at most ``idle_tolerance``
+    times the maximum load: second-based loads accumulate float noise
+    (setup charges, rounding), so an exact ``== 0`` test undercounts
+    effectively-idle ranks.
+    """
     if not loads:
         raise ClusterConfigError("imbalance metrics need at least one rank")
+    if idle_tolerance < 0:
+        raise ClusterConfigError(
+            f"idle tolerance must be >= 0, got {idle_tolerance}"
+        )
     n = len(loads)
     mean = sum(loads) / n
     var = sum((x - mean) ** 2 for x in loads) / n
     cv = math.sqrt(var) / mean if mean > 0 else 0.0
+    peak = max(loads)
+    idle_cut = idle_tolerance * abs(peak)
     return LoadImbalance(
-        max_load=max(loads),
+        max_load=peak,
         mean_load=mean,
         cv=cv,
-        idle_ranks=sum(1 for x in loads if x == 0),
+        idle_ranks=sum(1 for x in loads if x <= idle_cut),
     )

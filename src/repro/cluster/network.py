@@ -46,3 +46,35 @@ class NetworkModel:
             + bytes_total / self.injection_bytes_per_second
         )
         return raw * (1.0 - self.overlap_fraction)
+
+    # -- work-stealing traffic -----------------------------------------------------
+    #
+    # Steal requests and migrated-task payloads sit on the *thief's
+    # critical path* — the thief is idle until the reply lands — so
+    # unlike asynchronous accumulates they get no overlap discount.
+
+    def request_seconds(self, payload_bytes: int = 64) -> float:
+        """Full (un-overlapped) cost of one steal request/grant/deny
+        control message."""
+        if payload_bytes < 0:
+            raise ClusterConfigError(
+                f"negative request payload: {payload_bytes}"
+            )
+        return (
+            self.latency_seconds
+            + payload_bytes / self.injection_bytes_per_second
+        )
+
+    def migration_seconds(self, n_tasks: int, payload_bytes: int) -> float:
+        """Full (un-overlapped) cost of shipping ``n_tasks`` migrated
+        task descriptors totalling ``payload_bytes`` to the thief."""
+        if n_tasks < 0 or payload_bytes < 0:
+            raise ClusterConfigError(
+                f"negative migration volume: {n_tasks}, {payload_bytes}"
+            )
+        if n_tasks == 0:
+            return 0.0
+        return (
+            self.latency_seconds
+            + payload_bytes / self.injection_bytes_per_second
+        )

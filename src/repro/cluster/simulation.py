@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 from repro.apps.workloads import ClusterTask
 from repro.cluster.load_balance import LoadImbalance, imbalance_metrics
 from repro.cluster.network import NetworkModel
+from repro.cluster.stealing import StealingConfig, StealingEngine
 from repro.dht.process_map import ProcessMap
 from repro.errors import ClusterConfigError
 from repro.faults.injector import FaultInjector
@@ -75,7 +76,9 @@ class ClusterResult:
     mode: str
     makespan_seconds: float
     node_results: list[NodeResult] = field(repr=False)
-    imbalance: LoadImbalance = None
+    #: always set by :meth:`ClusterSimulation.run`; Optional only so the
+    #: dataclass can be built field-by-field in tests
+    imbalance: LoadImbalance | None = None
     total_tasks: int = 0
     total_messages: int = 0
     total_message_bytes: int = 0
@@ -140,6 +143,15 @@ class ClusterSimulation:
             replay) instead of the deprecated omniscient redistribution.
             With no crashes scheduled the armed config costs nothing and
             the run is bit-identical to an unarmed one.
+        stealing: optional :class:`~repro.cluster.stealing.
+            StealingConfig` — replaces the fixed per-rank share with the
+            open work-stealing scheduling loop (:mod:`repro.cluster.
+            stealing`): the process map still decides *initial*
+            placement and accumulate destinations, but idle ranks steal
+            pending tasks from loaded ones over the network model.
+            ``StealingConfig(enabled=False)`` runs the same chunked
+            loop with stealing off (the fair static baseline).
+            Mutually exclusive with ``fault_injector``/``recovery``.
         rank_tracers: optional {rank: Tracer} — each listed rank's node
             runtime records its interval lanes and happens-before log
             into the given tracer (recovery segments are offset-shifted
@@ -176,6 +188,7 @@ class ClusterSimulation:
         pipelined: bool = True,
         adaptive: bool = False,
         recovery: RecoveryConfig | None = None,
+        stealing: StealingConfig | None = None,
         rank_tracers: dict[int, Tracer] | None = None,
         registry: "MetricsRegistry | None" = None,
     ):
@@ -231,8 +244,19 @@ class ClusterSimulation:
         self.pipelined = pipelined
         self.adaptive = adaptive
         self.recovery = recovery
+        self.stealing = stealing
+        if stealing is not None and (
+            self.fault_injector is not None or recovery is not None
+        ):
+            raise ClusterConfigError(
+                "work stealing does not compose with fault injection or "
+                "checkpoint/restart recovery yet"
+            )
         self.rank_tracers = dict(rank_tracers or {})
         self.registry = registry
+        #: per-(slowdown, gpu_failed, kind) calibrated seconds/task for
+        #: the analytic stealing executor
+        self._analytic_costs: dict[tuple, float] = {}
 
     # -- runtime assembly --------------------------------------------------------
 
@@ -255,7 +279,11 @@ class ClusterSimulation:
         return inj is not None and inj.gpu_permanently_failed(rank, 0.0)
 
     def _make_runtime(
-        self, rank: int = 0, *, attach_observers: bool = True
+        self,
+        rank: int = 0,
+        *,
+        attach_observers: bool = True,
+        charge_setup: bool = True,
     ) -> NodeRuntime:
         spec = self._spec_for_rank(rank)
         mode = self.mode
@@ -294,6 +322,7 @@ class ClusterSimulation:
             data_threads=self.data_threads,
             flush_interval=self.flush_interval,
             max_batch_size=self.max_batch_size,
+            charge_setup=charge_setup,
             pipelined=self.pipelined,
             fault_injector=self.fault_injector,
             retry_policy=self.retry_policy,
@@ -307,6 +336,20 @@ class ClusterSimulation:
 
     # -- the run ---------------------------------------------------------------------
 
+    @staticmethod
+    def _hybrid_task(t: ClusterTask) -> HybridTask:
+        """One cluster task as runtime batch input.
+
+        Preprocess copies the input tensor into the aggregation buffer;
+        the operator blocks are cache *lookups* (the write-once CPU
+        cache), charged as per-block bookkeeping.
+        """
+        return HybridTask(
+            work=t.item,
+            pre_bytes=t.item.input_bytes + 64 * len(t.item.block_keys),
+            post_bytes=t.item.output_bytes,
+        )
+
     def _hybrid_tasks(
         self, rank: int, rank_tasks: list[ClusterTask]
     ) -> tuple[list[HybridTask], int, int]:
@@ -316,16 +359,7 @@ class ClusterSimulation:
         message_bytes = 0
         hybrid_tasks: list[HybridTask] = []
         for t in rank_tasks:
-            # preprocess copies the input tensor into the aggregation
-            # buffer; the operator blocks are cache *lookups* (the
-            # write-once CPU cache), charged as per-block bookkeeping.
-            hybrid_tasks.append(
-                HybridTask(
-                    work=t.item,
-                    pre_bytes=t.item.input_bytes + 64 * len(t.item.block_keys),
-                    post_bytes=t.item.output_bytes,
-                )
-            )
+            hybrid_tasks.append(self._hybrid_task(t))
             if self.pmap.owner(t.neighbor) != rank:
                 n_messages += 1
                 message_bytes += t.item.output_bytes
@@ -379,8 +413,126 @@ class ClusterSimulation:
                 per_rank[target].append(task)
         return crashed
 
+    # -- work stealing ---------------------------------------------------------------
+
+    def _chunk_seconds_runtime(
+        self, rank: int, chunk: list[ClusterTask]
+    ) -> float:
+        """Exact chunk cost: execute it on a fresh thief-side runtime.
+
+        The migrated tasks run on the *thief's* node runtime (its spec,
+        its dispatcher) — the tentpole contract; setup is not re-charged
+        per chunk (buffers were pinned when the node booted).
+        """
+        runtime = self._make_runtime(
+            rank, attach_observers=False, charge_setup=False
+        )
+        return runtime.execute(
+            [self._hybrid_task(t) for t in chunk]
+        ).total_seconds
+
+    def _chunk_seconds_analytic(
+        self, rank: int, chunk: list[ClusterTask]
+    ) -> float:
+        """Calibrated chunk cost for multi-thousand-rank sweeps.
+
+        Per (node spec, task kind) the cost of one chunk-sized batch is
+        measured once on a real runtime and cached as seconds/task; a
+        chunk then prices as the sum of its tasks' calibrated costs.
+        Deterministic: the calibration run is itself a seeded
+        simulation.
+        """
+        total = 0.0
+        size = self.stealing.chunk_size if self.stealing else len(chunk)
+        for t in chunk:
+            key = (
+                self.stragglers.get(rank, 1.0),
+                self._gpu_failed(rank),
+                str(t.item.kind),
+            )
+            per_task = self._analytic_costs.get(key)
+            if per_task is None:
+                runtime = self._make_runtime(
+                    rank, attach_observers=False, charge_setup=False
+                )
+                batch = [self._hybrid_task(t)] * max(1, size)
+                per_task = runtime.execute(batch).total_seconds / max(1, size)
+                self._analytic_costs[key] = per_task
+            total += per_task
+        return total
+
+    def _run_stealing(self, tasks: list[ClusterTask]) -> ClusterResult:
+        """Execute the workload under the open work-stealing loop."""
+        cfg = self.stealing
+        executor = (
+            self._chunk_seconds_runtime
+            if cfg.executor == "runtime"
+            else self._chunk_seconds_analytic
+        )
+        engine = StealingEngine(
+            self.pmap,
+            self.network,
+            cfg,
+            executor,
+            rank_tracers=self.rank_tracers,
+            registry=self.registry,
+        )
+        outcome = engine.run(tasks)
+        node_results: list[NodeResult] = []
+        for rank in range(self.n_nodes):
+            timeline = NodeTimeline(
+                total_seconds=outcome.finish_seconds[rank],
+                cpu_compute_busy=outcome.busy_seconds[rank],
+                n_tasks=outcome.n_executed[rank],
+                n_batches=outcome.n_chunks[rank],
+            )
+            # off-node accumulates (accumulate-back included) drain
+            # asynchronously, exactly like the static path
+            comm = self.network.drain_seconds(
+                outcome.n_messages[rank], outcome.message_bytes[rank]
+            )
+            tracer = self.rank_tracers.get(rank)
+            if tracer is not None and comm > 0:
+                tracer.record(
+                    "network", "drain",
+                    timeline.total_seconds, timeline.total_seconds + comm,
+                )
+            if self.registry is not None and outcome.n_messages[rank]:
+                self.registry.counter("cluster.messages").inc(
+                    timeline.total_seconds, outcome.n_messages[rank]
+                )
+            node_results.append(
+                NodeResult(
+                    rank=rank,
+                    n_tasks=outcome.n_executed[rank],
+                    timeline=timeline,
+                    comm_seconds=comm,
+                    n_messages=outcome.n_messages[rank],
+                    message_bytes=outcome.message_bytes[rank],
+                )
+            )
+        makespan = max(r.total_seconds for r in node_results)
+        if self.registry is not None:
+            self.registry.gauge("cluster.makespan_seconds").set(
+                makespan, makespan
+            )
+        # stealing rebalances *time*, so imbalance is measured on busy
+        # seconds (task counts no longer proxy load once tasks migrate)
+        return ClusterResult(
+            n_nodes=self.n_nodes,
+            mode=self.mode,
+            makespan_seconds=makespan,
+            node_results=node_results,
+            imbalance=imbalance_metrics(list(outcome.busy_seconds)),
+            total_tasks=len(tasks),
+            total_messages=sum(outcome.n_messages),
+            total_message_bytes=sum(outcome.message_bytes),
+        )
+
     def run(self, tasks: list[ClusterTask]) -> ClusterResult:
         """Execute the workload; returns makespan and diagnostics."""
+        if self.stealing is not None:
+            return self._run_stealing(tasks)
         per_rank: list[list[ClusterTask]] = [[] for _ in range(self.n_nodes)]
         for task in tasks:
             per_rank[self.pmap.owner(task.key)].append(task)

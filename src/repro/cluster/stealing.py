@@ -1,0 +1,481 @@
+"""Work-stealing scheduler with cross-rank task migration (DES clock).
+
+The paper's process maps are *static*: "work is not distributed evenly
+to all compute nodes", and the skew of the refinement tree caps scaling
+(Tables V/VI).  This module adds the dynamic half of the trade-off: an
+open per-rank scheduling loop where idle ranks issue **steal requests**
+(steal-half of the victim's pending queue), victims grant or deny at
+message-arrival time, and granted tasks **migrate** to the thief over
+the interconnect.  The protocol runs on the shared DES clock
+(:mod:`repro.runtime.events`), so the adversarial tie-breaking of the
+schedule-perturbation harness applies to it like to every other
+simulated component.
+
+Protocol (one request):
+
+1. a rank whose queue drained picks a victim — **locality first**
+   (ranks owning anchor subtrees spatially adjacent to its own, via the
+   DHT owner map), falling back to the **max-load** rank on the
+   stealable board — and sends a steal request
+   (:class:`~repro.cluster.network.NetworkModel` request cost, no
+   overlap discount: the thief is idle until the reply lands);
+2. at arrival the victim either **grants** the tail half of its pending
+   queue (per-kind FIFO of the residual head is preserved) or
+   **denies** (queue below ``min_victim_queue``);
+3. granted tasks ride back as a migration payload; at arrival they
+   append to the thief's queue in original order and execute there;
+   each task's result accumulates to the owner of its destination box
+   **exactly once**, counted as an off-node message when the executing
+   rank is not that owner (accumulate-back).
+
+Every hop is recorded in the happens-before log (``steal_request`` /
+``steal_grant`` / ``steal_deny`` / ``migrate``, dump schema v3) so
+:mod:`repro.lint.trace_check` can pair grants with migrations and
+:mod:`repro.lint.races` can order the thief's execution after the
+grant.  Determinism: no RNG anywhere — victim selection ties break by
+lowest rank, and all same-instant concurrency is resolved by the DES
+queue (seeded tie-breaking under the perturbation harness only).
+
+Victim decisions are modelled at request-arrival instants inside the
+thief's process: the DES is single-threaded, so the decision is atomic
+— the simulated analogue of MADNESS's active-message handler thread
+answering steals while the worker computes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.apps.workloads import ClusterTask
+from repro.cluster.network import NetworkModel
+from repro.dht.process_map import ProcessMap, _unit_displacements
+from repro.errors import ClusterConfigError
+from repro.runtime.events import Environment, Event
+from repro.runtime.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+#: metric names the engine publishes (all under the driver-owned
+#: ``cluster.`` prefix; see docs/SCHEDULING.md)
+STEAL_METRICS = (
+    "cluster.steal.requests",
+    "cluster.steal.grants",
+    "cluster.steal.denies",
+    "cluster.steal.tasks_migrated",
+    "cluster.steal.victim_queue_depth",
+)
+
+
+@dataclass(frozen=True)
+class StealingConfig:
+    """Knobs of the work-stealing protocol.
+
+    Attributes:
+        enabled: ``False`` runs the same chunked scheduling loop with
+            stealing off — the fair static baseline for ablations.
+        chunk_size: tasks a rank pops per scheduling quantum; smaller
+            chunks steal better but pay more scheduling overhead.
+        min_victim_queue: a victim grants only while its pending queue
+            is at least this long (never strips a nearly-done rank).
+        steal_fraction: fraction of the victim's pending queue granted
+            (taken from the tail; 0.5 = the classic steal-half).
+        request_bytes: payload of one request/grant/deny control
+            message.
+        task_bytes: migrated-task descriptor size (the task's inputs
+            live in the DHT; only the descriptor and block references
+            ship).
+        executor: how :class:`~repro.cluster.simulation.
+            ClusterSimulation` prices a chunk — ``"runtime"`` executes
+            each chunk on a fresh thief-side
+            :class:`~repro.runtime.node.NodeRuntime` (exact, slow);
+            ``"analytic"`` uses per-kind costs calibrated once per node
+            spec (fast enough for 500-5000 simulated ranks).
+    """
+
+    enabled: bool = True
+    chunk_size: int = 4
+    min_victim_queue: int = 2
+    steal_fraction: float = 0.5
+    request_bytes: int = 64
+    task_bytes: int = 2048
+    executor: str = "runtime"
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ClusterConfigError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.min_victim_queue < 1:
+            raise ClusterConfigError(
+                f"min_victim_queue must be >= 1, got {self.min_victim_queue}"
+            )
+        if not 0.0 < self.steal_fraction <= 1.0:
+            raise ClusterConfigError(
+                f"steal_fraction must be in (0, 1], got {self.steal_fraction}"
+            )
+        if self.request_bytes < 0 or self.task_bytes < 0:
+            raise ClusterConfigError(
+                f"negative message sizes: {self.request_bytes}, "
+                f"{self.task_bytes}"
+            )
+        if self.executor not in ("runtime", "analytic"):
+            raise ClusterConfigError(
+                f"unknown chunk executor {self.executor!r}"
+            )
+
+
+@dataclass
+class _RankStats:
+    """Mutable per-rank accounting (owned by one engine run)."""
+
+    busy: float = 0.0
+    finish: float = 0.0
+    executed: int = 0
+    chunks: int = 0
+    messages: int = 0
+    message_bytes: int = 0
+    steal_wait: float = 0.0
+
+
+@dataclass
+class _Totals:
+    """Run-global accounting (owned by one engine run)."""
+
+    remaining: int = 0
+    requests: int = 0
+    attempted: int = 0
+    granted: int = 0
+    denied: int = 0
+    migrated: int = 0
+    max_depth: int = 0
+
+    def next_request(self) -> int:
+        """Allocate the next run-unique steal-request id."""
+        req = self.requests
+        self.requests += 1
+        return req
+
+
+@dataclass
+class StealingOutcome:
+    """What one :class:`StealingEngine` run produced."""
+
+    n_ranks: int
+    makespan_seconds: float
+    #: per-rank seconds spent executing chunks
+    busy_seconds: list[float] = field(repr=False)
+    #: per-rank instant of the last completed chunk
+    finish_seconds: list[float] = field(repr=False)
+    #: per-rank tasks executed (initial share plus stolen minus lost)
+    n_executed: list[int] = field(repr=False)
+    n_chunks: list[int] = field(repr=False)
+    #: per-rank off-node accumulate messages (accumulate-back included)
+    n_messages: list[int] = field(repr=False)
+    message_bytes: list[int] = field(repr=False)
+    #: per-rank seconds spent idle inside the steal protocol
+    steal_wait_seconds: list[float] = field(repr=False)
+    steals_attempted: int = 0
+    steals_granted: int = 0
+    steals_denied: int = 0
+    tasks_migrated: int = 0
+    max_queue_depth: int = 0
+
+    @property
+    def total_executed(self) -> int:
+        """Tasks executed across all ranks (work conservation check)."""
+        return sum(self.n_executed)
+
+
+def locality_preferences(
+    pmap: ProcessMap, tasks: list[ClusterTask]
+) -> dict[int, tuple[int, ...]]:
+    """Per-rank locality victim preferences, computed in one pass.
+
+    The bulk form of :meth:`~repro.dht.process_map.ProcessMap.
+    adjacent_ranks`: the anchor->owner map is built once over all task
+    keys, then each anchor's same-level Chebyshev-1 neighbours vote for
+    their owners.  Rank ``r``'s preference tuple is sorted ascending
+    and excludes ``r`` itself.
+    """
+    anchors = {pmap.anchor_of(t.key) for t in tasks}
+    owner_of = {a: pmap.owner(a) for a in anchors}
+    prefs: dict[int, set[int]] = {}
+    for anchor, rank in owner_of.items():
+        for displacement in _unit_displacements(anchor.dim):
+            neighbour = anchor.neighbor(displacement)
+            if neighbour is None:
+                continue
+            other = owner_of.get(neighbour)
+            if other is not None and other != rank:
+                prefs.setdefault(rank, set()).add(other)
+    return {rank: tuple(sorted(s)) for rank, s in prefs.items()}
+
+
+def _group_by_kind(
+    entries: list[tuple[str, ClusterTask]],
+) -> list[tuple[str, list[str]]]:
+    """Group (tid, task) entries by task kind, preserving queue order."""
+    groups: dict[str, list[str]] = {}
+    for tid, task in entries:
+        groups.setdefault(str(task.item.kind), []).append(tid)
+    return list(groups.items())
+
+
+class StealingEngine:
+    """Open per-rank scheduling loop with work stealing on the DES.
+
+    Args:
+        pmap: the owner map — decides initial placement, locality-aware
+            victim preferences, and accumulate-back destinations.
+        network: interconnect model pricing the steal traffic.
+        config: protocol knobs (:class:`StealingConfig`).
+        chunk_seconds: callable ``(rank, tasks) -> float`` pricing one
+            chunk's execution on ``rank`` (the simulation wires either
+            the runtime or the calibrated analytic executor here).
+        rank_tracers: optional {rank: Tracer} — listed ranks record the
+            scheduler-level happens-before log (submit / flush /
+            accumulate plus the four steal ops) and ``cpu``/``network``
+            interval lanes.
+        registry: optional metrics registry (``cluster.steal.*``).
+    """
+
+    def __init__(
+        self,
+        pmap: ProcessMap,
+        network: NetworkModel,
+        config: StealingConfig,
+        chunk_seconds: Callable[[int, list[ClusterTask]], float],
+        *,
+        rank_tracers: dict[int, Tracer] | None = None,
+        registry: "MetricsRegistry | None" = None,
+    ):
+        self.pmap = pmap
+        self.n_ranks = pmap.n_ranks
+        self.network = network
+        self.config = config
+        self.chunk_seconds = chunk_seconds
+        self.rank_tracers = dict(rank_tracers or {})
+        self.registry = registry
+
+    # -- the run -----------------------------------------------------------------
+
+    def run(self, tasks: list[ClusterTask]) -> StealingOutcome:
+        """Simulate the workload under the configured protocol."""
+        n = self.n_ranks
+        cfg = self.config
+        env = Environment()
+        stats = [_RankStats() for _ in range(n)]
+        totals = _Totals(remaining=len(tasks))
+        queues: list[deque[tuple[str, ClusterTask]]] = [
+            deque() for _ in range(n)
+        ]
+        for index, task in enumerate(tasks):
+            queues[self.pmap.owner(task.key)].append((f"t{index}", task))
+        for rank in range(n):
+            tracer = self.rank_tracers.get(rank)
+            if tracer is not None:
+                for tid, task in queues[rank]:
+                    tracer.log_submit(str(task.item.kind), tid, 0.0)
+        totals.max_depth = max((len(q) for q in queues), default=0)
+        locality = (
+            locality_preferences(self.pmap, tasks) if cfg.enabled else {}
+        )
+        #: ranks currently worth asking (pending >= min_victim_queue)
+        board = {
+            rank
+            for rank in range(n)
+            if len(queues[rank]) >= cfg.min_victim_queue
+        }
+        parked: list[Event | None] = [None] * n
+
+        def board_update(rank: int) -> None:
+            if len(queues[rank]) >= cfg.min_victim_queue:
+                if rank not in board:
+                    board.add(rank)
+                    wake_parked()
+            else:
+                board.discard(rank)
+
+        def wake_parked() -> None:
+            for ev in parked:
+                if ev is not None and not ev.triggered:
+                    ev.succeed()
+
+        def pick_victim(rank: int) -> int | None:
+            # locality preferences first, then max load off the board;
+            # ties break deterministically to the lowest rank
+            preferred = [
+                r for r in locality.get(rank, ()) if r in board and r != rank
+            ]
+            pool = preferred or sorted(r for r in board if r != rank)
+            if not pool:
+                return None
+            return max(pool, key=lambda r: (len(queues[r]), -r))
+
+        def pop_chunk(rank: int) -> list[tuple[str, ClusterTask]]:
+            queue = queues[rank]
+            chunk = [
+                queue.popleft()
+                for _ in range(min(cfg.chunk_size, len(queue)))
+            ]
+            board_update(rank)
+            return chunk
+
+        def note_completed(size: int) -> None:
+            totals.remaining -= size
+            if totals.remaining == 0:
+                wake_parked()
+
+        def answer_request(
+            victim: int, thief: int, req: int
+        ) -> list[tuple[str, ClusterTask]]:
+            queue = queues[victim]
+            now = env.now
+            tracer = self.rank_tracers.get(victim)
+            if self.registry is not None:
+                self.registry.histogram(
+                    "cluster.steal.victim_queue_depth"
+                ).observe(now, float(len(queue)))
+            if len(queue) < cfg.min_victim_queue:
+                totals.denied += 1
+                if tracer is not None:
+                    tracer.log_steal_deny(thief, now, req)
+                if self.registry is not None:
+                    self.registry.counter("cluster.steal.denies").inc(now, 1)
+                return []
+            n_steal = max(1, int(len(queue) * cfg.steal_fraction))
+            stolen = [queue.pop() for _ in range(n_steal)]
+            stolen.reverse()  # keep the victim's queue order
+            board_update(victim)
+            totals.granted += 1
+            totals.migrated += n_steal
+            if tracer is not None:
+                for kind, ids in _group_by_kind(stolen):
+                    tracer.log_steal_grant(kind, ids, now, req)
+            if self.registry is not None:
+                self.registry.counter("cluster.steal.grants").inc(now, 1)
+                self.registry.counter("cluster.steal.tasks_migrated").inc(
+                    now, n_steal
+                )
+            return stolen
+
+        def receive_migration(
+            thief: int, stolen: list[tuple[str, ClusterTask]], req: int
+        ) -> None:
+            queue = queues[thief]
+            for entry in stolen:
+                queue.append(entry)
+            totals.max_depth = max(totals.max_depth, len(queue))
+            tracer = self.rank_tracers.get(thief)
+            if tracer is not None:
+                for kind, ids in _group_by_kind(stolen):
+                    tracer.log_migrate(kind, ids, env.now, req)
+            board_update(thief)
+
+        def rank_process(rank: int):
+            tracer = self.rank_tracers.get(rank)
+            st = stats[rank]
+            queue = queues[rank]
+            while True:
+                if queue:
+                    chunk = pop_chunk(rank)
+                    batch = st.chunks
+                    st.chunks += 1
+                    start = env.now
+                    groups = _group_by_kind(chunk)
+                    if tracer is not None:
+                        for kind, ids in groups:
+                            tracer.log_flush(kind, ids, start, batch=batch)
+                    seconds = self.chunk_seconds(
+                        rank, [task for _tid, task in chunk]
+                    )
+                    if seconds < 0:
+                        raise ClusterConfigError(
+                            f"negative chunk cost {seconds} on rank {rank}"
+                        )
+                    yield env.timeout(seconds)
+                    end = env.now
+                    st.busy += end - start
+                    st.finish = end
+                    st.executed += len(chunk)
+                    for _tid, task in chunk:
+                        if self.pmap.owner(task.neighbor) != rank:
+                            # off-node accumulate — for stolen tasks
+                            # this is the accumulate-back to the owner
+                            st.messages += 1
+                            st.message_bytes += task.item.output_bytes
+                    if tracer is not None:
+                        tracer.record("cpu", "chunk", start, end, batch=batch)
+                        for kind, ids in groups:
+                            tracer.log_accumulate(kind, ids, end, batch=batch)
+                    note_completed(len(chunk))
+                    continue
+                if totals.remaining == 0:
+                    return
+                if not cfg.enabled:
+                    # static baseline: an empty queue means this rank's
+                    # share is done
+                    return
+                victim = pick_victim(rank)
+                if victim is None:
+                    ev = env.event()
+                    parked[rank] = ev
+                    yield ev
+                    parked[rank] = None
+                    continue
+                req = totals.next_request()
+                t0 = env.now
+                totals.attempted += 1
+                if tracer is not None:
+                    tracer.log_steal_request(victim, t0, req)
+                if self.registry is not None:
+                    self.registry.counter("cluster.steal.requests").inc(t0, 1)
+                yield env.timeout(
+                    self.network.request_seconds(cfg.request_bytes)
+                )
+                stolen = answer_request(victim, rank, req)
+                if stolen:
+                    yield env.timeout(
+                        self.network.migration_seconds(
+                            len(stolen), cfg.task_bytes * len(stolen)
+                        )
+                    )
+                    receive_migration(rank, stolen, req)
+                else:
+                    # the deny rides back as one control message
+                    yield env.timeout(
+                        self.network.request_seconds(cfg.request_bytes)
+                    )
+                end = env.now
+                st.steal_wait += end - t0
+                if tracer is not None:
+                    tracer.record("network", "steal", t0, end)
+
+        for rank in range(n):
+            env.process(rank_process(rank))
+        env.run()
+        if totals.remaining != 0:
+            raise ClusterConfigError(
+                f"scheduler lost {totals.remaining} task(s) — "
+                "work conservation violated"
+            )
+        makespan = max((st.finish for st in stats), default=0.0)
+        return StealingOutcome(
+            n_ranks=n,
+            makespan_seconds=makespan,
+            busy_seconds=[st.busy for st in stats],
+            finish_seconds=[st.finish for st in stats],
+            n_executed=[st.executed for st in stats],
+            n_chunks=[st.chunks for st in stats],
+            n_messages=[st.messages for st in stats],
+            message_bytes=[st.message_bytes for st in stats],
+            steal_wait_seconds=[st.steal_wait for st in stats],
+            steals_attempted=totals.attempted,
+            steals_granted=totals.granted,
+            steals_denied=totals.denied,
+            tasks_migrated=totals.migrated,
+            max_queue_depth=totals.max_depth,
+        )

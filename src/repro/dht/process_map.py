@@ -17,6 +17,7 @@ contrast drives several results:
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence
 
 from repro.errors import ClusterConfigError
 from repro.dht.hashing import stable_key_hash
@@ -34,6 +35,49 @@ class ProcessMap(abc.ABC):
     @abc.abstractmethod
     def owner(self, key: Key) -> int:
         """The rank owning ``key`` (in ``[0, n_ranks)``)."""
+
+    def anchor_of(self, key: Key) -> Key:
+        """The key that decides ``key``'s rank.
+
+        Policies without subtree structure route every key by itself;
+        partitioned maps override this to walk to the owning anchor.
+        The contract tested by the property suite: for every key,
+        ``owner(key) == owner(anchor_of(key))``.
+        """
+        return key
+
+    def adjacent_ranks(
+        self, rank: int, keys: Sequence[Key]
+    ) -> tuple[int, ...]:
+        """Ranks owning anchor subtrees spatially adjacent to ``rank``'s.
+
+        Victim-selection query for the work-stealing scheduler: given the
+        keys in flight, find the anchors owned by ``rank``, look at the
+        face/edge/corner neighbours of those anchor boxes (same level,
+        Chebyshev distance 1), and return the distinct owners of the
+        neighbour anchors that are themselves present in the key set —
+        excluding ``rank``, sorted ascending for determinism.
+        """
+        anchors = {self.anchor_of(key) for key in keys}
+        mine = [a for a in anchors if self.owner(a) == rank]
+        neighbours: set[int] = set()
+        for anchor in mine:
+            for displacement in _unit_displacements(anchor.dim):
+                neighbour = anchor.neighbor(displacement)
+                if neighbour is None or neighbour not in anchors:
+                    continue
+                owner = self.owner(neighbour)
+                if owner != rank:
+                    neighbours.add(owner)
+        return tuple(sorted(neighbours))
+
+
+def _unit_displacements(dim: int) -> list[tuple[int, ...]]:
+    """All nonzero displacements with components in {-1, 0, 1}."""
+    out = [()]
+    for _ in range(dim):
+        out = [d + (step,) for d in out for step in (-1, 0, 1)]
+    return [d for d in out if any(d)]
 
 
 class HashProcessMap(ProcessMap):
@@ -54,8 +98,10 @@ class SubtreePartitionMap(ProcessMap):
     deliberate (communication locality) and is what limits scaling in the
     paper's Tables V and VI.
 
-    Keys coarser than ``anchor_level`` live on rank 0 (the tree top is
-    tiny).
+    Keys coarser than ``anchor_level`` are their own anchors and are
+    hashed directly across all ranks — the tree top is tiny, and hashing
+    keeps ``owner`` consistent with ``anchor_of`` (a coarse key's anchor
+    is itself), so no single rank is a structural hot spot.
     """
 
     def __init__(self, n_ranks: int, anchor_level: int = 1):
@@ -178,8 +224,9 @@ class CostPartitionMap(ProcessMap):
         anchor = self.anchor_of(key)
         rank = self._anchors.get(anchor)
         if rank is None:
-            # key outside the weighted tree: fall back to hashing
-            return stable_key_hash(key) % self.n_ranks
+            # anchor chain left the weighted tree: hash the anchor (not
+            # the raw key) so owner() stays consistent with anchor_of()
+            return stable_key_hash(anchor) % self.n_ranks
         return rank
 
     @property

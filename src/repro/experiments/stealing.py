@@ -1,0 +1,153 @@
+"""Work stealing vs the static process maps on skewed trees.
+
+The paper's Tables V/VI stop scaling exactly where the static maps
+leave ranks idle: "work is not distributed evenly to all compute
+nodes".  This experiment quantifies the dynamic alternative
+(:mod:`repro.cluster.stealing`) head-to-head with the static
+schedulers on a deliberately skewed refinement tree at 500-5000
+simulated ranks:
+
+- ``subtree-static`` — :class:`~repro.dht.process_map.
+  SubtreePartitionMap`, stealing disabled (the paper's placement);
+- ``cost-static`` — :class:`~repro.dht.process_map.CostPartitionMap`
+  from measured task weights, stealing disabled (the informed static
+  baseline);
+- ``subtree+stealing`` — the same subtree placement with the
+  work-stealing protocol on top.
+
+All three run the *same* chunked scheduling loop with the calibrated
+analytic chunk executor, so the comparison isolates the protocol: the
+only difference between a static row and the stealing row is whether
+idle ranks are allowed to steal.  Reported per configuration: makespan,
+load imbalance (max/mean of per-rank busy seconds), idle-rank count,
+and the steal-traffic volume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.reporting import ReportTable
+from repro.apps.workloads import SyntheticApplyWorkload
+from repro.cluster.simulation import ClusterResult, ClusterSimulation
+from repro.cluster.stealing import StealingConfig
+from repro.dht.process_map import CostPartitionMap, ProcessMap, SubtreePartitionMap
+from repro.obs.metrics import MetricsRegistry
+
+from repro.experiments.common import ExperimentResult
+
+#: simulated-rank sweep of the full-scale experiment; ``scale`` < 1
+#: drops the expensive tail (5000 ranks simulate in minutes)
+RANK_SWEEP = (500, 2000, 5000)
+
+#: average initial tasks per rank at every sweep point
+TASKS_PER_RANK = 8
+
+
+def skewed_workload(ranks: int) -> SyntheticApplyWorkload:
+    """The sweep's skewed refinement tree, sized for ``ranks`` ranks."""
+    return SyntheticApplyWorkload(
+        dim=3,
+        k=8,
+        rank=40,
+        n_tasks=TASKS_PER_RANK * ranks,
+        n_tree_leaves=max(64, ranks // 2),
+        seed=13,
+        skew=3.0,
+    )
+
+
+def _run(
+    ranks: int,
+    pmap: ProcessMap,
+    workload: SyntheticApplyWorkload,
+    enabled: bool,
+) -> ClusterResult:
+    sim = ClusterSimulation(
+        ranks,
+        pmap,
+        mode="hybrid",
+        stealing=StealingConfig(
+            enabled=enabled, chunk_size=4, executor="analytic"
+        ),
+    )
+    return sim.run(workload.tasks)
+
+
+def run_stealing_vs_static(scale: float = 1.0) -> ExperimentResult:
+    """The ``stealing-vs-static`` sweep (see the module docstring)."""
+    rank_counts = [
+        ranks
+        for ranks in RANK_SWEEP
+        if ranks == RANK_SWEEP[0] or ranks <= RANK_SWEEP[-1] * scale
+    ]
+    table = ReportTable(
+        "Work stealing vs static maps — skewed tree, "
+        f"{TASKS_PER_RANK} tasks/rank",
+        [
+            "ranks",
+            "scheduler",
+            "makespan (s)",
+            "imbalance (max/mean)",
+            "idle ranks",
+            "tasks migrated",
+        ],
+    )
+    data: dict = {"rows": []}
+    for ranks in rank_counts:
+        workload = skewed_workload(ranks)
+        subtree = SubtreePartitionMap(ranks, anchor_level=2)
+        weights = {
+            key: float(count)
+            for key, count in Counter(
+                t.key for t in workload.tasks
+            ).items()
+        }
+        cost = CostPartitionMap.from_weights(
+            ranks, weights, target_chunks=4 * ranks
+        )
+        runs = (
+            ("subtree-static", _run(ranks, subtree, workload, False), 0),
+            ("cost-static", _run(ranks, cost, workload, False), 0),
+        )
+        # the engine's own metrics registry counts the migrations
+        registry = MetricsRegistry()
+        stealing_sim = ClusterSimulation(
+            ranks,
+            subtree,
+            mode="hybrid",
+            registry=registry,
+            stealing=StealingConfig(
+                enabled=True, chunk_size=4, executor="analytic"
+            ),
+        )
+        stealing_result = stealing_sim.run(workload.tasks)
+        migrated = int(
+            registry.counter("cluster.steal.tasks_migrated").total
+        )
+        for name, result, moved in (
+            *runs,
+            ("subtree+stealing", stealing_result, migrated),
+        ):
+            imb = result.imbalance
+            table.add_row(
+                ranks,
+                name,
+                result.makespan_seconds,
+                imb.imbalance,
+                imb.idle_ranks,
+                moved,
+            )
+            data["rows"].append(
+                {
+                    "ranks": ranks,
+                    "scheduler": name,
+                    "makespan": result.makespan_seconds,
+                    "imbalance": imb.imbalance,
+                    "idle_ranks": imb.idle_ranks,
+                    "tasks_migrated": moved,
+                }
+            )
+    return ExperimentResult(
+        name="stealing-vs-static", table=table, data=data
+    )

@@ -141,6 +141,7 @@ def races_main(argv: Sequence[str]) -> int:
     """Entry point of the ``races`` subcommand."""
     from repro.lint.perturb import verify_live_schedules, verify_replay_invariance
     from repro.lint.races import DEFAULT_COMMUTATIVE, RaceConfig, detect_races
+    from repro.lint.trace_check import find_migration_violations
     from repro.obs.scenarios import SCENARIOS, run_scenario
 
     args = build_races_parser().parse_args(argv)
@@ -168,6 +169,12 @@ def races_main(argv: Sequence[str]) -> int:
         dump = run_scenario(scenario).dump
         report = detect_races(dump, config)
         failures: list[str] = []
+        failures.extend(
+            f"migration ledger: {violation}"
+            for violation in find_migration_violations(
+                {rd.rank: rd.log for rd in dump.ranks}
+            )
+        )
         if args.perturb:
             failures.extend(
                 verify_replay_invariance(dump, args.perturb, args.seed)

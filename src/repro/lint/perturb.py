@@ -1,7 +1,7 @@
 """Schedule-perturbation harness: determinism as a verified property.
 
-Two complementary adversaries re-examine the five canonical obs
-scenarios (:mod:`repro.obs.scenarios`):
+Two complementary adversaries re-examine the canonical obs scenarios
+(:mod:`repro.obs.scenarios`):
 
 **Replay reorderings (byte-identity gate).**  A *legal reordering* of a
 rank's capture is any permutation of its streams that a differently
@@ -27,7 +27,12 @@ instead the run must keep every schedule-independent promise: the
 happens-before contract (:func:`repro.lint.trace_check.find_violations`
 empty), zero races (:func:`repro.lint.races.detect_races`), and work
 conservation (every rank accumulates exactly the same item set as the
-canonical run).
+canonical run).  When the baseline run migrates tasks (work stealing),
+*which* rank executes an item is itself schedule-dependent — tie order
+decides who goes idle first — so conservation is checked on the global
+ledger instead: the union of accumulated ids matches the canonical run
+and :func:`repro.lint.trace_check.find_migration_violations` holds the
+cluster to exactly-once execution.
 
 ``python -m repro.lint races --perturb K --live L`` runs both; CI runs
 a reduced-K smoke as a blocking step (see docs/RACES.md).
@@ -39,7 +44,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.lint.races import RaceConfig, _thread_of, detect_races
-from repro.lint.trace_check import find_violations
+from repro.lint.trace_check import find_migration_violations, find_violations
 from repro.runtime.events import scheduling_perturbation
 from repro.runtime.trace import RuntimeLogRecord, TraceEvent
 
@@ -156,6 +161,15 @@ def _accumulated_ids(rank_dump) -> set:
     }
 
 
+def _migrates_work(dump) -> bool:
+    """Whether the run moved tasks between ranks (work stealing)."""
+    return any(
+        rec.op in ("steal_grant", "migrate")
+        for rd in dump.ranks
+        for rec in rd.log
+    )
+
+
 def verify_live_schedules(
     scenario: str,
     baseline_dump,
@@ -170,11 +184,16 @@ def verify_live_schedules(
     baseline_ids = {
         rd.rank: _accumulated_ids(rd) for rd in baseline_dump.ranks
     }
+    global_ledger = _migrates_work(baseline_dump)
+    baseline_union: set = set()
+    for ids in baseline_ids.values():
+        baseline_union |= ids
     failures: list[str] = []
     for i in range(k):
         rng = random.Random(f"live-{seed}-{scenario}-{i}")
         with scheduling_perturbation(rng):
             dump = run_scenario(scenario).dump
+        live_union: set = set()
         for rd in dump.ranks:
             violations = find_violations(rd.log)
             if violations:
@@ -184,12 +203,33 @@ def verify_live_schedules(
                     f"({len(violations)} total)"
                 )
             got = _accumulated_ids(rd)
+            live_union |= got
+            if global_ledger:
+                # who executes an item is tie-order-dependent under
+                # stealing; the global ledger below is the invariant
+                continue
             want = baseline_ids.get(rd.rank, set())
             if got != want:
                 failures.append(
                     f"live schedule {i}: rank {rd.rank} accumulated "
                     f"{len(got)} item(s) vs {len(want)} in the canonical "
                     "run — work lost or invented under reordering"
+                )
+        if global_ledger:
+            if live_union != baseline_union:
+                failures.append(
+                    f"live schedule {i}: cluster accumulated "
+                    f"{len(live_union)} item(s) vs {len(baseline_union)} "
+                    "in the canonical run — work lost or invented under "
+                    "migration"
+                )
+            migration = find_migration_violations(
+                {rd.rank: rd.log for rd in dump.ranks}
+            )
+            if migration:
+                failures.append(
+                    f"live schedule {i}: migration ledger broken: "
+                    f"{migration[0]} ({len(migration)} total)"
                 )
         report = detect_races(dump, config)
         if not report.clean:

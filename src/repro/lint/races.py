@@ -16,6 +16,8 @@ Threads per rank:
 - ``("b", i)`` — everything batch ``i`` did: flush, cache reservation,
   transfer commit, kernel attempts, accumulate;
 - ``("recovery",)`` — checkpoint / rollback / restore records;
+- ``("steal", req)`` — the steal-protocol records of request ``req``
+  (request, grant, deny, migrate share the request id in ``batch``);
 - ``("misc", op)`` — fallback for batch-less records in older logs.
 
 Sanctioned edges joined into the target record's clock:
@@ -32,7 +34,14 @@ Sanctioned edges joined into the target record's clock:
   read (chosen or corrupted-and-rejected);
 - ``restore`` is additionally a rank-wide barrier: a crash-restart is
   sequential on the physical rank, so every record after the restore is
-  ordered after everything before the crash.
+  ordered after everything before the crash;
+- work stealing (v3 dumps): ``submit/migrate(item) -> steal_grant``
+  on the victim and ``steal_grant(item) -> migrate(item)`` back on a
+  rank the task returns to.  Grants and migrations *write* the item's
+  ``accum:`` resource, so a rank that executes a task it already
+  granted away (or that migrates a task in after running it) shows up
+  as a write-write race on the accumulation target — the
+  exactly-once property, phrased as an ordering claim.
 
 Metrics are handled by ownership analysis rather than clocks (samples
 carry no rank attribution): counters and histograms are commutative
@@ -181,6 +190,8 @@ def _thread_of(rec: RuntimeLogRecord) -> tuple:
     """The logical thread a record belongs to (see module docstring)."""
     if rec.op == "submit":
         return ("producer",)
+    if rec.op in ("steal_request", "steal_grant", "steal_deny", "migrate"):
+        return ("steal", rec.batch)
     if rec.batch >= 0:
         return ("b", rec.batch)
     if rec.op in ("checkpoint", "rollback", "restore"):
@@ -209,6 +220,7 @@ class _RankAnalysis:
         self.resources: dict[str, _ResourceState] = {}
         self.submit_vc: dict[Hashable, VectorClock] = {}
         self.acc_vc: dict[Hashable, VectorClock] = {}
+        self.grant_vc: dict[Hashable, VectorClock] = {}
         self.ckpt_vc: dict[int, VectorClock] = {}
         self.begin_keys: dict[int, frozenset] = {}
         self.barrier: VectorClock | None = None
@@ -259,6 +271,17 @@ class _RankAnalysis:
                 src = self.submit_vc.get(item)
                 if src is not None:
                     clock.join(src)
+        elif rec.op in ("steal_grant", "migrate"):
+            for item in rec.ids:
+                src = self.submit_vc.get(item)
+                if src is not None:
+                    clock.join(src)
+                if rec.op == "migrate":
+                    # a task returning to a rank that granted it away
+                    # arrives over a real network chain from that grant
+                    src = self.grant_vc.get(item)
+                    if src is not None:
+                        clock.join(src)
         elif rec.op == "gpu_compute":
             for key in self.begin_keys.get(rec.batch, frozenset()):
                 state = self.resources.get(f"cache:{key}")
@@ -326,6 +349,28 @@ class _RankAnalysis:
                     "item must be separated by a rollback/restore)",
                 )
                 self.acc_vc[item] = vc
+        elif rec.op == "steal_grant":
+            for item in rec.ids:
+                self._access(
+                    Access(f"accum:{item}", "write", self.rank, index,
+                           rec.op, rec.at, thread),
+                    vc,
+                    "submit -> steal_grant ordering (a rank may only grant "
+                    "away a task it holds pending and has not executed)",
+                )
+                self.grant_vc[item] = vc
+        elif rec.op == "migrate":
+            for item in rec.ids:
+                self._access(
+                    Access(f"accum:{item}", "write", self.rank, index,
+                           rec.op, rec.at, thread),
+                    vc,
+                    "steal_grant -> migrate ordering (a task may only "
+                    "migrate onto a rank that has not executed it)",
+                )
+                # a migrated-in task is a fresh local submission: the
+                # thief's flush of it joins this clock
+                self.submit_vc[item] = vc
         elif rec.op == "rollback":
             for item in rec.ids:
                 self._access(

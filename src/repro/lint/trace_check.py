@@ -47,6 +47,19 @@ structured log a :class:`repro.runtime.trace.Tracer` collects
    (accumulates minus rollbacks = 1) — re-execution restores lost work
    without ever double-counting it.
 
+8. **migration accounting** (work-stealing runs, dump schema v3) —
+   within one rank's log a ``migrate`` record registers foreign items
+   like submissions and a ``steal_grant`` removes still-pending items
+   from the rank's expected flush sequence: a granted item must be
+   pending (submitted or migrated here, not yet flushed), and the
+   per-kind FIFO / no-loss checks run against arrivals *minus* grants.
+   Across ranks, :func:`find_migration_violations` pairs each grant
+   with exactly one ``migrate`` on another rank at a later-or-equal
+   instant carrying the same request id, kind and item ids, and holds
+   the whole cluster to the exactly-once ledger: every item flushed on
+   exactly one rank and accumulated exactly once globally, no matter
+   how many times it migrated.
+
 :func:`check_runtime_log` raises :class:`TraceCheckError` listing every
 violation; :func:`verify_tracer` is the one-call form used by the
 integration tests.
@@ -136,6 +149,11 @@ def _epoch_violations(
     faults_by_kind: Counter[str] = Counter()
     retried_by_kind: Counter[str] = Counter()
 
+    #: items awaiting their flush on this rank (arrivals minus grants
+    #: minus flushes) — the work-stealing bookkeeping; on steal-free
+    #: logs it never diverges from the classic submit/flush ledger
+    pending: set[Hashable] = set()
+
     for rec in records:
         if rec.op == "submit":
             (item_id,) = rec.ids
@@ -143,11 +161,51 @@ def _epoch_violations(
                 violations.append(f"item {item_id!r} submitted twice")
             submit_order.setdefault(rec.kind, []).append(item_id)
             submit_time[item_id] = rec.at
+            pending.add(item_id)
+        elif rec.op == "migrate":
+            for item_id in rec.ids:
+                if item_id in pending:
+                    violations.append(
+                        f"item {item_id!r} migrated in while still "
+                        "pending here (duplicate migration)"
+                    )
+                    continue
+                if flush_count.get(item_id, 0) > 0:
+                    violations.append(
+                        f"item {item_id!r} migrated in after this rank "
+                        "already executed it"
+                    )
+                    continue
+                submit_order.setdefault(rec.kind, []).append(item_id)
+                submit_time[item_id] = rec.at
+                pending.add(item_id)
+        elif rec.op == "steal_grant":
+            for item_id in rec.ids:
+                if item_id not in pending:
+                    violations.append(
+                        f"item {item_id!r} granted to a thief but not "
+                        "pending here (never submitted, already granted, "
+                        "or already flushed)"
+                    )
+                    continue
+                pending.discard(item_id)
+                # the granted item leaves this rank's expected flush
+                # sequence (its thief-side migrate re-registers it)
+                order = submit_order.get(rec.kind, [])
+                if item_id in order:
+                    order.remove(item_id)
+                else:
+                    violations.append(
+                        f"item {item_id!r} granted under kind {rec.kind} "
+                        "but arrived under another kind"
+                    )
+                submit_time.pop(item_id, None)
         elif rec.op == "flush":
             for item_id in rec.ids:
                 flush_count[item_id] += 1
                 flush_order.setdefault(rec.kind, []).append(item_id)
                 flush_time.setdefault(item_id, rec.at)
+                pending.discard(item_id)
                 if item_id not in submit_time:
                     violations.append(
                         f"item {item_id!r} flushed in kind {rec.kind} but "
@@ -398,6 +456,115 @@ def _recovery_violations(records: list[RuntimeLogRecord]) -> list[str]:
                     f"item {item_id!r} effectively accumulated {n} times "
                     "despite rollbacks"
                 )
+    return violations
+
+
+def find_migration_violations(
+    rank_logs: dict[int, Iterable[RuntimeLogRecord]],
+) -> list[str]:
+    """Invariant 8: the cross-rank migration ledger (work stealing).
+
+    ``rank_logs`` maps rank ids to their happens-before logs, with
+    item ids *globally* consistent across ranks (the stealing engine
+    assigns run-global ``"t<n>"`` names; the per-rank ``"w<n>"``
+    canonical names of ordinary runtime logs are **not** global, so
+    this check returns no findings when no steal records are present).
+
+    Checks: every ``steal_grant`` is answered by exactly one
+    ``migrate`` on a *different* rank, at a later-or-equal instant,
+    with the same request id, kind, and item ids in the same order
+    (and vice versa — no spurious migrations); a request id is granted
+    by at most one rank; and the global ledger holds — every item is
+    flushed on exactly one rank and accumulated exactly once, no
+    matter how many times it migrated (the exactly-once invariant the
+    accumulate-back protocol promises).
+    """
+    logs = {rank: list(records) for rank, records in rank_logs.items()}
+    if not any(
+        rec.op in ("steal_request", "steal_grant", "steal_deny", "migrate")
+        for records in logs.values()
+        for rec in records
+    ):
+        return []
+    violations: list[str] = []
+    # (request, kind) -> list of (rank, at, ids)
+    grants: dict[tuple[int, str], list[tuple[int, float, tuple]]] = {}
+    migrates: dict[tuple[int, str], list[tuple[int, float, tuple]]] = {}
+    flush_ranks: dict[Hashable, list[int]] = {}
+    accumulate_total: Counter[Hashable] = Counter()
+    flushed_any: set[Hashable] = set()
+    for rank, records in sorted(logs.items()):
+        for rec in records:
+            if rec.op == "steal_grant":
+                grants.setdefault((rec.batch, rec.kind), []).append(
+                    (rank, rec.at, rec.ids)
+                )
+            elif rec.op == "migrate":
+                migrates.setdefault((rec.batch, rec.kind), []).append(
+                    (rank, rec.at, rec.ids)
+                )
+            elif rec.op == "flush":
+                for item_id in rec.ids:
+                    flush_ranks.setdefault(item_id, []).append(rank)
+                    flushed_any.add(item_id)
+            elif rec.op == "accumulate":
+                for item_id in rec.ids:
+                    accumulate_total[item_id] += 1
+    for key, grant_list in sorted(grants.items()):
+        req, kind = key
+        if len(grant_list) > 1:
+            violations.append(
+                f"request {req} kind {kind}: granted by "
+                f"{len(grant_list)} ranks (a steal has one victim)"
+            )
+        arrivals = migrates.get(key, [])
+        if not arrivals:
+            violations.append(
+                f"request {req} kind {kind}: granted but never migrated "
+                "(tasks lost in flight)"
+            )
+            continue
+        if len(arrivals) > 1:
+            violations.append(
+                f"request {req} kind {kind}: migrated {len(arrivals)} "
+                "times (duplicated in flight)"
+            )
+        victim, granted_at, granted_ids = grant_list[0]
+        thief, arrived_at, arrived_ids = arrivals[0]
+        if thief == victim:
+            violations.append(
+                f"request {req} kind {kind}: migrated back onto the "
+                f"victim rank {victim} itself"
+            )
+        if arrived_at < granted_at:
+            violations.append(
+                f"request {req} kind {kind}: migrate at {arrived_at} "
+                f"precedes its grant at {granted_at}"
+            )
+        if tuple(arrived_ids) != tuple(granted_ids):
+            violations.append(
+                f"request {req} kind {kind}: migrated ids "
+                f"{list(arrived_ids)} differ from granted "
+                f"{list(granted_ids)}"
+            )
+    for key in sorted(set(migrates) - set(grants)):
+        req, kind = key
+        violations.append(
+            f"request {req} kind {kind}: migrate without a matching grant"
+        )
+    for item_id, ranks in sorted(flush_ranks.items(), key=lambda kv: str(kv[0])):
+        if len(ranks) > 1:
+            violations.append(
+                f"item {item_id!r} flushed on ranks {ranks} "
+                "(executed more than once across the cluster)"
+            )
+    for item_id in sorted(flushed_any, key=str):
+        n = accumulate_total.get(item_id, 0)
+        if n != 1:
+            violations.append(
+                f"item {item_id!r} accumulated {n} times across the "
+                "cluster (migration must preserve exactly-once)"
+            )
     return violations
 
 

@@ -33,10 +33,11 @@ from repro.runtime.trace import RuntimeLogRecord, TraceEvent, Tracer
 #: schema identity of the dump format (see docs/OBSERVABILITY.md)
 DUMP_SCHEMA = "repro-obs-dump"
 #: bump on any backwards-incompatible change to the dump layout
-DUMP_VERSION = 2
+DUMP_VERSION = 3
 #: older layouts this tooling still reads (v1: no ``begin_transfer``
-#: records, capture order instead of canonical merge order)
-COMPAT_VERSIONS = frozenset({1, DUMP_VERSION})
+#: records, capture order instead of canonical merge order; v2: no
+#: work-stealing ops)
+COMPAT_VERSIONS = frozenset({1, 2, DUMP_VERSION})
 
 #: canonical same-instant ordering of log ops — pipeline-stage order,
 #: with rollback/restore first (they open the replay epoch records that
@@ -49,13 +50,21 @@ _OP_STAGE = {
     "rollback": -2,
     "restore": -1,
     "submit": 0,
-    "flush": 1,
-    "begin_transfer": 2,
-    "block_transfer": 3,
-    "gpu_compute": 4,
-    "gpu_fault": 5,
-    "accumulate": 6,
-    "checkpoint": 7,
+    # work-stealing (v3): granted ids leave the victim's queue, and
+    # migrated ids register on the thief, before any same-instant flush
+    # consumes them; a steal request is issued only once a rank goes
+    # idle, i.e. after its same-instant accumulate
+    "steal_grant": 1,
+    "migrate": 2,
+    "flush": 3,
+    "begin_transfer": 4,
+    "block_transfer": 5,
+    "gpu_compute": 6,
+    "gpu_fault": 7,
+    "accumulate": 8,
+    "checkpoint": 9,
+    "steal_request": 10,
+    "steal_deny": 11,
 }
 
 

@@ -13,7 +13,10 @@ compares against committed JSON, and the runnable inputs of
 - ``faulty``     — transient GPU faults with retry/backoff;
 - ``checkpoint`` — checkpoint/restart across an injected node crash;
 - ``cluster``    — a two-rank cluster run with network drain lanes and
-  cross-rank metric aggregation.
+  cross-rank metric aggregation;
+- ``stealing``   — a five-rank skewed-tree run under the work-stealing
+  scheduler (steal request/grant/deny and migration records, dump
+  schema v3).
 
 Scenario workloads build **distinct** :class:`~repro.runtime.task.
 WorkItem` objects per task (never a shared probe item) so the
@@ -27,7 +30,8 @@ from dataclasses import dataclass, field
 
 from repro.apps.workloads import SyntheticApplyWorkload
 from repro.cluster.simulation import ClusterSimulation
-from repro.dht.process_map import HashProcessMap
+from repro.cluster.stealing import StealingConfig
+from repro.dht.process_map import HashProcessMap, SubtreePartitionMap
 from repro.errors import ReproError
 from repro.faults.injector import FaultInjector
 from repro.faults.models import GpuFailure, NodeCrash
@@ -227,6 +231,50 @@ def run_cluster() -> ScenarioRun:
     )
 
 
+def run_stealing() -> ScenarioRun:
+    """A five-rank skewed-tree run under the work-stealing scheduler.
+
+    The subtree partition concentrates the skewed tree's tasks on few
+    ranks; the idle ranks steal, so the dump exercises the full v3
+    protocol vocabulary: ``steal_request`` / ``steal_grant`` /
+    ``steal_deny`` / ``migrate`` records, ``network``/``steal`` lanes,
+    and the ``cluster.steal.*`` metrics.
+    """
+    workload = SyntheticApplyWorkload(
+        dim=3, k=6, rank=30, n_tasks=48, n_tree_leaves=12, seed=9, skew=4.0
+    )
+    tracers = {rank: Tracer() for rank in range(5)}
+    registry = MetricsRegistry()
+    sim = ClusterSimulation(
+        5,
+        SubtreePartitionMap(5, anchor_level=1),
+        mode="hybrid",
+        flush_interval=0.005,
+        max_batch_size=8,
+        rank_tracers=tracers,
+        registry=registry,
+        stealing=StealingConfig(
+            chunk_size=3, min_victim_queue=2, executor="runtime"
+        ),
+    )
+    result = sim.run(workload.tasks)
+    dump = RunDump(
+        meta={"scenario": "stealing", "n_tasks": result.total_tasks},
+        ranks=[
+            capture_rank(
+                rank,
+                tracers[rank],
+                timeline_summary(result.node_results[rank].timeline),
+            )
+            for rank in sorted(tracers)
+        ],
+        registry=registry,
+    )
+    return ScenarioRun(
+        name="stealing", dump=dump, makespan=result.makespan_seconds
+    )
+
+
 #: every canonical scenario, by name (stable ordering)
 SCENARIOS = {
     "serialized": run_serialized,
@@ -234,6 +282,7 @@ SCENARIOS = {
     "faulty": run_faulty,
     "checkpoint": run_checkpoint,
     "cluster": run_cluster,
+    "stealing": run_stealing,
 }
 
 

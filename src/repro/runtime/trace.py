@@ -35,6 +35,13 @@ LOG_OPS = (
     "checkpoint",
     "restore",
     "rollback",
+    # work-stealing protocol (dump schema v3, see docs/SCHEDULING.md):
+    # a thief's request, the victim's grant or deny, and the migrated
+    # tasks arriving on the thief
+    "steal_request",
+    "steal_grant",
+    "steal_deny",
+    "migrate",
 )
 
 #: categories rendered as separate Gantt lanes, in display order
@@ -268,6 +275,53 @@ class Tracer:
         batch took.
         """
         self._log("accumulate", at, kind, tuple(item_ids), attempt, batch)
+
+    # -- work-stealing ops (consumed by trace_check invariant #8) -----------------
+
+    def log_steal_request(
+        self, victim: int, at: float, request: int
+    ) -> None:
+        """Record this rank (the thief) asking ``victim`` for work.
+
+        ``request`` is the run-unique request id correlating the
+        thief's request/``migrate`` records with the victim's
+        grant/deny; it rides in ``batch``, and ``kind`` carries the
+        victim rank as ``"v<rank>"``.
+        """
+        self._log("steal_request", at, f"v{victim}", (), 0, request)
+
+    def log_steal_grant(
+        self,
+        kind: str,
+        item_ids: Iterable[Hashable],
+        at: float,
+        request: int,
+    ) -> None:
+        """Record this rank (the victim) granting pending items of one
+        task kind to a thief; one record per kind in queue order.  The
+        granted ids leave this rank's queue — executing them here after
+        the grant is the race the detector flags."""
+        self._log("steal_grant", at, kind, tuple(item_ids), 0, request)
+
+    def log_steal_deny(self, thief: int, at: float, request: int) -> None:
+        """Record this rank (the victim) denying a steal request
+        (queue too short to split); ``kind`` carries the thief rank as
+        ``"t<rank>"``."""
+        self._log("steal_deny", at, f"t{thief}", (), 0, request)
+
+    def log_migrate(
+        self,
+        kind: str,
+        item_ids: Iterable[Hashable],
+        at: float,
+        request: int,
+    ) -> None:
+        """Record granted items of one task kind arriving on this rank
+        (the thief).  Mirrors the victim's ``steal_grant`` record:
+        same request id, same kind, same ids in the same order —
+        :mod:`repro.lint.trace_check` pairs them and asserts each grant
+        migrates exactly once."""
+        self._log("migrate", at, kind, tuple(item_ids), 0, request)
 
     # -- recovery ops (consumed by trace_check invariant #7) ----------------------
 

@@ -44,3 +44,29 @@ def test_cv_computation():
 def test_empty_rejected():
     with pytest.raises(ClusterConfigError):
         imbalance_metrics([])
+
+
+def test_idle_ranks_tolerate_float_noise():
+    """Regression: seconds-based loads carry float noise (setup charges,
+    rounding), so a rank at ~1e-12 of the peak is idle; the old exact
+    ``x == 0`` test undercounted it."""
+    m = imbalance_metrics([10.0, 1e-11, 0.0])
+    assert m.idle_ranks == 2
+
+
+def test_idle_tolerance_zero_restores_exact_test():
+    m = imbalance_metrics([10.0, 1e-11, 0.0], idle_tolerance=0.0)
+    assert m.idle_ranks == 1
+
+
+def test_idle_tolerance_scales_with_peak():
+    # the cut is relative to the maximum load, not absolute
+    m = imbalance_metrics([1e6, 1e-4, 0.0])
+    assert m.idle_ranks == 2
+    m = imbalance_metrics([1.0, 1e-4, 0.0])
+    assert m.idle_ranks == 1
+
+
+def test_negative_idle_tolerance_rejected():
+    with pytest.raises(ClusterConfigError):
+        imbalance_metrics([1.0], idle_tolerance=-1e-9)

@@ -1,0 +1,306 @@
+"""Tests for the work-stealing scheduler (repro.cluster.stealing)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.workloads import ClusterTask, SyntheticApplyWorkload
+from repro.cluster.network import NetworkModel
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.stealing import (
+    StealingConfig,
+    StealingEngine,
+    locality_preferences,
+)
+from repro.dht.process_map import ProcessMap, SubtreePartitionMap
+from repro.errors import ClusterConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import GpuFailure
+from repro.lint.trace_check import find_migration_violations, find_violations
+from repro.mra.key import Key
+from repro.obs.dump import merge_order_log
+from repro.obs.metrics import MetricsRegistry
+from repro.recovery.policy import EveryNBatches
+from repro.recovery.protocol import RecoveryConfig
+from repro.runtime.task import TaskKind, WorkItem
+from repro.runtime.trace import Tracer
+
+KIND_A = TaskKind("apply", (3, 12))
+KIND_B = TaskKind("apply", (3, 20))
+
+
+class SlotMap(ProcessMap):
+    """Test-only map: first translation component modulo ranks."""
+
+    def owner(self, key):
+        return key.translation[0] % self.n_ranks
+
+
+def make_tasks(slots, kind=KIND_A):
+    """One task per entry of ``slots``; entry s lands on rank s (SlotMap)."""
+    tasks = []
+    for i, slot in enumerate(slots):
+        key = Key(3, (slot % 8, i % 8, 0))
+        item = WorkItem(kind=kind, output_bytes=64)
+        tasks.append(ClusterTask(key=key, neighbor=key, item=item))
+    return tasks
+
+
+def flat_cost(rank, tasks):
+    del rank
+    return 0.01 * len(tasks)
+
+
+def run_engine(tasks, n_ranks, config, *, tracers=None, registry=None):
+    engine = StealingEngine(
+        SlotMap(n_ranks),
+        NetworkModel(),
+        config,
+        flat_cost,
+        rank_tracers=tracers,
+        registry=registry,
+    )
+    return engine.run(tasks)
+
+
+# -- configuration -----------------------------------------------------------------
+
+
+def test_config_rejects_bad_knobs():
+    with pytest.raises(ClusterConfigError):
+        StealingConfig(chunk_size=0)
+    with pytest.raises(ClusterConfigError):
+        StealingConfig(min_victim_queue=0)
+    with pytest.raises(ClusterConfigError):
+        StealingConfig(steal_fraction=0.0)
+    with pytest.raises(ClusterConfigError):
+        StealingConfig(steal_fraction=1.5)
+    with pytest.raises(ClusterConfigError):
+        StealingConfig(request_bytes=-1)
+    with pytest.raises(ClusterConfigError):
+        StealingConfig(executor="magic")
+
+
+def test_simulation_rejects_stealing_with_faults():
+    injector = FaultInjector(seed=3, faults=[GpuFailure(rate=0.5)])
+    with pytest.raises(ClusterConfigError):
+        ClusterSimulation(
+            2,
+            SlotMap(2),
+            stealing=StealingConfig(),
+            fault_injector=injector,
+        )
+
+
+def test_simulation_rejects_stealing_with_recovery():
+    with pytest.raises(ClusterConfigError):
+        ClusterSimulation(
+            2,
+            SlotMap(2),
+            stealing=StealingConfig(),
+            recovery=RecoveryConfig(policy=EveryNBatches(2)),
+        )
+
+
+# -- the protocol ------------------------------------------------------------------
+
+
+def test_idle_ranks_steal_from_the_loaded_rank():
+    tasks = make_tasks([0] * 16)
+    config = StealingConfig(chunk_size=2, min_victim_queue=2)
+    static = run_engine(tasks, 4, StealingConfig(
+        enabled=False, chunk_size=2, min_victim_queue=2))
+    stolen = run_engine(tasks, 4, config)
+    assert static.total_executed == 16
+    assert stolen.total_executed == 16
+    assert stolen.steals_granted > 0
+    assert stolen.tasks_migrated > 0
+    # the whole point: idle ranks pick up migrated work
+    assert sum(1 for n in stolen.n_executed if n > 0) > 1
+    assert stolen.makespan_seconds < static.makespan_seconds
+
+
+def test_static_baseline_never_migrates():
+    tasks = make_tasks([0, 0, 0, 0, 1, 1, 2, 2])
+    outcome = run_engine(tasks, 4, StealingConfig(enabled=False))
+    assert outcome.tasks_migrated == 0
+    assert outcome.steals_attempted == 0
+    assert outcome.n_executed == [4, 2, 2, 0]
+
+
+def test_victim_denies_below_min_queue():
+    # three thieves hit one victim at the same instant: the grants
+    # shrink the queue below min_victim_queue, so the last is denied
+    tasks = make_tasks([0] * 10)
+    config = StealingConfig(chunk_size=1, min_victim_queue=5)
+    outcome = run_engine(tasks, 4, config)
+    assert outcome.steals_denied >= 1
+    assert outcome.total_executed == 10
+
+
+def test_outcome_accounting_is_consistent():
+    tasks = make_tasks([0] * 12 + [1] * 2)
+    config = StealingConfig(chunk_size=2, min_victim_queue=2)
+    outcome = run_engine(tasks, 3, config)
+    assert outcome.total_executed == sum(outcome.n_executed) == 14
+    assert sum(outcome.n_chunks) >= outcome.total_executed // config.chunk_size
+    assert outcome.max_queue_depth >= 12
+    for busy, finish in zip(outcome.busy_seconds, outcome.finish_seconds):
+        assert busy <= finish + 1e-12
+
+
+def test_engine_is_deterministic():
+    tasks = make_tasks([0] * 9 + [1] * 3)
+    config = StealingConfig(chunk_size=2, min_victim_queue=2)
+    tracers_a = {r: Tracer() for r in range(3)}
+    tracers_b = {r: Tracer() for r in range(3)}
+    a = run_engine(tasks, 3, config, tracers=tracers_a)
+    b = run_engine(make_tasks([0] * 9 + [1] * 3), 3, config, tracers=tracers_b)
+    assert a.n_executed == b.n_executed
+    assert a.makespan_seconds == pytest.approx(b.makespan_seconds, abs=0.0)
+    for rank in range(3):
+        assert tracers_a[rank].log == tracers_b[rank].log
+
+
+def test_trace_protocol_is_exactly_once():
+    tasks = make_tasks([0] * 14 + [1] * 2, kind=KIND_A) + make_tasks(
+        [0] * 4, kind=KIND_B
+    )
+    tracers = {r: Tracer() for r in range(4)}
+    config = StealingConfig(chunk_size=2, min_victim_queue=2)
+    outcome = run_engine(tasks, 4, config, tracers=tracers)
+    assert outcome.total_executed == len(tasks)
+    logs = {r: merge_order_log(t.log) for r, t in tracers.items()}
+    for rank, log in logs.items():
+        assert find_violations(log) == [], f"rank {rank}"
+    assert find_migration_violations(logs) == []
+    accumulated = [
+        item
+        for log in logs.values()
+        for rec in log
+        if rec.op == "accumulate"
+        for item in rec.ids
+    ]
+    assert sorted(accumulated) == sorted(f"t{i}" for i in range(len(tasks)))
+
+
+def test_metrics_are_published():
+    tasks = make_tasks([0] * 12)
+    registry = MetricsRegistry()
+    config = StealingConfig(chunk_size=2, min_victim_queue=2)
+    outcome = run_engine(tasks, 3, config, registry=registry)
+    assert registry.counter("cluster.steal.requests").total >= 1
+    grants = registry.counter("cluster.steal.grants").total
+    assert grants == pytest.approx(float(outcome.steals_granted))
+    migrated = registry.counter("cluster.steal.tasks_migrated").total
+    assert migrated == pytest.approx(float(outcome.tasks_migrated))
+    assert registry.histogram("cluster.steal.victim_queue_depth").count >= 1
+
+
+def test_locality_preferences_point_at_adjacent_owners():
+    # two adjacent level-1 boxes owned by different ranks prefer each
+    # other; an isolated far rank has no locality preference
+    tasks = [
+        ClusterTask(key=Key(1, (0,)), neighbor=Key(1, (0,)),
+                    item=WorkItem(kind=KIND_A)),
+        ClusterTask(key=Key(1, (1,)), neighbor=Key(1, (1,)),
+                    item=WorkItem(kind=KIND_A)),
+    ]
+    prefs = locality_preferences(SlotMap(2), tasks)
+    assert prefs == {0: (1,), 1: (0,)}
+
+
+def test_adjacent_ranks_query():
+    pmap = SlotMap(4)
+    keys = [Key(2, (0, 0)), Key(2, (1, 0)), Key(2, (3, 3))]
+    assert pmap.adjacent_ranks(0, keys) == (1,)
+    assert pmap.adjacent_ranks(1, keys) == (0,)
+    # rank 3's box at (3,3) has no neighbour in the key set
+    assert pmap.adjacent_ranks(3, keys) == ()
+
+
+# -- simulation integration --------------------------------------------------------
+
+
+def test_cluster_simulation_stealing_end_to_end():
+    workload = SyntheticApplyWorkload(
+        dim=3, k=6, rank=30, n_tasks=48, n_tree_leaves=12, seed=9, skew=4.0
+    )
+    pmap = SubtreePartitionMap(4, anchor_level=1)
+
+    def run(enabled):
+        sim = ClusterSimulation(
+            4,
+            pmap,
+            mode="hybrid",
+            stealing=StealingConfig(
+                enabled=enabled, chunk_size=3, executor="analytic"
+            ),
+        )
+        return sim.run(workload.tasks)
+
+    static = run(False)
+    stolen = run(True)
+    assert static.total_tasks == stolen.total_tasks == 48
+    assert stolen.makespan_seconds < static.makespan_seconds
+    assert stolen.imbalance is not None and static.imbalance is not None
+    assert stolen.imbalance.imbalance < static.imbalance.imbalance
+    assert sum(r.n_tasks for r in stolen.node_results) == 48
+
+
+def test_runtime_and_analytic_executors_agree_roughly():
+    workload = SyntheticApplyWorkload(
+        dim=3, k=6, rank=30, n_tasks=24, n_tree_leaves=8, seed=9, skew=3.0
+    )
+    pmap = SubtreePartitionMap(3, anchor_level=1)
+    results = {}
+    for executor in ("runtime", "analytic"):
+        sim = ClusterSimulation(
+            3,
+            pmap,
+            mode="hybrid",
+            stealing=StealingConfig(chunk_size=3, executor=executor),
+        )
+        results[executor] = sim.run(workload.tasks).makespan_seconds
+    ratio = results["analytic"] / results["runtime"]
+    assert 0.3 < ratio < 3.0
+
+
+# -- exactly-once as a property ----------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    slots=st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                   max_size=24),
+    n_ranks=st.integers(min_value=2, max_value=5),
+    chunk_size=st.integers(min_value=1, max_value=4),
+    min_victim_queue=st.integers(min_value=1, max_value=4),
+    steal_fraction=st.floats(min_value=0.25, max_value=1.0),
+)
+def test_migration_preserves_exactly_once(
+    slots, n_ranks, chunk_size, min_victim_queue, steal_fraction
+):
+    """Whatever the placement and knobs: every task executes exactly
+    once, on some rank, and the cross-rank migration ledger is clean."""
+    tasks = make_tasks(slots)
+    config = StealingConfig(
+        chunk_size=chunk_size,
+        min_victim_queue=min_victim_queue,
+        steal_fraction=steal_fraction,
+    )
+    tracers = {r: Tracer() for r in range(n_ranks)}
+    outcome = run_engine(tasks, n_ranks, config, tracers=tracers)
+    assert outcome.total_executed == len(tasks)
+    logs = {r: merge_order_log(t.log) for r, t in tracers.items()}
+    for rank, log in logs.items():
+        assert find_violations(log) == [], f"rank {rank}"
+    assert find_migration_violations(logs) == []
+    accumulated = [
+        item
+        for log in logs.values()
+        for rec in log
+        if rec.op == "accumulate"
+        for item in rec.ids
+    ]
+    assert sorted(accumulated) == sorted(f"t{i}" for i in range(len(tasks)))

@@ -129,3 +129,68 @@ def test_invalid_configs():
         CostPartitionMap.from_weights(4, {}, granularity=1.0)
     with pytest.raises(ClusterConfigError):
         CostPartitionMap.from_weights(4, {Key.root(1): 1.0}, granularity=-1.0)
+
+
+def test_subtree_map_coarse_keys_hash_across_ranks():
+    """Pin the documented coarse-key behaviour: keys above the anchor
+    level are their own anchors and hash directly across all ranks —
+    the tree top is not a structural hot spot."""
+    from repro.dht.hashing import stable_key_hash
+
+    pmap = SubtreePartitionMap(8, anchor_level=3)
+    coarse = [Key(2, (a, b)) for a in range(4) for b in range(4)]
+    for key in coarse:
+        assert pmap.anchor_of(key) == key
+        assert pmap.owner(key) == stable_key_hash(key) % 8
+        assert pmap.owner(key) == pmap.owner(pmap.anchor_of(key))
+    assert len({pmap.owner(k) for k in coarse}) > 1
+
+
+def test_subtree_map_boundary_level_is_its_own_anchor():
+    """A key exactly at the anchor level anchors itself, and its whole
+    subtree routes through it."""
+    pmap = SubtreePartitionMap(8, anchor_level=2)
+    key = Key(2, (1, 3))
+    assert pmap.anchor_of(key) == key
+    for child in key.children():
+        assert pmap.anchor_of(child) == key
+        assert pmap.owner(child) == pmap.owner(key)
+
+
+@st.composite
+def _tree_key(draw, dim=2, max_level=5):
+    level = draw(st.integers(0, max_level))
+    limit = 1 << level
+    translation = tuple(
+        draw(st.integers(0, limit - 1)) for _ in range(dim)
+    )
+    return Key(level, translation)
+
+
+@given(
+    n_ranks=st.integers(1, 16),
+    anchor_level=st.integers(0, 3),
+    keys=st.lists(_tree_key(), min_size=1, max_size=32),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_policy_is_total_and_anchor_consistent(
+    n_ranks, anchor_level, keys
+):
+    """Every policy is a total, stable map into [0, n_ranks) whose
+    ``owner`` agrees with its ``anchor_of`` routing — including keys at
+    the ``level == anchor_level`` boundary."""
+    weights = {k: 1.0 for k in keys}
+    policies = [
+        HashProcessMap(n_ranks),
+        SubtreePartitionMap(n_ranks, anchor_level=anchor_level),
+        LevelStripeMap(n_ranks),
+        CostPartitionMap.from_weights(n_ranks, weights, granularity=2.0),
+    ]
+    for pmap in policies:
+        for key in keys:
+            owner = pmap.owner(key)
+            assert 0 <= owner < n_ranks
+            assert pmap.owner(key) == owner  # stable
+            anchor = pmap.anchor_of(key)
+            assert pmap.anchor_of(anchor) == anchor  # idempotent
+            assert pmap.owner(anchor) == owner  # routing agreement

@@ -196,3 +196,73 @@ def test_canonical_scenarios_are_race_free(scenario):
     report = detect_races(run_scenario(scenario).dump)
     assert report.clean, report.render()
     assert report.n_accesses > 0
+
+
+class TestStealingEdges:
+    """Work-stealing ops: sanctioned edges order the protocol; the
+    exactly-once property shows up as accum write-write conflicts."""
+
+    def _victim_log(self):
+        return [
+            rec("submit", 0.0, "a", [1]),
+            rec("submit", 0.0, "a", [2]),
+            rec("steal_grant", 0.5, "a", [2], batch=0),
+            rec("flush", 1.0, "a", [1], batch=0),
+            rec("accumulate", 1.5, "a", [1], batch=0),
+        ]
+
+    def _thief_log(self):
+        return [
+            rec("steal_request", 0.4, "v0", [], batch=0),
+            rec("migrate", 0.6, "a", [2], batch=0),
+            rec("flush", 0.7, "a", [2], batch=0),
+            rec("accumulate", 0.9, "a", [2], batch=0),
+        ]
+
+    def test_victim_side_protocol_is_clean(self):
+        assert analyze_log(self._victim_log()).clean
+
+    def test_thief_side_protocol_is_clean(self):
+        assert analyze_log(self._thief_log()).clean
+
+    def test_deny_and_request_are_access_free(self):
+        log = [
+            rec("steal_request", 0.1, "v1", [], batch=0),
+            rec("steal_deny", 0.2, "t2", [], batch=0),
+        ]
+        report = analyze_log(log)
+        assert report.clean
+        assert report.n_accesses == 0
+
+    def test_executing_a_granted_item_races(self):
+        # the victim grants item 2 away, then runs it anyway: the
+        # grant's accum write and the accumulate are unordered
+        log = self._victim_log() + [
+            rec("flush", 2.0, "a", [2], batch=1),
+            rec("accumulate", 2.5, "a", [2], batch=1),
+        ]
+        report = analyze_log(log)
+        assert not report.clean
+        assert any(r.resource == "accum:2" for r in report.races)
+
+    def test_migrating_an_executed_item_races(self):
+        # item 2 already ran here; a later migrate-in is a duplicate
+        log = [
+            rec("submit", 0.0, "a", [2]),
+            rec("flush", 0.5, "a", [2], batch=0),
+            rec("accumulate", 0.7, "a", [2], batch=0),
+            rec("migrate", 1.0, "a", [2], batch=1),
+        ]
+        report = analyze_log(log)
+        assert not report.clean
+        assert any(r.resource == "accum:2" for r in report.races)
+
+    def test_migrate_back_after_grant_is_ordered(self):
+        # A grants item 2 away; it migrates back later (re-steal chain)
+        # and runs here — the grant -> migrate edge orders the writes
+        log = self._victim_log() + [
+            rec("migrate", 2.0, "a", [2], batch=5),
+            rec("flush", 2.5, "a", [2], batch=1),
+            rec("accumulate", 3.0, "a", [2], batch=1),
+        ]
+        assert analyze_log(log).clean

@@ -490,3 +490,192 @@ class TestRecoveryLedgerEdgeCases:
         violations = find_violations(log)
         assert any("effectively accumulated 2 times" in v
                    for v in violations)
+
+
+def mrec(op, at, kind="k", ids=(), batch=-1):
+    """Record constructor with a batch/request id (migration tests)."""
+    return RuntimeLogRecord(
+        op=op, at=at, kind=kind, ids=tuple(ids), attempt=0, batch=batch
+    )
+
+
+class TestMigrationPerRank:
+    """Invariant 8, per-rank half: grants leave, migrations register."""
+
+    def test_grant_then_migrate_back_is_clean(self):
+        # t1 is granted away, later migrates back and runs here
+        log = [
+            mrec("submit", 0.0, "a", ["t0"]),
+            mrec("submit", 0.0, "a", ["t1"]),
+            mrec("steal_grant", 0.5, "a", ["t1"], batch=0),
+            mrec("flush", 1.0, "a", ["t0"], batch=0),
+            mrec("accumulate", 1.5, "a", ["t0"], batch=0),
+            mrec("migrate", 2.0, "a", ["t1"], batch=3),
+            mrec("flush", 2.5, "a", ["t1"], batch=1),
+            mrec("accumulate", 3.0, "a", ["t1"], batch=1),
+        ]
+        assert find_violations(log) == []
+
+    def test_granted_item_is_not_expected_to_flush(self):
+        log = [
+            mrec("submit", 0.0, "a", ["t0"]),
+            mrec("submit", 0.0, "a", ["t1"]),
+            mrec("steal_grant", 0.5, "a", ["t1"], batch=0),
+            mrec("flush", 1.0, "a", ["t0"], batch=0),
+            mrec("accumulate", 1.5, "a", ["t0"], batch=0),
+        ]
+        assert find_violations(log) == []
+
+    def test_flush_after_grant_is_flagged(self):
+        log = [
+            mrec("submit", 0.0, "a", ["t0"]),
+            mrec("steal_grant", 0.5, "a", ["t0"], batch=0),
+            mrec("flush", 1.0, "a", ["t0"], batch=0),
+        ]
+        assert any("never submitted" in v for v in find_violations(log))
+
+    def test_migrate_of_pending_item_is_duplicate(self):
+        log = [
+            mrec("submit", 0.0, "a", ["t0"]),
+            mrec("migrate", 0.5, "a", ["t0"], batch=0),
+        ]
+        assert any(
+            "duplicate migration" in v for v in find_violations(log)
+        )
+
+    def test_migrate_after_local_execution_is_flagged(self):
+        log = [
+            mrec("submit", 0.0, "a", ["t0"]),
+            mrec("flush", 0.5, "a", ["t0"], batch=0),
+            mrec("accumulate", 0.7, "a", ["t0"], batch=0),
+            mrec("migrate", 1.0, "a", ["t0"], batch=1),
+        ]
+        assert any(
+            "already executed" in v for v in find_violations(log)
+        )
+
+    def test_grant_of_unknown_item_is_flagged(self):
+        log = [
+            mrec("submit", 0.0, "a", ["t0"]),
+            mrec("steal_grant", 0.5, "a", ["t9"], batch=0),
+        ]
+        assert any("not pending" in v for v in find_violations(log))
+
+    def test_grant_under_wrong_kind_is_flagged(self):
+        log = [
+            mrec("submit", 0.0, "a", ["t0"]),
+            mrec("submit", 0.0, "a", ["t1"]),
+            mrec("steal_grant", 0.5, "b", ["t1"], batch=0),
+        ]
+        assert any("another kind" in v for v in find_violations(log))
+
+
+class TestMigrationAcrossRanks:
+    """Invariant 8, cross-rank half: the exactly-once ledger."""
+
+    def _clean_logs(self):
+        victim = [
+            mrec("submit", 0.0, "a", ["t0", "t1", "t2"]),
+            mrec("steal_grant", 0.5, "a", ["t2"], batch=0),
+            mrec("flush", 1.0, "a", ["t0", "t1"], batch=0),
+            mrec("accumulate", 1.5, "a", ["t0", "t1"], batch=0),
+        ]
+        thief = [
+            mrec("migrate", 0.6, "a", ["t2"], batch=0),
+            mrec("flush", 0.7, "a", ["t2"], batch=0),
+            mrec("accumulate", 0.9, "a", ["t2"], batch=0),
+        ]
+        return {0: victim, 1: thief}
+
+    def test_clean_migration_passes(self):
+        from repro.lint.trace_check import find_migration_violations
+
+        assert find_migration_violations(self._clean_logs()) == []
+
+    def test_no_steal_records_is_vacuously_clean(self):
+        from repro.lint.trace_check import find_migration_violations
+
+        # per-rank w<n> names are not globally comparable, so logs
+        # without steal ops are out of scope by design
+        logs = {
+            0: [mrec("submit", 0.0, "a", ["w0"]),
+                mrec("flush", 0.5, "a", ["w0"], batch=0),
+                mrec("accumulate", 0.6, "a", ["w0"], batch=0)],
+            1: [mrec("submit", 0.0, "a", ["w0"]),
+                mrec("flush", 0.5, "a", ["w0"], batch=0),
+                mrec("accumulate", 0.6, "a", ["w0"], batch=0)],
+        }
+        assert find_migration_violations(logs) == []
+
+    def test_grant_without_migrate_is_lost_work(self):
+        from repro.lint.trace_check import find_migration_violations
+
+        logs = self._clean_logs()
+        logs[1] = [r for r in logs[1] if r.op != "migrate"]
+        assert any(
+            "never migrated" in v
+            for v in find_migration_violations(logs)
+        )
+
+    def test_migrate_without_grant_is_flagged(self):
+        from repro.lint.trace_check import find_migration_violations
+
+        logs = self._clean_logs()
+        logs[0] = [r for r in logs[0] if r.op != "steal_grant"]
+        assert any(
+            "without a matching grant" in v
+            for v in find_migration_violations(logs)
+        )
+
+    def test_double_migrate_is_flagged(self):
+        from repro.lint.trace_check import find_migration_violations
+
+        logs = self._clean_logs()
+        logs[1] = logs[1] + [mrec("migrate", 0.8, "a", ["t2"], batch=0)]
+        assert any(
+            "migrated 2 times" in v
+            for v in find_migration_violations(logs)
+        )
+
+    def test_migrate_onto_victim_is_flagged(self):
+        from repro.lint.trace_check import find_migration_violations
+
+        logs = self._clean_logs()
+        logs[0] = logs[0] + [mrec("migrate", 0.6, "a", ["t2"], batch=0)]
+        logs[1] = [r for r in logs[1] if r.op != "migrate"]
+        assert any(
+            "victim rank" in v for v in find_migration_violations(logs)
+        )
+
+    def test_migrate_before_grant_instant_is_flagged(self):
+        from repro.lint.trace_check import find_migration_violations
+
+        logs = self._clean_logs()
+        logs[1][0] = mrec("migrate", 0.1, "a", ["t2"], batch=0)
+        assert any(
+            "precedes its grant" in v
+            for v in find_migration_violations(logs)
+        )
+
+    def test_global_double_execution_is_flagged(self):
+        from repro.lint.trace_check import find_migration_violations
+
+        logs = self._clean_logs()
+        # the victim also runs the task it granted away
+        logs[0] = logs[0] + [
+            mrec("flush", 2.0, "a", ["t2"], batch=1),
+            mrec("accumulate", 2.5, "a", ["t2"], batch=1),
+        ]
+        violations = find_migration_violations(logs)
+        assert any("flushed on ranks" in v for v in violations)
+        assert any("accumulated 2 times" in v for v in violations)
+
+    def test_mismatched_ids_are_flagged(self):
+        from repro.lint.trace_check import find_migration_violations
+
+        logs = self._clean_logs()
+        logs[1][0] = mrec("migrate", 0.6, "a", ["t0"], batch=0)
+        assert any(
+            "differ from granted" in v
+            for v in find_migration_violations(logs)
+        )
