@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint lint-tests races ruff mypy test coverage golden trace-check steal-smoke
+.PHONY: check lint lint-tests races ruff mypy test coverage golden trace-check steal-smoke serve-smoke
 
 ## check: everything CI runs — in-tree analyzer, race gate, ruff, mypy,
 ## tier-1 tests
@@ -55,6 +55,11 @@ golden:
 ## sweep runs 5000 simulated ranks; scale 0.1 stops at 500)
 steal-smoke:
 	REPRO_BENCH_SCALE=0.1 $(PYTHON) -m pytest benchmarks/test_stealing.py -q
+
+## serve-smoke: reduced-scale serving ablation + the pinned
+## BENCH_serve.json baseline (the p99/goodput win must hold at 0.1)
+serve-smoke:
+	REPRO_BENCH_SCALE=0.1 $(PYTHON) -m pytest benchmarks/test_serve.py -q
 
 ## trace-check: just the dynamic happens-before tests
 trace-check:

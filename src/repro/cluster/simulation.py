@@ -257,6 +257,10 @@ class ClusterSimulation:
         #: per-(slowdown, gpu_failed, kind) calibrated seconds/task for
         #: the analytic stealing executor
         self._analytic_costs: dict[tuple, float] = {}
+        #: per-(slowdown, gpu_failed, item shape) calibrated seconds/item
+        #: for the serving batch executor (shape-keyed, not kind-keyed,
+        #: so per-job kinds in the no-cross-job ablation share entries)
+        self._serve_costs: dict[tuple, float] = {}
 
     # -- runtime assembly --------------------------------------------------------
 
@@ -460,6 +464,76 @@ class ClusterSimulation:
                 self._analytic_costs[key] = per_task
             total += per_task
         return total
+
+    # -- open-loop serving -----------------------------------------------------------
+
+    _SERVE_CALIBRATION_BATCH = 8
+
+    def serve_batch_seconds(self, rank: int, items: list) -> float:
+        """Calibrated serving batch cost on one rank.
+
+        Per (node spec, item shape) the cost of one calibration-sized
+        batch is measured once on a real :class:`NodeRuntime` and
+        cached as seconds/item; a serving batch then prices as the sum
+        of its items' calibrated costs.  The cache keys on the item
+        *shape* (compute name, Formula 1 quantities, tensor bytes)
+        rather than the full :class:`TaskKind`, so the no-cross-job
+        ablation's per-job kinds reuse one entry.  Deterministic: the
+        calibration run is itself a seeded simulation.
+        """
+        size = self._SERVE_CALIBRATION_BATCH
+        total = 0.0
+        for item in items:
+            key = (
+                self.stragglers.get(rank, 1.0),
+                self._gpu_failed(rank),
+                item.kind.compute_name,
+                item.steps,
+                item.step_rows,
+                item.step_q,
+                item.input_bytes,
+            )
+            per_item = self._serve_costs.get(key)
+            if per_item is None:
+                runtime = self._make_runtime(
+                    rank, attach_observers=False, charge_setup=False
+                )
+                batch = [
+                    HybridTask(
+                        work=item,
+                        pre_bytes=item.input_bytes,
+                        post_bytes=item.output_bytes,
+                    )
+                ] * size
+                per_item = runtime.execute(batch).total_seconds / size
+                self._serve_costs[key] = per_item
+            total += per_item
+        return total
+
+    def serve(self, requests, config=None):
+        """Open-loop entry: run a job service against this cluster.
+
+        ``requests`` is a list of :class:`repro.serve.arrivals.
+        JobRequest` (from any arrival process); ``config`` a
+        :class:`repro.serve.service.ServeConfig`.  The service prices
+        every dispatched batch through :meth:`serve_batch_seconds`
+        (this cluster's node specs, stragglers and failed GPUs) and —
+        when a :class:`~repro.serve.autoscaler.AutoscalerConfig` is
+        set — resizes the simulated rank pool beyond ``n_nodes``
+        (``_spec_for_rank`` prices any rank id).  Observers ride the
+        driver's slots: rank 0's tracer carries the serving ledger and
+        ``self.registry`` the ``serve.*`` metrics.
+        """
+        from repro.serve.service import JobService
+
+        service = JobService(
+            n_ranks=self.n_nodes,
+            batch_seconds=self.serve_batch_seconds,
+            config=config,
+            tracer=self.rank_tracers.get(0),
+            registry=self.registry,
+        )
+        return service.run(requests)
 
     def _run_stealing(self, tasks: list[ClusterTask]) -> ClusterResult:
         """Execute the workload under the open work-stealing loop."""

@@ -289,7 +289,9 @@ class StealingEngine:
             for rank in range(n)
             if len(queues[rank]) >= cfg.min_victim_queue
         }
-        parked: list[Event | None] = [None] * n
+        #: only ranks that are actually parked appear here, so a board
+        #: gain wakes O(parked) sleepers instead of scanning all n slots
+        parked: dict[int, Event] = {}
 
         def board_update(rank: int) -> None:
             if len(queues[rank]) >= cfg.min_victim_queue:
@@ -300,8 +302,10 @@ class StealingEngine:
                 board.discard(rank)
 
         def wake_parked() -> None:
-            for ev in parked:
-                if ev is not None and not ev.triggered:
+            # sorted for the rank-order wakes the golden traces pin
+            for rank in sorted(parked):
+                ev = parked[rank]
+                if not ev.triggered:
                     ev.succeed()
 
         def pick_victim(rank: int) -> int | None:
@@ -424,7 +428,7 @@ class StealingEngine:
                     ev = env.event()
                     parked[rank] = ev
                     yield ev
-                    parked[rank] = None
+                    parked.pop(rank, None)
                     continue
                 req = totals.next_request()
                 t0 = env.now

@@ -28,6 +28,7 @@ from repro.experiments.chaos import run_chaos_ablation
 from repro.experiments.figures import run_fig5, run_fig6
 from repro.experiments.profiling import run_pipeline_profile
 from repro.experiments.recovery import run_checkpoint_ablation
+from repro.experiments.serve import run_serve_ablation
 from repro.experiments.stealing import run_stealing_vs_static
 from repro.experiments.ablations import (
     run_adaptive_ablation,
@@ -60,6 +61,7 @@ REGISTRY = {
     "ablation-adaptive": run_adaptive_ablation,
     "ablation-chaos": run_chaos_ablation,
     "ablation-checkpoint": run_checkpoint_ablation,
+    "serve-ablation": run_serve_ablation,
     "stealing-vs-static": run_stealing_vs_static,
     "profile-pipeline": run_pipeline_profile,
 }

@@ -18,6 +18,9 @@ Threads per rank:
 - ``("recovery",)`` — checkpoint / rollback / restore records;
 - ``("steal", req)`` — the steal-protocol records of request ``req``
   (request, grant, deny, migrate share the request id in ``batch``);
+- ``("serve",)`` — the serving front door's control records (arrive /
+  admit / shed / deadline_miss / scale), one serialized admission +
+  bookkeeping + autoscaler loop;
 - ``("misc", op)`` — fallback for batch-less records in older logs.
 
 Sanctioned edges joined into the target record's clock:
@@ -67,8 +70,9 @@ from repro.runtime.trace import RuntimeLogRecord
 #: merged value is never read back by the simulation)
 DEFAULT_COMMUTATIVE = ("metric:gauge:runtime.inflight_batches",)
 
-#: gauge name prefixes owned by the cluster driver (single writer)
-_DRIVER_GAUGE_PREFIXES = ("cluster.",)
+#: gauge name prefixes owned by a single-writer driver loop (the
+#: cluster driver, the serving front door)
+_DRIVER_GAUGE_PREFIXES = ("cluster.", "serve.")
 
 
 @dataclass(frozen=True)
@@ -192,6 +196,12 @@ def _thread_of(rec: RuntimeLogRecord) -> tuple:
         return ("producer",)
     if rec.op in ("steal_request", "steal_grant", "steal_deny", "migrate"):
         return ("steal", rec.batch)
+    if rec.op in ("arrive", "admit", "shed", "deadline_miss", "scale"):
+        # the serving front door (admission, completion bookkeeping,
+        # autoscaler) is one serialized control loop; its records ride
+        # tenant ids / pool sizes in ``batch``, so match before the
+        # generic batch-thread rule
+        return ("serve",)
     if rec.batch >= 0:
         return ("b", rec.batch)
     if rec.op in ("checkpoint", "rollback", "restore"):

@@ -40,7 +40,7 @@ from repro.lint.core import FileContext, Finding, Rule, register
 _CONSTANT_NAME = re.compile(r"^(_?[A-Z][A-Z0-9_]*|__\w+__)$")
 
 #: subsystems whose code runs inside event handlers
-EVENT_HANDLER_SCOPE = ("runtime", "cluster", "recovery")
+EVENT_HANDLER_SCOPE = ("runtime", "cluster", "recovery", "serve")
 
 #: constructors whose module-level result is shared mutable state
 _MUTABLE_CALLS = frozenset(

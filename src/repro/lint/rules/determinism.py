@@ -19,7 +19,7 @@ from repro.lint.core import FileContext, Finding, Rule, register
 from repro.lint.rules._util import import_aliases, resolve_call_name
 
 #: subsystems that run on simulated time
-SIMULATED_TIME_SCOPE = ("runtime", "cluster", "dht")
+SIMULATED_TIME_SCOPE = ("runtime", "cluster", "dht", "serve")
 
 #: wall-clock reads (and real sleeps) banned on the simulated clock
 WALL_CLOCK_CALLS = frozenset(

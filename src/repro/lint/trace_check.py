@@ -60,6 +60,17 @@ structured log a :class:`repro.runtime.trace.Tracer` collects
    exactly one rank and accumulated exactly once globally, no matter
    how many times it migrated.
 
+9. **serving job ledger** (open-loop serving runs, dump schema v4) —
+   every job that ``arrive``\\ s at the serving front door is admitted
+   **xor** shed, exactly once, never both; a shed job charges no
+   compute (no ``submit``/``flush``/``accumulate`` record may reference
+   its items — item ids carry the job id as their ``"j<n>."`` prefix);
+   an admitted job submits at least one item and, when the log carries
+   accumulates, every one of its submitted items is accumulated exactly
+   once (the job *completes*); and a ``deadline_miss`` is recorded at
+   most once per job, only for admitted jobs.  Logs without serving
+   records trivially satisfy the check.
+
 :func:`check_runtime_log` raises :class:`TraceCheckError` listing every
 violation; :func:`verify_tracer` is the one-call form used by the
 integration tests.
@@ -75,6 +86,9 @@ from repro.runtime.trace import RuntimeLogRecord, Tracer
 
 #: ops that belong to the recovery ledger, not to any execution epoch
 _RECOVERY_OPS = ("checkpoint", "rollback", "restore")
+
+#: ops that belong to the serving job ledger (invariant #9)
+_SERVE_OPS = ("arrive", "admit", "shed", "deadline_miss", "scale")
 
 
 class TraceCheckError(ReproError):
@@ -121,6 +135,120 @@ def find_violations(records: Iterable[RuntimeLogRecord]) -> list[str]:
         )
     if has_recovery:
         violations.extend(_recovery_violations(records))
+    if any(rec.op in _SERVE_OPS for rec in records):
+        violations.extend(_serve_violations(records))
+    return violations
+
+
+def _job_of(item_id: Hashable) -> str | None:
+    """The serving job id an item belongs to (``"j3.s0.i1"`` → ``"j3"``),
+    or None for non-serving item ids."""
+    text = str(item_id)
+    head, sep, _ = text.partition(".")
+    return head if sep and head.startswith("j") else None
+
+
+def _serve_violations(records: list[RuntimeLogRecord]) -> list[str]:
+    """Invariant 9: the serving job ledger.
+
+    One pass over the full log maintaining each job's arrival instant,
+    admission verdict counts, per-job compute record counts (item ids
+    attribute to jobs through their ``"j<n>."`` prefix) and deadline
+    misses; see the module docstring for the rules enforced.
+    """
+    violations: list[str] = []
+    arrived_at: dict[Hashable, float] = {}
+    admits: Counter[Hashable] = Counter()
+    sheds: Counter[Hashable] = Counter()
+    misses: Counter[Hashable] = Counter()
+    submitted_items: dict[str, set[Hashable]] = {}
+    accumulated: Counter[Hashable] = Counter()
+    compute_ops: dict[str, set[str]] = {}
+    saw_accumulate = False
+
+    for rec in records:
+        if rec.op == "arrive":
+            (job,) = rec.ids
+            if job in arrived_at:
+                violations.append(f"job {job!r} arrived twice")
+            arrived_at[job] = rec.at
+        elif rec.op in ("admit", "shed"):
+            (job,) = rec.ids
+            table = admits if rec.op == "admit" else sheds
+            table[job] += 1
+            at = arrived_at.get(job)
+            if at is None:
+                violations.append(
+                    f"job {job!r} {rec.op} verdict without an arrival"
+                )
+            elif rec.at < at:
+                violations.append(
+                    f"job {job!r} {rec.op} at {rec.at} precedes its "
+                    f"arrival at {at}"
+                )
+        elif rec.op == "deadline_miss":
+            (job,) = rec.ids
+            misses[job] += 1
+        elif rec.op in ("submit", "flush", "accumulate"):
+            if rec.op == "accumulate":
+                saw_accumulate = True
+            for item_id in rec.ids:
+                job = _job_of(item_id)
+                if job is None:
+                    continue
+                compute_ops.setdefault(job, set()).add(rec.op)
+                if rec.op == "submit":
+                    submitted_items.setdefault(job, set()).add(item_id)
+                elif rec.op == "accumulate":
+                    accumulated[item_id] += 1
+
+    for job in arrived_at:
+        n_admit = admits.get(job, 0)
+        n_shed = sheds.get(job, 0)
+        if n_admit + n_shed == 0:
+            violations.append(
+                f"job {job!r} arrived but was neither admitted nor shed"
+            )
+        if n_admit > 1:
+            violations.append(f"job {job!r} admitted {n_admit} times")
+        if n_shed > 1:
+            violations.append(f"job {job!r} shed {n_shed} times")
+        if n_admit and n_shed:
+            violations.append(
+                f"job {job!r} both admitted and shed (the verdict is "
+                "exclusive)"
+            )
+    for job in sorted(sheds, key=str):
+        ops = compute_ops.get(job)
+        if ops:
+            violations.append(
+                f"shed job {job!r} charged compute "
+                f"({', '.join(sorted(ops))} records reference its items)"
+            )
+    for job in sorted(admits, key=str):
+        items = submitted_items.get(job, set())
+        if not items:
+            violations.append(
+                f"admitted job {job!r} never submitted any work"
+            )
+        elif saw_accumulate:
+            incomplete = sorted(
+                str(i) for i in items if accumulated.get(i, 0) != 1
+            )
+            if incomplete:
+                violations.append(
+                    f"admitted job {job!r} did not complete exactly once: "
+                    f"items {incomplete[:3]} accumulated != 1 time(s)"
+                )
+    for job, n in sorted(misses.items(), key=lambda kv: str(kv[0])):
+        if n > 1:
+            violations.append(
+                f"job {job!r} recorded {n} deadline misses (at most one)"
+            )
+        if admits.get(job, 0) == 0:
+            violations.append(
+                f"job {job!r} missed a deadline but was never admitted"
+            )
     return violations
 
 

@@ -33,11 +33,11 @@ from repro.runtime.trace import RuntimeLogRecord, TraceEvent, Tracer
 #: schema identity of the dump format (see docs/OBSERVABILITY.md)
 DUMP_SCHEMA = "repro-obs-dump"
 #: bump on any backwards-incompatible change to the dump layout
-DUMP_VERSION = 3
+DUMP_VERSION = 4
 #: older layouts this tooling still reads (v1: no ``begin_transfer``
 #: records, capture order instead of canonical merge order; v2: no
-#: work-stealing ops)
-COMPAT_VERSIONS = frozenset({1, 2, DUMP_VERSION})
+#: work-stealing ops; v3: no serving ops)
+COMPAT_VERSIONS = frozenset({1, 2, 3, DUMP_VERSION})
 
 #: canonical same-instant ordering of log ops — pipeline-stage order,
 #: with rollback/restore first (they open the replay epoch records that
@@ -47,6 +47,11 @@ COMPAT_VERSIONS = frozenset({1, 2, DUMP_VERSION})
 #: canonicalizes to the same bytes, which is what the schedule
 #: perturbation harness (repro.lint.perturb) asserts.
 _OP_STAGE = {
+    # serving front door (v4): a job arrives, then its admission
+    # verdict lands, before any same-instant submit of its items
+    "arrive": -5,
+    "admit": -4,
+    "shed": -3,
     "rollback": -2,
     "restore": -1,
     "submit": 0,
@@ -65,6 +70,10 @@ _OP_STAGE = {
     "checkpoint": 9,
     "steal_request": 10,
     "steal_deny": 11,
+    # serving (v4): a deadline miss is observed at job completion
+    # (after its final accumulate), and the autoscaler reacts last
+    "deadline_miss": 12,
+    "scale": 13,
 }
 
 

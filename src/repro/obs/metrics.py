@@ -113,6 +113,33 @@ class Histogram:
             "mean": sum(values) / len(values),
         }
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the observed values (``0 <= q <=
+        100``), by linear interpolation between order statistics — the
+        latency quantile estimator the serving layer reports p50/p95/p99
+        through.  Empty histograms report 0.0."""
+        if not 0.0 <= q <= 100.0:
+            raise MetricsError(f"percentile q must be in [0, 100], got {q}")
+        values = sorted(v for _, v in self.samples)
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        pos = (len(values) - 1) * (q / 100.0)
+        lo = int(pos)
+        hi = min(lo + 1, len(values) - 1)
+        frac = pos - lo
+        return values[lo] * (1.0 - frac) + values[hi] * frac
+
+    def percentiles(self, *qs: float) -> dict[str, float]:
+        """Several percentiles at once, keyed ``"p50"``-style (integral
+        quantiles render without the decimal point)."""
+        out: dict[str, float] = {}
+        for q in qs:
+            key = f"p{int(q)}" if float(q).is_integer() else f"p{q}"
+            out[key] = self.percentile(q)
+        return out
+
 
 class MetricsRegistry:
     """Named metrics published during one simulation run.

@@ -16,7 +16,11 @@ compares against committed JSON, and the runnable inputs of
   cross-rank metric aggregation;
 - ``stealing``   — a five-rank skewed-tree run under the work-stealing
   scheduler (steal request/grant/deny and migration records, dump
-  schema v3).
+  schema v3);
+- ``serving``    — an open-loop multi-tenant serving run under a bursty
+  arrival trace (arrive/admit/shed/deadline_miss/scale records, dump
+  schema v4) with admission control, cross-job batching and the
+  reactive autoscaler all engaged.
 
 Scenario workloads build **distinct** :class:`~repro.runtime.task.
 WorkItem` objects per task (never a shared probe item) so the
@@ -48,6 +52,11 @@ from repro.runtime.dispatcher import HybridDispatcher
 from repro.runtime.node import NodeRuntime
 from repro.runtime.task import HybridTask, TaskKind, WorkItem
 from repro.runtime.trace import Tracer
+from repro.serve.admission import AdmissionConfig
+from repro.serve.arrivals import BurstyArrivals
+from repro.serve.autoscaler import AutoscalerConfig
+from repro.serve.jobs import SloClass
+from repro.serve.service import ServeConfig
 
 
 class ScenarioError(ReproError, ValueError):
@@ -275,6 +284,79 @@ def run_stealing() -> ScenarioRun:
     )
 
 
+def run_serving() -> ScenarioRun:
+    """An open-loop multi-tenant serving run under a bursty trace.
+
+    Two calibrated Titan ranks serve three tenants through the full
+    front door: per-tenant token buckets shed part of each burst
+    (``shed`` records), tight interactive deadlines miss under the
+    burst backlog (``deadline_miss``), and the reactive autoscaler
+    grows the pool mid-burst (``scale``) — so the dump exercises the
+    complete v4 serving vocabulary on top of the per-batch
+    submit/flush/accumulate ledger.
+    """
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    sim = ClusterSimulation(
+        2,
+        HashProcessMap(2),
+        mode="hybrid",
+        rank_tracers={0: tracer},
+        registry=registry,
+    )
+    arrivals = BurstyArrivals(
+        rate=3.0,
+        burst_rate=30.0,
+        period=2.0,
+        burst_fraction=0.3,
+        horizon=4.0,
+        n_tenants=3,
+        seed=13,
+    )
+    config = ServeConfig(
+        classes=(
+            SloClass("interactive", 0, 0.02),
+            SloClass("standard", 1, 0.5),
+            SloClass("batch", 2, 2.0),
+        ),
+        admission=AdmissionConfig(
+            tenant_rate=3.0, tenant_burst=3.0, max_queue_items=96
+        ),
+        autoscaler=AutoscalerConfig(
+            min_ranks=1,
+            max_ranks=4,
+            interval=0.2,
+            high_water=0.05,
+            low_water=0.01,
+            cooldown=0.3,
+        ),
+        max_batch_size=8,
+    )
+    result = sim.serve(arrivals.requests(), config)
+    summary = {
+        "n_jobs": result.n_arrived,
+        "n_admitted": result.n_admitted,
+        "n_shed": result.n_shed,
+        "n_completed": result.n_completed,
+        "n_on_time": result.n_on_time,
+        "n_batches": result.n_batches,
+        "final_pool": result.final_pool,
+        "pool_peak": result.pool_peak,
+        "total_seconds": result.makespan,
+    }
+    dump = RunDump(
+        meta={"scenario": "serving", "n_jobs": result.n_arrived},
+        ranks=[capture_rank(0, tracer, summary)],
+        registry=registry,
+    )
+    return ScenarioRun(
+        name="serving",
+        dump=dump,
+        makespan=result.makespan,
+        extras={"goodput": result.goodput},
+    )
+
+
 #: every canonical scenario, by name (stable ordering)
 SCENARIOS = {
     "serialized": run_serialized,
@@ -283,6 +365,7 @@ SCENARIOS = {
     "checkpoint": run_checkpoint,
     "cluster": run_cluster,
     "stealing": run_stealing,
+    "serving": run_serving,
 }
 
 

@@ -42,6 +42,15 @@ LOG_OPS = (
     "steal_grant",
     "steal_deny",
     "migrate",
+    # open-loop serving front door (dump schema v4, see docs/SERVING.md):
+    # a job arriving from a tenant, the admission verdict (admit or
+    # shed), a completed job missing its SLO deadline, and the
+    # autoscaler resizing the rank pool
+    "arrive",
+    "admit",
+    "shed",
+    "deadline_miss",
+    "scale",
 )
 
 #: categories rendered as separate Gantt lanes, in display order
@@ -322,6 +331,49 @@ class Tracer:
         :mod:`repro.lint.trace_check` pairs them and asserts each grant
         migrates exactly once."""
         self._log("migrate", at, kind, tuple(item_ids), 0, request)
+
+    # -- serving ops (consumed by trace_check invariant #9) -----------------------
+
+    def log_arrive(
+        self, job_id: Hashable, tenant: int, slo: str, at: float
+    ) -> None:
+        """Record one job arriving at the serving front door.
+
+        ``kind`` carries the job's SLO class name, ``batch`` the tenant
+        index — together with the matching ``admit``/``shed`` record
+        they form the job ledger :mod:`repro.lint.trace_check` verifies
+        (invariant #9: every arrival admitted xor shed, exactly once).
+        """
+        self._log("arrive", at, slo, (job_id,), 0, tenant)
+
+    def log_admit(
+        self, job_id: Hashable, tenant: int, slo: str, at: float
+    ) -> None:
+        """Record the admission controller accepting one arrived job."""
+        self._log("admit", at, slo, (job_id,), 0, tenant)
+
+    def log_shed(
+        self, job_id: Hashable, tenant: int, reason: str, at: float
+    ) -> None:
+        """Record the admission controller shedding one arrived job;
+        ``kind`` carries the reason (``"token-bucket"`` or
+        ``"queue-depth"``).  A shed job must charge no compute — no
+        submit/flush/accumulate record may reference its items."""
+        self._log("shed", at, reason, (job_id,), 0, tenant)
+
+    def log_deadline_miss(
+        self, job_id: Hashable, slo: str, at: float
+    ) -> None:
+        """Record an admitted job completing *after* its SLO deadline
+        (logged at completion time, at most once per job)."""
+        self._log("deadline_miss", at, slo, (job_id,))
+
+    def log_scale(self, old_size: int, new_size: int, at: float) -> None:
+        """Record the autoscaler resizing the rank pool; ``kind`` is the
+        direction (``"up"``/``"down"``), ``ids`` the old size as
+        ``"n<old>"``, ``batch`` the new size."""
+        direction = "up" if new_size > old_size else "down"
+        self._log("scale", at, direction, (f"n{old_size}",), 0, new_size)
 
     # -- recovery ops (consumed by trace_check invariant #7) ----------------------
 

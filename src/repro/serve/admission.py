@@ -1,0 +1,107 @@
+"""Admission control: per-tenant token buckets + queue-depth shedding.
+
+The front door sheds *at arrival time* — a rejected job never touches
+the batcher or the rank pool (trace_check invariant #9's "shed jobs
+charge no compute").  Two independent policies, checked in order:
+
+1. **queue depth** — when the batcher's backlog exceeds
+   ``max_queue_items`` the service is saturated and every arrival is
+   shed regardless of tenant (reason ``"queue-depth"``);
+2. **per-tenant token bucket** — each tenant earns ``tenant_rate``
+   admissions per simulated second up to a ``tenant_burst`` cap, so
+   one chatty tenant cannot starve the rest (reason
+   ``"token-bucket"``).
+
+Everything runs on the simulated clock handed in by the caller; the
+controller keeps no wall-clock state (lint DET001).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class AdmissionConfigError(ReproError, ValueError):
+    """An admission policy was configured with invalid parameters."""
+
+
+@dataclass
+class TokenBucket:
+    """A token bucket on the simulated clock.
+
+    Refills continuously at ``rate`` tokens per second up to ``burst``;
+    one admission costs one token.  ``last`` is the instant of the
+    previous refill (monotonic — the DES clock never goes back).
+    """
+
+    rate: float
+    burst: float
+    tokens: float = -1.0
+    last: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise AdmissionConfigError(
+                f"token rate must be > 0, got {self.rate}"
+            )
+        if self.burst < 1:
+            raise AdmissionConfigError(
+                f"token burst must be >= 1, got {self.burst}"
+            )
+        if self.tokens < 0:
+            self.tokens = self.burst  # start full
+
+    def try_take(self, now: float) -> bool:
+        """Refill to ``now`` and take one token if available."""
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.last) * self.rate
+        )
+        self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the admission controller (see module docstring)."""
+
+    tenant_rate: float = 4.0
+    tenant_burst: float = 8.0
+    max_queue_items: int = 512
+
+    def __post_init__(self) -> None:
+        if self.max_queue_items < 1:
+            raise AdmissionConfigError(
+                f"max queue depth must be >= 1, got {self.max_queue_items}"
+            )
+
+
+class AdmissionController:
+    """Stateful admission verdicts over one service lifetime."""
+
+    def __init__(self, config: AdmissionConfig):
+        self.config = config
+        self._buckets: dict[int, TokenBucket] = {}
+
+    def decide(
+        self, now: float, tenant: int, queue_depth: int
+    ) -> str | None:
+        """The verdict for one arrival: ``None`` admits, otherwise the
+        shed reason (``"queue-depth"`` or ``"token-bucket"``)."""
+        if queue_depth >= self.config.max_queue_items:
+            return "queue-depth"
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                rate=self.config.tenant_rate,
+                burst=self.config.tenant_burst,
+                last=now,
+            )
+            self._buckets[tenant] = bucket
+        if not bucket.try_take(now):
+            return "token-bucket"
+        return None

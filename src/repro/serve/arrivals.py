@@ -1,0 +1,214 @@
+"""Open-loop arrival processes for the serving front door.
+
+Three sources, all producing the same thing — a time-sorted list of
+:class:`JobRequest` — so the service never knows which model fed it:
+
+- :class:`TraceArrivals` replays an explicit request trace verbatim
+  (the deterministic regression workhorse);
+- :class:`PoissonArrivals` draws i.i.d. exponential gaps at a constant
+  rate;
+- :class:`BurstyArrivals` alternates quiet and burst phases of a
+  square-wave rate profile — the adversarial load shape the shedding /
+  autoscaling ablation runs under.
+
+Determinism discipline (lint DET002): no generator touches the global
+RNG or the wall clock.  Every random quantity is a *counter-keyed*
+draw — ``uniform(seed, domain, i, ...)`` from :mod:`repro.faults.models`
+— so request ``i`` of a seeded process is the same on every run and on
+every platform, independent of call order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.faults.models import uniform
+
+#: decision domains separating the draw streams of one seed
+_DOMAIN_GAP = 1
+_DOMAIN_TENANT = 2
+_DOMAIN_TEMPLATE = 3
+_DOMAIN_SLO = 4
+
+
+class ArrivalConfigError(ReproError, ValueError):
+    """An arrival process was configured with invalid parameters."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One job arriving at the front door.
+
+    ``template`` names a :data:`repro.serve.jobs.JOB_TEMPLATES` entry
+    and ``slo`` an SLO class of the service's configuration; both are
+    resolved at admission time so a request trace stays a plain value.
+    """
+
+    at: float
+    tenant: int
+    template: str
+    slo: str
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ArrivalConfigError(f"request time must be >= 0: {self}")
+        if self.tenant < 0:
+            raise ArrivalConfigError(f"tenant must be >= 0: {self}")
+
+
+def _sorted_requests(requests: list[JobRequest]) -> list[JobRequest]:
+    """Requests in arrival order (stable for simultaneous arrivals)."""
+    return sorted(requests, key=lambda r: r.at)
+
+
+class TraceArrivals:
+    """Deterministic replay of an explicit request trace."""
+
+    def __init__(self, requests: list[JobRequest] | tuple[JobRequest, ...]):
+        self._requests = _sorted_requests(list(requests))
+
+    def requests(self) -> list[JobRequest]:
+        """The trace, in arrival order."""
+        return list(self._requests)
+
+
+def _pick(weights: tuple[tuple[str, float], ...], u: float) -> str:
+    """Weighted choice by one uniform draw (deterministic, order-stable)."""
+    total = sum(w for _, w in weights)
+    acc = 0.0
+    for name, w in weights:
+        acc += w / total
+        if u < acc:
+            return name
+    return weights[-1][0]
+
+
+#: default job-template mix of the synthetic tenants
+DEFAULT_TEMPLATE_WEIGHTS = (
+    ("coulomb-apply", 0.5),
+    ("compress-chain", 0.3),
+    ("pipeline", 0.2),
+)
+
+#: default SLO-class mix of the synthetic tenants
+DEFAULT_SLO_WEIGHTS = (
+    ("interactive", 0.3),
+    ("standard", 0.5),
+    ("batch", 0.2),
+)
+
+
+class PoissonArrivals:
+    """Seeded Poisson process: exponential inter-arrival gaps at a
+    constant ``rate`` (jobs per simulated second) over ``horizon``
+    seconds, tenants / templates / SLO classes drawn per request."""
+
+    def __init__(
+        self,
+        *,
+        rate: float,
+        horizon: float,
+        n_tenants: int,
+        seed: int,
+        template_weights: tuple[tuple[str, float], ...] = (
+            DEFAULT_TEMPLATE_WEIGHTS
+        ),
+        slo_weights: tuple[tuple[str, float], ...] = DEFAULT_SLO_WEIGHTS,
+    ):
+        if rate <= 0:
+            raise ArrivalConfigError(f"arrival rate must be > 0, got {rate}")
+        if horizon <= 0:
+            raise ArrivalConfigError(f"horizon must be > 0, got {horizon}")
+        if n_tenants < 1:
+            raise ArrivalConfigError(
+                f"need at least one tenant, got {n_tenants}"
+            )
+        self.rate = rate
+        self.horizon = horizon
+        self.n_tenants = n_tenants
+        self.seed = seed
+        self.template_weights = template_weights
+        self.slo_weights = slo_weights
+
+    def _rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate (constant for a pure Poisson)."""
+        return self.rate
+
+    def requests(self) -> list[JobRequest]:
+        """Generate the request list for the whole horizon."""
+        out: list[JobRequest] = []
+        t = 0.0
+        i = 0
+        while True:
+            u = uniform(self.seed, _DOMAIN_GAP, i)
+            # exponential gap at the rate in force when the gap starts;
+            # max() guards the (measure-zero) u == 0 draw
+            t += -math.log(max(1.0 - u, 1e-300)) / self._rate_at(t)
+            if t >= self.horizon:
+                break
+            tenant = int(
+                uniform(self.seed, _DOMAIN_TENANT, i) * self.n_tenants
+            )
+            template = _pick(
+                self.template_weights,
+                uniform(self.seed, _DOMAIN_TEMPLATE, i),
+            )
+            slo = _pick(
+                self.slo_weights, uniform(self.seed, _DOMAIN_SLO, i)
+            )
+            out.append(JobRequest(t, tenant, template, slo))
+            i += 1
+        return _sorted_requests(out)
+
+
+class BurstyArrivals(PoissonArrivals):
+    """Square-wave Poisson: a quiet ``rate`` baseline with periodic
+    bursts at ``burst_rate`` for the first ``burst_fraction`` of every
+    ``period`` — the load shape that makes naive FIFO admission drown
+    and gives shedding + autoscaling something to win on."""
+
+    def __init__(
+        self,
+        *,
+        rate: float,
+        burst_rate: float,
+        period: float,
+        burst_fraction: float = 0.25,
+        horizon: float,
+        n_tenants: int,
+        seed: int,
+        template_weights: tuple[tuple[str, float], ...] = (
+            DEFAULT_TEMPLATE_WEIGHTS
+        ),
+        slo_weights: tuple[tuple[str, float], ...] = DEFAULT_SLO_WEIGHTS,
+    ):
+        super().__init__(
+            rate=rate,
+            horizon=horizon,
+            n_tenants=n_tenants,
+            seed=seed,
+            template_weights=template_weights,
+            slo_weights=slo_weights,
+        )
+        if burst_rate < rate:
+            raise ArrivalConfigError(
+                f"burst rate {burst_rate} below baseline rate {rate}"
+            )
+        if period <= 0:
+            raise ArrivalConfigError(f"burst period must be > 0: {period}")
+        if not 0.0 < burst_fraction < 1.0:
+            raise ArrivalConfigError(
+                f"burst fraction must be in (0, 1), got {burst_fraction}"
+            )
+        self.burst_rate = burst_rate
+        self.period = period
+        self.burst_fraction = burst_fraction
+
+    def _rate_at(self, t: float) -> float:
+        """Burst rate inside the burst window of each period."""
+        phase = t % self.period
+        if phase < self.burst_fraction * self.period:
+            return self.burst_rate
+        return self.rate

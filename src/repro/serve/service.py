@@ -1,0 +1,542 @@
+"""The open-loop job service: arrivals → admission → dispatch → pool.
+
+:class:`JobService` ties the serving pieces together on one
+:class:`~repro.runtime.events.Environment`:
+
+- an **arrival process** replays the request list, logs every
+  ``arrive`` and asks the admission controller for the verdict
+  (``admit``/``shed`` records; shed jobs never touch the queue);
+- **worker processes**, one per active rank, pull shape-bucketed
+  batches from the :class:`~repro.serve.batcher.CrossJobBatcher`,
+  charge the caller-supplied batch cost model on the DES clock
+  (``flush``/``accumulate`` records per batch) and drive job stage
+  progression; idle workers park on per-rank events and are woken
+  exactly when new work or shutdown arrives;
+- an **autoscaler process** samples the observed queue delay on a
+  fixed interval and resizes the active rank set (``scale`` records),
+  spawning workers on growth and letting excess workers retire on
+  shrink.
+
+Determinism: the only randomness is the seeded arrival list; every
+instant, record and metric sample is a pure function of the inputs, so
+two runs of one configuration produce byte-identical trace dumps (the
+golden-trace + perturbation gates hold the layer to that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.events import Environment, Event
+from repro.runtime.trace import Tracer
+from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.arrivals import JobRequest
+from repro.serve.autoscaler import AutoscalerConfig, ReactiveAutoscaler
+from repro.serve.batcher import CrossJobBatcher, SubTask
+from repro.serve.jobs import (
+    DEFAULT_CLASSES,
+    JOB_TEMPLATES,
+    Job,
+    JobTemplate,
+    SloClass,
+    build_job,
+)
+
+
+class ServeConfigError(ReproError, ValueError):
+    """The service was configured with invalid parameters."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one service instance.
+
+    ``admission=None`` admits everything; ``autoscaler=None`` pins the
+    pool at its initial size.  ``fifo=True`` is the naive baseline the
+    ablation compares against: class priority and deadlines are
+    ignored at dispatch.  ``cross_job_batching=False`` salts every
+    job's task kinds with its job id, so batches never span jobs.
+    ``batch_overhead_seconds`` is the fixed per-dispatch cost
+    (scheduling + transfer setup) that cross-job batching amortizes.
+    """
+
+    classes: tuple[SloClass, ...] = DEFAULT_CLASSES
+    templates: dict[str, JobTemplate] = field(
+        default_factory=lambda: dict(JOB_TEMPLATES)
+    )
+    admission: AdmissionConfig | None = field(
+        default_factory=AdmissionConfig
+    )
+    autoscaler: AutoscalerConfig | None = None
+    cross_job_batching: bool = True
+    fifo: bool = False
+    max_batch_size: int = 16
+    batch_overhead_seconds: float = 0.002
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ServeConfigError("need at least one SLO class")
+        if self.max_batch_size < 1:
+            raise ServeConfigError(
+                f"max batch size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.batch_overhead_seconds < 0:
+            raise ServeConfigError(
+                "batch overhead must be >= 0, got "
+                f"{self.batch_overhead_seconds}"
+            )
+
+
+@dataclass
+class JobOutcome:
+    """The ledger entry of one arrived job."""
+
+    job_id: str
+    tenant: int
+    template: str
+    slo: str
+    arrived_at: float
+    shed_reason: str | None = None
+    completed_at: float | None = None
+    deadline: float | None = None
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the job was admitted (vs shed at arrival)."""
+        return self.shed_reason is None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the job ran to completion."""
+        return self.completed_at is not None
+
+    @property
+    def latency(self) -> float | None:
+        """Arrival-to-completion latency (None for shed jobs)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.arrived_at
+
+    @property
+    def on_time(self) -> bool:
+        """Whether the job completed within its SLO deadline."""
+        return (
+            self.completed_at is not None
+            and self.deadline is not None
+            and self.completed_at <= self.deadline
+        )
+
+
+@dataclass
+class ServeResult:
+    """Aggregate outcome of one service run."""
+
+    outcomes: list[JobOutcome]
+    makespan: float
+    n_batches: int
+    n_events: int
+    final_pool: int
+    pool_peak: int
+
+    @property
+    def n_arrived(self) -> int:
+        """Jobs that reached the front door."""
+        return len(self.outcomes)
+
+    @property
+    def n_admitted(self) -> int:
+        """Jobs the admission controller accepted."""
+        return sum(1 for o in self.outcomes if o.admitted)
+
+    @property
+    def n_shed(self) -> int:
+        """Jobs shed at arrival."""
+        return sum(1 for o in self.outcomes if not o.admitted)
+
+    @property
+    def n_completed(self) -> int:
+        """Admitted jobs that ran to completion."""
+        return sum(1 for o in self.outcomes if o.completed)
+
+    @property
+    def n_on_time(self) -> int:
+        """Completed jobs that met their SLO deadline."""
+        return sum(1 for o in self.outcomes if o.on_time)
+
+    @property
+    def goodput(self) -> float:
+        """On-time completions per simulated second."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.n_on_time / self.makespan
+
+    def latencies(self, slo: str | None = None) -> list[float]:
+        """Completion latencies, optionally of one SLO class."""
+        return [
+            o.latency
+            for o in self.outcomes
+            if o.completed and (slo is None or o.slo == slo)
+        ]
+
+    def latency_percentile(self, q: float, slo: str | None = None) -> float:
+        """The ``q``-th latency percentile (0.0 with no completions)."""
+        values = sorted(self.latencies(slo))
+        if not values:
+            return 0.0
+        pos = (len(values) - 1) * (q / 100.0)
+        lo = int(pos)
+        hi = min(lo + 1, len(values) - 1)
+        frac = pos - lo
+        return values[lo] * (1.0 - frac) + values[hi] * frac
+
+    def per_tenant_counts(self) -> dict[int, dict[str, int]]:
+        """Per-tenant arrived/admitted/completed/shed counts."""
+        out: dict[int, dict[str, int]] = {}
+        for o in self.outcomes:
+            row = out.setdefault(
+                o.tenant,
+                {"arrived": 0, "admitted": 0, "completed": 0, "shed": 0},
+            )
+            row["arrived"] += 1
+            if o.admitted:
+                row["admitted"] += 1
+            else:
+                row["shed"] += 1
+            if o.completed:
+                row["completed"] += 1
+        return out
+
+
+class _State:
+    """Mutable run state shared by the service's DES processes."""
+
+    __slots__ = (
+        "arrivals_done",
+        "outstanding",
+        "done",
+        "active_limit",
+        "next_batch",
+        "next_job",
+        "last_instant",
+        "pool_peak",
+        "n_events",
+    )
+
+    def __init__(self, pool: int):
+        self.arrivals_done = False
+        self.outstanding = 0
+        self.done = False
+        self.active_limit = pool
+        self.next_batch = 0
+        self.next_job = 0
+        self.last_instant = 0.0
+        self.pool_peak = pool
+        self.n_events = 0
+
+
+class JobService:
+    """One open-loop serving run over a caller-priced rank pool.
+
+    Args:
+        n_ranks: initial rank-pool size (the autoscaler's starting
+            point when one is configured, clamped into its bounds).
+        batch_seconds: ``(rank, [WorkItem, ...]) -> float`` — the
+            compute cost of one dispatched batch on one rank,
+            *excluding* the fixed ``batch_overhead_seconds`` the
+            service charges per dispatch.  The cluster entry point
+            (:meth:`repro.cluster.simulation.ClusterSimulation.serve`)
+            supplies a calibrated analytic model.
+        config: the service knobs.
+        tracer: optional happens-before tracer; when armed, the run
+            logs the full serving ledger (``arrive``/``admit``/
+            ``shed``/``deadline_miss``/``scale`` plus per-batch
+            ``submit``/``flush``/``accumulate``).
+        registry: optional metrics registry (``serve.*`` counters,
+            gauges, and the p50/p95/p99-bearing latency histograms).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_ranks: int,
+        batch_seconds,
+        config: ServeConfig | None = None,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        if n_ranks < 1:
+            raise ServeConfigError(f"need at least one rank, got {n_ranks}")
+        self.config = config or ServeConfig()
+        asc = self.config.autoscaler
+        if asc is not None:
+            n_ranks = min(max(n_ranks, asc.min_ranks), asc.max_ranks)
+        self.n_ranks = n_ranks
+        self.batch_seconds = batch_seconds
+        self.tracer = tracer
+        self.registry = registry
+        self._classes = {c.name: c for c in self.config.classes}
+
+    # -- observation helpers ---------------------------------------------------
+
+    def _count(self, name: str, at: float) -> None:
+        if self.registry is not None:
+            self.registry.counter(name).inc(at)
+
+    def _gauge(self, name: str, at: float, value: float) -> None:
+        if self.registry is not None:
+            self.registry.gauge(name).set(at, value)
+
+    def _observe(self, name: str, at: float, value: float) -> None:
+        if self.registry is not None:
+            self.registry.histogram(name).observe(at, value)
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(self, requests: list[JobRequest]) -> ServeResult:
+        """Serve one request list to completion; returns the ledger."""
+        cfg = self.config
+        env = Environment()
+        state = _State(self.n_ranks)
+        batcher = CrossJobBatcher(
+            max_batch_size=cfg.max_batch_size,
+            cross_job=cfg.cross_job_batching,
+            fifo=cfg.fifo,
+        )
+        admission = (
+            AdmissionController(cfg.admission)
+            if cfg.admission is not None
+            else None
+        )
+        outcomes: list[JobOutcome] = []
+        parked: dict[int, Event] = {}
+        alive: set[int] = set()
+
+        def wake_all() -> None:
+            # deterministic wake order: ascending rank
+            for rank in sorted(parked):
+                ev = parked[rank]
+                if not ev.triggered:
+                    ev.succeed()
+
+        def touch(at: float) -> None:
+            state.last_instant = max(state.last_instant, at)
+            state.n_events += 1
+
+        def maybe_finish(at: float) -> None:
+            if state.arrivals_done and state.outstanding == 0:
+                state.done = True
+                wake_all()
+
+        def submit_stage(job: Job, at: float) -> None:
+            stage = job.stages[job.stage_index]
+            job.remaining = len(stage)
+            for item_id, item in stage:
+                if self.tracer is not None:
+                    self.tracer.log_submit(str(item.kind), item_id, at)
+                batcher.add(SubTask(job, item_id, item), at)
+            self._gauge("serve.queue_depth", at, batcher.depth())
+
+        def complete_job(job: Job, at: float) -> None:
+            job.completed_at = at
+            job_outcomes[job.job_id].completed_at = at
+            state.outstanding -= 1
+            latency = at - job.arrived_at
+            self._count("serve.completed", at)
+            self._observe("serve.latency_seconds", at, latency)
+            self._observe(f"serve.latency_seconds.{job.slo.name}", at, latency)
+            if at <= job.deadline:
+                self._count("serve.goodput", at)
+            else:
+                self._count("serve.deadline_miss", at)
+                if self.tracer is not None:
+                    self.tracer.log_deadline_miss(job.job_id, job.slo.name, at)
+            touch(at)
+            maybe_finish(at)
+
+        def worker(rank: int):
+            alive.add(rank)
+            while True:
+                if state.done or rank >= state.active_limit:
+                    break
+                batch = batcher.next_batch()
+                if batch is None:
+                    if state.arrivals_done and state.outstanding == 0:
+                        break
+                    ev = env.event()
+                    parked[rank] = ev
+                    yield ev
+                    parked.pop(rank, None)
+                    continue
+                index = state.next_batch
+                state.next_batch += 1
+                now = env.now
+                kind = batch[0].kind_key
+                ids = [t.item_id for t in batch]
+                if self.tracer is not None:
+                    self.tracer.log_flush(kind, ids, now, batch=index)
+                self._count("serve.batches", now)
+                self._observe("serve.batch_size", now, len(batch))
+                self._observe(
+                    "serve.queue_delay_seconds",
+                    now,
+                    batcher.oldest_wait(now),
+                )
+                seconds = cfg.batch_overhead_seconds + self.batch_seconds(
+                    rank, [t.item for t in batch]
+                )
+                yield env.timeout(seconds)
+                now = env.now
+                if self.tracer is not None:
+                    self.tracer.log_accumulate(kind, ids, now, batch=index)
+                touch(now)
+                # stage progression, grouped per job in batch order
+                advanced: list[Job] = []
+                for task in batch:
+                    job = task.job
+                    job.remaining -= 1
+                    if job.remaining == 0:
+                        job.stage_index += 1
+                        advanced.append(job)
+                woke = False
+                for job in advanced:
+                    if job.done:
+                        complete_job(job, now)
+                    else:
+                        submit_stage(job, now)
+                        woke = True
+                if woke:
+                    wake_all()
+            alive.discard(rank)
+
+        def arrivals():
+            for req in requests:
+                if req.at > env.now:
+                    yield env.timeout(req.at - env.now)
+                now = env.now
+                job_id = f"j{state.next_job}"
+                state.next_job += 1
+                slo = self._classes.get(req.slo)
+                if slo is None:
+                    raise ServeConfigError(
+                        f"request names unknown SLO class {req.slo!r}"
+                    )
+                template = cfg.templates.get(req.template)
+                if template is None:
+                    raise ServeConfigError(
+                        f"request names unknown template {req.template!r}"
+                    )
+                if self.tracer is not None:
+                    self.tracer.log_arrive(job_id, req.tenant, slo.name, now)
+                self._count("serve.arrivals", now)
+                touch(now)
+                reason = (
+                    admission.decide(now, req.tenant, batcher.depth())
+                    if admission is not None
+                    else None
+                )
+                if reason is not None:
+                    if self.tracer is not None:
+                        self.tracer.log_shed(job_id, req.tenant, reason, now)
+                    self._count("serve.shed", now)
+                    self._count(f"serve.shed.{reason}", now)
+                    outcomes.append(
+                        JobOutcome(
+                            job_id=job_id,
+                            tenant=req.tenant,
+                            template=template.name,
+                            slo=slo.name,
+                            arrived_at=now,
+                            shed_reason=reason,
+                        )
+                    )
+                    continue
+                job = build_job(
+                    job_id,
+                    req.tenant,
+                    template,
+                    slo,
+                    shared_kinds=cfg.cross_job_batching,
+                )
+                job.arrived_at = now
+                job.admitted_at = now
+                job.deadline = now + slo.deadline_seconds
+                if self.tracer is not None:
+                    self.tracer.log_admit(job_id, req.tenant, slo.name, now)
+                self._count("serve.admitted", now)
+                outcome = JobOutcome(
+                    job_id=job_id,
+                    tenant=req.tenant,
+                    template=template.name,
+                    slo=slo.name,
+                    arrived_at=now,
+                    deadline=job.deadline,
+                )
+                outcomes.append(outcome)
+                job_outcomes[job.job_id] = outcome
+                state.outstanding += 1
+                submit_stage(job, now)
+                wake_all()
+            state.arrivals_done = True
+            maybe_finish(env.now)
+
+        def autoscaler_proc(policy: ReactiveAutoscaler):
+            interval = cfg.autoscaler.interval
+            while not state.done:
+                yield env.timeout(interval)
+                if state.done:
+                    break
+                now = env.now
+                new = policy.decide(
+                    now,
+                    state.active_limit,
+                    batcher.oldest_wait(now),
+                    batcher.depth(),
+                )
+                if new is None:
+                    continue
+                old = state.active_limit
+                state.active_limit = new
+                state.pool_peak = max(state.pool_peak, new)
+                if self.tracer is not None:
+                    self.tracer.log_scale(old, new, now)
+                self._gauge("serve.pool_size", now, new)
+                self._count(
+                    "serve.scale_ups" if new > old else "serve.scale_downs",
+                    now,
+                )
+                touch(now)
+                if new > old:
+                    for rank in range(old, new):
+                        if rank not in alive:
+                            env.process(worker(rank))
+                else:
+                    # excess parked workers notice the new limit and exit
+                    wake_all()
+
+        job_outcomes: dict[str, JobOutcome] = {}
+        self._gauge("serve.pool_size", 0.0, state.active_limit)
+        for rank in range(state.active_limit):
+            env.process(worker(rank))
+        env.process(arrivals())
+        if cfg.autoscaler is not None:
+            env.process(autoscaler_proc(ReactiveAutoscaler(cfg.autoscaler)))
+        env.run()
+
+        # completion instants land on the shared outcome objects
+        for outcome in outcomes:
+            if outcome.admitted and outcome.completed_at is None:
+                # every admitted job must have completed once the DES
+                # queue drained; anything else is a scheduler bug
+                raise ServeConfigError(
+                    f"job {outcome.job_id} admitted but never completed"
+                )
+        return ServeResult(
+            outcomes=outcomes,
+            makespan=state.last_instant,
+            n_batches=state.next_batch,
+            n_events=state.n_events,
+            final_pool=state.active_limit,
+            pool_peak=state.pool_peak,
+        )

@@ -184,6 +184,43 @@ def test_trace_protocol_is_exactly_once():
     assert sorted(accumulated) == sorted(f"t{i}" for i in range(len(tasks)))
 
 
+def test_parked_ranks_wake_without_a_full_scan(monkeypatch):
+    # regression for the parked-rank index: thieves that find an empty
+    # board park on a fresh event (the engine's only direct env.event()
+    # call) and a later board gain must wake them.  A lost wakeup would
+    # leave the run stuck with tasks remaining; a wake-order change
+    # would break determinism against the pinned goldens.
+    import repro.cluster.stealing as stealing_mod
+
+    parks = {"n": 0}
+
+    class CountingEnvironment(stealing_mod.Environment):
+        def event(self):
+            parks["n"] += 1
+            return super().event()
+
+    monkeypatch.setattr(stealing_mod, "Environment", CountingEnvironment)
+    tasks = make_tasks([0] * 32)
+    config = StealingConfig(
+        chunk_size=1, min_victim_queue=4, steal_fraction=0.5
+    )
+    tracers = {r: Tracer() for r in range(8)}
+    outcome = run_engine(tasks, 8, config, tracers=tracers)
+    assert parks["n"] > 0, "scenario never exercised the parked index"
+    assert outcome.total_executed == 32
+    assert sum(1 for n in outcome.n_executed if n > 0) > 1
+    for rank, tracer in tracers.items():
+        assert find_violations(merge_order_log(tracer.log)) == [], (
+            f"rank {rank}"
+        )
+    # waking from the index must stay deterministic run-to-run
+    tracers_b = {r: Tracer() for r in range(8)}
+    again = run_engine(make_tasks([0] * 32), 8, config, tracers=tracers_b)
+    assert again.n_executed == outcome.n_executed
+    for rank in range(8):
+        assert tracers[rank].log == tracers_b[rank].log
+
+
 def test_metrics_are_published():
     tasks = make_tasks([0] * 12)
     registry = MetricsRegistry()

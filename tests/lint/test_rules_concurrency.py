@@ -219,4 +219,9 @@ def test_conc_rules_listed_with_event_handler_scope():
 
     rules = all_rules()
     for rule_id in ("CONC001", "CONC002", "CONC003"):
-        assert rules[rule_id].scope == ("runtime", "cluster", "recovery")
+        assert rules[rule_id].scope == (
+            "runtime",
+            "cluster",
+            "recovery",
+            "serve",
+        )

@@ -679,3 +679,127 @@ class TestMigrationAcrossRanks:
             "differ from granted" in v
             for v in find_migration_violations(logs)
         )
+
+
+def srec(op, at, kind="standard", ids=(), batch=0):
+    """Serving-ledger record shorthand (batch carries the tenant)."""
+    return RuntimeLogRecord(
+        op=op, at=at, kind=kind, ids=tuple(ids), batch=batch
+    )
+
+
+def serve_log():
+    """A compliant serving run: j0 admitted and completed, j1 shed."""
+    return [
+        srec("arrive", 0.0, ids=["j0"]),
+        srec("admit", 0.0, ids=["j0"]),
+        srec("submit", 0.0, "k", ["j0.s0.i0"]),
+        srec("submit", 0.0, "k", ["j0.s0.i1"]),
+        srec("arrive", 0.1, ids=["j1"], batch=1),
+        srec("shed", 0.1, "token-bucket", ["j1"], batch=1),
+        srec("flush", 0.2, "k", ["j0.s0.i0", "j0.s0.i1"]),
+        srec("scale", 0.25, "up", ["n1"], batch=2),
+        srec("accumulate", 0.3, "k", ["j0.s0.i0", "j0.s0.i1"]),
+        srec("deadline_miss", 0.3, ids=["j0"]),
+    ]
+
+
+class TestServeLedger:
+    """Invariant 9: every arrival admitted xor shed, exactly once."""
+
+    def test_compliant_serving_log_passes(self):
+        assert find_violations(serve_log()) == []
+
+    def test_double_arrival_detected(self):
+        log = serve_log() + [srec("arrive", 0.4, ids=["j0"])]
+        assert any("arrived twice" in v for v in find_violations(log))
+
+    def test_verdict_without_arrival_detected(self):
+        log = serve_log() + [srec("admit", 0.4, ids=["j9"])]
+        assert any(
+            "verdict without an arrival" in v for v in find_violations(log)
+        )
+
+    def test_verdict_before_arrival_detected(self):
+        # the verdict record carries an instant earlier than the
+        # arrival it follows in the stream
+        log = [
+            srec("arrive", 0.1, ids=["j0"]),
+            srec("admit", 0.05, ids=["j0"]),
+            srec("submit", 0.2, "k", ["j0.s0.i0"]),
+            srec("flush", 0.3, "k", ["j0.s0.i0"]),
+            srec("accumulate", 0.4, "k", ["j0.s0.i0"]),
+        ]
+        violations = find_violations(log)
+        assert any("precedes its arrival" in v for v in violations)
+        # the emission-order regression is independently flagged
+        assert any("back in time" in v for v in violations)
+
+    def test_arrival_without_verdict_detected(self):
+        log = serve_log() + [srec("arrive", 0.4, ids=["j2"], batch=2)]
+        assert any(
+            "neither admitted nor shed" in v for v in find_violations(log)
+        )
+
+    def test_double_admit_and_double_shed_detected(self):
+        log = serve_log() + [srec("admit", 0.4, ids=["j0"])]
+        assert any("admitted 2 times" in v for v in find_violations(log))
+        log = serve_log() + [
+            srec("shed", 0.4, "queue-depth", ["j1"], batch=1)
+        ]
+        assert any("shed 2 times" in v for v in find_violations(log))
+
+    def test_admit_and_shed_are_exclusive(self):
+        log = serve_log() + [
+            srec("shed", 0.4, "queue-depth", ["j0"])
+        ]
+        assert any(
+            "both admitted and shed" in v for v in find_violations(log)
+        )
+
+    def test_shed_job_charging_compute_detected(self):
+        log = serve_log() + [
+            srec("submit", 0.4, "k", ["j1.s0.i0"]),
+        ]
+        assert any(
+            "shed job 'j1' charged compute" in v
+            for v in find_violations(log)
+        )
+
+    def test_admitted_job_without_work_detected(self):
+        log = [
+            srec("arrive", 0.0, ids=["j0"]),
+            srec("admit", 0.0, ids=["j0"]),
+        ]
+        assert any(
+            "never submitted any work" in v for v in find_violations(log)
+        )
+
+    def test_lost_serve_item_detected(self):
+        # j0's second item never accumulates: completion is not
+        # exactly-once
+        log = [r for r in serve_log()
+               if not (r.op == "accumulate")] + [
+            srec("accumulate", 0.3, "k", ["j0.s0.i0"]),
+        ]
+        assert any(
+            "did not complete exactly once" in v
+            for v in find_violations(log)
+        )
+
+    def test_duplicate_deadline_miss_detected(self):
+        log = serve_log() + [srec("deadline_miss", 0.4, ids=["j0"])]
+        assert any(
+            "2 deadline misses" in v for v in find_violations(log)
+        )
+
+    def test_deadline_miss_without_admission_detected(self):
+        log = serve_log() + [srec("deadline_miss", 0.4, ids=["j1"])]
+        assert any(
+            "missed a deadline but was never admitted" in v
+            for v in find_violations(log)
+        )
+
+    def test_non_serving_logs_skip_the_ledger(self):
+        # no serve ops -> invariant 9 never engages, good_log passes
+        assert find_violations(good_log()) == []

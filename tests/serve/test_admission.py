@@ -1,0 +1,63 @@
+"""Tests for admission control (repro.serve.admission)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionConfigError,
+    AdmissionController,
+    TokenBucket,
+)
+
+
+def test_bucket_rejects_bad_knobs():
+    with pytest.raises(AdmissionConfigError):
+        TokenBucket(rate=0.0, burst=4.0)
+    with pytest.raises(AdmissionConfigError):
+        TokenBucket(rate=1.0, burst=0.5)
+    with pytest.raises(AdmissionConfigError):
+        AdmissionConfig(max_queue_items=0)
+
+
+def test_bucket_starts_full_and_drains():
+    bucket = TokenBucket(rate=1.0, burst=2.0)
+    assert bucket.try_take(0.0)
+    assert bucket.try_take(0.0)
+    assert not bucket.try_take(0.0)  # drained
+
+
+def test_bucket_refills_at_rate_up_to_burst():
+    bucket = TokenBucket(rate=2.0, burst=2.0)
+    assert bucket.try_take(0.0)
+    assert bucket.try_take(0.0)
+    assert not bucket.try_take(0.1)  # only 0.2 tokens back
+    assert bucket.try_take(0.5)  # a full token accrued by now
+    # a long quiet period caps at burst, not rate * elapsed
+    bucket2 = TokenBucket(rate=2.0, burst=2.0)
+    bucket2.try_take(0.0)
+    bucket2.try_take(0.0)
+    for _ in range(2):
+        assert bucket2.try_take(100.0)
+    assert not bucket2.try_take(100.0)
+
+
+def test_queue_depth_shedding_trumps_the_bucket():
+    ctrl = AdmissionController(
+        AdmissionConfig(tenant_rate=10.0, tenant_burst=10.0, max_queue_items=4)
+    )
+    assert ctrl.decide(0.0, 0, queue_depth=0) is None
+    assert ctrl.decide(0.0, 0, queue_depth=4) == "queue-depth"
+    assert ctrl.decide(0.0, 0, queue_depth=400) == "queue-depth"
+
+
+def test_per_tenant_buckets_are_independent():
+    ctrl = AdmissionController(
+        AdmissionConfig(tenant_rate=1.0, tenant_burst=1.0, max_queue_items=10)
+    )
+    assert ctrl.decide(0.0, 0, 0) is None
+    assert ctrl.decide(0.0, 0, 0) == "token-bucket"  # tenant 0 drained
+    assert ctrl.decide(0.0, 1, 0) is None  # tenant 1 untouched
+    # tenant 0 earns a token back after a second
+    assert ctrl.decide(1.0, 0, 0) is None

@@ -1,0 +1,73 @@
+"""Tests for the reactive pool autoscaler (repro.serve.autoscaler)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.autoscaler import (
+    AutoscalerConfig,
+    AutoscalerConfigError,
+    ReactiveAutoscaler,
+)
+
+
+def test_config_rejects_bad_knobs():
+    with pytest.raises(AutoscalerConfigError):
+        AutoscalerConfig(min_ranks=0, max_ranks=4)
+    with pytest.raises(AutoscalerConfigError):
+        AutoscalerConfig(min_ranks=4, max_ranks=2)
+    with pytest.raises(AutoscalerConfigError):
+        AutoscalerConfig(min_ranks=1, max_ranks=4, interval=0.0)
+    with pytest.raises(AutoscalerConfigError):
+        AutoscalerConfig(
+            min_ranks=1, max_ranks=4, low_water=0.3, high_water=0.2
+        )
+    with pytest.raises(AutoscalerConfigError):
+        AutoscalerConfig(min_ranks=1, max_ranks=4, step=0)
+    with pytest.raises(AutoscalerConfigError):
+        AutoscalerConfig(min_ranks=1, max_ranks=4, cooldown=-1.0)
+
+
+def policy(**overrides):
+    kwargs = dict(
+        min_ranks=1,
+        max_ranks=4,
+        high_water=0.2,
+        low_water=0.05,
+        cooldown=1.0,
+    )
+    kwargs.update(overrides)
+    return ReactiveAutoscaler(AutoscalerConfig(**kwargs))
+
+
+def test_grows_on_high_delay_up_to_max():
+    p = policy(cooldown=0.0)
+    assert p.decide(0.0, 2, queue_delay=0.5, queue_depth=10) == 3
+    assert p.decide(1.0, 3, queue_delay=0.5, queue_depth=10) == 4
+    assert p.decide(2.0, 4, queue_delay=0.5, queue_depth=10) is None
+
+
+def test_shrinks_only_when_calm_and_drained():
+    p = policy(cooldown=0.0)
+    # low delay but a backlog: hold
+    assert p.decide(0.0, 3, queue_delay=0.0, queue_depth=5) is None
+    assert p.decide(1.0, 3, queue_delay=0.0, queue_depth=0) == 2
+    assert p.decide(2.0, 1, queue_delay=0.0, queue_depth=0) is None
+
+
+def test_holds_in_the_hysteresis_band():
+    p = policy(cooldown=0.0)
+    assert p.decide(0.0, 2, queue_delay=0.1, queue_depth=3) is None
+
+
+def test_cooldown_rate_limits_decisions():
+    p = policy(cooldown=1.0)
+    assert p.decide(0.0, 1, queue_delay=0.5, queue_depth=9) == 2
+    # still hot, but inside the cooldown window
+    assert p.decide(0.5, 2, queue_delay=0.5, queue_depth=9) is None
+    assert p.decide(1.0, 2, queue_delay=0.5, queue_depth=9) == 3
+
+
+def test_step_is_bounded_by_max():
+    p = policy(cooldown=0.0, step=3)
+    assert p.decide(0.0, 3, queue_delay=0.5, queue_depth=9) == 4

@@ -1,0 +1,114 @@
+"""Tests for the cross-job shape-bucketed batcher (repro.serve.batcher)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.batcher import BatcherError, CrossJobBatcher, SubTask
+from repro.serve.jobs import JOB_TEMPLATES, SloClass, build_job
+
+INTERACTIVE = SloClass("interactive", 0, 1.0)
+BATCH = SloClass("batch", 2, 16.0)
+
+
+def tasks_of(job):
+    """The sub-tasks of a job's first stage."""
+    return [
+        SubTask(job, item_id, item) for item_id, item in job.stages[0]
+    ]
+
+
+def make_job(job_id, slo, template="coulomb-apply", shared=True):
+    job = build_job(
+        job_id, 0, JOB_TEMPLATES[template], slo, shared_kinds=shared
+    )
+    job.deadline = float(job_id.lstrip("j"))  # distinct EDF keys
+    return job
+
+
+def test_rejects_bad_batch_size():
+    with pytest.raises(BatcherError):
+        CrossJobBatcher(max_batch_size=0)
+
+
+def test_batches_merge_jobs_of_one_kind():
+    batcher = CrossJobBatcher(max_batch_size=16)
+    a, b = make_job("j0", BATCH), make_job("j1", BATCH)
+    for task in tasks_of(a) + tasks_of(b):
+        batcher.add(task, 0.0)
+    assert batcher.depth() == 16
+    batch = batcher.next_batch()
+    # both jobs share the kind, so one batch carries items of each
+    assert {t.job.job_id for t in batch} == {"j0", "j1"}
+    assert batcher.next_batch() is None
+    assert batcher.depth() == 0
+
+
+def test_batches_never_span_kinds():
+    batcher = CrossJobBatcher(max_batch_size=16)
+    a = make_job("j0", BATCH)
+    b = make_job("j1", BATCH, shared=False)  # salted kind
+    for task in tasks_of(a) + tasks_of(b):
+        batcher.add(task, 0.0)
+    first = batcher.next_batch()
+    second = batcher.next_batch()
+    assert {t.job.job_id for t in first} == {"j0"}
+    assert {t.job.job_id for t in second} == {"j1"}
+
+
+def test_priority_beats_arrival_order():
+    batcher = CrossJobBatcher(max_batch_size=8)
+    late_but_urgent = make_job("j1", INTERACTIVE)
+    early_batch = make_job("j0", BATCH)
+    for task in tasks_of(early_batch):
+        batcher.add(task, 0.0)
+    for task in tasks_of(late_but_urgent):
+        batcher.add(task, 1.0)
+    assert batcher.next_batch()[0].job.job_id == "j1"
+
+
+def test_edf_within_class():
+    batcher = CrossJobBatcher(max_batch_size=8)
+    a = make_job("j9", INTERACTIVE)  # deadline 9
+    b = make_job("j2", INTERACTIVE, shared=False)  # deadline 2
+    for task in tasks_of(a):
+        batcher.add(task, 0.0)
+    for task in tasks_of(b):
+        batcher.add(task, 0.5)
+    # same class: the earlier deadline dispatches first
+    assert batcher.next_batch()[0].job.job_id == "j2"
+
+
+def test_fifo_mode_ignores_class_and_deadline():
+    batcher = CrossJobBatcher(max_batch_size=8, fifo=True)
+    early_batch = make_job("j0", BATCH)
+    late_but_urgent = make_job("j1", INTERACTIVE)
+    for task in tasks_of(early_batch):
+        batcher.add(task, 0.0)
+    for task in tasks_of(late_but_urgent):
+        batcher.add(task, 1.0)
+    assert batcher.next_batch()[0].job.job_id == "j0"
+
+
+def test_items_leave_a_bucket_fifo():
+    batcher = CrossJobBatcher(max_batch_size=3)
+    job = make_job("j0", BATCH)
+    ordered = tasks_of(job)
+    for task in ordered:
+        batcher.add(task, 0.0)
+    seen = []
+    while (batch := batcher.next_batch()) is not None:
+        assert len(batch) <= 3
+        seen.extend(t.item_id for t in batch)
+    assert seen == [t.item_id for t in ordered]
+
+
+def test_oldest_wait_tracks_the_queue_head():
+    batcher = CrossJobBatcher(max_batch_size=8)
+    assert batcher.oldest_wait(5.0) == 0.0
+    job = make_job("j0", BATCH)
+    batcher.add(tasks_of(job)[0], 1.0)
+    batcher.add(tasks_of(job)[1], 3.0)
+    assert batcher.oldest_wait(4.0) == pytest.approx(3.0)
+    batcher.next_batch()
+    assert batcher.oldest_wait(4.0) == 0.0
