@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint lint-tests races ruff mypy test coverage golden trace-check steal-smoke serve-smoke
+.PHONY: check lint lint-tests races ruff mypy test coverage golden trace-check steal-smoke serve-smoke chaos-sched-smoke
 
 ## check: everything CI runs — in-tree analyzer, race gate, ruff, mypy,
 ## tier-1 tests
@@ -60,6 +60,12 @@ steal-smoke:
 ## BENCH_serve.json baseline (the p99/goodput win must hold at 0.1)
 serve-smoke:
 	REPRO_BENCH_SCALE=0.1 $(PYTHON) -m pytest benchmarks/test_serve.py -q
+
+## chaos-sched-smoke: composed-mode chaos — stealing+recovery must beat
+## static+recovery at every crash rate and serving must lose zero jobs
+## under rank kills; also pins the BENCH_chaos.json baseline
+chaos-sched-smoke:
+	REPRO_BENCH_SCALE=0.1 $(PYTHON) -m pytest benchmarks/test_chaos_sched.py -q
 
 ## trace-check: just the dynamic happens-before tests
 trace-check:

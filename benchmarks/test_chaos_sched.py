@@ -1,0 +1,81 @@
+"""Composed-mode chaos: the chaos-sched claims plus the recorded baseline.
+
+Two jobs:
+
+- assert the chaos-sched headline at the harness scale — stealing
+  composed with checkpoint/restart recovery never falls behind the
+  static map with recovery at 5/10/20% crash rates, and the serving
+  half loses zero jobs under two mid-trace rank kills (the runner
+  itself raises on any ledger or race finding, so a pass here is also
+  a chaos test of the effectively-exactly-once contract);
+- maintain ``BENCH_chaos.json`` at the repo root: the full-scale sweep
+  (independent of ``REPRO_BENCH_SCALE``) whose deterministic outputs
+  (makespans, restart counts, serving ledger counts) are pinned
+  exactly.  Regenerate with ``REPRO_BENCH_WRITE=1 pytest
+  benchmarks/test_chaos_sched.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.chaos_sched import run_chaos_sched
+
+from benchmarks.conftest import bench_scale
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+
+def test_stealing_with_recovery_beats_static(run_once, show):
+    """Stealing+recovery wins every crash rate; serving loses nothing."""
+    result = run_once(run_chaos_sched, bench_scale())
+    show(result)
+    for rate, row in result.data["rates"].items():
+        assert row["stealing"] <= row["static"], rate
+        # the crash schedule landed mid-trace on both configurations
+        assert row["stealing_restarts"] == row["crashes"], rate
+    serving = result.data["serving"]
+    assert serving["chaos"]["dropped"] == 0
+    assert serving["chaos"]["requeues"] > 0
+    assert serving["chaos"]["dead_ranks"] == 2
+
+
+def test_chaos_baseline_is_recorded_and_pinned():
+    """BENCH_chaos.json matches the deterministic full-scale sweep."""
+    result = run_chaos_sched(scale=1.0)
+    payload = {
+        "benchmark": "chaos-sched-baseline",
+        "ranks": result.data["ranks"],
+        "clean": result.data["clean"],
+        "rates": {
+            str(rate): row for rate, row in result.data["rates"].items()
+        },
+        "serving": result.data["serving"],
+    }
+    if os.environ.get("REPRO_BENCH_WRITE") == "1":
+        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        return
+    assert BENCH_PATH.exists(), (
+        "BENCH_chaos.json missing — regenerate with REPRO_BENCH_WRITE=1"
+    )
+    pinned = json.loads(BENCH_PATH.read_text())
+    assert payload["ranks"] == pinned["ranks"]
+    for side in ("static", "stealing"):
+        assert payload["clean"][side] == pytest.approx(
+            pinned["clean"][side], rel=1e-12
+        )
+    for rate, row in payload["rates"].items():
+        want = pinned["rates"][rate]
+        for key in ("crashes", "static_restarts", "stealing_restarts"):
+            assert row[key] == want[key], (rate, key)
+        for key in ("static", "stealing"):
+            assert row[key] == pytest.approx(want[key], rel=1e-12), (
+                rate,
+                key,
+            )
+    for run, counts in payload["serving"].items():
+        assert counts == pytest.approx(pinned["serving"][run]), run

@@ -56,8 +56,7 @@ class NodeResult:
     n_messages: int
     message_bytes: int
     #: simulated instant the rank (first) crashed (None = survived);
-    #: under the deprecated omniscient path its unfinished tasks were
-    #: redistributed, under checkpoint/restart it recovered in place
+    #: under checkpoint/restart the rank recovered in place
     crashed_at: float | None = None
     #: restarts the rank survived under checkpoint/restart recovery
     restarts: int = 0
@@ -118,8 +117,9 @@ class ClusterSimulation:
         fault_injector: optional :class:`~repro.faults.injector.
             FaultInjector` — its :class:`~repro.faults.models.GpuFailure`
             models decide which ranks fall back to CPU-only dispatch,
-            :class:`~repro.faults.models.NodeCrash` models trigger task
-            redistribution to surviving ranks, and message-loss/-delay
+            :class:`~repro.faults.models.NodeCrash` models kill ranks
+            mid-run (requires ``recovery=``; the omniscient
+            redistribution path was removed), and message-loss/-delay
             models are charged onto each rank's network drain.  The
             injector also rides along into every rank's node runtime, so
             transient GPU faults, PCIe degradations and stragglers fire
@@ -140,9 +140,11 @@ class ClusterSimulation:
             schedules :class:`~repro.faults.models.NodeCrash` faults,
             every rank checkpoints per the config's policy and crashed
             ranks recover in place (detect → restore → deterministic
-            replay) instead of the deprecated omniscient redistribution.
-            With no crashes scheduled the armed config costs nothing and
-            the run is bit-identical to an unarmed one.
+            replay).  Scheduled crashes *without* a recovery config
+            raise :class:`ClusterConfigError`.  On the static path an
+            armed config with no crashes scheduled costs nothing and
+            the run is bit-identical to an unarmed one; under
+            ``stealing=`` the checkpoint writes are always charged.
         stealing: optional :class:`~repro.cluster.stealing.
             StealingConfig` — replaces the fixed per-rank share with the
             open work-stealing scheduling loop (:mod:`repro.cluster.
@@ -151,7 +153,10 @@ class ClusterSimulation:
             pending tasks from loaded ones over the network model.
             ``StealingConfig(enabled=False)`` runs the same chunked
             loop with stealing off (the fair static baseline).
-            Mutually exclusive with ``fault_injector``/``recovery``.
+            Composes with ``fault_injector``/``recovery``: crashed
+            thieves re-home granted-but-unflushed tasks to their
+            victims through the migration ledger and replay rolled-back
+            work in place (see :mod:`repro.cluster.stealing`).
         rank_tracers: optional {rank: Tracer} — each listed rank's node
             runtime records its interval lanes and happens-before log
             into the given tracer (recovery segments are offset-shifted
@@ -245,13 +250,6 @@ class ClusterSimulation:
         self.adaptive = adaptive
         self.recovery = recovery
         self.stealing = stealing
-        if stealing is not None and (
-            self.fault_injector is not None or recovery is not None
-        ):
-            raise ClusterConfigError(
-                "work stealing does not compose with fault injection or "
-                "checkpoint/restart recovery yet"
-            )
         self.rank_tracers = dict(rank_tracers or {})
         self.registry = registry
         #: per-(slowdown, gpu_failed, kind) calibrated seconds/task for
@@ -369,54 +367,6 @@ class ClusterSimulation:
                 message_bytes += t.item.output_bytes
         return hybrid_tasks, n_messages, message_bytes
 
-    def _redistribute_crashes(
-        self, per_rank: list[list[ClusterTask]]
-    ) -> dict[int, float]:
-        """Hand a crashed rank's unfinished tasks to the survivors.
-
-        Faults are pre-scheduled, so the crash point is known before the
-        run: the crashed rank's full share is simulated once to estimate
-        its would-be makespan, the completed prefix (work up to the
-        crash instant) stays put, and the orphaned tail is reassigned
-        deterministically through the process map onto the surviving
-        ranks — the DHT-backed recovery path, where ownership simply
-        rehashes over the shrunken rank set.
-
-        **Deprecated**: this path knows the crash schedule before the
-        run starts (perfect foresight no real cluster has).  Pass
-        ``recovery=RecoveryConfig(...)`` for honest checkpoint/restart
-        recovery; this legacy path remains for comparison and fires a
-        :class:`DeprecationWarning` from :meth:`run`.
-        """
-        inj = self.fault_injector
-        if inj is None or not inj.active:
-            return {}
-        crashed = {
-            rank: at
-            for rank in range(self.n_nodes)
-            if (at := inj.crash_time(rank)) is not None
-        }
-        if not crashed:
-            return {}
-        survivors = [r for r in range(self.n_nodes) if r not in crashed]
-        if not survivors:
-            raise ClusterConfigError(
-                f"every rank crashes ({sorted(crashed)}); no survivors"
-            )
-        for rank, at in sorted(crashed.items()):
-            share = per_rank[rank]
-            if not share:
-                continue
-            hybrid_tasks, _, _ = self._hybrid_tasks(rank, share)
-            est = self._make_runtime(rank).execute(hybrid_tasks).total_seconds
-            frac = min(1.0, at / est) if est > 0 else 0.0
-            n_done = int(frac * len(share))
-            per_rank[rank] = share[:n_done]
-            for task in share[n_done:]:
-                target = survivors[self.pmap.owner(task.key) % len(survivors)]
-                per_rank[target].append(task)
-        return crashed
-
     # -- work stealing ---------------------------------------------------------------
 
     def _chunk_seconds_runtime(
@@ -520,7 +470,12 @@ class ClusterSimulation:
         (this cluster's node specs, stragglers and failed GPUs) and —
         when a :class:`~repro.serve.autoscaler.AutoscalerConfig` is
         set — resizes the simulated rank pool beyond ``n_nodes``
-        (``_spec_for_rank`` prices any rank id).  Observers ride the
+        (``_spec_for_rank`` prices any rank id).  This cluster's
+        ``fault_injector`` is threaded through the worker pool: node
+        crashes and GPU faults on serving ranks requeue the dead
+        batch's jobs (original deadlines kept, per-job retry budgets)
+        and the autoscaler replaces the lost capacity — see
+        docs/SERVING.md ("Fault tolerance").  Observers ride the
         driver's slots: rank 0's tracer carries the serving ledger and
         ``self.registry`` the ``serve.*`` metrics.
         """
@@ -532,6 +487,7 @@ class ClusterSimulation:
             config=config,
             tracer=self.rank_tracers.get(0),
             registry=self.registry,
+            fault_injector=self.fault_injector,
         )
         return service.run(requests)
 
@@ -550,8 +506,12 @@ class ClusterSimulation:
             executor,
             rank_tracers=self.rank_tracers,
             registry=self.registry,
+            injector=self.fault_injector,
+            recovery=self.recovery,
         )
         outcome = engine.run(tasks)
+        inj = self.fault_injector
+        total_lost = 0
         node_results: list[NodeResult] = []
         for rank in range(self.n_nodes):
             timeline = NodeTimeline(
@@ -565,6 +525,21 @@ class ClusterSimulation:
             comm = self.network.drain_seconds(
                 outcome.n_messages[rank], outcome.message_bytes[rank]
             )
+            n_msg = outcome.n_messages[rank]
+            if inj is not None and inj.active and n_msg:
+                # message loss/delay charge exactly like the static path
+                lost, delay = inj.message_faults(rank, n_msg)
+                if lost:
+                    avg_bytes = outcome.message_bytes[rank] / n_msg
+                    comm += self.network.drain_seconds(
+                        lost, int(lost * avg_bytes)
+                    )
+                    total_lost += lost
+                    if self.registry is not None:
+                        self.registry.counter("cluster.lost_messages").inc(
+                            timeline.total_seconds, lost
+                        )
+                comm += delay
             tracer = self.rank_tracers.get(rank)
             if tracer is not None and comm > 0:
                 tracer.record(
@@ -575,6 +550,11 @@ class ClusterSimulation:
                 self.registry.counter("cluster.messages").inc(
                     timeline.total_seconds, outcome.n_messages[rank]
                 )
+            rank_restarts = (
+                outcome.restarts_per_rank[rank]
+                if rank < len(outcome.restarts_per_rank)
+                else 0
+            )
             node_results.append(
                 NodeResult(
                     rank=rank,
@@ -583,6 +563,12 @@ class ClusterSimulation:
                     comm_seconds=comm,
                     n_messages=outcome.n_messages[rank],
                     message_bytes=outcome.message_bytes[rank],
+                    crashed_at=(
+                        self.fault_injector.crash_time(rank)
+                        if rank_restarts and self.fault_injector is not None
+                        else None
+                    ),
+                    restarts=rank_restarts,
                 )
             )
         makespan = max(r.total_seconds for r in node_results)
@@ -601,6 +587,8 @@ class ClusterSimulation:
             total_tasks=len(tasks),
             total_messages=sum(outcome.n_messages),
             total_message_bytes=sum(outcome.message_bytes),
+            total_lost_messages=total_lost,
+            total_restarts=sum(outcome.restarts_per_rank),
         )
 
     def run(self, tasks: list[ClusterTask]) -> ClusterResult:
@@ -619,16 +607,12 @@ class ClusterSimulation:
                 if (times := inj.crash_times(r))
             }
         use_recovery = self.recovery is not None and bool(crash_schedule)
-        crashed: dict[int, float] = {}
         if crash_schedule and not use_recovery:
-            warnings.warn(
-                "crash redistribution with perfect foresight is deprecated; "
-                "pass recovery=RecoveryConfig(...) for checkpoint/restart "
-                "recovery",
-                DeprecationWarning,
-                stacklevel=2,
+            raise ClusterConfigError(
+                "NodeCrash faults require recovery=RecoveryConfig(...): "
+                "the omniscient redistribution path (perfect foresight of "
+                "the crash schedule) was removed; see docs/FAULTS.md"
             )
-            crashed = self._redistribute_crashes(per_rank)
 
         node_results: list[NodeResult] = []
         total_messages = 0
@@ -712,9 +696,7 @@ class ClusterSimulation:
                     n_messages=n_messages,
                     message_bytes=message_bytes,
                     crashed_at=(
-                        crash_schedule[rank][0]
-                        if restarts
-                        else crashed.get(rank)
+                        crash_schedule[rank][0] if restarts else None
                     ),
                     restarts=restarts,
                 )

@@ -40,6 +40,32 @@ Victim decisions are modelled at request-arrival instants inside the
 thief's process: the DES is single-threaded, so the decision is atomic
 — the simulated analogue of MADNESS's active-message handler thread
 answering steals while the worker computes.
+
+**Chaos recovery** (dump schema v5): the engine composes with the
+checkpoint/restart protocol.  When ``recovery=`` is armed, every rank
+keeps a :class:`~repro.recovery.checkpoint.CheckpointStore` lineage
+(snapshots written per the interval policy, write/read costs charged on
+the DES clock) and all ranks share one
+:class:`~repro.recovery.checkpoint.MigrationLedger` recording every
+grant edge.  A scheduled :class:`~repro.faults.models.NodeCrash` then
+plays out honestly:
+
+- the in-flight chunk and every accumulate not covered by a durable
+  snapshot roll back (``rollback`` record at detection time, replayed
+  on this rank after restore);
+- granted-but-unflushed stolen tasks **re-home** to the victims that
+  granted them (``rehome`` record on each victim at detection time,
+  ledger ownership reverting) — including a grant still in flight on
+  the wire to the crashed thief;
+- the rank restores its newest readable snapshot (corrupted ones walk
+  the lineage chain, charging a read apiece), re-registers its rebuilt
+  queue (``submit`` records opening the replay epoch) and resumes;
+  survivors neither grant to nor steal from a down rank.
+
+Crashes without ``recovery=`` raise
+:class:`~repro.errors.ClusterConfigError`: the omniscient
+redistribution path that rebuilt static shares with perfect foresight
+was removed.  See ``docs/FAULTS.md`` for the composed model.
 """
 
 from __future__ import annotations
@@ -51,7 +77,12 @@ from typing import TYPE_CHECKING, Callable
 from repro.apps.workloads import ClusterTask
 from repro.cluster.network import NetworkModel
 from repro.dht.process_map import ProcessMap, _unit_displacements
-from repro.errors import ClusterConfigError
+from repro.errors import ClusterConfigError, DataLossError
+from repro.recovery.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    MigrationLedger,
+)
 from repro.runtime.events import Environment, Event
 from repro.runtime.trace import Tracer
 
@@ -65,6 +96,7 @@ STEAL_METRICS = (
     "cluster.steal.grants",
     "cluster.steal.denies",
     "cluster.steal.tasks_migrated",
+    "cluster.steal.tasks_rehomed",
     "cluster.steal.victim_queue_depth",
 )
 
@@ -141,6 +173,24 @@ class _RankStats:
 
 
 @dataclass
+class _RankChaos:
+    """Per-rank crash-recovery state (owned by the rank's processes;
+    single-writer per field, so attribute updates never race)."""
+
+    last_ckpt: float = 0.0
+    batches_since: int = 0
+    down: bool = False
+    #: bumped at each crash; a process that slept across the bump
+    #: learns its work died with the old incarnation
+    epoch: int = 0
+    restarts: int = 0
+    #: the chunk currently executing (taken for crash rollback)
+    in_flight: list | None = None
+    #: accumulates not yet covered by a durable snapshot
+    acc_pending: list = field(default_factory=list)
+
+
+@dataclass
 class _Totals:
     """Run-global accounting (owned by one engine run)."""
 
@@ -151,6 +201,9 @@ class _Totals:
     denied: int = 0
     migrated: int = 0
     max_depth: int = 0
+    crashes: int = 0
+    rehomed: int = 0
+    rolled_back: int = 0
 
     def next_request(self) -> int:
         """Allocate the next run-unique steal-request id."""
@@ -182,10 +235,20 @@ class StealingOutcome:
     steals_denied: int = 0
     tasks_migrated: int = 0
     max_queue_depth: int = 0
+    #: crashes survived across ranks (0 on a fault-free run)
+    n_crashes: int = 0
+    #: granted-but-unflushed tasks returned to their victims at crashes
+    tasks_rehomed: int = 0
+    #: accumulates cancelled by rollbacks (each replays exactly once)
+    n_rolled_back: int = 0
+    #: per-rank restarts survived (empty on recovery-less runs)
+    restarts_per_rank: list[int] = field(default_factory=list)
 
     @property
     def total_executed(self) -> int:
-        """Tasks executed across all ranks (work conservation check)."""
+        """Tasks executed across all ranks (initial share plus stolen,
+        plus crash-replayed re-executions; work conservation holds on
+        *completions*, not executions, under chaos)."""
         return sum(self.n_executed)
 
 
@@ -240,6 +303,15 @@ class StealingEngine:
             accumulate plus the four steal ops) and ``cpu``/``network``
             interval lanes.
         registry: optional metrics registry (``cluster.steal.*``).
+        injector: optional :class:`~repro.faults.injector.FaultInjector`
+            — its :class:`~repro.faults.models.NodeCrash` schedules kill
+            ranks mid-run (requires ``recovery``); corruption draws key
+            the checkpoint lineage walk.
+        recovery: optional :class:`~repro.recovery.protocol.
+            RecoveryConfig` arming checkpoint/restart: per-rank snapshot
+            lineages, crash detection, restore and ledger-aware replay.
+            Armed-but-crash-free runs still pay the checkpoint writes —
+            recovery is never free.
     """
 
     def __init__(
@@ -251,6 +323,8 @@ class StealingEngine:
         *,
         rank_tracers: dict[int, Tracer] | None = None,
         registry: "MetricsRegistry | None" = None,
+        injector=None,
+        recovery=None,
     ):
         self.pmap = pmap
         self.n_ranks = pmap.n_ranks
@@ -259,21 +333,33 @@ class StealingEngine:
         self.chunk_seconds = chunk_seconds
         self.rank_tracers = dict(rank_tracers or {})
         self.registry = registry
+        self.injector = injector
+        self.recovery = recovery
 
     # -- the run -----------------------------------------------------------------
 
     def run(self, tasks: list[ClusterTask]) -> StealingOutcome:
-        """Simulate the workload under the configured protocol."""
+        """Simulate the workload under the configured protocol.
+
+        Raises:
+            ClusterConfigError: scheduled crashes without ``recovery``,
+                a negative chunk cost, or lost work at drain time.
+            DataLossError: a rank crashed past ``recovery.max_restarts``.
+        """
         n = self.n_ranks
         cfg = self.config
+        recovery = self.recovery
         env = Environment()
         stats = [_RankStats() for _ in range(n)]
         totals = _Totals(remaining=len(tasks))
         queues: list[deque[tuple[str, ClusterTask]]] = [
             deque() for _ in range(n)
         ]
+        task_of: dict[str, ClusterTask] = {}
         for index, task in enumerate(tasks):
-            queues[self.pmap.owner(task.key)].append((f"t{index}", task))
+            tid = f"t{index}"
+            task_of[tid] = task
+            queues[self.pmap.owner(task.key)].append((tid, task))
         for rank in range(n):
             tracer = self.rank_tracers.get(rank)
             if tracer is not None:
@@ -283,6 +369,29 @@ class StealingEngine:
         locality = (
             locality_preferences(self.pmap, tasks) if cfg.enabled else {}
         )
+        # -- chaos-recovery state (inert on fault-free runs) -----------
+        crash_schedules: dict[int, tuple[float, ...]] = {}
+        if self.injector is not None:
+            for rank in range(n):
+                schedule = self.injector.crash_times(rank)
+                if schedule:
+                    crash_schedules[rank] = schedule
+        if crash_schedules and recovery is None:
+            raise ClusterConfigError(
+                "NodeCrash faults on a scheduling run require recovery=: "
+                "the omniscient redistribution path was removed "
+                "(see docs/FAULTS.md)"
+            )
+        ledger = MigrationLedger() if recovery is not None else None
+        stores = {
+            rank: CheckpointStore(rank=rank, ledger=ledger)
+            for rank in range(n)
+        }
+        #: per-rank crash-recovery state (inert unless chaos is armed)
+        chaos = [_RankChaos() for _ in range(n)]
+        #: thief -> (victim, entries, request) for a grant on the wire
+        migrating: dict[int, tuple[int, list[tuple[str, ClusterTask]], int]] = {}
+        down_events: dict[int, Event] = {}
         #: ranks currently worth asking (pending >= min_victim_queue)
         board = {
             rank
@@ -294,7 +403,9 @@ class StealingEngine:
         parked: dict[int, Event] = {}
 
         def board_update(rank: int) -> None:
-            if len(queues[rank]) >= cfg.min_victim_queue:
+            if not chaos[rank].down and (
+                len(queues[rank]) >= cfg.min_victim_queue
+            ):
                 if rank not in board:
                     board.add(rank)
                     wake_parked()
@@ -339,6 +450,13 @@ class StealingEngine:
             queue = queues[victim]
             now = env.now
             tracer = self.rank_tracers.get(victim)
+            if chaos[victim].down:
+                # the victim died while the request was on the wire: no
+                # reply ever comes; the thief charges a deny round-trip
+                totals.denied += 1
+                if self.registry is not None:
+                    self.registry.counter("cluster.steal.denies").inc(now, 1)
+                return []
             if self.registry is not None:
                 self.registry.histogram(
                     "cluster.steal.victim_queue_depth"
@@ -356,6 +474,12 @@ class StealingEngine:
             board_update(victim)
             totals.granted += 1
             totals.migrated += n_steal
+            if ledger is not None:
+                for tid, task in stolen:
+                    ledger.note_grant(
+                        tid, victim, thief, req,
+                        self.pmap.owner(task.neighbor),
+                    )
             if tracer is not None:
                 for kind, ids in _group_by_kind(stolen):
                     tracer.log_steal_grant(kind, ids, now, req)
@@ -379,20 +503,73 @@ class StealingEngine:
                     tracer.log_migrate(kind, ids, env.now, req)
             board_update(thief)
 
+        def write_checkpoint(rank: int):
+            # charge the full-state write on the DES clock; a crash
+            # mid-write aborts the commit and the delta stays pending
+            # (the killer rolls it back) — no partial snapshot
+            store = stores[rank]
+            ch = chaos[rank]
+            delta = ch.acc_pending
+            state_bytes = store.covered_bytes(store.frontier_seq) + sum(
+                int(task.item.output_bytes) for _tid, task in delta
+            )
+            epoch = ch.epoch
+            w0 = env.now
+            yield env.timeout(recovery.cost_model.write_seconds(state_bytes))
+            if ch.epoch != epoch:
+                return
+            ch.acc_pending = []
+            seq = store.next_seq()
+            parent = store.frontier_seq
+            corrupted = (
+                self.injector.checkpoint_corrupted(rank, seq, env.now)
+                if self.injector is not None
+                else False
+            )
+            store.add(
+                Checkpoint(
+                    rank=rank,
+                    seq=seq,
+                    parent=parent,
+                    at=env.now,
+                    cursor=store.covered_count(parent) + len(delta),
+                    item_ids=tuple(tid for tid, _task in delta),
+                    state_bytes=state_bytes,
+                    corrupted=corrupted,
+                )
+            )
+            ch.last_ckpt = env.now
+            ch.batches_since = 0
+            tracer = self.rank_tracers.get(rank)
+            if tracer is not None:
+                tracer.log_checkpoint(
+                    seq, parent, [tid for tid, _task in delta], env.now
+                )
+                tracer.record("checkpoint", "write", w0, env.now)
+
         def rank_process(rank: int):
             tracer = self.rank_tracers.get(rank)
             st = stats[rank]
+            ch = chaos[rank]
             queue = queues[rank]
             while True:
+                if ch.down:
+                    yield down_events[rank]
+                    continue
                 if queue:
                     chunk = pop_chunk(rank)
                     batch = st.chunks
                     st.chunks += 1
+                    epoch = ch.epoch
+                    ch.in_flight = chunk
                     start = env.now
                     groups = _group_by_kind(chunk)
                     if tracer is not None:
                         for kind, ids in groups:
                             tracer.log_flush(kind, ids, start, batch=batch)
+                    if ledger is not None:
+                        for tid, _task in chunk:
+                            ledger.note_settled(tid)
                     seconds = self.chunk_seconds(
                         rank, [task for _tid, task in chunk]
                     )
@@ -401,6 +578,11 @@ class StealingEngine:
                             f"negative chunk cost {seconds} on rank {rank}"
                         )
                     yield env.timeout(seconds)
+                    if ch.epoch != epoch:
+                        # the rank died mid-chunk: the killer took the
+                        # entries for post-restore replay
+                        continue
+                    ch.in_flight = None
                     end = env.now
                     st.busy += end - start
                     st.finish = end
@@ -416,13 +598,28 @@ class StealingEngine:
                         for kind, ids in groups:
                             tracer.log_accumulate(kind, ids, end, batch=batch)
                     note_completed(len(chunk))
+                    if recovery is not None:
+                        ch.acc_pending.extend(chunk)
+                        ch.batches_since += 1
+                        if recovery.policy.due(
+                            env.now, ch.last_ckpt, ch.batches_since
+                        ) and ch.acc_pending:
+                            yield from write_checkpoint(rank)
                     continue
                 if totals.remaining == 0:
                     return
                 if not cfg.enabled:
-                    # static baseline: an empty queue means this rank's
-                    # share is done
-                    return
+                    if recovery is None:
+                        # static baseline: an empty queue means this
+                        # rank's share is done
+                        return
+                    # under chaos a crash may re-home or replay work
+                    # onto this queue later — park instead of exiting
+                    ev = env.event()
+                    parked[rank] = ev
+                    yield ev
+                    parked.pop(rank, None)
+                    continue
                 victim = pick_victim(rank)
                 if victim is None:
                     ev = env.event()
@@ -432,6 +629,7 @@ class StealingEngine:
                     continue
                 req = totals.next_request()
                 t0 = env.now
+                epoch = ch.epoch
                 totals.attempted += 1
                 if tracer is not None:
                     tracer.log_steal_request(victim, t0, req)
@@ -440,26 +638,184 @@ class StealingEngine:
                 yield env.timeout(
                     self.network.request_seconds(cfg.request_bytes)
                 )
+                if ch.epoch != epoch:
+                    # this thief died while its request was in flight;
+                    # the victim's crash detection voids the exchange
+                    continue
                 stolen = answer_request(victim, rank, req)
                 if stolen:
+                    migrating[rank] = (victim, stolen, req)
                     yield env.timeout(
                         self.network.migration_seconds(
                             len(stolen), cfg.task_bytes * len(stolen)
                         )
                     )
+                    if ch.epoch != epoch:
+                        # died with the payload on the wire — the
+                        # killer re-homed it to the victim already
+                        continue
+                    migrating.pop(rank, None)
                     receive_migration(rank, stolen, req)
                 else:
                     # the deny rides back as one control message
                     yield env.timeout(
                         self.network.request_seconds(cfg.request_bytes)
                     )
+                    if ch.epoch != epoch:
+                        continue
                 end = env.now
                 st.steal_wait += end - t0
                 if tracer is not None:
                     tracer.record("network", "steal", t0, end)
 
+        def crash_and_restore(rank: int, crashed_at: float):
+            store = stores[rank]
+            tracer = self.rank_tracers.get(rank)
+            ch = chaos[rank]
+            queue = queues[rank]
+            ch.restarts += 1
+            totals.crashes += 1
+            ch.epoch += 1
+            ch.down = True
+            down_events[rank] = env.event()
+            # partition the dead queue: granted-in entries re-home to
+            # the victims that granted them (grouped per original
+            # grant); everything else stays on this rank's durable
+            # queue and replays after restore
+            native: list[tuple[str, ClusterTask]] = []
+            rehomes: dict[tuple[int, int], list[tuple[str, ClusterTask]]] = {}
+            for tid, task in queue:
+                edge = ledger.last_edge(tid)
+                if edge is not None and edge.thief == rank:
+                    rehomes.setdefault(
+                        (edge.victim, edge.request), []
+                    ).append((tid, task))
+                else:
+                    native.append((tid, task))
+            queue.clear()
+            board_update(rank)
+            # a grant still on the wire to this rank dies with it: the
+            # payload never arrives and re-homes to the victim too
+            wired = migrating.pop(rank, None)
+            if wired is not None:
+                victim, entries, req = wired
+                rehomes.setdefault((victim, req), []).extend(entries)
+            lost_chunk = ch.in_flight or []
+            ch.in_flight = None
+            rolled = list(ch.acc_pending)
+            ch.acc_pending = []
+            ch.batches_since = 0
+            if ch.restarts > recovery.max_restarts:
+                lost = (
+                    len(rolled) + len(lost_chunk) + len(native)
+                    + sum(len(v) for v in rehomes.values())
+                )
+                raise DataLossError(
+                    rank, ch.restarts - 1, crashed_at, lost
+                )
+            # survivors notice after the detection timeout; re-homing
+            # and the rollback both land at the detection instant
+            yield env.timeout(recovery.failure_detection_timeout)
+            detect_at = env.now
+            for victim, req in sorted(rehomes):
+                entries = rehomes[(victim, req)]
+                for tid, _task in entries:
+                    ledger.note_rehome(tid, victim)
+                queues[victim].extend(entries)
+                totals.rehomed += len(entries)
+                totals.max_depth = max(
+                    totals.max_depth, len(queues[victim])
+                )
+                victim_tracer = self.rank_tracers.get(victim)
+                if victim_tracer is not None:
+                    for kind, ids in _group_by_kind(entries):
+                        victim_tracer.log_rehome(
+                            kind, ids, detect_at, req, rank
+                        )
+                if self.registry is not None:
+                    self.registry.counter(
+                        "cluster.steal.tasks_rehomed"
+                    ).inc(detect_at, len(entries))
+                board_update(victim)
+            # roll back every accumulate no durable snapshot covers —
+            # the un-checkpointed tail plus anything only a discarded
+            # (corrupted) lineage branch covered
+            choice, tried = store.select_restore()
+            target = choice.seq if choice is not None else -1
+            kept = {ck.seq for ck in store.lineage(target)}
+            discarded = [
+                tid
+                for ck in store.lineage(store.frontier_seq)
+                if ck.seq not in kept
+                for tid in ck.item_ids
+            ]
+            rolled_ids = discarded + [tid for tid, _task in rolled]
+            totals.rolled_back += len(rolled_ids)
+            if tracer is not None:
+                tracer.log_rollback(target, rolled_ids, detect_at)
+            read_cost = sum(
+                recovery.cost_model.read_seconds(ck.state_bytes)
+                for ck in tried
+            )
+            restore_wait = recovery.cost_model.restart_seconds + read_cost
+            if self.registry is not None:
+                self.registry.counter("recovery.restarts").inc(
+                    detect_at + restore_wait
+                )
+                self.registry.counter("recovery.rolled_back_items").inc(
+                    detect_at, len(rolled_ids)
+                )
+                self.registry.histogram(
+                    "recovery.restore_seconds"
+                ).observe(detect_at + restore_wait, restore_wait)
+            yield env.timeout(restore_wait)
+            # restore commits: the frontier moves back, the rank
+            # relaunches, and the rebuilt queue re-registers (the
+            # submit records opening the replay epoch).  Replay runs
+            # here only for ids the ledger still homes on this rank.
+            store.restore_to(target)
+            covered = store.covered_ids(target)
+            replay = [
+                (tid, task_of[tid])
+                for tid in rolled_ids
+                if tid not in covered
+                and ledger.current_owner(tid, rank) == rank
+            ]
+            if tracer is not None:
+                tracer.log_restore(
+                    target, env.now, tried=[ck.seq for ck in tried]
+                )
+            totals.remaining += len(replay)
+            rehomed_in = list(queue)  # arrived while this rank was down
+            queue.clear()
+            queue.extend(replay + lost_chunk + native + rehomed_in)
+            totals.max_depth = max(totals.max_depth, len(queue))
+            if tracer is not None:
+                for tid, task in queue:
+                    tracer.log_submit(str(task.item.kind), tid, env.now)
+            ch.last_ckpt = env.now
+            ch.down = False
+            board_update(rank)
+            down_events[rank].succeed()
+            wake_parked()
+
+        def killer_process(rank: int, schedule: tuple[float, ...]):
+            for crash_at in schedule:
+                if crash_at <= env.now:
+                    # the rank was down (or restoring) through this
+                    # instant: the outage absorbs the crash
+                    continue
+                yield env.timeout(crash_at - env.now)
+                if totals.remaining == 0:
+                    return
+                if chaos[rank].down:
+                    continue
+                yield from crash_and_restore(rank, env.now)
+
         for rank in range(n):
             env.process(rank_process(rank))
+        for rank in sorted(crash_schedules):
+            env.process(killer_process(rank, crash_schedules[rank]))
         env.run()
         if totals.remaining != 0:
             raise ClusterConfigError(
@@ -482,4 +838,8 @@ class StealingEngine:
             steals_denied=totals.denied,
             tasks_migrated=totals.migrated,
             max_queue_depth=totals.max_depth,
+            n_crashes=totals.crashes,
+            tasks_rehomed=totals.rehomed,
+            n_rolled_back=totals.rolled_back,
+            restarts_per_rank=[ch.restarts for ch in chaos],
         )

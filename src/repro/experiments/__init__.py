@@ -25,6 +25,7 @@ from repro.experiments.tables import (
     run_table6,
 )
 from repro.experiments.chaos import run_chaos_ablation
+from repro.experiments.chaos_sched import run_chaos_sched
 from repro.experiments.figures import run_fig5, run_fig6
 from repro.experiments.profiling import run_pipeline_profile
 from repro.experiments.recovery import run_checkpoint_ablation
@@ -63,6 +64,7 @@ REGISTRY = {
     "ablation-checkpoint": run_checkpoint_ablation,
     "serve-ablation": run_serve_ablation,
     "stealing-vs-static": run_stealing_vs_static,
+    "chaos-sched": run_chaos_sched,
     "profile-pipeline": run_pipeline_profile,
 }
 

@@ -1,0 +1,325 @@
+"""Chaos-hardened scheduling: recovery x stealing, and serving kills.
+
+Two composed-mode chaos sweeps, both self-asserting:
+
+1. **Scheduling** — the skewed-tree workload of
+   :mod:`repro.experiments.stealing` under mid-trace rank crashes at
+   5/10/20% of the pool, comparing ``static + recovery`` (the crashed
+   rank replays its own backlog after restore) against ``stealing +
+   recovery`` (survivors re-balance the post-restore backlog; a dead
+   thief's stolen tasks re-home to their victims).  Crash instants are
+   fractions of each configuration's *own* clean makespan, so both
+   schedulers are hit mid-trace.  The run asserts that stealing
+   composed with recovery is never slower than the static map with
+   recovery, and replays every stealing trace through the migration
+   ledger (trace_check invariants #8/#10) and the per-rank checkers.
+
+2. **Serving** — an open-loop saturating Poisson trace over a
+   four-rank pool with two ranks killed mid-trace.  Dead batches
+   requeue their job items with their original deadlines, the
+   autoscaler replaces the lost capacity, and the run asserts
+   *graceful* degradation: zero lost jobs (every admitted job
+   completes; no drops needed within the retry budget), a clean
+   serving ledger, and a race-free trace.
+
+Both halves double as chaos tests of the effectively-exactly-once
+contract — any lost or double-counted item fails the run, not just the
+report.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ReportTable
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.stealing import StealingConfig
+from repro.dht.process_map import SubtreePartitionMap
+from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import NodeCrash
+from repro.lint.races import analyze_log
+from repro.lint.trace_check import find_migration_violations, find_violations
+from repro.recovery.checkpoint import CheckpointCostModel
+from repro.recovery.policy import EveryNBatches
+from repro.recovery.protocol import RecoveryConfig
+from repro.runtime.trace import Tracer
+from repro.serve.admission import AdmissionConfig
+from repro.serve.arrivals import PoissonArrivals
+from repro.serve.autoscaler import AutoscalerConfig
+from repro.serve.service import ServeConfig
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.stealing import skewed_workload
+
+#: scheduling-half pool size (``scale`` shrinks it, floor 8)
+SCHED_RANKS = 24
+#: fraction of the pool crashed mid-trace
+CRASH_RATES = (0.05, 0.10, 0.20)
+CHAOS_SEED = 29
+
+#: serving-half knobs: a saturating open-loop trace on a small pool
+SERVE_RANKS = 4
+SERVE_RATE = 500.0
+SERVE_HORIZON = 0.25
+SERVE_SEED = 21
+#: ranks killed mid-trace, with their crash instants as fractions of
+#: the clean run's makespan
+SERVE_KILLS = ((1, 0.2), (2, 0.45))
+
+
+def _recovery() -> RecoveryConfig:
+    return RecoveryConfig(
+        policy=EveryNBatches(2),
+        cost_model=CheckpointCostModel(drain_gbps=4.0, restart_seconds=1e-3),
+        failure_detection_timeout=1e-3,
+        max_restarts=2,
+    )
+
+
+def _crash_schedule(
+    ranks: int, n_crashes: int, clean_makespan: float
+) -> list[NodeCrash]:
+    """``n_crashes`` kills spread over the pool and over the 25-55%
+    window of the clean run (per-configuration, so every schedule hits
+    its target mid-trace)."""
+    step = ranks // (n_crashes + 1)
+    crashes = []
+    for i in range(n_crashes):
+        frac = 0.25 + (0.3 * i / (n_crashes - 1) if n_crashes > 1 else 0.05)
+        crashes.append(
+            NodeCrash(rank=step * (i + 1), at=clean_makespan * frac)
+        )
+    return crashes
+
+
+def _sched_run(
+    ranks: int,
+    *,
+    stealing: bool,
+    crashes: list[NodeCrash],
+    trace: bool = False,
+):
+    """One cluster run; returns (result, {rank: tracer} or None)."""
+    tracers = {r: Tracer() for r in range(ranks)} if trace else None
+    sim = ClusterSimulation(
+        ranks,
+        SubtreePartitionMap(ranks, anchor_level=2),
+        mode="hybrid",
+        stealing=StealingConfig(
+            enabled=stealing, chunk_size=4, executor="analytic"
+        ),
+        fault_injector=(
+            FaultInjector(seed=CHAOS_SEED, faults=crashes)
+            if crashes
+            else None
+        ),
+        recovery=_recovery() if crashes else None,
+        rank_tracers=tracers,
+    )
+    return sim.run(skewed_workload(ranks).tasks), tracers
+
+
+def _verify_sched(tracers: dict[int, Tracer], label: str) -> None:
+    """Replay a stealing run through the chaos checkers; any finding
+    fails the experiment."""
+    problems = find_migration_violations(
+        {rank: t.log for rank, t in tracers.items()}
+    )
+    for rank in sorted(tracers):
+        problems.extend(find_violations(tracers[rank].log))
+    if problems:
+        raise SimulationError(
+            f"{label}: migration/recovery ledger violated: {problems[:3]}"
+        )
+
+
+def _serve_config() -> ServeConfig:
+    return ServeConfig(
+        admission=AdmissionConfig(tenant_rate=200.0, tenant_burst=60.0),
+        autoscaler=AutoscalerConfig(
+            min_ranks=2,
+            max_ranks=8,
+            interval=0.05,
+            high_water=0.05,
+            low_water=0.01,
+            cooldown=0.1,
+        ),
+        retry_budget=3,
+    )
+
+
+def _serve_run(crashes: list[NodeCrash]):
+    """One serving run over the calibrated cluster; returns
+    (ServeResult, tracer)."""
+    requests = PoissonArrivals(
+        rate=SERVE_RATE,
+        horizon=SERVE_HORIZON,
+        n_tenants=4,
+        seed=SERVE_SEED,
+    ).requests()
+    tracer = Tracer()
+    sim = ClusterSimulation(
+        SERVE_RANKS,
+        SubtreePartitionMap(SERVE_RANKS, anchor_level=1),
+        mode="hybrid",
+        rank_tracers={0: tracer},
+        fault_injector=(
+            FaultInjector(seed=5, faults=crashes) if crashes else None
+        ),
+    )
+    return sim.serve(requests, _serve_config()), tracer
+
+
+def run_chaos_sched(scale: float = 1.0) -> ExperimentResult:
+    """The ``chaos-sched`` sweep (see the module docstring)."""
+    ranks = max(8, int(SCHED_RANKS * scale))
+
+    static_clean, _ = _sched_run(ranks, stealing=False, crashes=[])
+    steal_clean, _ = _sched_run(ranks, stealing=True, crashes=[])
+    static_t = static_clean.makespan_seconds
+    steal_t = steal_clean.makespan_seconds
+
+    table = ReportTable(
+        "Chaos-hardened scheduling — crash-rate sweep "
+        f"({ranks} ranks, skewed tree)",
+        [
+            "crash rate",
+            "crashes",
+            "static+recovery s",
+            "stealing+recovery s",
+            "speedup",
+            "restarts (static/steal)",
+        ],
+    )
+    table.add_row(
+        "0%", 0, static_t, steal_t, static_t / steal_t, "0/0"
+    )
+    data: dict = {
+        "ranks": ranks,
+        "clean": {"static": static_t, "stealing": steal_t},
+        "rates": {},
+        "serving": {},
+    }
+    for rate in CRASH_RATES:
+        n_crashes = max(1, round(rate * ranks))
+        static_r, _ = _sched_run(
+            ranks,
+            stealing=False,
+            crashes=_crash_schedule(ranks, n_crashes, static_t),
+        )
+        steal_r, tracers = _sched_run(
+            ranks,
+            stealing=True,
+            crashes=_crash_schedule(ranks, n_crashes, steal_t),
+            trace=True,
+        )
+        _verify_sched(tracers, f"stealing at {rate:.0%}")
+        if steal_r.total_restarts != n_crashes:
+            raise SimulationError(
+                f"crash schedule missed the stealing run at {rate:.0%}: "
+                f"{steal_r.total_restarts} restarts for {n_crashes} crashes"
+            )
+        if steal_r.makespan_seconds > static_r.makespan_seconds:
+            raise SimulationError(
+                "stealing composed with recovery fell behind the static "
+                f"map at {rate:.0%} crash rate: "
+                f"{steal_r.makespan_seconds} > {static_r.makespan_seconds}"
+            )
+        table.add_row(
+            f"{rate:.0%}",
+            n_crashes,
+            static_r.makespan_seconds,
+            steal_r.makespan_seconds,
+            static_r.makespan_seconds / steal_r.makespan_seconds,
+            f"{static_r.total_restarts}/{steal_r.total_restarts}",
+        )
+        data["rates"][rate] = {
+            "crashes": n_crashes,
+            "static": static_r.makespan_seconds,
+            "stealing": steal_r.makespan_seconds,
+            "static_restarts": static_r.total_restarts,
+            "stealing_restarts": steal_r.total_restarts,
+        }
+    table.add_note(
+        "crash instants are fractions of each configuration's own clean "
+        "makespan (both schedulers are hit mid-trace)"
+    )
+    table.add_note(
+        "every stealing trace replayed through the migration ledger and "
+        "per-rank recovery checkers (trace_check #8/#10)"
+    )
+
+    # -- serving half: graceful degradation under mid-trace rank kills
+    clean, _ = _serve_run([])
+    kills = [
+        NodeCrash(rank=r, at=clean.makespan * frac) for r, frac in SERVE_KILLS
+    ]
+    chaos, tracer = _serve_run(kills)
+    if chaos.n_completed != chaos.n_admitted or chaos.n_dropped != 0:
+        raise SimulationError(
+            "serving lost jobs under rank kills: "
+            f"{chaos.n_completed} of {chaos.n_admitted} completed, "
+            f"{chaos.n_dropped} dropped"
+        )
+    if chaos.dead_ranks != len(kills):
+        raise SimulationError(
+            f"expected {len(kills)} dead serving ranks, "
+            f"got {chaos.dead_ranks}"
+        )
+    if chaos.n_requeues == 0:
+        raise SimulationError(
+            "the serving kills hit no in-flight batch (the chaos "
+            "schedule exercises nothing)"
+        )
+    ledger = find_violations(tracer.log)
+    races = analyze_log(tracer.log, rank=0).races
+    if ledger or races:
+        raise SimulationError(
+            f"serving chaos ledger violated: {ledger[:3]} races={races[:3]}"
+        )
+    serve_table = ReportTable(
+        "Serving degradation — two ranks killed mid-trace "
+        f"({clean.n_arrived} arrivals)",
+        [
+            "run",
+            "completed",
+            "dropped",
+            "requeues",
+            "dead ranks",
+            "on-time",
+            "makespan s",
+        ],
+    )
+    serve_table.add_row(
+        "clean", f"{clean.n_completed}/{clean.n_admitted}", clean.n_dropped,
+        clean.n_requeues, clean.dead_ranks, clean.n_on_time, clean.makespan,
+    )
+    serve_table.add_row(
+        "2 rank kills", f"{chaos.n_completed}/{chaos.n_admitted}",
+        chaos.n_dropped, chaos.n_requeues, chaos.dead_ranks, chaos.n_on_time,
+        chaos.makespan,
+    )
+    serve_table.add_note(
+        "zero lost jobs: dead batches requeue with original deadlines and "
+        "the autoscaler replaces the crashed capacity"
+    )
+    data["serving"] = {
+        "clean": {
+            "completed": clean.n_completed,
+            "makespan": clean.makespan,
+            "on_time": clean.n_on_time,
+        },
+        "chaos": {
+            "completed": chaos.n_completed,
+            "dropped": chaos.n_dropped,
+            "requeues": chaos.n_requeues,
+            "dead_ranks": chaos.dead_ranks,
+            "makespan": chaos.makespan,
+            "on_time": chaos.n_on_time,
+        },
+    }
+    return ExperimentResult(
+        name="chaos-sched",
+        table=table,
+        data=data,
+        extra_tables=[serve_table],
+    )

@@ -166,8 +166,12 @@ class FaultInjector:
 
         Message index is the decision counter, so the outcome is a pure
         function of the schedule — the cluster simulation charges the
-        retransmits and stalls onto the rank's network drain.
+        retransmits and stalls onto the rank's network drain.  A query
+        over zero messages (or with no message faults registered) draws
+        nothing and cannot perturb any other seeded decision.
         """
+        if n_messages <= 0 or not (self._msg_loss or self._msg_delay):
+            return 0, 0.0
         lost = 0
         delay = 0.0
         for i in range(n_messages):

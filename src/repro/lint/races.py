@@ -44,7 +44,16 @@ Sanctioned edges joined into the target record's clock:
   ``accum:`` resource, so a rank that executes a task it already
   granted away (or that migrates a task in after running it) shows up
   as a write-write race on the accumulation target — the
-  exactly-once property, phrased as an ordering claim.
+  exactly-once property, phrased as an ordering claim;
+- chaos recovery (v5 dumps): a ``rehome`` (a crashed thief's unflushed
+  grant returning to its victim) rides the grant's ``("steal", req)``
+  thread and re-registers the items exactly like a ``migrate`` —
+  ordered after the grant, writing ``accum:``, re-seeding the
+  submit->flush edge; a serving ``requeue`` rides the ``("serve",)``
+  control loop, is ordered after the dead batch's flush
+  (``flush(item) -> requeue(item)``), writes ``accum:`` (cancelling
+  the dead execution), and re-seeds the submit->flush edge for the
+  re-entered items.
 
 Metrics are handled by ownership analysis rather than clocks (samples
 carry no rank attribution): counters and histograms are commutative
@@ -194,9 +203,12 @@ def _thread_of(rec: RuntimeLogRecord) -> tuple:
     """The logical thread a record belongs to (see module docstring)."""
     if rec.op == "submit":
         return ("producer",)
-    if rec.op in ("steal_request", "steal_grant", "steal_deny", "migrate"):
+    if rec.op in (
+        "steal_request", "steal_grant", "steal_deny", "migrate", "rehome"
+    ):
         return ("steal", rec.batch)
-    if rec.op in ("arrive", "admit", "shed", "deadline_miss", "scale"):
+    if rec.op in ("arrive", "admit", "shed", "deadline_miss", "scale",
+                  "requeue"):
         # the serving front door (admission, completion bookkeeping,
         # autoscaler) is one serialized control loop; its records ride
         # tenant ids / pool sizes in ``batch``, so match before the
@@ -229,6 +241,7 @@ class _RankAnalysis:
         self.clocks: dict[tuple, VectorClock] = {}
         self.resources: dict[str, _ResourceState] = {}
         self.submit_vc: dict[Hashable, VectorClock] = {}
+        self.flush_vc: dict[Hashable, VectorClock] = {}
         self.acc_vc: dict[Hashable, VectorClock] = {}
         self.grant_vc: dict[Hashable, VectorClock] = {}
         self.ckpt_vc: dict[int, VectorClock] = {}
@@ -281,17 +294,26 @@ class _RankAnalysis:
                 src = self.submit_vc.get(item)
                 if src is not None:
                     clock.join(src)
-        elif rec.op in ("steal_grant", "migrate"):
+        elif rec.op in ("steal_grant", "migrate", "rehome"):
             for item in rec.ids:
                 src = self.submit_vc.get(item)
                 if src is not None:
                     clock.join(src)
-                if rec.op == "migrate":
+                if rec.op in ("migrate", "rehome"):
                     # a task returning to a rank that granted it away
                     # arrives over a real network chain from that grant
+                    # (for a rehome: the victim's crash detection of
+                    # the thief that held the grant)
                     src = self.grant_vc.get(item)
                     if src is not None:
                         clock.join(src)
+        elif rec.op == "requeue":
+            # the serving control loop observes the dead batch's flush
+            # before cancelling it
+            for item in rec.ids:
+                src = self.flush_vc.get(item)
+                if src is not None:
+                    clock.join(src)
         elif rec.op == "gpu_compute":
             for key in self.begin_keys.get(rec.batch, frozenset()):
                 state = self.resources.get(f"cache:{key}")
@@ -322,6 +344,9 @@ class _RankAnalysis:
         if rec.op == "submit":
             for item in rec.ids:
                 self.submit_vc[item] = vc
+        elif rec.op == "flush":
+            for item in rec.ids:
+                self.flush_vc[item] = vc
         elif rec.op == "begin_transfer":
             self.begin_keys[rec.batch] = frozenset(rec.ids)
         elif rec.op == "block_transfer":
@@ -369,17 +394,35 @@ class _RankAnalysis:
                     "away a task it holds pending and has not executed)",
                 )
                 self.grant_vc[item] = vc
-        elif rec.op == "migrate":
+        elif rec.op in ("migrate", "rehome"):
+            edge_msg = (
+                "steal_grant -> migrate ordering (a task may only "
+                "migrate onto a rank that has not executed it)"
+                if rec.op == "migrate"
+                else "steal_grant -> rehome ordering (a crashed thief's "
+                "tasks may only re-home to the victim that granted them)"
+            )
             for item in rec.ids:
                 self._access(
                     Access(f"accum:{item}", "write", self.rank, index,
                            rec.op, rec.at, thread),
                     vc,
-                    "steal_grant -> migrate ordering (a task may only "
-                    "migrate onto a rank that has not executed it)",
+                    edge_msg,
                 )
-                # a migrated-in task is a fresh local submission: the
-                # thief's flush of it joins this clock
+                # a migrated-in (or re-homed) task is a fresh local
+                # submission: the next flush of it joins this clock
+                self.submit_vc[item] = vc
+        elif rec.op == "requeue":
+            for item in rec.ids:
+                self._access(
+                    Access(f"accum:{item}", "write", self.rank, index,
+                           rec.op, rec.at, thread),
+                    vc,
+                    "flush -> requeue ordering (a requeue may only cancel "
+                    "a dead flush it has observed)",
+                )
+                # re-entered items are fresh submissions for the next
+                # worker's flush; dropped items never flush again
                 self.submit_vc[item] = vc
         elif rec.op == "rollback":
             for item in rec.ids:

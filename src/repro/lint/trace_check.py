@@ -71,6 +71,24 @@ structured log a :class:`repro.runtime.trace.Tracer` collects
    most once per job, only for admitted jobs.  Logs without serving
    records trivially satisfy the check.
 
+10. **chaos recovery** (dump schema v5, ``rehome`` / ``requeue``) —
+    crashes compose with stealing and serving without losing or
+    duplicating work.  Within a rank's epoch a ``rehome`` re-registers
+    stolen items returned by a crashed thief, exactly like a
+    ``migrate``.  A serving ``requeue`` with a re-enter verdict
+    (``"crash"``/``"gpu"``) cancels the dead batch's flush and moves
+    the items to the tail of their kind's queue; a drop verdict
+    (``"queue-depth"``/``"retry-budget"``) retires the items from the
+    ledger entirely — a job is dropped at most once, only after
+    admission, and charges no accumulate after the drop.  Across
+    ranks, a grant never answered by a ``migrate`` must be fully
+    re-homed to its victim (the payload died on the wire), a partial
+    rehome must name a subset of the grant's ids on the granting
+    victim, and — because a crashed rank's dead flush legitimately
+    re-executes — the strict flushed-on-one-rank rule relaxes to *net*
+    exactly-once accounting: accumulates minus rollbacks equal one per
+    item across the cluster.
+
 :func:`check_runtime_log` raises :class:`TraceCheckError` listing every
 violation; :func:`verify_tracer` is the one-call form used by the
 integration tests.
@@ -87,8 +105,22 @@ from repro.runtime.trace import RuntimeLogRecord, Tracer
 #: ops that belong to the recovery ledger, not to any execution epoch
 _RECOVERY_OPS = ("checkpoint", "rollback", "restore")
 
-#: ops that belong to the serving job ledger (invariant #9)
-_SERVE_OPS = ("arrive", "admit", "shed", "deadline_miss", "scale")
+#: ops that belong to the serving job ledger (invariants #9 and #10)
+_SERVE_OPS = ("arrive", "admit", "shed", "deadline_miss", "scale", "requeue")
+
+#: requeue verdicts that re-enter the job (cancel the dead flush and
+#: queue the items again) vs. retire it from the ledger
+_REQUEUE_REENTER = ("crash", "gpu")
+_REQUEUE_DROP = ("queue-depth", "retry-budget")
+
+
+def _remove_last(seq: list, value: Hashable) -> bool:
+    """Drop the last occurrence of ``value`` from ``seq`` in place."""
+    for i in range(len(seq) - 1, -1, -1):
+        if seq[i] == value:
+            del seq[i]
+            return True
+    return False
 
 
 class TraceCheckError(ReproError):
@@ -149,12 +181,13 @@ def _job_of(item_id: Hashable) -> str | None:
 
 
 def _serve_violations(records: list[RuntimeLogRecord]) -> list[str]:
-    """Invariant 9: the serving job ledger.
+    """Invariants 9 and 10 (job half): the serving job ledger.
 
     One pass over the full log maintaining each job's arrival instant,
     admission verdict counts, per-job compute record counts (item ids
-    attribute to jobs through their ``"j<n>."`` prefix) and deadline
-    misses; see the module docstring for the rules enforced.
+    attribute to jobs through their ``"j<n>."`` prefix), requeue/drop
+    verdicts and deadline misses; see the module docstring for the
+    rules enforced.
     """
     violations: list[str] = []
     arrived_at: dict[Hashable, float] = {}
@@ -163,6 +196,8 @@ def _serve_violations(records: list[RuntimeLogRecord]) -> list[str]:
     misses: Counter[Hashable] = Counter()
     submitted_items: dict[str, set[Hashable]] = {}
     accumulated: Counter[Hashable] = Counter()
+    accumulate_events: list[tuple[str, float, Hashable]] = []
+    requeue_recs: list[RuntimeLogRecord] = []
     compute_ops: dict[str, set[str]] = {}
     saw_accumulate = False
 
@@ -189,6 +224,8 @@ def _serve_violations(records: list[RuntimeLogRecord]) -> list[str]:
         elif rec.op == "deadline_miss":
             (job,) = rec.ids
             misses[job] += 1
+        elif rec.op == "requeue":
+            requeue_recs.append(rec)
         elif rec.op in ("submit", "flush", "accumulate"):
             if rec.op == "accumulate":
                 saw_accumulate = True
@@ -201,6 +238,43 @@ def _serve_violations(records: list[RuntimeLogRecord]) -> list[str]:
                     submitted_items.setdefault(job, set()).add(item_id)
                 elif rec.op == "accumulate":
                     accumulated[item_id] += 1
+                    accumulate_events.append((job, rec.at, item_id))
+
+    # invariant 10, job half: requeues target admitted jobs only, a
+    # job is dropped at most once, and a dropped job charges no
+    # accumulate after the drop instant
+    dropped_at: dict[Hashable, float] = {}
+    for rec in requeue_recs:
+        reenter = rec.kind in _REQUEUE_REENTER
+        if not reenter and rec.kind not in _REQUEUE_DROP:
+            # the item-level pass already reports the unknown verdict
+            continue
+        jobs = sorted(
+            {j for j in map(_job_of, rec.ids) if j is not None}, key=str
+        )
+        for job in jobs:
+            if admits.get(job, 0) == 0:
+                violations.append(
+                    f"job {job!r} requeued ({rec.kind}) but was never "
+                    "admitted"
+                )
+            if not reenter:
+                if job in dropped_at:
+                    violations.append(
+                        f"job {job!r} dropped twice (requeue verdicts "
+                        f"{rec.kind!r} at {rec.at})"
+                    )
+                else:
+                    dropped_at[job] = rec.at
+    for job, at in sorted(dropped_at.items(), key=lambda kv: str(kv[0])):
+        late = [
+            str(i) for (j, t, i) in accumulate_events if j == job and t > at
+        ]
+        if late:
+            violations.append(
+                f"dropped job {job!r} accumulated after its drop at "
+                f"{at}: items {late[:3]}"
+            )
 
     for job in arrived_at:
         n_admit = admits.get(job, 0)
@@ -231,7 +305,7 @@ def _serve_violations(records: list[RuntimeLogRecord]) -> list[str]:
             violations.append(
                 f"admitted job {job!r} never submitted any work"
             )
-        elif saw_accumulate:
+        elif saw_accumulate and job not in dropped_at:
             incomplete = sorted(
                 str(i) for i in items if accumulated.get(i, 0) != 1
             )
@@ -266,6 +340,7 @@ def _epoch_violations(
     violations: list[str] = []
     submit_order: dict[str, list[Hashable]] = {}
     submit_time: dict[Hashable, float] = {}
+    kind_of: dict[Hashable, str] = {}
     flush_order: dict[str, list[Hashable]] = {}
     flush_count: Counter[Hashable] = Counter()
     transferred: Counter[Hashable] = Counter()
@@ -289,24 +364,77 @@ def _epoch_violations(
                 violations.append(f"item {item_id!r} submitted twice")
             submit_order.setdefault(rec.kind, []).append(item_id)
             submit_time[item_id] = rec.at
+            kind_of[item_id] = rec.kind
             pending.add(item_id)
-        elif rec.op == "migrate":
+        elif rec.op in ("migrate", "rehome"):
+            # a rehome (crashed thief's unflushed grant returned to its
+            # victim) registers items exactly like a migrate
+            verb = "migrated" if rec.op == "migrate" else "re-homed"
             for item_id in rec.ids:
                 if item_id in pending:
                     violations.append(
-                        f"item {item_id!r} migrated in while still "
+                        f"item {item_id!r} {verb} in while still "
                         "pending here (duplicate migration)"
                     )
                     continue
                 if flush_count.get(item_id, 0) > 0:
                     violations.append(
-                        f"item {item_id!r} migrated in after this rank "
+                        f"item {item_id!r} {verb} in after this rank "
                         "already executed it"
                     )
                     continue
                 submit_order.setdefault(rec.kind, []).append(item_id)
                 submit_time[item_id] = rec.at
+                kind_of[item_id] = rec.kind
                 pending.add(item_id)
+        elif rec.op == "requeue":
+            # a dead serving batch: re-enter verdicts cancel the dead
+            # flush and move the items to the tail of their kind's
+            # queue; drop verdicts retire them from the ledger
+            reenter = rec.kind in _REQUEUE_REENTER
+            if not reenter and rec.kind not in _REQUEUE_DROP:
+                violations.append(
+                    f"requeue at {rec.at} carries unknown verdict "
+                    f"{rec.kind!r}"
+                )
+                continue
+            for item_id in rec.ids:
+                live = flush_count.get(item_id, 0) - accumulate_count.get(
+                    item_id, 0
+                )
+                kind = kind_of.get(item_id)
+                if live < 1:
+                    # a drop may also retire the job's *queued* backlog:
+                    # submitted, never flushed, purged at the drop instant
+                    if not reenter and item_id in pending:
+                        if kind is not None:
+                            _remove_last(submit_order.get(kind, []), item_id)
+                        submit_time.pop(item_id, None)
+                        pending.discard(item_id)
+                        continue
+                    violations.append(
+                        f"item {item_id!r} requeued ({rec.kind}) without "
+                        "a live flush to cancel (never flushed, already "
+                        "accumulated, or already requeued)"
+                    )
+                    continue
+                flush_count[item_id] -= 1
+                if flush_count[item_id] == 0:
+                    del flush_count[item_id]
+                if kind is not None:
+                    _remove_last(flush_order.get(kind, []), item_id)
+                if reenter:
+                    if kind is not None:
+                        order = submit_order.get(kind, [])
+                        _remove_last(order, item_id)
+                        order.append(item_id)
+                    submit_time[item_id] = rec.at
+                    pending.add(item_id)
+                else:
+                    if kind is not None:
+                        _remove_last(submit_order.get(kind, []), item_id)
+                    submit_time.pop(item_id, None)
+                    pending.discard(item_id)
         elif rec.op == "steal_grant":
             for item_id in rec.ids:
                 if item_id not in pending:
@@ -466,6 +594,7 @@ def _recovery_violations(records: list[RuntimeLogRecord]) -> list[str]:
     violations: list[str] = []
     eff: Counter[Hashable] = Counter()
     flushed_ever: set = set()
+    granted_away: set = set()
     saw_accumulate = False
     lineage: dict[int, tuple[int, tuple[Hashable, ...]]] = {}
     frontier = -1
@@ -498,6 +627,8 @@ def _recovery_violations(records: list[RuntimeLogRecord]) -> list[str]:
                 )
         elif rec.op == "flush":
             flushed_ever.update(rec.ids)
+        elif rec.op == "steal_grant":
+            granted_away.update(rec.ids)
         elif rec.op == "accumulate":
             saw_accumulate = True
             for item_id in rec.ids:
@@ -570,11 +701,14 @@ def _recovery_violations(records: list[RuntimeLogRecord]) -> list[str]:
             frontier = seq
             covered = _covered_upto(seq)
 
-    # the final ledger: every flushed item effectively accumulated once
+    # the final ledger: every flushed item effectively accumulated once.
+    # An item this rank granted away (work stealing) may legitimately
+    # finish on another rank after a local rollback — the cluster-wide
+    # net check in find_migration_violations holds it to account.
     if saw_accumulate:
         for item_id in flushed_ever:
             n = eff.get(item_id, 0)
-            if n == 0:
+            if n == 0 and item_id not in granted_away:
                 violations.append(
                     f"item {item_id!r} rolled back but never "
                     "re-accumulated (work lost in recovery)"
@@ -606,6 +740,17 @@ def find_migration_violations(
     flushed on exactly one rank and accumulated exactly once, no
     matter how many times it migrated (the exactly-once invariant the
     accumulate-back protocol promises).
+
+    Under crash recovery (invariant #10, any log carrying ``restore``
+    / ``rollback`` / ``rehome`` / ``requeue`` records) the rules
+    relax exactly as far as a crash requires: a grant with no
+    ``migrate`` is legal when its *whole* payload was re-homed to the
+    granting victim (the request died on the wire), every ``rehome``
+    must name a subset of its grant's ids on that victim at a
+    later-or-equal instant, and the flushed-on-one-rank /
+    accumulated-once rules become *net* accounting — accumulates
+    minus rollback cancellations equal exactly one per item across
+    the cluster.  Crash-free logs keep the strict checks.
     """
     logs = {rank: list(records) for rank, records in rank_logs.items()}
     if not any(
@@ -618,9 +763,12 @@ def find_migration_violations(
     # (request, kind) -> list of (rank, at, ids)
     grants: dict[tuple[int, str], list[tuple[int, float, tuple]]] = {}
     migrates: dict[tuple[int, str], list[tuple[int, float, tuple]]] = {}
+    rehomes: dict[tuple[int, str], list[tuple[int, float, tuple]]] = {}
     flush_ranks: dict[Hashable, list[int]] = {}
     accumulate_total: Counter[Hashable] = Counter()
+    rollback_total: Counter[Hashable] = Counter()
     flushed_any: set[Hashable] = set()
+    crashy = False
     for rank, records in sorted(logs.items()):
         for rec in records:
             if rec.op == "steal_grant":
@@ -631,6 +779,17 @@ def find_migration_violations(
                 migrates.setdefault((rec.batch, rec.kind), []).append(
                     (rank, rec.at, rec.ids)
                 )
+            elif rec.op == "rehome":
+                crashy = True
+                rehomes.setdefault((rec.batch, rec.kind), []).append(
+                    (rank, rec.at, rec.ids)
+                )
+            elif rec.op in ("restore", "requeue"):
+                crashy = True
+            elif rec.op == "rollback":
+                crashy = True
+                for item_id in rec.ids:
+                    rollback_total[item_id] += 1
             elif rec.op == "flush":
                 for item_id in rec.ids:
                     flush_ranks.setdefault(item_id, []).append(rank)
@@ -645,50 +804,92 @@ def find_migration_violations(
                 f"request {req} kind {kind}: granted by "
                 f"{len(grant_list)} ranks (a steal has one victim)"
             )
+        victim, granted_at, granted_ids = grant_list[0]
+        rehomed = rehomes.get(key, [])
         arrivals = migrates.get(key, [])
         if not arrivals:
-            violations.append(
-                f"request {req} kind {kind}: granted but never migrated "
-                "(tasks lost in flight)"
-            )
-            continue
-        if len(arrivals) > 1:
-            violations.append(
-                f"request {req} kind {kind}: migrated {len(arrivals)} "
-                "times (duplicated in flight)"
-            )
-        victim, granted_at, granted_ids = grant_list[0]
-        thief, arrived_at, arrived_ids = arrivals[0]
-        if thief == victim:
-            violations.append(
-                f"request {req} kind {kind}: migrated back onto the "
-                f"victim rank {victim} itself"
-            )
-        if arrived_at < granted_at:
-            violations.append(
-                f"request {req} kind {kind}: migrate at {arrived_at} "
-                f"precedes its grant at {granted_at}"
-            )
-        if tuple(arrived_ids) != tuple(granted_ids):
-            violations.append(
-                f"request {req} kind {kind}: migrated ids "
-                f"{list(arrived_ids)} differ from granted "
-                f"{list(granted_ids)}"
-            )
+            # legal only when the payload died on the wire and came
+            # back whole: a covering rehome on the granting victim
+            back: set[Hashable] = set()
+            for _, _, r_ids in rehomed:
+                back.update(r_ids)
+            if not rehomed:
+                violations.append(
+                    f"request {req} kind {kind}: granted but never "
+                    "migrated (tasks lost in flight)"
+                )
+            elif back != set(granted_ids):
+                violations.append(
+                    f"request {req} kind {kind}: never migrated and "
+                    f"only partially re-homed "
+                    f"({sorted(map(str, back))} of {list(granted_ids)})"
+                )
+        else:
+            if len(arrivals) > 1:
+                violations.append(
+                    f"request {req} kind {kind}: migrated {len(arrivals)} "
+                    "times (duplicated in flight)"
+                )
+            thief, arrived_at, arrived_ids = arrivals[0]
+            if thief == victim:
+                violations.append(
+                    f"request {req} kind {kind}: migrated back onto the "
+                    f"victim rank {victim} itself"
+                )
+            if arrived_at < granted_at:
+                violations.append(
+                    f"request {req} kind {kind}: migrate at {arrived_at} "
+                    f"precedes its grant at {granted_at}"
+                )
+            if tuple(arrived_ids) != tuple(granted_ids):
+                violations.append(
+                    f"request {req} kind {kind}: migrated ids "
+                    f"{list(arrived_ids)} differ from granted "
+                    f"{list(granted_ids)}"
+                )
+        for r_rank, r_at, r_ids in rehomed:
+            if r_rank != victim:
+                violations.append(
+                    f"request {req} kind {kind}: re-homed onto rank "
+                    f"{r_rank} but the granting victim is {victim}"
+                )
+            if r_at < granted_at:
+                violations.append(
+                    f"request {req} kind {kind}: rehome at {r_at} "
+                    f"precedes its grant at {granted_at}"
+                )
+            if not set(r_ids) <= set(granted_ids):
+                violations.append(
+                    f"request {req} kind {kind}: re-homed ids "
+                    f"{list(r_ids)} were not granted under this request"
+                )
     for key in sorted(set(migrates) - set(grants)):
         req, kind = key
         violations.append(
             f"request {req} kind {kind}: migrate without a matching grant"
         )
+    for key in sorted(set(rehomes) - set(grants)):
+        req, kind = key
+        violations.append(
+            f"request {req} kind {kind}: rehome without a matching grant"
+        )
     for item_id, ranks in sorted(flush_ranks.items(), key=lambda kv: str(kv[0])):
-        if len(ranks) > 1:
+        if len(ranks) > 1 and not crashy:
             violations.append(
                 f"item {item_id!r} flushed on ranks {ranks} "
                 "(executed more than once across the cluster)"
             )
     for item_id in sorted(flushed_any, key=str):
         n = accumulate_total.get(item_id, 0)
-        if n != 1:
+        if crashy:
+            net = n - rollback_total.get(item_id, 0)
+            if net != 1:
+                violations.append(
+                    f"item {item_id!r} net-accumulated {net} time(s) "
+                    "across the cluster (accumulates minus rollbacks "
+                    "must be exactly one under crash recovery)"
+                )
+        elif n != 1:
             violations.append(
                 f"item {item_id!r} accumulated {n} times across the "
                 "cluster (migration must preserve exactly-once)"

@@ -33,11 +33,12 @@ from repro.runtime.trace import RuntimeLogRecord, TraceEvent, Tracer
 #: schema identity of the dump format (see docs/OBSERVABILITY.md)
 DUMP_SCHEMA = "repro-obs-dump"
 #: bump on any backwards-incompatible change to the dump layout
-DUMP_VERSION = 4
+DUMP_VERSION = 5
 #: older layouts this tooling still reads (v1: no ``begin_transfer``
 #: records, capture order instead of canonical merge order; v2: no
-#: work-stealing ops; v3: no serving ops)
-COMPAT_VERSIONS = frozenset({1, 2, 3, DUMP_VERSION})
+#: work-stealing ops; v3: no serving ops; v4: no chaos-recovery
+#: ``requeue``/``rehome`` ops)
+COMPAT_VERSIONS = frozenset({1, 2, 3, 4, DUMP_VERSION})
 
 #: canonical same-instant ordering of log ops — pipeline-stage order,
 #: with rollback/restore first (they open the replay epoch records that
@@ -55,25 +56,30 @@ _OP_STAGE = {
     "rollback": -2,
     "restore": -1,
     "submit": 0,
+    # chaos recovery (v5): rehomed ids re-register on the victim and a
+    # crashed serving batch's items re-enter the queue *before* any
+    # same-instant re-grant or re-flush consumes them
+    "rehome": 1,
+    "requeue": 2,
     # work-stealing (v3): granted ids leave the victim's queue, and
     # migrated ids register on the thief, before any same-instant flush
     # consumes them; a steal request is issued only once a rank goes
     # idle, i.e. after its same-instant accumulate
-    "steal_grant": 1,
-    "migrate": 2,
-    "flush": 3,
-    "begin_transfer": 4,
-    "block_transfer": 5,
-    "gpu_compute": 6,
-    "gpu_fault": 7,
-    "accumulate": 8,
-    "checkpoint": 9,
-    "steal_request": 10,
-    "steal_deny": 11,
+    "steal_grant": 3,
+    "migrate": 4,
+    "flush": 5,
+    "begin_transfer": 6,
+    "block_transfer": 7,
+    "gpu_compute": 8,
+    "gpu_fault": 9,
+    "accumulate": 10,
+    "checkpoint": 11,
+    "steal_request": 12,
+    "steal_deny": 13,
     # serving (v4): a deadline miss is observed at job completion
     # (after its final accumulate), and the autoscaler reacts last
-    "deadline_miss": 12,
-    "scale": 13,
+    "deadline_miss": 14,
+    "scale": 15,
 }
 
 

@@ -20,7 +20,12 @@ compares against committed JSON, and the runnable inputs of
 - ``serving``    — an open-loop multi-tenant serving run under a bursty
   arrival trace (arrive/admit/shed/deadline_miss/scale records, dump
   schema v4) with admission control, cross-job batching and the
-  reactive autoscaler all engaged.
+  reactive autoscaler all engaged;
+- ``chaos-sched`` — the stealing run composed with crash/restart
+  recovery: a thief rank dies holding stolen work, its unflushed
+  grants re-home to the victim (``rehome`` records, dump schema v5),
+  its uncovered tail rolls back, and the restored rank replays from
+  its last durable snapshot.
 
 Scenario workloads build **distinct** :class:`~repro.runtime.task.
 WorkItem` objects per task (never a shared probe item) so the
@@ -46,6 +51,7 @@ from repro.kernels.cpu_kernel import CpuMtxmKernel
 from repro.kernels.custom_gpu import CustomGpuKernel
 from repro.obs.dump import RunDump, capture_rank, timeline_summary
 from repro.obs.metrics import MetricsRegistry
+from repro.recovery.checkpoint import CheckpointCostModel
 from repro.recovery.policy import EveryNBatches
 from repro.recovery.protocol import RecoveryConfig, run_with_recovery
 from repro.runtime.dispatcher import HybridDispatcher
@@ -284,6 +290,80 @@ def run_stealing() -> ScenarioRun:
     )
 
 
+def run_chaos_sched() -> ScenarioRun:
+    """The stealing run composed with crash/restart recovery.
+
+    Same skewed five-rank tree as ``stealing``, with checkpointing
+    armed on every rank and a thief killed shortly after it wins a
+    grant: the crash re-homes its unflushed stolen tasks to the
+    victim's durable queue (``rehome`` records), rolls back the
+    uncovered accumulate tail, and replays from the last snapshot — so
+    the dump exercises the full v5 chaos vocabulary
+    (steal/migrate/rehome/checkpoint/rollback/restore) on one
+    deterministic trace.
+    """
+    workload = SyntheticApplyWorkload(
+        dim=3, k=6, rank=30, n_tasks=48, n_tree_leaves=12, seed=9, skew=4.0
+    )
+    tracers = {rank: Tracer() for rank in range(5)}
+    registry = MetricsRegistry()
+    sim = ClusterSimulation(
+        5,
+        SubtreePartitionMap(5, anchor_level=1),
+        mode="hybrid",
+        flush_interval=0.005,
+        max_batch_size=8,
+        rank_tracers=tracers,
+        registry=registry,
+        stealing=StealingConfig(
+            chunk_size=3, min_victim_queue=2, executor="runtime"
+        ),
+        fault_injector=FaultInjector(
+            seed=17, faults=[NodeCrash(rank=4, at=0.007)]
+        ),
+        recovery=RecoveryConfig(
+            policy=EveryNBatches(2),
+            cost_model=CheckpointCostModel(
+                drain_gbps=4.0, restart_seconds=1e-3
+            ),
+            failure_detection_timeout=1e-3,
+            max_restarts=3,
+        ),
+    )
+    result = sim.run(workload.tasks)
+    rehomed = sum(
+        1
+        for rank in sorted(tracers)
+        for rec in tracers[rank].log
+        if rec.op == "rehome"
+    )
+    dump = RunDump(
+        meta={
+            "scenario": "chaos-sched",
+            "n_tasks": result.total_tasks,
+            "restarts": result.total_restarts,
+        },
+        ranks=[
+            capture_rank(
+                rank,
+                tracers[rank],
+                timeline_summary(result.node_results[rank].timeline),
+            )
+            for rank in sorted(tracers)
+        ],
+        registry=registry,
+    )
+    return ScenarioRun(
+        name="chaos-sched",
+        dump=dump,
+        makespan=result.makespan_seconds,
+        extras={
+            "restarts": result.total_restarts,
+            "rehome_records": rehomed,
+        },
+    )
+
+
 def run_serving() -> ScenarioRun:
     """An open-loop multi-tenant serving run under a bursty trace.
 
@@ -366,6 +446,7 @@ SCENARIOS = {
     "cluster": run_cluster,
     "stealing": run_stealing,
     "serving": run_serving,
+    "chaos-sched": run_chaos_sched,
 }
 
 

@@ -28,6 +28,8 @@ from repro.recovery.checkpoint import (
     Checkpointer,
     CheckpointCostModel,
     CheckpointStore,
+    MigrationLedger,
+    MigrationRecord,
 )
 from repro.recovery.policy import (
     CheckpointPolicy,
@@ -50,6 +52,8 @@ __all__ = [
     "Checkpointer",
     "EveryNBatches",
     "FixedInterval",
+    "MigrationLedger",
+    "MigrationRecord",
     "RecoveredRun",
     "RecoveryConfig",
     "YoungDaly",

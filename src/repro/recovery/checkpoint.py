@@ -143,6 +143,101 @@ class Checkpoint:
             )
 
 
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One edge of the migration ledger: a stolen task changing hands.
+
+    Attributes:
+        task_id: the run-stable task id (the stealing engine's
+            ``"t<n>"`` names).
+        victim: rank the task was stolen *from* (the grantor).
+        thief: rank the task migrated *to*.
+        request: the steal-protocol request id correlating this edge
+            with the ``steal_grant``/``migrate`` trace records.
+        dest_rank: the accumulate destination — the owner of the
+            result subtree the task folds into, which does **not**
+            change when the task migrates.
+    """
+
+    task_id: Hashable
+    victim: int
+    thief: int
+    request: int
+    dest_rank: int
+
+
+@dataclass
+class MigrationLedger:
+    """Durable record of where every stolen task currently lives.
+
+    Checkpoint lineage alone cannot recover a run with work stealing:
+    a migrated task has no *static* home to replay on.  The ledger
+    closes that gap — every grant appends a :class:`MigrationRecord`
+    and updates the current-owner map, so crash recovery can (a)
+    replay a rolled-back stolen task on its *current* owner instead of
+    its original rank and (b) re-home a crashed thief's
+    granted-but-unflushed tasks back to the victim that granted them.
+    Settled tasks (flushed by their holder) leave the in-flight set.
+    """
+
+    records: list[MigrationRecord] = field(default_factory=list)
+    #: task id -> rank currently holding the (stolen) task
+    _owner: dict = field(default_factory=dict)
+    #: task id -> the latest grant edge (for crash-time rehoming)
+    _last_edge: dict = field(default_factory=dict)
+    #: task ids whose current holder has flushed them
+    _settled: set = field(default_factory=set)
+
+    def note_grant(
+        self,
+        task_id: Hashable,
+        victim: int,
+        thief: int,
+        request: int,
+        dest_rank: int,
+    ) -> MigrationRecord:
+        """Record one task granted from ``victim`` to ``thief``."""
+        edge = MigrationRecord(task_id, victim, thief, request, dest_rank)
+        self.records.append(edge)
+        self._owner[task_id] = thief
+        self._last_edge[task_id] = edge
+        self._settled.discard(task_id)
+        return edge
+
+    def note_settled(self, task_id: Hashable) -> None:
+        """The current holder flushed the task; it is no longer in
+        flight and a later crash of that holder replays it there."""
+        if task_id in self._owner:
+            self._settled.add(task_id)
+
+    def note_rehome(self, task_id: Hashable, back_to: int) -> None:
+        """A crashed thief's unflushed task returned to ``back_to``
+        (its victim); ownership reverts."""
+        self._owner[task_id] = back_to
+
+    def current_owner(self, task_id: Hashable, default: int) -> int:
+        """The rank a replay of ``task_id`` must run on — the latest
+        migration destination, or ``default`` if it never migrated."""
+        return self._owner.get(task_id, default)
+
+    def last_edge(self, task_id: Hashable) -> MigrationRecord | None:
+        """The most recent grant edge of ``task_id`` (None if the task
+        never migrated)."""
+        return self._last_edge.get(task_id)
+
+    def unflushed_on(self, rank: int) -> list[Hashable]:
+        """Stolen tasks currently held *unflushed* by ``rank`` — the
+        set a crash on ``rank`` re-homes to their victims, in grant
+        order."""
+        return [
+            edge.task_id
+            for edge in self.records
+            if self._owner.get(edge.task_id) == rank
+            and self._last_edge[edge.task_id] is edge
+            and edge.task_id not in self._settled
+        ]
+
+
 @dataclass
 class CheckpointStore:
     """A rank's durable snapshots plus the current lineage frontier.
@@ -152,11 +247,17 @@ class CheckpointStore:
     stay monotonic across restarts and the trace checker can audit the
     full lineage graph.  ``frontier_seq`` is the tip of the chain the
     next checkpoint extends (-1 = nothing durable yet).
+
+    Under work stealing the per-rank stores of a run share one
+    :class:`MigrationLedger` (``ledger``): lineage says *what* is
+    durable, the ledger says *where* an uncovered task must replay.
     """
 
     rank: int = 0
     checkpoints: list[Checkpoint] = field(default_factory=list)
     frontier_seq: int = -1
+    #: run-shared migration ledger (None outside stealing runs)
+    ledger: MigrationLedger | None = None
 
     def next_seq(self) -> int:
         """The sequence number the next committed snapshot will carry."""

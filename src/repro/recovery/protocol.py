@@ -151,6 +151,8 @@ def run_with_recovery(
     injector=None,
     tracer: Tracer | None = None,
     registry=None,
+    ledger=None,
+    task_key=None,
 ) -> RecoveredRun:
     """Execute ``tasks`` on one rank under checkpoint/restart.
 
@@ -174,6 +176,14 @@ def run_with_recovery(
             :meth:`~repro.obs.metrics.MetricsRegistry.shifted` view so
             samples land on the global timeline, and the protocol itself
             publishes restart/rollback/restore metrics.
+        ledger: optional :class:`~repro.recovery.checkpoint.
+            MigrationLedger` shared with a work-stealing scheduler.
+            Replay honours it: an uncovered task whose *current* owner
+            (per the ledger) is another rank is skipped here — it
+            replays on the rank actually holding it, not its static
+            home.  Requires ``task_key``.
+        task_key: callable mapping a task to its ledger task id
+            (required when ``ledger`` is given).
 
     Returns:
         A :class:`RecoveredRun`.
@@ -189,9 +199,13 @@ def run_with_recovery(
                 "(HybridTask.work must be set): replay needs stable "
                 "item identity across restarts"
             )
+    if ledger is not None and task_key is None:
+        raise RecoveryConfigError(
+            "a migration ledger needs task_key to map tasks to ledger ids"
+        )
     schedule = injector.crash_times(rank) if injector is not None else ()
     sink: dict = {}
-    store = CheckpointStore(rank=rank)
+    store = CheckpointStore(rank=rank, ledger=ledger)
     checkpointer = Checkpointer(
         store,
         config.policy,
@@ -307,7 +321,15 @@ def run_with_recovery(
                 registry.histogram("recovery.restore_seconds").observe(
                     restore_done, restore_done - detect_at
                 )
-            remaining = [t for t in tasks if id(t.work) not in covered]
+            remaining = [
+                t
+                for t in tasks
+                if id(t.work) not in covered
+                and (
+                    ledger is None
+                    or ledger.current_owner(task_key(t), rank) == rank
+                )
+            ]
             wall = restore_done
     finally:
         for t in tasks:

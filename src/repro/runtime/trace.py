@@ -51,6 +51,13 @@ LOG_OPS = (
     "shed",
     "deadline_miss",
     "scale",
+    # chaos-hardened scheduling (dump schema v5, see docs/FAULTS.md):
+    # a crashed serving worker's in-flight job re-entering (or being
+    # dropped from) the dispatch queue, and a crashed thief's
+    # granted-but-unflushed stolen tasks returning to their victim's
+    # durable queue
+    "requeue",
+    "rehome",
 )
 
 #: categories rendered as separate Gantt lanes, in display order
@@ -332,6 +339,25 @@ class Tracer:
         migrates exactly once."""
         self._log("migrate", at, kind, tuple(item_ids), 0, request)
 
+    def log_rehome(
+        self,
+        kind: str,
+        item_ids: Iterable[Hashable],
+        at: float,
+        request: int,
+        crashed: int,
+    ) -> None:
+        """Record stolen tasks returning to this rank (the victim)
+        because the thief that held them crashed before flushing them.
+
+        ``request`` is the id of the original grant the record pairs
+        with (it rides in ``batch``, like the grant's); ``crashed`` is
+        the thief rank that died and rides in ``attempt``.  The rehomed
+        ids must be a subset of the paired grant's ids — the unflushed
+        remainder of the chunk.  After a rehome the items are this
+        rank's to execute or re-grant (trace_check invariant #10)."""
+        self._log("rehome", at, kind, tuple(item_ids), crashed, request)
+
     # -- serving ops (consumed by trace_check invariant #9) -----------------------
 
     def log_arrive(
@@ -367,6 +393,28 @@ class Tracer:
         """Record an admitted job completing *after* its SLO deadline
         (logged at completion time, at most once per job)."""
         self._log("deadline_miss", at, slo, (job_id,))
+
+    def log_requeue(
+        self,
+        verdict: str,
+        item_ids: Iterable[Hashable],
+        at: float,
+        attempt: int,
+        rank: int,
+    ) -> None:
+        """Record a crashed (or faulted) serving worker's in-flight job
+        items leaving the dead batch.
+
+        ``verdict`` rides in ``kind``: ``"crash"``/``"gpu"`` mean the
+        items re-enter the EDF queue with their original deadline;
+        ``"queue-depth"`` (the shed-on-requeue gate tripped) and
+        ``"retry-budget"`` (the tenant's retry budget is exhausted)
+        mean the job is dropped.  ``attempt`` is the job's requeue
+        count (1-based) and ``rank`` the dead worker (rides in
+        ``batch``).  All ids belong to one job; trace_check invariant
+        #10 pairs each record with the cancelled flush and asserts the
+        requeued-xor-dropped ledger."""
+        self._log("requeue", at, verdict, tuple(item_ids), attempt, rank)
 
     def log_scale(self, old_size: int, new_size: int, at: float) -> None:
         """Record the autoscaler resizing the rank pool; ``kind`` is the

@@ -78,11 +78,17 @@ class ReactiveAutoscaler:
         pool_size: int,
         queue_delay: float,
         queue_depth: int,
+        dead_ranks: int = 0,
     ) -> int | None:
         """The new pool size, or ``None`` to hold.
 
         ``queue_delay`` is the age of the oldest queued sub-task;
         ``queue_depth`` the backlog size (a shrink needs both calm).
+        ``dead_ranks`` is how many ranks inside the current pool have
+        crashed: the controller reasons about *live* capacity, so a
+        crash both trips growth sooner and shifts the ``[min_ranks,
+        max_ranks]`` clamps — a replacement rank spawned past a dead
+        one does not count against the configured ceiling.
         """
         cfg = self.config
         if (
@@ -90,15 +96,16 @@ class ReactiveAutoscaler:
             and now - self._last_change < cfg.cooldown
         ):
             return None
+        live = pool_size - dead_ranks
         target = None
-        if queue_delay > cfg.high_water and pool_size < cfg.max_ranks:
-            target = min(cfg.max_ranks, pool_size + cfg.step)
+        if queue_delay > cfg.high_water and live < cfg.max_ranks:
+            target = min(cfg.max_ranks + dead_ranks, pool_size + cfg.step)
         elif (
             queue_delay < cfg.low_water
             and queue_depth == 0
-            and pool_size > cfg.min_ranks
+            and live > cfg.min_ranks
         ):
-            target = max(cfg.min_ranks, pool_size - cfg.step)
+            target = max(cfg.min_ranks + dead_ranks, pool_size - cfg.step)
         if target is None or target == pool_size:
             return None
         self._last_change = now

@@ -112,6 +112,28 @@ class CrossJobBatcher:
         job = head.task.job
         return (job.slo.priority, job.deadline, head.seq)
 
+    def purge_job(self, job: Job) -> list[SubTask]:
+        """Remove every queued sub-task of ``job``, returning them in
+        queue order.
+
+        A dropped job's backlog leaves the queue with it — keeping the
+        items would waste pool time on work whose results can never
+        complete the job.
+        """
+        removed: list[SubTask] = []
+        for key in list(self._buckets):
+            bucket = self._buckets[key]
+            kept = deque(e for e in bucket if e.task.job is not job)
+            if len(kept) == len(bucket):
+                continue
+            removed.extend(e.task for e in bucket if e.task.job is job)
+            if kept:
+                self._buckets[key] = kept
+            else:
+                del self._buckets[key]
+        self._depth -= len(removed)
+        return removed
+
     def next_batch(self) -> list[SubTask] | None:
         """Pop the next batch to dispatch, or ``None`` when idle.
 

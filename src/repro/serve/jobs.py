@@ -103,6 +103,9 @@ class Job:
     ``stages[i]`` pairs item ids with their work items; the service
     submits stage ``i+1`` when ``remaining`` of stage ``i`` hits zero.
     ``deadline`` is absolute (admission instant + the class budget).
+    ``requeues`` counts how many times a crashed or faulted worker sent
+    the job's items back to the queue; once it exceeds the service's
+    retry budget the job is dropped and ``failed_reason`` records why.
     """
 
     job_id: str
@@ -116,6 +119,8 @@ class Job:
     stage_index: int = 0
     remaining: int = 0
     completed_at: float = field(default=-1.0)
+    requeues: int = 0
+    failed_reason: str | None = None
 
     @property
     def n_items(self) -> int:

@@ -21,6 +21,22 @@ Determinism: the only randomness is the seeded arrival list; every
 instant, record and metric sample is a pure function of the inputs, so
 two runs of one configuration produce byte-identical trace dumps (the
 golden-trace + perturbation gates hold the layer to that).
+
+Fault tolerance: when a :class:`~repro.faults.injector.FaultInjector`
+is attached, serving workers are exposed to its schedule — a
+:class:`~repro.faults.models.NodeCrash` kills the worker at its crash
+instant (mid-batch work dies with it), a GPU batch fault discards the
+batch's results, and stragglers stretch batch time.  A dead batch's
+job items *re-enter* the EDF queue with their original deadlines
+(``requeue`` records, verdicts ``crash``/``gpu``), bounded by the
+per-job ``retry_budget`` and the admission queue-depth gate: past
+either limit the job is dropped (verdicts ``retry-budget``/
+``queue-depth``), its backlog purged, and its in-flight work
+cancelled — graceful degradation, never silent loss (trace_check
+invariant #10 audits the ledger).  Crashed ranks leave the pool for
+good; the autoscaler sees them as lost capacity and replaces them.
+With no injector (or an empty one) every chaos path is skipped and
+runs are bit-identical to the pre-fault service.
 """
 
 from __future__ import annotations
@@ -60,6 +76,9 @@ class ServeConfig:
     job's task kinds with its job id, so batches never span jobs.
     ``batch_overhead_seconds`` is the fixed per-dispatch cost
     (scheduling + transfer setup) that cross-job batching amortizes.
+    ``retry_budget`` caps how many times a job's items may re-enter
+    the queue after worker crashes or GPU faults before the job is
+    dropped with verdict ``"retry-budget"``.
     """
 
     classes: tuple[SloClass, ...] = DEFAULT_CLASSES
@@ -74,6 +93,7 @@ class ServeConfig:
     fifo: bool = False
     max_batch_size: int = 16
     batch_overhead_seconds: float = 0.002
+    retry_budget: int = 2
 
     def __post_init__(self) -> None:
         if not self.classes:
@@ -86,6 +106,10 @@ class ServeConfig:
             raise ServeConfigError(
                 "batch overhead must be >= 0, got "
                 f"{self.batch_overhead_seconds}"
+            )
+        if self.retry_budget < 0:
+            raise ServeConfigError(
+                f"retry budget must be >= 0, got {self.retry_budget}"
             )
 
 
@@ -101,11 +125,19 @@ class JobOutcome:
     shed_reason: str | None = None
     completed_at: float | None = None
     deadline: float | None = None
+    requeues: int = 0
+    dropped_reason: str | None = None
 
     @property
     def admitted(self) -> bool:
         """Whether the job was admitted (vs shed at arrival)."""
         return self.shed_reason is None
+
+    @property
+    def dropped(self) -> bool:
+        """Whether the job was admitted but later dropped (its retry
+        budget ran out, or the queue-depth gate tripped on requeue)."""
+        return self.dropped_reason is not None
 
     @property
     def completed(self) -> bool:
@@ -139,11 +171,22 @@ class ServeResult:
     n_events: int
     final_pool: int
     pool_peak: int
+    dead_ranks: int = 0
 
     @property
     def n_arrived(self) -> int:
         """Jobs that reached the front door."""
         return len(self.outcomes)
+
+    @property
+    def n_dropped(self) -> int:
+        """Admitted jobs dropped mid-flight (budget/queue-depth)."""
+        return sum(1 for o in self.outcomes if o.dropped)
+
+    @property
+    def n_requeues(self) -> int:
+        """Total requeue events across all jobs (crash + GPU fault)."""
+        return sum(o.requeues for o in self.outcomes)
 
     @property
     def n_admitted(self) -> int:
@@ -255,6 +298,11 @@ class JobService:
             ``submit``/``flush``/``accumulate``).
         registry: optional metrics registry (``serve.*`` counters,
             gauges, and the p50/p95/p99-bearing latency histograms).
+        fault_injector: optional
+            :class:`~repro.faults.injector.FaultInjector`; when armed,
+            its node crashes, GPU faults and stragglers hit the
+            serving workers (see the module docstring).  ``None`` or
+            an empty injector leaves every happy path untouched.
     """
 
     def __init__(
@@ -265,6 +313,7 @@ class JobService:
         config: ServeConfig | None = None,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        fault_injector=None,
     ):
         if n_ranks < 1:
             raise ServeConfigError(f"need at least one rank, got {n_ranks}")
@@ -276,6 +325,7 @@ class JobService:
         self.batch_seconds = batch_seconds
         self.tracer = tracer
         self.registry = registry
+        self.fault_injector = fault_injector
         self._classes = {c.name: c for c in self.config.classes}
 
     # -- observation helpers ---------------------------------------------------
@@ -309,9 +359,18 @@ class JobService:
             if cfg.admission is not None
             else None
         )
+        injector = self.fault_injector
+        if injector is not None and not injector.active:
+            injector = None
         outcomes: list[JobOutcome] = []
         parked: dict[int, Event] = {}
         alive: set[int] = set()
+        #: ranks that crashed or bricked their GPU — gone for good
+        dead: set[int] = set()
+        #: rank -> the batch it is currently executing (chaos only;
+        #: lets a drop cancel a failed job's mid-flight items)
+        in_flight: dict[int, list[SubTask]] = {}
+        armed_killers: set[int] = set()
 
         def wake_all() -> None:
             # deterministic wake order: ascending rank
@@ -355,10 +414,118 @@ class JobService:
             touch(at)
             maybe_finish(at)
 
+        def drop_job(
+            job: Job, dead_tasks: list[SubTask], at: float,
+            reason: str, rank: int,
+        ) -> None:
+            """Fail ``job`` for good: the drop record retires every
+            not-yet-accumulated item — the dead batch's, the queued
+            backlog's (purged here) and any mid-flight on other ranks
+            (their accumulate will skip them)."""
+            job.failed_reason = reason
+            ids = [t.item_id for t in dead_tasks]
+            ids.extend(t.item_id for t in batcher.purge_job(job))
+            for r in sorted(in_flight):
+                if r == rank:
+                    continue
+                ids.extend(
+                    t.item_id for t in in_flight[r] if t.job is job
+                )
+            outcome = job_outcomes[job.job_id]
+            outcome.dropped_reason = reason
+            if self.tracer is not None:
+                self.tracer.log_requeue(
+                    reason, ids, at, attempt=job.requeues, rank=rank
+                )
+                # a dropped job can never meet its deadline
+                self.tracer.log_deadline_miss(job.job_id, job.slo.name, at)
+            self._count("serve.dropped", at)
+            self._count(f"serve.dropped.{reason}", at)
+            self._count("serve.deadline_miss", at)
+            state.outstanding -= 1
+            maybe_finish(at)
+
+        def fail_batch(
+            rank: int, batch: list[SubTask], verdict: str, at: float
+        ) -> None:
+            """A dispatched batch died (worker crash / GPU fault):
+            requeue its items per job, or drop jobs past their limits."""
+            groups: dict[str, list[SubTask]] = {}
+            order: list[Job] = []
+            for task in batch:
+                if task.job.failed_reason is not None:
+                    # already dropped — its flush died with the drop
+                    continue
+                if task.job.job_id not in groups:
+                    groups[task.job.job_id] = []
+                    order.append(task.job)
+                groups[task.job.job_id].append(task)
+            requeued = False
+            for job in order:
+                tasks = groups[job.job_id]
+                job.requeues += 1
+                job_outcomes[job.job_id].requeues = job.requeues
+                if job.requeues > cfg.retry_budget:
+                    drop_job(job, tasks, at, "retry-budget", rank)
+                    continue
+                if (
+                    admission is not None
+                    and batcher.depth() + len(tasks)
+                    > admission.config.max_queue_items
+                ):
+                    # shed-on-requeue: re-entering would overflow the
+                    # same gate the front door sheds against
+                    drop_job(job, tasks, at, "queue-depth", rank)
+                    continue
+                if self.tracer is not None:
+                    self.tracer.log_requeue(
+                        verdict,
+                        [t.item_id for t in tasks],
+                        at,
+                        attempt=job.requeues,
+                        rank=rank,
+                    )
+                self._count("serve.requeues", at)
+                for task in tasks:
+                    batcher.add(task, at)
+                requeued = True
+            self._gauge("serve.queue_depth", at, batcher.depth())
+            touch(at)
+            if requeued:
+                wake_all()
+
+        def killer(rank: int, at: float):
+            """Marks ``rank`` dead at its crash instant, so the
+            autoscaler sees the capacity loss immediately and a parked
+            victim wakes to find out it died."""
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            if not state.done:
+                dead.add(rank)
+                self._count("serve.worker_crashes", env.now)
+                wake_all()
+
+        def spawn_worker(rank: int) -> None:
+            env.process(worker(rank))
+            if injector is not None and rank not in armed_killers:
+                armed_killers.add(rank)
+                crash_at = injector.crash_time(rank)
+                if crash_at is not None:
+                    env.process(killer(rank, crash_at))
+
         def worker(rank: int):
             alive.add(rank)
+            crash_at = (
+                injector.crash_time(rank) if injector is not None else None
+            )
             while True:
                 if state.done or rank >= state.active_limit:
+                    break
+                if rank in dead or (
+                    crash_at is not None and env.now >= crash_at
+                ):
+                    # died while parked/idle: leaves without taking work
+                    dead.add(rank)
                     break
                 batch = batcher.next_batch()
                 if batch is None:
@@ -386,14 +553,44 @@ class JobService:
                 seconds = cfg.batch_overhead_seconds + self.batch_seconds(
                     rank, [t.item for t in batch]
                 )
+                gpu_fault = False
+                if injector is not None:
+                    seconds *= injector.compute_slowdown(rank, now)
+                    gpu_fault = injector.gpu_batch_fault(rank, index, 0, now)
+                    in_flight[rank] = batch
+                if crash_at is not None and now + seconds > crash_at:
+                    # the batch dies with the worker at the crash instant
+                    yield env.timeout(crash_at - now)
+                    in_flight.pop(rank, None)
+                    fail_batch(rank, batch, "crash", env.now)
+                    dead.add(rank)
+                    break
                 yield env.timeout(seconds)
                 now = env.now
-                if self.tracer is not None:
+                if injector is not None:
+                    in_flight.pop(rank, None)
+                if gpu_fault:
+                    fail_batch(rank, batch, "gpu", now)
+                    if injector.gpu_permanently_failed(rank, now):
+                        # bricked accelerator: the rank leaves the pool
+                        dead.add(rank)
+                        break
+                    continue
+                if injector is None:
+                    live = batch
+                else:
+                    # a job dropped while this batch was in flight had
+                    # these items cancelled by its drop record
+                    live = [
+                        t for t in batch if t.job.failed_reason is None
+                    ]
+                    ids = [t.item_id for t in live]
+                if live and self.tracer is not None:
                     self.tracer.log_accumulate(kind, ids, now, batch=index)
                 touch(now)
                 # stage progression, grouped per job in batch order
                 advanced: list[Job] = []
-                for task in batch:
+                for task in live:
                     job = task.job
                     job.remaining -= 1
                     if job.remaining == 0:
@@ -493,6 +690,9 @@ class JobService:
                     state.active_limit,
                     batcher.oldest_wait(now),
                     batcher.depth(),
+                    dead_ranks=sum(
+                        1 for r in dead if r < state.active_limit
+                    ),
                 )
                 if new is None:
                     continue
@@ -509,8 +709,8 @@ class JobService:
                 touch(now)
                 if new > old:
                     for rank in range(old, new):
-                        if rank not in alive:
-                            env.process(worker(rank))
+                        if rank not in alive and rank not in dead:
+                            spawn_worker(rank)
                 else:
                     # excess parked workers notice the new limit and exit
                     wake_all()
@@ -518,7 +718,7 @@ class JobService:
         job_outcomes: dict[str, JobOutcome] = {}
         self._gauge("serve.pool_size", 0.0, state.active_limit)
         for rank in range(state.active_limit):
-            env.process(worker(rank))
+            spawn_worker(rank)
         env.process(arrivals())
         if cfg.autoscaler is not None:
             env.process(autoscaler_proc(ReactiveAutoscaler(cfg.autoscaler)))
@@ -526,11 +726,19 @@ class JobService:
 
         # completion instants land on the shared outcome objects
         for outcome in outcomes:
-            if outcome.admitted and outcome.completed_at is None:
-                # every admitted job must have completed once the DES
-                # queue drained; anything else is a scheduler bug
+            if (
+                outcome.admitted
+                and not outcome.dropped
+                and outcome.completed_at is None
+            ):
+                # every admitted job must have completed (or been
+                # dropped with a requeue verdict) once the DES queue
+                # drained; anything else is a scheduler bug — or a
+                # fault schedule that killed the whole pool with no
+                # autoscaler headroom to replace it
                 raise ServeConfigError(
-                    f"job {outcome.job_id} admitted but never completed"
+                    f"job {outcome.job_id} admitted but never completed "
+                    f"({len(dead)} dead rank(s), no verdict logged)"
                 )
         return ServeResult(
             outcomes=outcomes,
@@ -539,4 +747,5 @@ class JobService:
             n_events=state.n_events,
             final_pool=state.active_limit,
             pool_peak=state.pool_peak,
+            dead_ranks=len(dead),
         )

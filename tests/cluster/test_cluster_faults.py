@@ -1,11 +1,12 @@
 """Cluster-level fault injection: the FaultInjector-backed replacement
-for ``failed_gpus``, node-crash redistribution, and message faults.
+for ``failed_gpus``, node crashes, and message faults.
 
-Node-crash handling has two modes: the deprecated omniscient
-redistribution (no ``recovery=`` config — crashes warn and the crashed
-rank's tasks teleport to survivors before the run) and checkpoint/
-restart recovery (``recovery=RecoveryConfig(...)`` — the crashed rank
-restores its last snapshot and replays in place)."""
+Node crashes have exactly one handling mode: checkpoint/restart
+recovery (``recovery=RecoveryConfig(...)`` — the crashed rank restores
+its last snapshot and replays in place).  The old omniscient
+redistribution path (which knew the crash schedule before the run) was
+removed; scheduling a crash without a recovery config is a
+configuration error."""
 
 from __future__ import annotations
 
@@ -66,60 +67,56 @@ class TestDeprecatedAlias:
 
 
 class TestNodeCrash:
-    """The deprecated omniscient-redistribution path (no recovery
-    config): still supported, but every crash now warns."""
+    """Scheduled crashes demand an honest recovery config — the
+    omniscient redistribution path (perfect foresight of the crash
+    schedule) was removed."""
 
-    def test_tasks_conserved_after_crash(self, workload):
-        clean = run(workload)
-        at = clean.makespan_seconds * 0.4
-        inj = FaultInjector(faults=[NodeCrash(rank=2, at=at)])
-        with pytest.warns(DeprecationWarning, match="perfect foresight"):
-            res = run(workload, fault_injector=inj)
-        assert sum(r.n_tasks for r in res.node_results) == len(workload.tasks)
-        assert res.node_results[2].crashed_at == at
-        assert all(
-            r.crashed_at is None
-            for r in res.node_results
-            if r.rank != 2
-        )
+    def test_crash_without_recovery_rejected(self, workload):
+        inj = FaultInjector(faults=[NodeCrash(rank=2, at=0.001)])
+        with pytest.raises(ClusterConfigError, match="recovery="):
+            run(workload, fault_injector=inj)
 
-    def test_survivors_absorb_the_orphans(self, workload):
-        clean = run(workload)
-        inj = FaultInjector(
-            faults=[NodeCrash(rank=2, at=clean.makespan_seconds * 0.4)]
-        )
-        with pytest.warns(DeprecationWarning, match="perfect foresight"):
-            res = run(workload, fault_injector=inj)
-        assert res.node_results[2].n_tasks < clean.node_results[2].n_tasks
-        survivors = [r for r in res.node_results if r.rank != 2]
-        grew = [
-            r
-            for r, c in zip(survivors, (
-                x for x in clean.node_results if x.rank != 2
-            ))
-            if r.n_tasks > c.n_tasks
-        ]
-        assert grew, "no survivor picked up redistributed work"
-        assert res.makespan_seconds > clean.makespan_seconds
+    def test_crash_without_recovery_rejected_under_stealing(self, workload):
+        from repro.cluster.stealing import StealingConfig
 
-    def test_crash_after_completion_redistributes_nothing(self, workload):
+        inj = FaultInjector(faults=[NodeCrash(rank=2, at=0.001)])
+        with pytest.raises(ClusterConfigError, match="recovery="):
+            run(
+                workload,
+                fault_injector=inj,
+                stealing=StealingConfig(chunk_size=8, executor="analytic"),
+            )
+
+    def test_crash_after_completion_recovers_nothing(self, workload):
         clean = run(workload)
         inj = FaultInjector(
             faults=[NodeCrash(rank=2, at=clean.makespan_seconds * 10)]
         )
-        with pytest.warns(DeprecationWarning, match="perfect foresight"):
-            res = run(workload, fault_injector=inj)
+        res = run(
+            workload,
+            fault_injector=inj,
+            recovery=TestCheckpointRecovery.recovery_config(),
+        )
+        # the schedule missed: no restarts, nothing teleports
+        assert res.total_restarts == 0
         assert [r.n_tasks for r in res.node_results] == [
             r.n_tasks for r in clean.node_results
         ]
 
-    def test_all_ranks_crashing_rejected(self, workload):
+    def test_all_ranks_crashing_still_recovers(self, workload):
+        # no "survivors" precondition anymore: every rank restores from
+        # its own durable lineage, so even a full-partition outage
+        # completes (each rank pays its own detect+restore+replay)
         inj = FaultInjector(
-            faults=[NodeCrash(rank=r, at=0.1) for r in range(NODES)]
+            faults=[NodeCrash(rank=r, at=1e-4) for r in range(NODES)]
         )
-        with pytest.warns(DeprecationWarning, match="perfect foresight"):
-            with pytest.raises(ClusterConfigError, match="survivors"):
-                run(workload, fault_injector=inj)
+        res = run(
+            workload,
+            fault_injector=inj,
+            recovery=TestCheckpointRecovery.recovery_config(),
+        )
+        assert res.total_restarts == NODES
+        assert sum(r.n_tasks for r in res.node_results) == len(workload.tasks)
 
 
 class TestCheckpointRecovery:

@@ -81,25 +81,54 @@ def test_config_rejects_bad_knobs():
         StealingConfig(executor="magic")
 
 
-def test_simulation_rejects_stealing_with_faults():
-    injector = FaultInjector(seed=3, faults=[GpuFailure(rate=0.5)])
-    with pytest.raises(ClusterConfigError):
-        ClusterSimulation(
-            2,
-            SlotMap(2),
-            stealing=StealingConfig(),
-            fault_injector=injector,
-        )
+def test_stealing_composes_with_fault_injection():
+    # GPU failures reprice chunks on the affected rank; no rejection
+    injector = FaultInjector(
+        seed=3, faults=[GpuFailure(rank=1, permanent=True)]
+    )
+    workload = SyntheticApplyWorkload(
+        dim=3, k=8, rank=40, n_tasks=24, n_tree_leaves=16, seed=7
+    )
+    sim = ClusterSimulation(
+        2,
+        SlotMap(2),
+        stealing=StealingConfig(chunk_size=4, executor="analytic"),
+        fault_injector=injector,
+    )
+    res = sim.run(workload.tasks)
+    assert res.total_tasks == 24
 
 
-def test_simulation_rejects_stealing_with_recovery():
-    with pytest.raises(ClusterConfigError):
-        ClusterSimulation(
-            2,
-            SlotMap(2),
-            stealing=StealingConfig(),
-            recovery=RecoveryConfig(policy=EveryNBatches(2)),
-        )
+def test_stealing_composes_with_recovery():
+    # recovery armed without crashes: checkpoint writes are charged,
+    # everything still completes exactly once
+    workload = SyntheticApplyWorkload(
+        dim=3, k=8, rank=40, n_tasks=24, n_tree_leaves=16, seed=7
+    )
+    sim = ClusterSimulation(
+        2,
+        SlotMap(2),
+        stealing=StealingConfig(chunk_size=4, executor="analytic"),
+        recovery=RecoveryConfig(policy=EveryNBatches(2)),
+    )
+    res = sim.run(workload.tasks)
+    assert sum(r.n_tasks for r in res.node_results) == 24
+    assert res.total_restarts == 0
+
+
+def test_engine_rejects_crashes_without_recovery():
+    from repro.faults.models import NodeCrash
+
+    injector = FaultInjector(faults=[NodeCrash(rank=0, at=0.01)])
+    engine = StealingEngine(
+        SlotMap(2),
+        NetworkModel(),
+        StealingConfig(),
+        flat_cost,
+        injector=injector,
+    )
+    with pytest.raises(ClusterConfigError, match="recovery="):
+        engine.run(make_tasks([0] * 8))
 
 
 # -- the protocol ------------------------------------------------------------------

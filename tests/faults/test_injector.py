@@ -154,3 +154,43 @@ def test_install_sets_runtime_attribute():
     inj = FaultInjector()
     inj.install(rt)
     assert rt.fault_injector is inj
+
+
+class TestZeroMessageQueries:
+    """Satellite fix: a zero-message query must draw nothing — it can
+    never perturb other seeded decisions (bit-identity pins it)."""
+
+    def test_zero_messages_short_circuit(self):
+        inj = FaultInjector(
+            seed=9,
+            faults=[MessageLoss(rate=1.0), MessageDelay(rate=1.0,
+                                                        delay_seconds=1.0)],
+        )
+        assert inj.message_faults(3, 0) == (0, 0.0)
+        assert inj.message_faults(3, -1) == (0, 0.0)
+
+    def test_no_message_models_short_circuit(self):
+        # crash-only injector: the per-message loop is skipped entirely
+        inj = FaultInjector(seed=9, faults=[NodeCrash(rank=0, at=1.0)])
+        assert inj.message_faults(0, 10_000) == (0, 0.0)
+
+    def test_zero_message_query_is_bit_identical(self):
+        def draws(interleave_empty: bool) -> list[tuple[int, float]]:
+            inj = FaultInjector(
+                seed=17,
+                faults=[
+                    MessageLoss(rate=0.3),
+                    MessageDelay(rate=0.4, delay_seconds=2e-3),
+                ],
+            )
+            out = []
+            for rank in range(4):
+                if interleave_empty:
+                    # zero-message queries sprinkled between real ones
+                    assert inj.message_faults(rank, 0) == (0, 0.0)
+                out.append(inj.message_faults(rank, 64))
+                if interleave_empty:
+                    assert inj.message_faults(rank + 100, 0) == (0, 0.0)
+            return out
+
+        assert draws(True) == draws(False)

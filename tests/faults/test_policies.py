@@ -106,3 +106,66 @@ class TestDegradedMode:
             DegradedModeController(fault_threshold=0)
         with pytest.raises(FaultConfigError):
             DegradedModeController(probe_interval=0.0)
+
+
+class TestRetryBackoffSaturation:
+    """Satellite coverage: jitter at the attempt boundary and the cap
+    arithmetic — delays are monotone-bounded and deterministic."""
+
+    def test_raw_schedule_is_monotone_then_saturates(self):
+        p = RetryPolicy(
+            max_attempts=6,
+            base_backoff=1e-4,
+            backoff_factor=3.0,
+            max_backoff=2e-3,
+            jitter=0.0,
+        )
+        waits = [p.backoff_seconds(a) for a in range(1, 12)]
+        assert all(b >= a for a, b in zip(waits, waits[1:]))
+        assert waits[-1] == p.max_backoff
+        # once saturated, every later attempt stays pinned at the cap
+        sat = next(i for i, w in enumerate(waits) if w == p.max_backoff)
+        assert all(w == p.max_backoff for w in waits[sat:])
+
+    def test_jittered_wait_is_bounded_by_the_cap_envelope(self):
+        p = RetryPolicy(
+            base_backoff=1e-4, backoff_factor=2.0, max_backoff=1e-3,
+            jitter=0.25, seed=11,
+        )
+        for key in range(20):
+            for attempt in range(1, 10):
+                raw = min(
+                    p.base_backoff * p.backoff_factor ** (attempt - 1),
+                    p.max_backoff,
+                )
+                w = p.backoff_seconds(attempt, key=key)
+                assert raw * (1 - p.jitter) <= w < raw * (1 + p.jitter)
+                assert w < p.max_backoff * (1 + p.jitter)
+
+    def test_deterministic_per_key_and_attempt(self):
+        a = RetryPolicy(jitter=0.5, seed=3)
+        b = RetryPolicy(jitter=0.5, seed=3)
+        table_a = [
+            a.backoff_seconds(att, key=k)
+            for k in range(8) for att in range(1, 5)
+        ]
+        table_b = [
+            b.backoff_seconds(att, key=k)
+            for k in range(8) for att in range(1, 5)
+        ]
+        assert table_a == table_b
+        # a different seed decorrelates the whole table
+        c = RetryPolicy(jitter=0.5, seed=4)
+        assert table_a != [
+            c.backoff_seconds(att, key=k)
+            for k in range(8) for att in range(1, 5)
+        ]
+
+    def test_boundary_attempt_draws_like_any_other(self):
+        p = RetryPolicy(max_attempts=3, jitter=0.25, seed=5)
+        # the policy prices any attempt number the runtime asks about,
+        # including the last budgeted one and hypothetical later ones
+        last = p.backoff_seconds(p.max_attempts, key=1)
+        beyond = p.backoff_seconds(p.max_attempts + 1, key=1)
+        assert last > 0 and beyond > 0
+        assert beyond < p.max_backoff * (1 + p.jitter)

@@ -266,3 +266,60 @@ class TestStealingEdges:
             rec("accumulate", 3.0, "a", [2], batch=1),
         ]
         assert analyze_log(log).clean
+
+
+class TestChaosEdges:
+    """Crash-recovery ops (schema v5): a rehome rides the grant edge,
+    a serving requeue rides the flush edge; removing either races."""
+
+    def test_rehome_after_grant_is_ordered(self):
+        # the thief died: item 2 re-homes to the victim that granted
+        # it and runs here — grant -> rehome orders the accum writes
+        log = [
+            rec("submit", 0.0, "a", [1]),
+            rec("submit", 0.0, "a", [2]),
+            rec("steal_grant", 0.5, "a", [2], batch=0),
+            rec("flush", 1.0, "a", [1], batch=0),
+            rec("accumulate", 1.5, "a", [1], batch=0),
+            rec("rehome", 2.0, "a", [2], attempt=3, batch=0),
+            rec("flush", 2.5, "a", [2], batch=1),
+            rec("accumulate", 3.0, "a", [2], batch=1),
+        ]
+        assert analyze_log(log).clean
+
+    def test_rehoming_an_executed_item_races(self):
+        # item 2 already ran here; a later rehome-in is a duplicate
+        log = [
+            rec("submit", 0.0, "a", [2]),
+            rec("flush", 0.5, "a", [2], batch=0),
+            rec("accumulate", 0.7, "a", [2], batch=0),
+            rec("rehome", 1.0, "a", [2], attempt=3, batch=1),
+        ]
+        report = analyze_log(log)
+        assert not report.clean
+        assert any(r.resource == "accum:2" for r in report.races)
+
+    def test_requeue_then_reflush_is_ordered(self):
+        # the serving loop cancels a dead batch's flush and the items
+        # re-enter: flush -> requeue -> fresh flush chains cleanly
+        log = [
+            rec("submit", 0.0, "a", ["j0.s0.i0"]),
+            rec("flush", 0.5, "a", ["j0.s0.i0"], batch=0),
+            rec("requeue", 0.6, "crash", ["j0.s0.i0"], attempt=1, batch=0),
+            rec("flush", 0.8, "a", ["j0.s0.i0"], batch=1),
+            rec("accumulate", 1.0, "a", ["j0.s0.i0"], batch=1),
+        ]
+        assert analyze_log(log).clean
+
+    def test_accumulate_after_requeue_races(self):
+        # the "dead" worker finishes its batch anyway after the control
+        # loop already requeued it: the accum writes are unordered
+        log = [
+            rec("submit", 0.0, "a", ["j0.s0.i0"]),
+            rec("flush", 0.5, "a", ["j0.s0.i0"], batch=0),
+            rec("requeue", 0.6, "crash", ["j0.s0.i0"], attempt=1, batch=0),
+            rec("accumulate", 0.8, "a", ["j0.s0.i0"], batch=0),
+        ]
+        report = analyze_log(log)
+        assert not report.clean
+        assert any(r.resource == "accum:j0.s0.i0" for r in report.races)

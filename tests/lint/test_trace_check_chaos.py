@@ -1,0 +1,245 @@
+"""Invariant #10 unit tests: requeue/rehome ledger accounting under
+crash recovery (repro.lint.trace_check)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.trace_check import (
+    TraceCheckError,
+    check_runtime_log,
+    find_migration_violations,
+    find_violations,
+)
+from repro.runtime.trace import RuntimeLogRecord
+
+
+def rec(op, at, kind="k", ids=(), attempt=0, batch=-1):
+    return RuntimeLogRecord(
+        op=op, at=at, kind=kind, ids=tuple(ids), attempt=attempt, batch=batch
+    )
+
+
+def serve_prefix():
+    """One admitted job with a flushed first batch."""
+    return [
+        rec("arrive", 0.0, "standard", ["j0"], batch=0),
+        rec("admit", 0.0, "standard", ["j0"], batch=0),
+        rec("submit", 0.0, "a", ["j0.s0.i0"]),
+        rec("submit", 0.0, "a", ["j0.s0.i1"]),
+        rec("flush", 0.1, "a", ["j0.s0.i0", "j0.s0.i1"], batch=0),
+    ]
+
+
+class TestRequeueReenter:
+    def test_reenter_cancels_the_dead_flush(self):
+        log = serve_prefix() + [
+            rec("requeue", 0.2, "crash", ["j0.s0.i0", "j0.s0.i1"],
+                attempt=1, batch=1),
+            rec("flush", 0.3, "a", ["j0.s0.i0", "j0.s0.i1"], batch=1),
+            rec("accumulate", 0.4, "a", ["j0.s0.i0", "j0.s0.i1"], batch=1),
+        ]
+        assert find_violations(log) == []
+        check_runtime_log(log)
+
+    def test_reenter_moves_items_to_the_kind_tail(self):
+        # another job's item submitted after j0: once j0's items
+        # requeue, flushing the other item first is legal FIFO
+        log = serve_prefix() + [
+            rec("arrive", 0.15, "standard", ["j1"], batch=0),
+            rec("admit", 0.15, "standard", ["j1"], batch=0),
+            rec("submit", 0.15, "a", ["j1.s0.i0"]),
+            rec("requeue", 0.2, "crash", ["j0.s0.i0", "j0.s0.i1"],
+                attempt=1, batch=1),
+            rec("flush", 0.3, "a", ["j1.s0.i0"], batch=1),
+            rec("accumulate", 0.35, "a", ["j1.s0.i0"], batch=1),
+            rec("flush", 0.4, "a", ["j0.s0.i0", "j0.s0.i1"], batch=2),
+            rec("accumulate", 0.5, "a", ["j0.s0.i0", "j0.s0.i1"], batch=2),
+        ]
+        assert find_violations(log) == []
+
+    def test_requeue_without_live_flush_is_flagged(self):
+        log = serve_prefix() + [
+            rec("accumulate", 0.15, "a", ["j0.s0.i0", "j0.s0.i1"], batch=0),
+            rec("requeue", 0.2, "crash", ["j0.s0.i0"], attempt=1, batch=1),
+        ]
+        violations = find_violations(log)
+        assert any("without a live flush" in v for v in violations)
+
+    def test_double_requeue_of_one_flush_is_flagged(self):
+        log = serve_prefix() + [
+            rec("requeue", 0.2, "crash", ["j0.s0.i0", "j0.s0.i1"],
+                attempt=1, batch=1),
+            rec("requeue", 0.25, "crash", ["j0.s0.i0"], attempt=2, batch=2),
+        ]
+        violations = find_violations(log)
+        assert any("without a live flush" in v for v in violations)
+
+    def test_unknown_verdict_is_flagged(self):
+        log = serve_prefix() + [
+            rec("requeue", 0.2, "cosmic-ray", ["j0.s0.i0"], attempt=1,
+                batch=1),
+        ]
+        assert any(
+            "unknown verdict" in v for v in find_violations(log)
+        )
+
+    def test_requeue_of_unadmitted_job_is_flagged(self):
+        log = [
+            rec("submit", 0.0, "a", ["j9.s0.i0"]),
+            rec("flush", 0.1, "a", ["j9.s0.i0"], batch=0),
+            rec("requeue", 0.2, "crash", ["j9.s0.i0"], attempt=1, batch=1),
+            rec("flush", 0.3, "a", ["j9.s0.i0"], batch=2),
+            rec("accumulate", 0.4, "a", ["j9.s0.i0"], batch=2),
+        ]
+        assert any(
+            "never admitted" in v for v in find_violations(log)
+        )
+
+
+class TestRequeueDrop:
+    def test_drop_retires_the_flushed_items(self):
+        log = serve_prefix() + [
+            rec("requeue", 0.2, "retry-budget", ["j0.s0.i0", "j0.s0.i1"],
+                attempt=1, batch=1),
+            rec("deadline_miss", 0.2, "standard", ["j0"], batch=0),
+        ]
+        assert find_violations(log) == []
+
+    def test_drop_retires_the_queued_backlog_too(self):
+        # i1 was never flushed: the drop purges it from the queue
+        log = [
+            rec("arrive", 0.0, "standard", ["j0"], batch=0),
+            rec("admit", 0.0, "standard", ["j0"], batch=0),
+            rec("submit", 0.0, "a", ["j0.s0.i0"]),
+            rec("submit", 0.0, "a", ["j0.s0.i1"]),
+            rec("flush", 0.1, "a", ["j0.s0.i0"], batch=0),
+            rec("requeue", 0.2, "queue-depth", ["j0.s0.i0", "j0.s0.i1"],
+                attempt=1, batch=1),
+            rec("deadline_miss", 0.2, "standard", ["j0"], batch=0),
+        ]
+        assert find_violations(log) == []
+
+    def test_reenter_cannot_cover_a_never_flushed_item(self):
+        # the pending-item escape hatch is drop-only
+        log = [
+            rec("arrive", 0.0, "standard", ["j0"], batch=0),
+            rec("admit", 0.0, "standard", ["j0"], batch=0),
+            rec("submit", 0.0, "a", ["j0.s0.i0"]),
+            rec("requeue", 0.2, "crash", ["j0.s0.i0"], attempt=1, batch=1),
+            rec("flush", 0.3, "a", ["j0.s0.i0"], batch=2),
+            rec("accumulate", 0.4, "a", ["j0.s0.i0"], batch=2),
+        ]
+        assert any(
+            "without a live flush" in v for v in find_violations(log)
+        )
+
+    def test_dropping_twice_is_flagged(self):
+        log = serve_prefix() + [
+            rec("requeue", 0.2, "retry-budget", ["j0.s0.i0"], attempt=1,
+                batch=1),
+            rec("requeue", 0.25, "queue-depth", ["j0.s0.i1"], attempt=1,
+                batch=1),
+        ]
+        assert any(
+            "dropped twice" in v for v in find_violations(log)
+        )
+
+    def test_accumulate_after_drop_is_flagged(self):
+        log = serve_prefix() + [
+            rec("requeue", 0.2, "retry-budget", ["j0.s0.i0"], attempt=1,
+                batch=1),
+            rec("accumulate", 0.3, "a", ["j0.s0.i1"], batch=0),
+        ]
+        violations = find_violations(log)
+        assert any("accumulated after its drop" in v for v in violations)
+        with pytest.raises(TraceCheckError):
+            check_runtime_log(log)
+
+
+class TestRehomeLedger:
+    def _grant(self, rank=0):
+        """A victim log granting t0/t1 to a thief."""
+        return [
+            rec("submit", 0.0, "a", ["t0"]),
+            rec("submit", 0.0, "a", ["t1"]),
+            rec("steal_request", 0.1, "a", [], attempt=1, batch=7),
+            rec("steal_grant", 0.2, "a", ["t0", "t1"], attempt=1, batch=7),
+        ]
+
+    def test_full_rehome_covers_a_wire_dead_grant(self):
+        victim = self._grant() + [
+            rec("rehome", 0.3, "a", ["t0", "t1"], attempt=1, batch=7),
+            rec("flush", 0.4, "a", ["t0", "t1"], batch=0),
+            rec("accumulate", 0.5, "a", ["t0", "t1"], batch=0),
+        ]
+        assert find_migration_violations({0: victim}) == []
+
+    def test_partial_rehome_of_a_dead_grant_is_flagged(self):
+        victim = self._grant() + [
+            rec("rehome", 0.3, "a", ["t0"], attempt=1, batch=7),
+            rec("flush", 0.4, "a", ["t0"], batch=0),
+            rec("accumulate", 0.5, "a", ["t0"], batch=0),
+        ]
+        violations = find_migration_violations({0: victim})
+        assert any("partially re-homed" in v for v in violations)
+
+    def test_rehome_without_a_grant_is_flagged(self):
+        # request 9 was never granted here; an unrelated grant keeps
+        # the steal checks armed (no-steal logs are skipped wholesale)
+        victim = self._grant() + [
+            rec("rehome", 0.25, "a", ["t0", "t1"], attempt=1, batch=7),
+            rec("rehome", 0.3, "a", ["t0"], attempt=1, batch=9),
+            rec("flush", 0.4, "a", ["t0", "t1"], batch=0),
+            rec("accumulate", 0.5, "a", ["t0", "t1"], batch=0),
+        ]
+        violations = find_migration_violations({0: victim})
+        assert any(
+            "rehome" in v and "grant" in v for v in violations
+        )
+
+    def _stolen_elsewhere(self):
+        """A grant+migrate pair keeping the steal checks armed (logs
+        with no steal traffic are skipped wholesale)."""
+        victim = [
+            rec("submit", 0.0, "a", ["t9"]),
+            rec("steal_request", 0.05, "a", [], attempt=2, batch=8),
+            rec("steal_grant", 0.06, "a", ["t9"], attempt=2, batch=8),
+        ]
+        thief = [
+            rec("migrate", 0.07, "a", ["t9"], attempt=2, batch=8),
+            rec("flush", 0.1, "a", ["t9"], batch=0),
+            rec("accumulate", 0.2, "a", ["t9"], batch=0),
+        ]
+        return victim, thief
+
+    def test_net_accounting_forgives_rollback_then_replay(self):
+        # crashy log: the item accumulates twice but one is rolled
+        # back — net exactly one
+        victim, thief = self._stolen_elsewhere()
+        victim += [
+            rec("submit", 0.08, "a", ["t0"]),
+            rec("flush", 0.1, "a", ["t0"], batch=1),
+            rec("accumulate", 0.2, "a", ["t0"], batch=1),
+            rec("rollback", 0.3, "0", ["t0"]),
+            rec("restore", 0.3, "0", []),
+            rec("submit", 0.3, "a", ["t0"]),
+            rec("flush", 0.4, "a", ["t0"], batch=2),
+            rec("accumulate", 0.5, "a", ["t0"], batch=2),
+        ]
+        assert find_migration_violations({0: victim, 1: thief}) == []
+
+    def test_net_over_accumulation_is_still_flagged(self):
+        # same replay but nothing was rolled back: net two accumulates
+        victim, thief = self._stolen_elsewhere()
+        victim += [
+            rec("submit", 0.08, "a", ["t0"]),
+            rec("flush", 0.1, "a", ["t0"], batch=1),
+            rec("accumulate", 0.2, "a", ["t0"], batch=1),
+            rec("restore", 0.3, "0", []),
+            rec("submit", 0.3, "a", ["t0"]),
+            rec("flush", 0.4, "a", ["t0"], batch=2),
+            rec("accumulate", 0.5, "a", ["t0"], batch=2),
+        ]
+        violations = find_migration_violations({0: victim, 1: thief})
+        assert any("net-accumulated" in v for v in violations)

@@ -1,0 +1,252 @@
+"""Fault-tolerant serving: crashes, GPU faults and stragglers on the
+worker pool (repro.serve.service + repro.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import GpuFailure, NodeCrash, StragglerNode
+from repro.lint.races import analyze_log
+from repro.lint.trace_check import find_violations
+from repro.runtime.trace import Tracer
+from repro.serve.admission import AdmissionConfig
+from repro.serve.arrivals import JobRequest, PoissonArrivals, TraceArrivals
+from repro.serve.autoscaler import AutoscalerConfig
+from repro.serve.service import JobService, ServeConfig, ServeConfigError
+
+
+def flat_cost(rank, items):
+    del rank
+    return 0.001 * len(items)
+
+
+def saturating_trace():
+    """A dense open-loop trace: workers stay busy, so scheduled crash
+    instants land inside batch windows."""
+    return PoissonArrivals(
+        rate=400.0, horizon=0.2, n_tenants=3, seed=21
+    ).requests()
+
+
+def run_service(requests, config=None, *, n_ranks=3, tracer=None,
+                injector=None):
+    service = JobService(
+        n_ranks=n_ranks,
+        batch_seconds=flat_cost,
+        config=config,
+        tracer=tracer,
+        fault_injector=injector,
+    )
+    return service.run(requests)
+
+
+def record_tuples(tracer):
+    return [
+        (r.op, r.at, r.kind, r.ids, r.attempt, r.batch) for r in tracer.log
+    ]
+
+
+def chaos_config(**kw):
+    base = dict(
+        admission=AdmissionConfig(tenant_rate=500.0, tenant_burst=64.0),
+        retry_budget=3,
+    )
+    base.update(kw)
+    return ServeConfig(**base)
+
+
+def test_retry_budget_validation():
+    with pytest.raises(ServeConfigError):
+        ServeConfig(retry_budget=-1)
+    assert ServeConfig(retry_budget=0).retry_budget == 0
+
+
+def test_empty_injector_is_bit_identical():
+    reqs = saturating_trace()
+    t0, t1 = Tracer(), Tracer()
+    r0 = run_service(reqs, chaos_config(), tracer=t0)
+    r1 = run_service(reqs, chaos_config(), tracer=t1,
+                     injector=FaultInjector(seed=3))
+    assert record_tuples(t0) == record_tuples(t1)
+    assert r0.makespan == r1.makespan
+    assert r1.dead_ranks == 0 and r1.n_requeues == 0
+
+
+class TestCrashRequeue:
+    def test_mid_batch_crash_requeues_and_completes(self):
+        reqs = saturating_trace()
+        clean = run_service(reqs, chaos_config())
+        inj = FaultInjector(
+            seed=5, faults=[NodeCrash(rank=1, at=clean.makespan * 0.3)]
+        )
+        tracer = Tracer()
+        res = run_service(reqs, chaos_config(), tracer=tracer, injector=inj)
+        assert res.dead_ranks == 1
+        assert res.n_requeues >= 1
+        # zero lost jobs: everything admitted still completes
+        assert res.n_completed == res.n_admitted
+        assert res.n_dropped == 0
+        requeues = [r for r in tracer.log if r.op == "requeue"]
+        assert requeues and all(r.kind == "crash" for r in requeues)
+        # requeue records ride the dead worker's rank in ``batch``
+        assert all(r.batch == 1 for r in requeues)
+        assert find_violations(tracer.log) == []
+        assert analyze_log(tracer.log, rank=0).races == []
+
+    def test_requeued_jobs_keep_their_original_deadline(self):
+        reqs = saturating_trace()
+        clean = run_service(reqs, chaos_config())
+        inj = FaultInjector(
+            seed=5, faults=[NodeCrash(rank=0, at=clean.makespan * 0.3)]
+        )
+        tracer = Tracer()
+        res = run_service(reqs, chaos_config(), tracer=tracer, injector=inj)
+        assert res.n_requeues >= 1
+        budgets = {c.name: c.deadline_seconds for c in chaos_config().classes}
+        # every admitted job's deadline is still admission + class
+        # budget — a requeue re-enters the EDF queue without extending it
+        for o in res.outcomes:
+            if o.admitted:
+                assert o.deadline == pytest.approx(
+                    o.arrived_at + budgets[o.slo]
+                )
+
+    def test_crashed_idle_worker_takes_no_work(self):
+        # one lonely early request, then a long gap: rank 2 crashes
+        # while parked and must never flush a batch afterwards
+        reqs = TraceArrivals(
+            [JobRequest(0.0, 0, "coulomb-apply", "batch"),
+             JobRequest(0.5, 0, "coulomb-apply", "batch")]
+        ).requests()
+        inj = FaultInjector(seed=5, faults=[NodeCrash(rank=2, at=0.2)])
+        tracer = Tracer()
+        res = run_service(reqs, chaos_config(), tracer=tracer, injector=inj)
+        assert res.dead_ranks == 1
+        assert res.n_requeues == 0  # it died idle, no batch lost
+        assert res.n_completed == res.n_admitted
+
+
+class TestDrops:
+    def test_retry_budget_exhaustion_drops_the_job(self):
+        # a permanent GPU failure on the whole (single-rank) pool with
+        # budget 0: the first dead batch drops its jobs
+        reqs = TraceArrivals(
+            [JobRequest(0.0, 0, "coulomb-apply", "batch")]
+        ).requests()
+        inj = FaultInjector(seed=5, faults=[GpuFailure(rank=0, rate=1.0)])
+        tracer = Tracer()
+        res = run_service(
+            reqs, chaos_config(retry_budget=0), n_ranks=1,
+            tracer=tracer, injector=inj,
+        )
+        assert res.n_admitted == 1
+        assert res.n_completed == 0
+        assert res.n_dropped == 1
+        (outcome,) = [o for o in res.outcomes if o.admitted]
+        assert outcome.dropped_reason == "retry-budget"
+        assert outcome.requeues == 1
+        drops = [r for r in tracer.log if r.op == "requeue"]
+        assert [r.kind for r in drops] == ["retry-budget"]
+        # the drop still fails the job's SLO
+        misses = [r for r in tracer.log if r.op == "deadline_miss"]
+        assert len(misses) == 1
+        assert find_violations(tracer.log) == []
+        assert analyze_log(tracer.log, rank=0).races == []
+
+    def test_transient_gpu_fault_requeues_with_gpu_verdict(self):
+        reqs = saturating_trace()
+        inj = FaultInjector(seed=7, faults=[GpuFailure(rank=1, rate=0.3)])
+        tracer = Tracer()
+        res = run_service(reqs, chaos_config(), tracer=tracer, injector=inj)
+        gpu_requeues = [
+            r for r in tracer.log if r.op == "requeue" and r.kind == "gpu"
+        ]
+        assert gpu_requeues
+        # transient faults don't kill the rank
+        assert res.dead_ranks == 0
+        assert res.n_completed + res.n_dropped == res.n_admitted
+        assert find_violations(tracer.log) == []
+
+    def test_queue_depth_gate_sheds_on_requeue(self):
+        # a tiny queue bound: the dead batch cannot legally re-enter
+        reqs = saturating_trace()
+        cfg = chaos_config(
+            admission=AdmissionConfig(
+                tenant_rate=500.0, tenant_burst=64.0, max_queue_items=2
+            ),
+        )
+        clean = run_service(reqs, cfg)
+        inj = FaultInjector(
+            seed=5, faults=[NodeCrash(rank=0, at=clean.makespan * 0.2)]
+        )
+        tracer = Tracer()
+        res = run_service(reqs, cfg, tracer=tracer, injector=inj)
+        dropped = [o for o in res.outcomes if o.dropped]
+        assert dropped
+        assert all(o.dropped_reason == "queue-depth" for o in dropped)
+        assert find_violations(tracer.log) == []
+
+    def test_dropped_job_backlog_is_purged(self):
+        # single rank + budget 0: when the crash drops the in-flight
+        # job, its queued sibling items must leave the batcher too
+        # (multi-stage template so a backlog exists mid-flight)
+        reqs = TraceArrivals(
+            [JobRequest(0.0, 0, "pipeline", "batch")]
+        ).requests()
+        inj = FaultInjector(seed=5, faults=[NodeCrash(rank=0, at=0.003)])
+        tracer = Tracer()
+        res = run_service(
+            reqs, chaos_config(retry_budget=0), n_ranks=1,
+            tracer=tracer, injector=inj,
+        )
+        assert res.n_dropped == 1
+        assert find_violations(tracer.log) == []
+        assert analyze_log(tracer.log, rank=0).races == []
+
+
+class TestPoolDynamics:
+    def test_autoscaler_replaces_dead_capacity(self):
+        reqs = saturating_trace()
+        cfg = chaos_config(
+            autoscaler=AutoscalerConfig(
+                min_ranks=2, max_ranks=8, interval=0.02,
+                high_water=0.02, low_water=0.004, cooldown=0.04,
+            ),
+        )
+        clean = run_service(reqs, cfg)
+        inj = FaultInjector(
+            seed=5,
+            faults=[
+                NodeCrash(rank=0, at=clean.makespan * 0.2),
+                NodeCrash(rank=1, at=clean.makespan * 0.4),
+            ],
+        )
+        tracer = Tracer()
+        res = run_service(reqs, cfg, tracer=tracer, injector=inj)
+        assert res.dead_ranks == 2
+        assert res.n_completed == res.n_admitted
+        # dead ranks shift the controller's clamps: the pool may grow
+        # past the crash count to restore live capacity
+        assert res.pool_peak >= clean.pool_peak
+        assert find_violations(tracer.log) == []
+        assert analyze_log(tracer.log, rank=0).races == []
+
+    def test_straggler_slows_but_loses_nothing(self):
+        reqs = saturating_trace()
+        clean = run_service(reqs, chaos_config())
+        inj = FaultInjector(
+            seed=5, faults=[StragglerNode(rank=0, slowdown=4.0)]
+        )
+        res = run_service(reqs, chaos_config(), injector=inj)
+        assert res.n_completed == res.n_admitted
+        assert res.makespan >= clean.makespan
+        assert res.dead_ranks == 0 and res.n_requeues == 0
+
+    def test_whole_pool_death_is_a_hard_error(self):
+        reqs = TraceArrivals(
+            [JobRequest(0.0, 0, "coulomb-apply", "batch")]
+        ).requests()
+        inj = FaultInjector(seed=5, faults=[NodeCrash(rank=0, at=1e-4)])
+        with pytest.raises(ServeConfigError):
+            run_service(reqs, chaos_config(), n_ranks=1, injector=inj)
