@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint lint-tests races ruff mypy test coverage golden trace-check steal-smoke serve-smoke chaos-sched-smoke
+.PHONY: check lint lint-tests races ruff mypy test coverage golden trace-check steal-smoke serve-smoke chaos-sched-smoke des-smoke des-equivalence
 
 ## check: everything CI runs — in-tree analyzer, race gate, ruff, mypy,
 ## tier-1 tests
@@ -66,6 +66,21 @@ serve-smoke:
 ## under rank kills; also pins the BENCH_chaos.json baseline
 chaos-sched-smoke:
 	REPRO_BENCH_SCALE=0.1 $(PYTHON) -m pytest benchmarks/test_chaos_sched.py -q
+
+## des-equivalence: the differential DES-core harness — every canonical
+## scenario plus 250 random event programs must be byte-identical
+## across the heap and calendar engines (blocking in CI)
+des-equivalence:
+	$(PYTHON) -m pytest tests/runtime/test_des_equivalence.py \
+	    tests/runtime/test_des_tiebreak.py -q
+
+## des-smoke: reduced-scale DES-core benchmark — live engine
+## equivalence + live speedup at 500 ranks, plus the committed
+## BENCH_cluster.json >=10x events/sec audit (full scale: drop the
+## REPRO_BENCH_SCALE override; regenerate the baseline with
+## REPRO_BENCH_WRITE=1)
+des-smoke:
+	REPRO_BENCH_SCALE=0.1 $(PYTHON) -m pytest benchmarks/test_des_core.py -q
 
 ## trace-check: just the dynamic happens-before tests
 trace-check:

@@ -85,6 +85,9 @@ class ClusterResult:
     total_lost_messages: int = 0
     #: restarts summed over ranks (checkpoint/restart recovery only)
     total_restarts: int = 0
+    #: DES events the scheduling run retired (stealing mode only; the
+    #: events/sec numerator of the BENCH_cluster baseline)
+    total_events: int = 0
 
     @property
     def comm_fraction(self) -> float:
@@ -398,20 +401,22 @@ class ClusterSimulation:
         """
         total = 0.0
         size = self.stealing.chunk_size if self.stealing else len(chunk)
+        # the rank-dependent key prefix is loop-invariant: hoist it so
+        # the per-task cost is one dict probe on the multi-thousand-rank
+        # sweeps (this is the stealing engine's innermost loop)
+        slowdown = self.stragglers.get(rank, 1.0)
+        gpu_failed = self._gpu_failed(rank)
+        costs = self._analytic_costs
         for t in chunk:
-            key = (
-                self.stragglers.get(rank, 1.0),
-                self._gpu_failed(rank),
-                str(t.item.kind),
-            )
-            per_task = self._analytic_costs.get(key)
+            key = (slowdown, gpu_failed, str(t.item.kind))
+            per_task = costs.get(key)
             if per_task is None:
                 runtime = self._make_runtime(
                     rank, attach_observers=False, charge_setup=False
                 )
                 batch = [self._hybrid_task(t)] * max(1, size)
                 per_task = runtime.execute(batch).total_seconds / max(1, size)
-                self._analytic_costs[key] = per_task
+                costs[key] = per_task
             total += per_task
         return total
 
@@ -589,6 +594,7 @@ class ClusterSimulation:
             total_message_bytes=sum(outcome.message_bytes),
             total_lost_messages=total_lost,
             total_restarts=sum(outcome.restarts_per_rank),
+            total_events=outcome.n_events,
         )
 
     def run(self, tasks: list[ClusterTask]) -> ClusterResult:

@@ -172,6 +172,10 @@ class ServeResult:
     final_pool: int
     pool_peak: int
     dead_ranks: int = 0
+    #: events the DES core retired for this run (the kernel-level
+    #: counter behind the BENCH_cluster events/sec baseline; distinct
+    #: from ``n_events``, which counts service-level state touches)
+    des_events: int = 0
 
     @property
     def n_arrived(self) -> int:
@@ -748,4 +752,5 @@ class JobService:
             final_pool=state.active_limit,
             pool_peak=state.pool_peak,
             dead_ranks=len(dead),
+            des_events=env.n_processed,
         )

@@ -1,0 +1,115 @@
+"""EventPool safety: exhaustion, reuse, and stale-state scrubbing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.events import (
+    Environment,
+    EventPool,
+    _Resume,
+    des_engine,
+)
+
+
+def test_negative_max_size_rejected():
+    with pytest.raises(SimulationError):
+        EventPool(_Resume, max_size=-1)
+
+
+def test_acquire_allocates_then_recycles():
+    env = Environment()
+    pool = EventPool(_Resume, max_size=4)
+    first = pool.acquire(env, None, "a")
+    assert pool.n_allocated == 1
+    assert pool.n_recycled == 0
+    pool.release(first)
+    assert len(pool) == 1
+    second = pool.acquire(env, None, "b")
+    assert second is first
+    assert pool.n_recycled == 1
+    assert len(pool) == 0
+
+
+def test_release_beyond_max_size_drops_on_floor():
+    env = Environment()
+    pool = EventPool(_Resume, max_size=2)
+    events = [pool.acquire(env, None, i) for i in range(5)]
+    assert pool.n_allocated == 5
+    for ev in events:
+        pool.release(ev)
+    # only max_size slots banked; the rest were dropped
+    assert len(pool) == 2
+
+
+def test_recycled_event_never_delivers_stale_state():
+    """A recycled continuation carries no callback, value, or target
+    from its previous life."""
+    env = Environment()
+    pool = EventPool(_Resume, max_size=4)
+    ev = pool.acquire(env, "old-process", "old-value")
+    fired = []
+    ev.callbacks.append(lambda value: fired.append(value))
+    ev.value = "stale-payload"
+    pool.release(ev)
+    assert ev.callbacks == []
+    assert ev.value is None
+    assert ev._process is None
+    assert ev._value is None
+    assert ev.triggered is False
+    recycled = pool.acquire(env, "new-process", "new-value")
+    assert recycled is ev
+    assert recycled.callbacks == []
+    assert recycled._process == "new-process"
+    assert recycled._value == "new-value"
+    assert recycled.triggered is True
+    assert fired == [], "stale callback survived the scrub"
+
+
+def test_zero_capacity_pool_always_allocates():
+    env = Environment()
+    pool = EventPool(_Resume, max_size=0)
+    ev = pool.acquire(env, None, None)
+    pool.release(ev)
+    assert len(pool) == 0
+    again = pool.acquire(env, None, None)
+    assert again is not ev
+    assert pool.n_allocated == 2
+    assert pool.n_recycled == 0
+
+
+def test_calendar_engine_recycles_through_runs():
+    """An end-to-end run on the fast core actually reuses continuations
+    and still produces the right timeline."""
+    with des_engine("calendar"):
+        env = Environment()
+    assert env._resume_pool is not None
+    log = []
+
+    def worker(name, hops):
+        for _ in range(hops):
+            yield env.timeout(1.0)
+            yield None  # a cooperative pause — pooled continuation
+        log.append((env.now, name))
+
+    for name in range(4):
+        env.process(worker(name, hops=10))
+    env.run()
+    assert log == [(10.0, 0), (10.0, 1), (10.0, 2), (10.0, 3)]  # repro: noqa[FLT001] - integral hop count, exact
+    assert env._resume_pool.n_recycled > 0
+    # the pool stays bounded no matter how many steps ran
+    assert len(env._resume_pool) <= env._resume_pool.max_size
+
+
+def test_heap_engine_runs_without_pool():
+    """The legacy core is preserved end to end: no pooling at all."""
+    with des_engine("heap"):
+        env = Environment()
+    assert env._resume_pool is None
+
+    def worker():
+        yield env.timeout(1.0)
+        yield None
+
+    env.process(worker())
+    env.run()
+    assert env.now == 1.0  # repro: noqa[FLT001] - one hop from t=0, exact

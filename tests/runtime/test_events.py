@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.runtime.events import AllOf, Environment, Resource
+from repro.runtime.events import AllOf, Environment, Resource, des_engine
 
 
 def test_timeout_advances_clock():
@@ -231,3 +231,70 @@ def test_resource_invalid_capacity():
     env = Environment()
     with pytest.raises(SimulationError):
         Resource(env, capacity=0)
+
+
+# -- run(until=) boundary contract (inclusive; pinned for both engines) ----------
+
+
+@pytest.mark.parametrize("engine", ["heap", "calendar"])
+def test_run_until_is_inclusive_at_exact_boundary(engine):
+    """An event scheduled at exactly ``until`` fires before the run
+    stops — the bound is inclusive, and the calendar queue's bucket
+    boundaries land on such instants constantly."""
+    with des_engine(engine):
+        env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(4.0)
+        fired.append(env.now)
+        yield env.timeout(1.0)
+        fired.append(env.now)
+
+    env.process(proc())
+    end = env.run(until=4.0)
+    assert fired == [4.0]  # repro: noqa[FLT001] - the boundary instant is the contract under test
+    assert end == 4.0  # repro: noqa[FLT001] - run(until=...) returns the bound verbatim
+
+
+@pytest.mark.parametrize("engine", ["heap", "calendar"])
+def test_run_until_leaves_strictly_later_events_pending(engine):
+    with des_engine(engine):
+        env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(4.0000000001)
+        fired.append(env.now)
+
+    env.process(proc())
+    end = env.run(until=4.0)
+    assert fired == []
+    assert end == 4.0  # repro: noqa[FLT001] - run(until=...) returns the bound verbatim
+    # a later run picks the pending event back up
+    env.run()
+    assert fired == [4.0000000001]  # repro: noqa[FLT001] - single scheduled instant, exact
+
+
+@pytest.mark.parametrize("engine", ["heap", "calendar"])
+def test_run_until_in_the_past_never_rewinds(engine):
+    with des_engine(engine):
+        env = Environment()
+
+    def proc():
+        yield env.timeout(5.0)
+        yield env.timeout(5.0)
+
+    env.process(proc())
+    env.run(until=5.0)
+    assert env.now == 5.0  # repro: noqa[FLT001] - one hop from t=0, exact
+    end = env.run(until=1.0)
+    assert end == 5.0  # repro: noqa[FLT001] - a past bound must not rewind the clock
+    assert env.now == 5.0  # repro: noqa[FLT001] - a past bound must not rewind the clock
+
+
+@pytest.mark.parametrize("engine", ["heap", "calendar"])
+def test_run_until_with_empty_queue_returns_now(engine):
+    with des_engine(engine):
+        env = Environment()
+    assert env.run(until=9.0) == 0.0  # repro: noqa[FLT001] - nothing scheduled, clock never moved
